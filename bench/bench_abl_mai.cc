@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Ablation: MAI outstanding-entry sweep — serialization/deserialization
+ * latency as the accelerator's memory-level parallelism budget sweeps
+ * 4..256 entries (Table I ships 64).
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "cereal/api.hh"
+#include "workloads/micro.hh"
+
+using namespace cereal;
+using namespace cereal::workloads;
+
+int
+main(int argc, char **argv)
+{
+    const std::uint64_t scale = bench::scaleFromArgs(argc, argv, 64);
+    bench::banner("Ablation: MAI outstanding-entry sweep",
+                  "the 64-entry MAI is the accelerator's MLP source; "
+                  "small tables re-create the CPU's bottleneck");
+
+    KlassRegistry reg;
+    MicroWorkloads micro(reg);
+    Heap src(reg);
+    Addr root = micro.build(src, MicroBench::TreeWide, scale, 42);
+    CerealSerializer ser;
+    ser.registerAll(reg);
+    auto stream = ser.serializeToStream(src, root);
+
+    std::printf("%-8s | %10s | %10s\n", "entries", "ser(ms)",
+                "deser(ms)");
+    for (unsigned e : {4u, 8u, 16u, 32u, 64u, 128u, 256u}) {
+        AccelConfig cfg;
+        cfg.maiEntries = e;
+        // Serialize.
+        EventQueue eq1;
+        Dram d1("d1", eq1);
+        CerealDevice dev1(d1, cfg);
+        auto ts = dev1.serialize(src, root, 0);
+        // Deserialize.
+        EventQueue eq2;
+        Dram d2("d2", eq2);
+        CerealDevice dev2(d2, cfg);
+        Heap dst(reg, 0x9'0000'0000ULL);
+        CerealSerializer de;
+        de.registerAll(reg);
+        Addr base = de.deserializeStream(stream, dst);
+        auto td = dev2.deserialize(stream, base, 0);
+        std::printf("%-8u | %10.3f | %10.3f\n", e,
+                    ts.latencySeconds * 1e3, td.latencySeconds * 1e3);
+    }
+    return 0;
+}

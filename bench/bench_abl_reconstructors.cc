@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Ablation: block-level parallelism — deserialization latency as the
+ * per-DU block-reconstructor count sweeps 1..8 (the paper ships 4).
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "cereal/api.hh"
+#include "workloads/micro.hh"
+
+using namespace cereal;
+using namespace cereal::workloads;
+
+int
+main(int argc, char **argv)
+{
+    const std::uint64_t scale = bench::scaleFromArgs(argc, argv, 64);
+    bench::banner("Ablation: block reconstructors per DU",
+                  "the decoupled format lets several 64 B blocks "
+                  "rebuild in parallel (Section V-C)");
+
+    KlassRegistry reg;
+    MicroWorkloads micro(reg);
+
+    std::printf("%-13s |", "workload");
+    for (unsigned r : {1u, 2u, 4u, 8u}) {
+        std::printf(" %5u-br", r);
+    }
+    std::printf("   (ms per deserialize; lower is better)\n");
+
+    for (auto mb : allMicroBenches()) {
+        Heap src(reg, 0x1'0000'0000ULL +
+                          0x10'0000'0000ULL * static_cast<Addr>(mb));
+        Addr root = micro.build(src, mb, scale, 42);
+        CerealSerializer ser;
+        ser.registerAll(reg);
+        auto stream = ser.serializeToStream(src, root);
+
+        std::printf("%-13s |", microBenchName(mb));
+        for (unsigned recon : {1u, 2u, 4u, 8u}) {
+            AccelConfig cfg;
+            cfg.blockReconstructors = recon;
+            EventQueue eq;
+            Dram dram("dram", eq);
+            CerealDevice dev(dram, cfg);
+            Heap dst(reg, 0x9'0000'0000ULL);
+            CerealSerializer de;
+            de.registerAll(reg);
+            Addr base = de.deserializeStream(stream, dst);
+            auto t = dev.deserialize(stream, base, 0);
+            std::printf(" %8.3f", t.latencySeconds * 1e3);
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

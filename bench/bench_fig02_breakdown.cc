@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Reproduces Figure 2: runtime breakdown (computation / GC / IO / S-D)
+ * of the six Spark applications under (a) Java S/D and (b) Kryo.
+ *
+ * The Java-side phase fractions are the workload model's calibrated
+ * inputs (the paper measured them on real Spark); the Kryo-side panel
+ * is *derived* by rescaling each app's S/D phase with the Kryo S/D
+ * speedup measured on this repo's timing models.
+ *
+ * Paper headline: S/D averages 39.5% of runtime under Java S/D (up to
+ * 90.9% for SVM) and 28.3% under Kryo (up to 83.4%).
+ */
+
+#include <cstdio>
+
+#include "bench/spark_common.hh"
+
+using namespace cereal;
+using namespace cereal::workloads;
+
+int
+main(int argc, char **argv)
+{
+    const std::uint64_t scale = bench::scaleFromArgs(argc, argv, 8);
+    bench::banner("Figure 2: Spark runtime breakdown by serializer",
+                  "S/D share avg 39.5% (Java, max 90.9%) and 28.3% "
+                  "(Kryo, max 83.4%)");
+
+    auto rows = bench::measureSparkApps(scale);
+
+    std::printf("(a) Java S/D\n");
+    std::printf("%-10s | %8s %6s %6s %6s\n", "app", "compute", "gc",
+                "io", "sd");
+    double java_sd_avg = 0;
+    for (const auto &r : rows) {
+        const auto &p = r.spec.javaPhases;
+        std::printf("%-10s | %7.1f%% %5.1f%% %5.1f%% %5.1f%%\n",
+                    r.spec.name.c_str(), p.compute * 100, p.gc * 100,
+                    p.io * 100, p.sd * 100);
+        java_sd_avg += p.sd;
+    }
+    java_sd_avg /= static_cast<double>(rows.size());
+
+    std::printf("\n(b) Kryo (S/D rescaled by measured per-app Kryo "
+                "speedup)\n");
+    std::printf("%-10s | %8s %6s %6s %6s | %9s\n", "app", "compute",
+                "gc", "io", "sd", "kryo-spd");
+    double kryo_sd_avg = 0;
+    double kryo_sd_max = 0;
+    for (const auto &r : rows) {
+        double spd = r.kryoSdSpeedup();
+        auto p = scalePhases(r.spec.javaPhases, spd);
+        std::printf("%-10s | %7.1f%% %5.1f%% %5.1f%% %5.1f%% | %8.2fx\n",
+                    r.spec.name.c_str(), p.compute * 100, p.gc * 100,
+                    p.io * 100, p.sd * 100, spd);
+        kryo_sd_avg += p.sd;
+        kryo_sd_max = std::max(kryo_sd_max, p.sd);
+    }
+    kryo_sd_avg /= static_cast<double>(rows.size());
+
+    std::printf("\nS/D share: java avg %.1f%% (paper 39.5%%), kryo avg "
+                "%.1f%% max %.1f%% (paper 28.3%% / 83.4%%)\n",
+                java_sd_avg * 100, kryo_sd_avg * 100, kryo_sd_max * 100);
+    return 0;
+}

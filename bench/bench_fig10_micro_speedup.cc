@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Reproduces Figure 10: S/D speedups over Java S/D on the
+ * microbenchmarks, for Kryo, Cereal-Vanilla (no fine-grained
+ * parallelism) and Cereal.
+ *
+ * Paper headline: Kryo 2.30x (ser) / 52.3x (deser); Cereal 26.5x (ser)
+ * / 364.5x (deser); the gap between Cereal Vanilla and Cereal shows
+ * how much of the win is the fine-grained (object/block-level)
+ * parallelism.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "serde/java_serde.hh"
+#include "serde/kryo_serde.hh"
+#include "workloads/harness.hh"
+#include "workloads/micro.hh"
+
+using namespace cereal;
+using namespace cereal::workloads;
+
+int
+main(int argc, char **argv)
+{
+    const std::uint64_t scale = bench::scaleFromArgs(argc, argv);
+    bench::banner(
+        "Figure 10: microbenchmark S/D speedup over Java S/D (log scale)",
+        "Kryo 2.30x/52.3x, Cereal 26.5x/364.5x (ser/deser averages)");
+
+    std::printf("%-13s %10s %10s | %10s %10s | %10s %10s\n", "workload",
+                "kryo-ser", "kryo-de", "vanil-ser", "vanil-de",
+                "cereal-ser", "cereal-de");
+
+    std::vector<double> ks, kd, vs, vd, cs, cd;
+    KlassRegistry reg;
+    MicroWorkloads micro(reg);
+
+    for (auto mb : allMicroBenches()) {
+        Heap src(reg, 0x1'0000'0000ULL +
+                          0x10'0000'0000ULL * static_cast<Addr>(mb));
+        Addr root = micro.build(src, mb, scale, 42);
+
+        JavaSerializer java;
+        KryoSerializer kryo;
+        kryo.registerAll(reg);
+        auto mj = measureSoftware(java, src, root);
+        auto mk = measureSoftware(kryo, src, root);
+
+        AccelConfig vanilla;
+        vanilla.pipelined = false;
+        auto mv = measureCereal(src, root, vanilla);
+        auto mc = measureCereal(src, root);
+
+        double k_s = mj.serSeconds / mk.serSeconds;
+        double k_d = mj.deserSeconds / mk.deserSeconds;
+        double v_s = mj.serSeconds / mv.serSeconds;
+        double v_d = mj.deserSeconds / mv.deserSeconds;
+        double c_s = mj.serSeconds / mc.serSeconds;
+        double c_d = mj.deserSeconds / mc.deserSeconds;
+        ks.push_back(k_s);
+        kd.push_back(k_d);
+        vs.push_back(v_s);
+        vd.push_back(v_d);
+        cs.push_back(c_s);
+        cd.push_back(c_d);
+        std::printf("%-13s %10.2f %10.2f | %10.2f %10.2f | %10.2f %10.2f\n",
+                    microBenchName(mb), k_s, k_d, v_s, v_d, c_s, c_d);
+    }
+
+    auto avg = [](const std::vector<double> &x) {
+        double s = 0;
+        for (double v : x) {
+            s += v;
+        }
+        return s / static_cast<double>(x.size());
+    };
+    std::printf("%-13s %10.2f %10.2f | %10.2f %10.2f | %10.2f %10.2f\n",
+                "average", avg(ks), avg(kd), avg(vs), avg(vd), avg(cs),
+                avg(cd));
+    std::printf("(paper avgs)  %10s %10s | %10s %10s | %10s %10s\n",
+                "2.30", "52.3", "-", "-", "26.5", "364.5");
+    std::printf("scale divisor: %llu (paper-size graphs / %llu)\n",
+                (unsigned long long)scale, (unsigned long long)scale);
+    return 0;
+}

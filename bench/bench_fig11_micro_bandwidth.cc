@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Reproduces Figure 11: DRAM bandwidth utilisation of Java S/D, Kryo
+ * and Cereal on the microbenchmarks, for both directions.
+ *
+ * Paper headline: serialization — Java 2.71%, Kryo 4.12%, Cereal 20.9%
+ * average (up to 74.5%); deserialization — Java 3.48%, Kryo 4.50%,
+ * Cereal 31.1% average (up to 83.3%).
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "serde/java_serde.hh"
+#include "serde/kryo_serde.hh"
+#include "workloads/harness.hh"
+#include "workloads/micro.hh"
+
+using namespace cereal;
+using namespace cereal::workloads;
+
+int
+main(int argc, char **argv)
+{
+    const std::uint64_t scale = bench::scaleFromArgs(argc, argv);
+    bench::banner("Figure 11: DRAM bandwidth utilisation (%) on "
+                  "microbenchmarks",
+                  "ser avg: Java 2.71 / Kryo 4.12 / Cereal 20.9 (max "
+                  "74.5); deser avg: 3.48 / 4.50 / 31.1 (max 83.3)");
+
+    std::printf("%-13s | %7s %7s %7s | %7s %7s %7s\n", "workload",
+                "serJ%", "serK%", "serC%", "deJ%", "deK%", "deC%");
+
+    std::vector<double> sj, sk, sc, dj, dk, dc;
+    KlassRegistry reg;
+    MicroWorkloads micro(reg);
+
+    for (auto mb : allMicroBenches()) {
+        Heap src(reg, 0x1'0000'0000ULL +
+                          0x10'0000'0000ULL * static_cast<Addr>(mb));
+        Addr root = micro.build(src, mb, scale, 42);
+        JavaSerializer java;
+        KryoSerializer kryo;
+        kryo.registerAll(reg);
+        auto mj = measureSoftware(java, src, root);
+        auto mk = measureSoftware(kryo, src, root);
+        auto mc = measureCereal(src, root);
+
+        sj.push_back(mj.serBandwidth);
+        sk.push_back(mk.serBandwidth);
+        sc.push_back(mc.serBandwidth);
+        dj.push_back(mj.deserBandwidth);
+        dk.push_back(mk.deserBandwidth);
+        dc.push_back(mc.deserBandwidth);
+        std::printf("%-13s | %7.2f %7.2f %7.2f | %7.2f %7.2f %7.2f\n",
+                    microBenchName(mb), mj.serBandwidth * 100,
+                    mk.serBandwidth * 100, mc.serBandwidth * 100,
+                    mj.deserBandwidth * 100, mk.deserBandwidth * 100,
+                    mc.deserBandwidth * 100);
+    }
+
+    auto avg = [](const std::vector<double> &x) {
+        double s = 0;
+        for (double v : x) {
+            s += v;
+        }
+        return 100 * s / static_cast<double>(x.size());
+    };
+    auto mx = [](const std::vector<double> &x) {
+        double m = 0;
+        for (double v : x) {
+            m = std::max(m, v);
+        }
+        return 100 * m;
+    };
+    std::printf("%-13s | %7.2f %7.2f %7.2f | %7.2f %7.2f %7.2f\n",
+                "average", avg(sj), avg(sk), avg(sc), avg(dj), avg(dk),
+                avg(dc));
+    std::printf("%-13s | %7s %7s %7.2f | %7s %7s %7.2f\n", "max", "",
+                "", mx(sc), "", "", mx(dc));
+    std::printf("(paper avg)   |    2.71    4.12   20.90 |    3.48    "
+                "4.50   31.10\n");
+    return 0;
+}

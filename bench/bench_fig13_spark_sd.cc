@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Reproduces Figure 13: S/D speedups on the six Spark applications.
+ *
+ * Paper headline: Kryo 1.67x over Java S/D; Cereal 7.97x over Java S/D
+ * and 4.81x over Kryo.
+ */
+
+#include <cstdio>
+
+#include "bench/spark_common.hh"
+
+using namespace cereal;
+using namespace cereal::workloads;
+
+int
+main(int argc, char **argv)
+{
+    const std::uint64_t scale = bench::scaleFromArgs(argc, argv, 8);
+    bench::banner("Figure 13: Spark S/D speedups",
+                  "Kryo 1.67x vs Java; Cereal 7.97x vs Java, 4.81x vs "
+                  "Kryo (averages)");
+
+    auto rows = bench::measureSparkApps(scale);
+
+    std::printf("%-10s | %10s %12s %12s | %10s %10s %10s\n", "app",
+                "kryo/java", "cereal/java", "cereal/kryo", "sdJ(ms)",
+                "sdK(ms)", "sdC(ms)");
+    std::vector<double> kj, cj, ck;
+    for (const auto &r : rows) {
+        kj.push_back(r.kryoSdSpeedup());
+        cj.push_back(r.cerealSdSpeedup());
+        ck.push_back(r.cerealOverKryo());
+        std::printf("%-10s | %10.2f %12.2f %12.2f | %10.3f %10.3f "
+                    "%10.3f\n",
+                    r.spec.name.c_str(), kj.back(), cj.back(),
+                    ck.back(), r.javaSd() * 1e3, r.kryoSd() * 1e3,
+                    r.cerealSd() * 1e3);
+    }
+    auto avg = [](const std::vector<double> &x) {
+        double s = 0;
+        for (double v : x) {
+            s += v;
+        }
+        return s / static_cast<double>(x.size());
+    };
+    std::printf("%-10s | %10.2f %12.2f %12.2f |\n", "average", avg(kj),
+                avg(cj), avg(ck));
+    std::printf("(paper)    |       1.67         7.97         4.81 |\n");
+    return 0;
+}

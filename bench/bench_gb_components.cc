@@ -1,0 +1,166 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the host-side hot components:
+ * the object packer/unpacker, the functional serializers, and graph
+ * construction/traversal. These measure *simulator* throughput (wall
+ * clock), complementing the simulated-time figure benches.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cereal/cereal_serializer.hh"
+#include "cereal/format.hh"
+#include "heap/walker.hh"
+#include "serde/java_serde.hh"
+#include "serde/kryo_serde.hh"
+#include "serde/skyway_serde.hh"
+#include "sim/rng.hh"
+#include "workloads/micro.hh"
+
+using namespace cereal;
+using namespace cereal::workloads;
+
+namespace {
+
+void
+BM_PackerValues(benchmark::State &state)
+{
+    Rng rng(1);
+    std::vector<std::uint64_t> vals(4096);
+    for (auto &v : vals) {
+        v = rng.below(1 << 20);
+    }
+    for (auto _ : state) {
+        ObjectPacker p;
+        for (auto v : vals) {
+            p.packValue(v);
+        }
+        benchmark::DoNotOptimize(p.buckets().data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            4096);
+}
+BENCHMARK(BM_PackerValues);
+
+void
+BM_UnpackerValues(benchmark::State &state)
+{
+    Rng rng(1);
+    ObjectPacker p;
+    for (int i = 0; i < 4096; ++i) {
+        p.packValue(rng.below(1 << 20));
+    }
+    for (auto _ : state) {
+        ObjectUnpacker u(p.buckets(), p.endMap());
+        std::uint64_t sum = 0;
+        while (!u.done()) {
+            sum += u.nextValue();
+        }
+        benchmark::DoNotOptimize(sum);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            4096);
+}
+BENCHMARK(BM_UnpackerValues);
+
+/** Shared workload fixture: tree of `state.range(0)` nodes. */
+struct Graph
+{
+    Graph(std::uint64_t nodes)
+        : micro(reg), heap(reg)
+    {
+        Rng rng(7);
+        root = micro.buildTree(heap, 2, nodes, rng);
+    }
+    KlassRegistry reg;
+    MicroWorkloads micro;
+    Heap heap;
+    Addr root;
+};
+
+void
+BM_SerializeJava(benchmark::State &state)
+{
+    Graph g(static_cast<std::uint64_t>(state.range(0)));
+    JavaSerializer ser;
+    for (auto _ : state) {
+        auto bytes = ser.serialize(g.heap, g.root);
+        benchmark::DoNotOptimize(bytes.data());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SerializeJava)->Arg(1023)->Arg(16383);
+
+void
+BM_SerializeKryo(benchmark::State &state)
+{
+    Graph g(static_cast<std::uint64_t>(state.range(0)));
+    KryoSerializer ser;
+    ser.registerAll(g.reg);
+    for (auto _ : state) {
+        auto bytes = ser.serialize(g.heap, g.root);
+        benchmark::DoNotOptimize(bytes.data());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SerializeKryo)->Arg(1023)->Arg(16383);
+
+void
+BM_SerializeSkyway(benchmark::State &state)
+{
+    Graph g(static_cast<std::uint64_t>(state.range(0)));
+    SkywaySerializer ser;
+    for (auto _ : state) {
+        auto bytes = ser.serialize(g.heap, g.root);
+        benchmark::DoNotOptimize(bytes.data());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SerializeSkyway)->Arg(1023)->Arg(16383);
+
+void
+BM_SerializeCereal(benchmark::State &state)
+{
+    Graph g(static_cast<std::uint64_t>(state.range(0)));
+    CerealSerializer ser;
+    ser.registerAll(g.reg);
+    for (auto _ : state) {
+        auto bytes = ser.serialize(g.heap, g.root);
+        benchmark::DoNotOptimize(bytes.data());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SerializeCereal)->Arg(1023)->Arg(16383);
+
+void
+BM_RoundTripCereal(benchmark::State &state)
+{
+    Graph g(static_cast<std::uint64_t>(state.range(0)));
+    CerealSerializer ser;
+    ser.registerAll(g.reg);
+    for (auto _ : state) {
+        auto bytes = ser.serialize(g.heap, g.root);
+        Heap dst(g.reg, 0x9'0000'0000ULL);
+        Addr nr = ser.deserialize(bytes, dst);
+        benchmark::DoNotOptimize(nr);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RoundTripCereal)->Arg(1023)->Arg(16383);
+
+void
+BM_GraphWalk(benchmark::State &state)
+{
+    Graph g(static_cast<std::uint64_t>(state.range(0)));
+    GraphWalker w(g.heap);
+    for (auto _ : state) {
+        auto gs = w.stats(g.root);
+        benchmark::DoNotOptimize(gs.objectCount);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GraphWalk)->Arg(1023)->Arg(16383);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Reproduces Table IV: serialized object sizes across the
+ * microbenchmarks for Java S/D, Kryo and Cereal.
+ *
+ * Paper headline (MB at paper scale): Cereal sits between Java and
+ * Kryo on value-dominated shapes (Tree, List) because its format
+ * carries reference offsets and bitmaps, but wins dramatically on the
+ * reference-dominated Graph benchmarks thanks to object packing.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "cereal/cereal_serializer.hh"
+#include "serde/java_serde.hh"
+#include "serde/kryo_serde.hh"
+#include "workloads/micro.hh"
+
+using namespace cereal;
+using namespace cereal::workloads;
+
+int
+main(int argc, char **argv)
+{
+    const std::uint64_t scale = bench::scaleFromArgs(argc, argv);
+    bench::banner("Table IV: serialized sizes across microbenchmarks",
+                  "paper (MB): tree-narrow 23.0/12.0/16.1, tree-wide "
+                  "148.6/48.0/80.0, list-small 8.0/2.5/16.0, list-large "
+                  "59.4/10.0/47.8, graph-sparse 22.1/10.8/2.4, "
+                  "graph-dense 115.5/51.1/2.4");
+
+    std::printf("%-13s | %10s %10s %10s | %8s\n", "workload",
+                "java(MB)", "kryo(MB)", "cereal(MB)",
+                "C/J ratio");
+
+    KlassRegistry reg;
+    MicroWorkloads micro(reg);
+
+    for (auto mb : allMicroBenches()) {
+        Heap src(reg, 0x1'0000'0000ULL +
+                          0x10'0000'0000ULL * static_cast<Addr>(mb));
+        Addr root = micro.build(src, mb, scale, 42);
+        JavaSerializer java;
+        KryoSerializer kryo;
+        kryo.registerAll(reg);
+        CerealSerializer crl;
+        crl.registerAll(reg);
+
+        auto j = java.serialize(src, root).size();
+        auto k = kryo.serialize(src, root).size();
+        auto c = crl.serializeToStream(src, root).serializedBytes();
+
+        // Scale measured bytes back up to paper-size graphs for the
+        // apples-to-apples column (sizes scale linearly in objects).
+        const double f = static_cast<double>(scale) / 1e6;
+        std::printf("%-13s | %10.1f %10.1f %10.1f | %8.2f\n",
+                    microBenchName(mb), j * f, k * f, c * f,
+                    static_cast<double>(c) / static_cast<double>(j));
+    }
+    std::printf("scale divisor: %llu; MB columns are extrapolated to "
+                "paper-scale graphs\n",
+                (unsigned long long)scale);
+    return 0;
+}

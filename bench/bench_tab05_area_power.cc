@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Reproduces Table V: per-module area and power of Cereal, rebuilt
+ * from the per-instance synthesis constants and the configured unit
+ * counts.
+ *
+ * Paper headline: total 3.857 mm^2 and 1231.6 mW at 40 nm — 612.5x
+ * less area and 113.7x less power than the host i7-7820X.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "cereal/area_power.hh"
+
+using namespace cereal;
+
+namespace {
+
+void
+printGroup(const char *title, const std::vector<ModuleSpec> &mods)
+{
+    std::printf("%s\n", title);
+    double area = 0, power = 0;
+    for (const auto &m : mods) {
+        std::printf("  %-26s %8.3f mm2 %8.1f mW  x%-3u -> %8.3f mm2 "
+                    "%8.1f mW\n",
+                    m.name.c_str(), m.areaMm2, m.powerMw, m.count,
+                    m.totalArea(), m.totalPower());
+        area += m.totalArea();
+        power += m.totalPower();
+    }
+    std::printf("  %-26s %35s %8.3f mm2 %8.1f mW\n", "subtotal", "",
+                area, power);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Table V: area/power breakdown of Cereal (40 nm)",
+                  "total 3.857 mm^2 / 1231.6 mW; 612.5x less area and "
+                  "113.7x less power than the host CPU");
+
+    AreaPowerModel m;
+    printGroup("Serializer (per-unit modules):", m.serializerModules());
+    printGroup("Deserializer (per-unit modules):",
+               m.deserializerModules());
+    printGroup("System:", m.systemModules());
+
+    std::printf("------------------------------------------------------\n");
+    std::printf("total: %.3f mm2, %.1f mW  (paper: 3.857 mm2, "
+                "1231.6 mW)\n",
+                m.totalAreaMm2(), m.totalPowerMw());
+    std::printf("host-CPU area ratio:  %.1fx smaller (paper 612.5x)\n",
+                AreaPowerModel::kHostDieAreaMm2 / m.totalAreaMm2());
+    std::printf("host-CPU power ratio: %.1fx lower (paper 113.7x)\n",
+                AreaPowerModel::kHostTdpWatts /
+                    (m.totalPowerMw() * 1e-3));
+    return 0;
+}

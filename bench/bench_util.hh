@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction binaries.
+ *
+ * Every bench prints a self-describing table: a title line naming the
+ * paper figure/table it regenerates, column headers, and the same rows
+ * or series the paper reports, followed by the paper's headline
+ * numbers for eyeball comparison.
+ */
+
+#ifndef CEREAL_BENCH_BENCH_UTIL_HH
+#define CEREAL_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace cereal {
+namespace bench {
+
+/** Print the bench banner. */
+inline void
+banner(const char *experiment, const char *claim)
+{
+    std::printf("==============================================================\n");
+    std::printf("%s\n", experiment);
+    std::printf("paper: %s\n", claim);
+    std::printf("==============================================================\n");
+}
+
+/** Scale divisor: benches accept one optional argv (default 64). */
+inline std::uint64_t
+scaleFromArgs(int argc, char **argv, std::uint64_t def = 64)
+{
+    if (argc > 1) {
+        return std::strtoull(argv[1], nullptr, 10);
+    }
+    return def;
+}
+
+} // namespace bench
+} // namespace cereal
+
+#endif // CEREAL_BENCH_BENCH_UTIL_HH

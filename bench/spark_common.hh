@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Shared Spark-application measurement used by the Figure 2 and
+ * Figure 13-17 benches: runs Java S/D, Kryo, and Cereal over each
+ * app's representative shuffle batch and derives Spark-level S/D
+ * times (codec + stream handling; see bench_util.hh).
+ */
+
+#ifndef CEREAL_BENCH_SPARK_COMMON_HH
+#define CEREAL_BENCH_SPARK_COMMON_HH
+
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hh"
+#include "serde/java_serde.hh"
+#include "serde/kryo_serde.hh"
+#include "shuffle/shuffle.hh"
+#include "workloads/harness.hh"
+#include "workloads/spark.hh"
+
+namespace cereal {
+namespace bench {
+
+/** Everything the Spark figures need for one application. */
+struct SparkRow
+{
+    workloads::SparkAppSpec spec;
+    workloads::SdMeasurement java;
+    workloads::SdMeasurement kryo;
+    workloads::SdMeasurement cereal;
+    /** Measured shuffle-stage times (write+read), per serializer. */
+    double javaShuffle = 0;
+    double kryoShuffle = 0;
+    double cerealShuffle = 0;
+
+    /** Spark-level S/D seconds: codec + measured shuffle stage. */
+    double
+    javaSd() const
+    {
+        return java.serSeconds + java.deserSeconds + javaShuffle;
+    }
+    double
+    kryoSd() const
+    {
+        return kryo.serSeconds + kryo.deserSeconds + kryoShuffle;
+    }
+    double
+    cerealSd() const
+    {
+        return cereal.serSeconds + cereal.deserSeconds + cerealShuffle;
+    }
+
+    double kryoSdSpeedup() const { return javaSd() / kryoSd(); }
+    double cerealSdSpeedup() const { return javaSd() / cerealSd(); }
+    double
+    cerealOverKryo() const
+    {
+        return kryoSd() / cerealSd();
+    }
+};
+
+/** Measure all six applications at the given scale divisor. */
+inline std::vector<SparkRow>
+measureSparkApps(std::uint64_t scale)
+{
+    std::vector<SparkRow> rows;
+    KlassRegistry reg;
+    workloads::SparkWorkloads spark(reg);
+    ShuffleStage shuffle;
+    Addr base = 0x1'0000'0000ULL;
+    for (const auto &spec : workloads::sparkApps()) {
+        Heap src(reg, base);
+        base += 0x10'0000'0000ULL;
+        Addr root = spark.build(src, spec.name, scale, 42);
+
+        JavaSerializer java;
+        KryoSerializer kryo;
+        kryo.registerAll(reg);
+
+        SparkRow row{spec,
+                     workloads::measureSoftware(java, src, root),
+                     workloads::measureSoftware(kryo, src, root),
+                     workloads::measureCereal(src, root),
+                     0,
+                     0,
+                     0};
+
+        // Shuffle stage: software compresses + copies; Cereal's driver
+        // hands the packed stream off with a bulk copy.
+        auto java_stream = java.serialize(src, root);
+        row.javaShuffle = shuffle.softwareWrite(java_stream).seconds +
+                          shuffle.softwareRead(java_stream).seconds;
+        auto kryo_stream = kryo.serialize(src, root);
+        row.kryoShuffle = shuffle.softwareWrite(kryo_stream).seconds +
+                          shuffle.softwareRead(kryo_stream).seconds;
+        row.cerealShuffle =
+            2 * shuffle.cerealHandoff(row.cereal.streamBytes).seconds;
+
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+} // namespace bench
+} // namespace cereal
+
+#endif // CEREAL_BENCH_SPARK_COMMON_HH

@@ -1,0 +1,99 @@
+#include "cereal/accel/device.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace cereal {
+
+CerealDevice::CerealDevice(Dram &dram, const AccelConfig &cfg)
+    : cfg_(cfg), tlb_(cfg.tlbEntries, cfg.pageBytes, cfg.tlbMissPenalty),
+      suFreeAt_(cfg.numSU, 0), duFreeAt_(cfg.numDU, 0)
+{
+    for (unsigned i = 0; i < cfg_.numSU; ++i) {
+        suMai_.push_back(
+            std::make_unique<Mai>(dram, cfg_.maiEntries, &tlb_));
+    }
+    for (unsigned i = 0; i < cfg_.numDU; ++i) {
+        duMai_.push_back(
+            std::make_unique<Mai>(dram, cfg_.maiEntries, &tlb_));
+    }
+}
+
+AccelOpResult
+CerealDevice::serialize(Heap &heap, Addr root, Tick submit)
+{
+    const ClockDomain clk(cfg_.period());
+    // Request scheduler: earliest-available SU.
+    auto it = std::min_element(suFreeAt_.begin(), suFreeAt_.end());
+    unsigned unit = static_cast<unsigned>(it - suFreeAt_.begin());
+    Tick start = std::max(submit, *it) +
+                 clk.cyclesToTicks(kDispatchCycles);
+
+    Addr stream_base = nextStreamBase_;
+    nextStreamBase_ += 0x4000'0000ULL;
+
+    SerializationUnit su(*suMai_[unit], cfg_);
+    SuResult r = su.serialize(heap, root, start, stream_base);
+    suFreeAt_[unit] = r.done;
+    suBusy_ += r.done - start;
+
+    AccelOpResult out;
+    out.submit = submit;
+    out.start = start;
+    out.done = r.done;
+    out.unit = unit;
+    out.latencySeconds = ticksToSeconds(r.done - submit);
+    out.bytes = r.bytesRead + r.bytesWritten;
+    return out;
+}
+
+AccelOpResult
+CerealDevice::deserialize(const CerealStream &stream, Addr dst_base,
+                          Tick submit)
+{
+    const ClockDomain clk(cfg_.period());
+    auto it = std::min_element(duFreeAt_.begin(), duFreeAt_.end());
+    unsigned unit = static_cast<unsigned>(it - duFreeAt_.begin());
+    Tick start = std::max(submit, *it) +
+                 clk.cyclesToTicks(kDispatchCycles);
+
+    Addr stream_base = nextStreamBase_;
+    nextStreamBase_ += 0x4000'0000ULL;
+
+    DeserializationUnit du(*duMai_[unit], cfg_);
+    DuResult r = du.deserialize(stream, stream_base, dst_base, start);
+    duFreeAt_[unit] = r.done;
+    duBusy_ += r.done - start;
+
+    AccelOpResult out;
+    out.submit = submit;
+    out.start = start;
+    out.done = r.done;
+    out.unit = unit;
+    out.latencySeconds = ticksToSeconds(r.done - submit);
+    out.bytes = r.bytesRead + r.bytesWritten;
+    return out;
+}
+
+Tick
+CerealDevice::allIdleTick() const
+{
+    Tick t = 0;
+    for (Tick f : suFreeAt_) {
+        t = std::max(t, f);
+    }
+    for (Tick f : duFreeAt_) {
+        t = std::max(t, f);
+    }
+    return t;
+}
+
+void
+CerealDevice::resetBusyStats()
+{
+    suBusy_ = 0;
+    duBusy_ = 0;
+}
+
+} // namespace cereal

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Cycle-level timing model of one Deserialization Unit (Section V-C,
+ * Figure 8).
+ *
+ * The DU rebuilds the object image 64 B block at a time:
+ *
+ *  - the *layout manager* streams the packed layout bitmap, unpacking
+ *    and popcounting one 8-bit chunk (one output block) per cycle;
+ *  - the *block manager* eagerly prefetches the value array and the
+ *    packed reference array, unpacks references, and hands each block
+ *    reconstructor a (bitmap chunk, values, references) triple;
+ *  - each of the R *block reconstructors* merges its triple into a
+ *    64 B output block (translating class IDs through the Class ID
+ *    Table SRAM) and writes it to its destination address.
+ *
+ * All three input streams are strictly sequential, which is why the DU
+ * saturates far more DRAM bandwidth than pointer-chasing software
+ * deserialization (Figures 11 and 15), and why deserialization gains
+ * exceed serialization gains throughout the paper.
+ */
+
+#ifndef CEREAL_CEREAL_ACCEL_DU_HH
+#define CEREAL_CEREAL_ACCEL_DU_HH
+
+#include <cstdint>
+
+#include "cereal/accel/accel_config.hh"
+#include "cereal/accel/mai.hh"
+#include "cereal/format.hh"
+
+namespace cereal {
+
+/** Timing result of one deserialization operation on one DU. */
+struct DuResult
+{
+    /** Completion tick. */
+    Tick done = 0;
+    /** 64 B output blocks reconstructed. */
+    std::uint64_t blocks = 0;
+    /** Bytes read from the three input streams. */
+    std::uint64_t bytesRead = 0;
+    /** Bytes written to the reconstructed image. */
+    std::uint64_t bytesWritten = 0;
+};
+
+/** One deserialization unit. */
+class DeserializationUnit
+{
+  public:
+    DeserializationUnit(Mai &mai, const AccelConfig &cfg)
+        : mai_(&mai), cfg_(cfg)
+    {
+    }
+
+    /**
+     * Model deserializing @p stream into an image at @p dst_base.
+     *
+     * @param stream_base simulated address where the serialized stream
+     *        resides (value array, then packed refs, then bitmaps)
+     * @param start tick the command reaches this unit
+     */
+    DuResult deserialize(const CerealStream &stream, Addr stream_base,
+                         Addr dst_base, Tick start);
+
+  private:
+    Mai *mai_;
+    AccelConfig cfg_;
+};
+
+} // namespace cereal
+
+#endif // CEREAL_CEREAL_ACCEL_DU_HH

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Memory Access Interface of the Cereal accelerator (Section V-A).
+ *
+ * The MAI is the accelerator's only path to memory. It provides:
+ *  - an associative table of (up to) 64 outstanding requests — this is
+ *    where Cereal's memory-level parallelism comes from: 64 overlapped
+ *    misses versus the ~10 a CPU core sustains;
+ *  - request coalescing in the style of MSHRs: a read that falls into a
+ *    block already in flight joins that entry instead of re-accessing
+ *    DRAM;
+ *  - (functionally) reorder buffers so requesters see responses in
+ *    issue order — captured here by returning per-request completion
+ *    ticks that callers consume in order;
+ *  - atomic read-modify-write, used by the header manager's visited
+ *    check; modelled as a read whose entry also carries the write.
+ *
+ * The model is schedule-synchronous like the Dram model: callers pass
+ * an earliest-issue tick and receive the completion tick.
+ */
+
+#ifndef CEREAL_CEREAL_ACCEL_MAI_HH
+#define CEREAL_CEREAL_ACCEL_MAI_HH
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "cereal/accel/tlb.hh"
+#include "mem/dram.hh"
+#include "sim/types.hh"
+
+namespace cereal {
+
+/** The accelerator's memory access interface. */
+class Mai
+{
+  public:
+    /**
+     * @param dram    shared memory model
+     * @param entries outstanding-request capacity (Table I: 64)
+     * @param tlb     optional translation stage charged per request
+     */
+    Mai(Dram &dram, unsigned entries, Tlb *tlb = nullptr)
+        : dram_(&dram), entries_(entries), tlb_(tlb)
+    {
+    }
+
+    /**
+     * Read @p bytes at @p addr, issued no earlier than @p issue.
+     * @return tick at which the last burst's data is available
+     */
+    Tick read(Addr addr, Addr bytes, Tick issue);
+
+    /** Write @p bytes at @p addr. */
+    Tick write(Addr addr, Addr bytes, Tick issue);
+
+    /**
+     * Atomic read-modify-write of one 8 B word (visited check). The
+     * entry occupies the outstanding table like a read; the merged
+     * write is free once the line is held.
+     */
+    Tick atomicRmw(Addr addr, Tick issue);
+
+    std::uint64_t coalescedHits() const { return coalesced_; }
+    std::uint64_t requests() const { return requests_; }
+
+    void
+    reset()
+    {
+        outstanding_.clear();
+        inflight_.clear();
+        lineBuffer_.clear();
+        lineFifo_.clear();
+        coalesced_ = 0;
+        requests_ = 0;
+    }
+
+  private:
+    /** One 64 B-granule access through the table. */
+    Tick blockAccess(Addr block, bool write, Tick issue);
+
+    /** Stall @p issue until a table slot frees up. */
+    Tick acquireSlot(Tick issue);
+
+    Dram *dram_;
+    unsigned entries_;
+    Tlb *tlb_;
+
+    /** Completion ticks of in-flight requests (FIFO). */
+    std::deque<Tick> outstanding_;
+    /** Block address -> completion tick, for coalescing. */
+    std::unordered_map<Addr, Tick> inflight_;
+
+    /**
+     * The MAI's 4 KB data buffer (Table I): the last `entries_` fetched
+     * blocks with their fill times. A read that hits a buffered block
+     * is served without a DRAM access (the SU's visited check and the
+     * subsequent object-handler load share lines this way).
+     */
+    std::unordered_map<Addr, Tick> lineBuffer_;
+    std::deque<Addr> lineFifo_;
+
+    std::uint64_t coalesced_ = 0;
+    std::uint64_t requests_ = 0;
+};
+
+} // namespace cereal
+
+#endif // CEREAL_CEREAL_ACCEL_MAI_HH

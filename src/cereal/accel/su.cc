@@ -1,0 +1,380 @@
+#include "cereal/accel/su.hh"
+
+#include <algorithm>
+#include <deque>
+#include <list>
+#include <unordered_map>
+
+#include "heap/object.hh"
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+
+namespace cereal {
+
+namespace {
+
+/** Small LRU cache of klass descriptors inside the OMM. */
+class MetadataCache
+{
+  public:
+    explicit MetadataCache(unsigned entries) : entries_(entries) {}
+
+    bool
+    touch(KlassId id)
+    {
+        auto it = map_.find(id);
+        if (it != map_.end()) {
+            lru_.splice(lru_.begin(), lru_, it->second);
+            return true;
+        }
+        if (map_.size() >= entries_) {
+            map_.erase(lru_.back());
+            lru_.pop_back();
+        }
+        lru_.push_front(id);
+        map_[id] = lru_.begin();
+        return false;
+    }
+
+  private:
+    unsigned entries_;
+    std::list<KlassId> lru_;
+    std::unordered_map<KlassId, std::list<KlassId>::iterator> map_;
+};
+
+/** Write-combining buffer for a sequential output stream. */
+class StreamWriter
+{
+  public:
+    StreamWriter(Mai &mai, Addr base) : mai_(&mai), cursor_(base) {}
+
+    /** Buffer @p bytes produced at tick @p t; flush full 64 B chunks. */
+    void
+    produce(Addr bytes, Tick t)
+    {
+        pending_ += bytes;
+        total_ += bytes;
+        while (pending_ >= 64) {
+            lastWrite_ =
+                std::max(lastWrite_, mai_->write(cursor_, 64, t));
+            cursor_ += 64;
+            pending_ -= 64;
+        }
+    }
+
+    /** Flush the residual partial chunk at tick @p t. */
+    Tick
+    flush(Tick t)
+    {
+        if (pending_ > 0) {
+            lastWrite_ =
+                std::max(lastWrite_, mai_->write(cursor_, pending_, t));
+            cursor_ += pending_;
+            pending_ = 0;
+        }
+        return lastWrite_;
+    }
+
+    Tick lastWrite() const { return lastWrite_; }
+    Addr totalBytes() const { return total_; }
+
+  private:
+    Mai *mai_;
+    Addr cursor_;
+    Addr pending_ = 0;
+    Addr total_ = 0;
+    Tick lastWrite_ = 0;
+};
+
+/** Packed size, in 1 B buckets, of one reference token (Section IV-B). */
+Addr
+packedRefBuckets(std::uint64_t token)
+{
+    unsigned bits = 1; // marker
+    while (token) {
+        ++bits;
+        token >>= 1;
+    }
+    return (bits + 7) / 8;
+}
+
+/**
+ * Event-driven execution state of one serialization operation.
+ *
+ * The SU pipeline is simulated on a private event queue so that memory
+ * requests reach the MAI in nondecreasing simulated-time order — the
+ * schedule-synchronous DRAM model relies on that to see the bank idle
+ * periods that really existed.
+ */
+class SuSim
+{
+  public:
+    SuSim(Heap &heap, Mai &mai, const AccelConfig &cfg, Tick start,
+          Addr stream_base)
+        : heap_(&heap), mai_(&mai), cfg_(cfg), clk_(cfg.period()),
+          start_(start), mdcache_(cfg.metadataCacheEntries),
+          values_(mai, stream_base),
+          refs_(mai, stream_base + 0x1000'0000ULL),
+          refEnds_(mai, stream_base + 0x1800'0000ULL),
+          bitmaps_(mai, stream_base + 0x2000'0000ULL),
+          bitmapEnds_(mai, stream_base + 0x2800'0000ULL),
+          headerSlots_(heap.registry().headerSlots())
+    {
+    }
+
+    SuResult
+    run(Addr root)
+    {
+        hmFree_ = start_;
+        rawFree_ = start_;
+        ohFree_ = start_;
+        evq_.runUntil(start_);
+        discover(root, start_);
+        evq_.runAll();
+
+        // Flush residual end-map bytes for partially filled groups.
+        if (refBucketsSinceEnd_ > 0) {
+            refEnds_.produce(1, rawFree_);
+        }
+        if (bitmapBucketsSinceEnd_ > 0) {
+            bitmapEnds_.produce(1, hmFree_);
+        }
+        Tick end = std::max({hmFree_, rawFree_, ohFree_, lastEvent_});
+        end = std::max(end, values_.flush(end));
+        end = std::max(end, refs_.flush(end));
+        end = std::max(end, refEnds_.flush(end));
+        end = std::max(end, bitmaps_.flush(end));
+        end = std::max(end, bitmapEnds_.flush(end));
+
+        out_.done = end;
+        out_.bytesWritten = values_.totalBytes() + refs_.totalBytes() +
+                            refEnds_.totalBytes() +
+                            bitmaps_.totalBytes() +
+                            bitmapEnds_.totalBytes() + 4;
+        return out_;
+    }
+
+  private:
+    Tick cyc(Cycles c) const { return clk_.cyclesToTicks(c); }
+
+    /** RAW output: packed reference buckets plus their end-map bits. */
+    void
+    produceRef(Addr buckets, Tick t)
+    {
+        refs_.produce(buckets, t);
+        refBucketsSinceEnd_ += buckets;
+        while (refBucketsSinceEnd_ >= 8) {
+            refEnds_.produce(1, t);
+            refBucketsSinceEnd_ -= 8;
+        }
+    }
+
+    /** A reference arrives at the HM's input queue. */
+    void
+    discover(Addr target, Tick arrival)
+    {
+        Tick chk_done = kMaxTick;
+        if (cfg_.pipelined) {
+            // The visited check issues the moment the reference is
+            // discovered: this is where the SU's MLP comes from.
+            chk_done = mai_->atomicRmw(target + 16, arrival);
+            out_.bytesRead += 8;
+        }
+        pending_.push_back({target, arrival, chk_done});
+        scheduleHm(arrival);
+    }
+
+    /**
+     * Arrange for the HM to run at @p when. At most one wake event is
+     * kept in flight — scheduling one event per pending reference
+     * would be quadratic on wide frontiers.
+     */
+    void
+    scheduleHm(Tick when)
+    {
+        when = std::max(when, evq_.now());
+        if (when >= hmWakeAt_) {
+            return; // an earlier (or equal) wake is already queued
+        }
+        hmWakeAt_ = when;
+        evq_.schedule(when, [this, when] {
+            if (hmWakeAt_ == when) {
+                hmWakeAt_ = kMaxTick;
+                hmStep();
+            }
+        });
+    }
+
+    /** Header manager: process the next pending reference if ready. */
+    void
+    hmStep()
+    {
+        if (pending_.empty()) {
+            return;
+        }
+        const Tick now = evq_.now();
+        if (hmFree_ > now) {
+            scheduleHm(hmFree_);
+            return;
+        }
+        PendingRef ref = pending_.front();
+        Tick chk_done = ref.chkDone;
+        if (!cfg_.pipelined) {
+            // Vanilla: the check is issued only when the HM turns to
+            // this reference, exposing the full round trip.
+            chk_done = mai_->atomicRmw(
+                ref.target + 16, std::max(ref.arrival, now));
+            out_.bytesRead += 8;
+        }
+        if (chk_done > now) {
+            scheduleHm(chk_done);
+            return;
+        }
+        pending_.pop_front();
+        ++out_.refs;
+
+        Tick hm_t = now + cyc(cfg_.hmPerRef);
+
+        // Relative address to the reference array writer.
+        auto vit = visited_.find(ref.target);
+        const bool first = (vit == visited_.end());
+        std::uint64_t rel = first ? assignedBytes_ : vit->second;
+        rawFree_ = std::max(rawFree_, hm_t) + cyc(cfg_.rawPerRef);
+        produceRef(packedRefBuckets(rel / 8 + 1), rawFree_);
+
+        if (!first) {
+            hmFree_ = hm_t;
+            scheduleHm(hmFree_);
+            return;
+        }
+
+        // First visit: OMM fetches metadata; the HM stalls until the
+        // object size returns and its counter is updated.
+        KlassId klass = heap_->klassOf(ref.target);
+        Tick meta_done;
+        if (mdcache_.touch(klass)) {
+            ++out_.metadataCacheHits;
+            meta_done = hm_t + cyc(1);
+        } else {
+            meta_done =
+                mai_->read(heap_->registry().metadataAddr(klass),
+                           heap_->registry().metadataBytes(klass), hm_t);
+            out_.bytesRead += heap_->registry().metadataBytes(klass);
+        }
+        const unsigned slots = heap_->objectSlots(ref.target);
+        Tick size_known = meta_done + cyc(cfg_.ommPerObject);
+
+        visited_.emplace(ref.target, assignedBytes_);
+        assignedBytes_ += Addr{slots} * 8;
+        ++out_.objects;
+
+        // Packed layout bitmap from the OMM (buckets + end map).
+        const Addr bm_buckets = (slots + 1 + 7) / 8;
+        bitmaps_.produce(bm_buckets, size_known);
+        bitmapBucketsSinceEnd_ += bm_buckets;
+        while (bitmapBucketsSinceEnd_ >= 8) {
+            bitmapEnds_.produce(1, size_known);
+            bitmapBucketsSinceEnd_ -= 8;
+        }
+
+        hmFree_ = size_known;
+        lastEvent_ = std::max(lastEvent_, size_known);
+
+        // Object handler starts once the layout is known.
+        Addr obj = ref.target;
+        evq_.schedule(std::max(size_known, now),
+                      [this, obj] { ohIssue(obj); });
+        scheduleHm(hmFree_);
+    }
+
+    /** Object handler: bulk-load the object. */
+    void
+    ohIssue(Addr obj)
+    {
+        const unsigned slots = heap_->objectSlots(obj);
+        Tick data_done = mai_->read(obj, Addr{slots} * 8, evq_.now());
+        out_.bytesRead += Addr{slots} * 8;
+        Tick oh_done = std::max(ohFree_, data_done) +
+                       cyc(cfg_.ohPerSlot * slots);
+        ohFree_ = oh_done;
+        evq_.schedule(oh_done, [this, obj] { ohComplete(obj); });
+    }
+
+    /** Object data arrived: steer values, hand refs to the HM. */
+    void
+    ohComplete(Addr obj)
+    {
+        const Tick now = evq_.now();
+        lastEvent_ = std::max(lastEvent_, now);
+        const unsigned slots = heap_->objectSlots(obj);
+        const auto bitmap = heap_->instanceBitmap(obj);
+        unsigned ref_slots = 0;
+        for (unsigned s = headerSlots_; s < slots; ++s) {
+            if (!bitmap[s]) {
+                continue;
+            }
+            ++ref_slots;
+            Addr target = heap_->load64(obj + Addr{s} * 8);
+            if (target == 0) {
+                // Null: bypasses the HM; the RAW packs the token.
+                ++out_.refs;
+                rawFree_ = std::max(rawFree_, now) + cyc(cfg_.rawPerRef);
+                produceRef(1, rawFree_);
+            } else {
+                discover(target, now);
+            }
+        }
+        values_.produce(Addr{slots - ref_slots} * 8, now);
+    }
+
+    struct PendingRef
+    {
+        Addr target;
+        Tick arrival;
+        Tick chkDone;
+    };
+
+    Heap *heap_;
+    Mai *mai_;
+    AccelConfig cfg_;
+    ClockDomain clk_;
+    Tick start_;
+
+    EventQueue evq_;
+    MetadataCache mdcache_;
+    StreamWriter values_;
+    StreamWriter refs_;
+    /** End-map stream for packed references (1 bit per bucket). */
+    StreamWriter refEnds_;
+    StreamWriter bitmaps_;
+    /** End-map stream for packed bitmaps. */
+    StreamWriter bitmapEnds_;
+    std::uint64_t refBucketsSinceEnd_ = 0;
+    std::uint64_t bitmapBucketsSinceEnd_ = 0;
+    unsigned headerSlots_;
+
+    std::deque<PendingRef> pending_;
+    std::unordered_map<Addr, std::uint64_t> visited_;
+    std::uint64_t assignedBytes_ = 0;
+
+    Tick hmFree_ = 0;
+    Tick rawFree_ = 0;
+    Tick ohFree_ = 0;
+    Tick lastEvent_ = 0;
+    /** Tick of the in-flight HM wake event (kMaxTick when none). */
+    Tick hmWakeAt_ = kMaxTick;
+    SuResult out_;
+};
+
+} // namespace
+
+SuResult
+SerializationUnit::serialize(Heap &heap, Addr root, Tick start,
+                             Addr stream_base)
+{
+    panic_if(root == 0, "SU given a null root");
+    SuSim sim(heap, *mai_, cfg_, start, stream_base);
+    return sim.run(root);
+}
+
+} // namespace cereal

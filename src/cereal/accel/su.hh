@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Cycle-level timing model of one Serialization Unit (Section V-B,
+ * Figure 7).
+ *
+ * The SU is a four-stage pipeline — header manager (HM), object
+ * metadata manager (OMM), object handler (OH), reference array writer
+ * (RAW) — processing the objects of one graph:
+ *
+ *  - every reference the OH extracts arrives at the HM, which performs
+ *    the visited check as an atomic RMW on the object's extension
+ *    header word through the MAI;
+ *  - for a first visit the OMM fetches the klass metadata (cached in a
+ *    small descriptor cache — real graphs reuse a handful of classes),
+ *    after which the object's size is known and the HM may advance its
+ *    relative-address counter (the HM stalls until then, as the paper
+ *    states);
+ *  - the OH bulk-loads the object, steering values into the buffered
+ *    value-array stream and references back to the HM;
+ *  - the RAW packs one reference per cycle into the buffered
+ *    reference-array stream.
+ *
+ * Pipelining means the HM's visited checks for queued references are
+ * issued to the MAI the moment the references are discovered, so up to
+ * 64 header reads overlap — the accelerator-side MLP of Section V-D.
+ * With `pipelined=false` (the "Cereal Vanilla" ablation) checks issue
+ * only when the HM is ready for them, collapsing that overlap.
+ */
+
+#ifndef CEREAL_CEREAL_ACCEL_SU_HH
+#define CEREAL_CEREAL_ACCEL_SU_HH
+
+#include <cstdint>
+
+#include "cereal/accel/accel_config.hh"
+#include "cereal/accel/mai.hh"
+#include "heap/heap.hh"
+
+namespace cereal {
+
+/** Timing result of one serialization operation on one SU. */
+struct SuResult
+{
+    /** Completion tick of the whole operation. */
+    Tick done = 0;
+    /** Objects serialized. */
+    std::uint64_t objects = 0;
+    /** References processed by the HM (including revisits and nulls). */
+    std::uint64_t refs = 0;
+    /** Bytes read from the heap (headers + metadata + object data). */
+    std::uint64_t bytesRead = 0;
+    /** Bytes written to the serialized stream. */
+    std::uint64_t bytesWritten = 0;
+    /** OMM metadata-cache hits. */
+    std::uint64_t metadataCacheHits = 0;
+};
+
+/** One serialization unit. */
+class SerializationUnit
+{
+  public:
+    SerializationUnit(Mai &mai, const AccelConfig &cfg)
+        : mai_(&mai), cfg_(cfg)
+    {
+    }
+
+    /**
+     * Model serializing the graph rooted at @p root.
+     *
+     * The walk replays the functional serializer's traversal
+     * (reference-arrival order) against the memory system; the heap is
+     * only read.
+     *
+     * @param stream_base simulated address where the output stream's
+     *        value/reference/bitmap arrays are written
+     * @param start tick the command reaches this unit
+     */
+    SuResult serialize(Heap &heap, Addr root, Tick start,
+                       Addr stream_base);
+
+  private:
+    Mai *mai_;
+    AccelConfig cfg_;
+};
+
+} // namespace cereal
+
+#endif // CEREAL_CEREAL_ACCEL_SU_HH

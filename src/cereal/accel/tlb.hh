@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Accelerator TLB model (Section V-E).
+ *
+ * 128 entries over 1 GB huge pages: with the paper's 128 GB prototype
+ * the working set always fits, so misses are rare; the model still
+ * implements LRU replacement and a configurable miss penalty so the
+ * sensitivity can be measured (bench_abl_mai covers table sweeps).
+ */
+
+#ifndef CEREAL_CEREAL_ACCEL_TLB_HH
+#define CEREAL_CEREAL_ACCEL_TLB_HH
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "sim/types.hh"
+
+namespace cereal {
+
+/** Fully-associative LRU TLB. */
+class Tlb
+{
+  public:
+    Tlb(unsigned entries, Addr page_bytes, Cycles miss_penalty)
+        : entries_(entries), pageBytes_(page_bytes),
+          missPenalty_(miss_penalty)
+    {
+    }
+
+    /**
+     * Translate @p addr.
+     * @return extra cycles spent (0 on a hit, the miss penalty on a
+     *         miss)
+     */
+    Cycles
+    lookup(Addr addr)
+    {
+        const Addr vpn = addr / pageBytes_;
+        auto it = map_.find(vpn);
+        if (it != map_.end()) {
+            ++hits_;
+            lru_.splice(lru_.begin(), lru_, it->second);
+            return 0;
+        }
+        ++misses_;
+        if (map_.size() >= entries_) {
+            map_.erase(lru_.back());
+            lru_.pop_back();
+        }
+        lru_.push_front(vpn);
+        map_[vpn] = lru_.begin();
+        return missPenalty_;
+    }
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+
+    void
+    reset()
+    {
+        map_.clear();
+        lru_.clear();
+        hits_ = 0;
+        misses_ = 0;
+    }
+
+  private:
+    unsigned entries_;
+    Addr pageBytes_;
+    Cycles missPenalty_;
+    std::list<Addr> lru_;
+    std::unordered_map<Addr, std::list<Addr>::iterator> map_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace cereal
+
+#endif // CEREAL_CEREAL_ACCEL_TLB_HH

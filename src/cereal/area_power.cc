@@ -1,0 +1,101 @@
+#include "cereal/area_power.hh"
+
+namespace cereal {
+
+AreaPowerModel::AreaPowerModel(const AccelConfig &cfg) : cfg_(cfg)
+{
+    const unsigned su = cfg.numSU;
+    const unsigned du = cfg.numDU;
+    const unsigned br = cfg.numDU * cfg.blockReconstructors;
+
+    // Paper Table V per-instance synthesis results (40 nm).
+    serializer_ = {
+        {"header-manager", 0.003, 1.3, su},
+        {"reference-array-writer", 0.013, 5.8, su},
+        {"object-metadata-manager", 0.014, 7.6, su},
+        {"object-handler", 0.028, 18.4, su},
+    };
+    deserializer_ = {
+        {"layout-manager", 0.020, 10.9, du},
+        {"block-manager", 0.217, 81.1, du},
+        {"block-reconstructor", 0.011, 6.9, br},
+    };
+    system_ = {
+        {"tlb", 0.282, 2.7, 1},
+        {"mai", 0.161, 0.8, 1},
+        {"class-id-table", 0.230, 1.2, 1},
+        {"klass-pointer-table", 0.472, 5.3, 1},
+    };
+}
+
+namespace {
+
+double
+sumArea(const std::vector<ModuleSpec> &mods)
+{
+    double a = 0;
+    for (const auto &m : mods) {
+        a += m.totalArea();
+    }
+    return a;
+}
+
+double
+sumPower(const std::vector<ModuleSpec> &mods)
+{
+    double p = 0;
+    for (const auto &m : mods) {
+        p += m.totalPower();
+    }
+    return p;
+}
+
+} // namespace
+
+double
+AreaPowerModel::totalAreaMm2() const
+{
+    return sumArea(serializer_) + sumArea(deserializer_) +
+           sumArea(system_);
+}
+
+double
+AreaPowerModel::totalPowerMw() const
+{
+    return sumPower(serializer_) + sumPower(deserializer_) +
+           sumPower(system_);
+}
+
+double
+AreaPowerModel::serializerPowerMw() const
+{
+    // System structures (MAI/TLB/tables) are active during either
+    // direction; charge them fully to the active direction.
+    return sumPower(serializer_) + sumPower(system_);
+}
+
+double
+AreaPowerModel::deserializerPowerMw() const
+{
+    return sumPower(deserializer_) + sumPower(system_);
+}
+
+double
+AreaPowerModel::serializeEnergyJ(double busy_seconds) const
+{
+    // Busy time is summed across units; one unit's busy second burns
+    // one unit's power plus the system share.
+    const double per_unit_mw =
+        sumPower(serializer_) / cfg_.numSU + sumPower(system_);
+    return per_unit_mw * 1e-3 * busy_seconds;
+}
+
+double
+AreaPowerModel::deserializeEnergyJ(double busy_seconds) const
+{
+    const double per_unit_mw =
+        sumPower(deserializer_) / cfg_.numDU + sumPower(system_);
+    return per_unit_mw * 1e-3 * busy_seconds;
+}
+
+} // namespace cereal

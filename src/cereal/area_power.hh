@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Area/power/energy model of Cereal (paper Table V, Section VI-E).
+ *
+ * The per-module area and power constants are the paper's synthesis
+ * results (Chisel3 RTL, Synopsys DC, TSMC 40 nm). This model rebuilds
+ * Table V from the per-module constants and unit counts, and converts
+ * module busy time into energy for Figure 17. Software S/D energy uses
+ * the host CPU's TDP (140 W, i7-7820X), matching the paper's method.
+ */
+
+#ifndef CEREAL_CEREAL_AREA_POWER_HH
+#define CEREAL_CEREAL_AREA_POWER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cereal/accel/accel_config.hh"
+
+namespace cereal {
+
+/** One Table V row: a hardware module instance type. */
+struct ModuleSpec
+{
+    std::string name;
+    /** Area of one instance, mm^2 (40 nm). */
+    double areaMm2;
+    /** Average power of one instance, mW. */
+    double powerMw;
+    /** Instances in the configuration. */
+    unsigned count;
+
+    double totalArea() const { return areaMm2 * count; }
+    double totalPower() const { return powerMw * count; }
+};
+
+/** The assembled area/power model. */
+class AreaPowerModel
+{
+  public:
+    explicit AreaPowerModel(const AccelConfig &cfg = AccelConfig());
+
+    /** Serializer-side rows (HM, RAW, OMM, OH). */
+    const std::vector<ModuleSpec> &serializerModules() const
+    {
+        return serializer_;
+    }
+
+    /** Deserializer-side rows (LM, BM, BR). */
+    const std::vector<ModuleSpec> &deserializerModules() const
+    {
+        return deserializer_;
+    }
+
+    /** System rows (TLB, MAI, Class ID Table, Klass Pointer Table). */
+    const std::vector<ModuleSpec> &systemModules() const
+    {
+        return system_;
+    }
+
+    /** Total accelerator area, mm^2 (paper: 3.857). */
+    double totalAreaMm2() const;
+
+    /** Total average power, mW (paper: 1231.6). */
+    double totalPowerMw() const;
+
+    /** Power of all serializer units plus system share, mW. */
+    double serializerPowerMw() const;
+
+    /** Power of all deserializer units plus system share, mW. */
+    double deserializerPowerMw() const;
+
+    /**
+     * Energy of a serialization busy interval, joules.
+     * @param busy_seconds summed SU busy time
+     */
+    double serializeEnergyJ(double busy_seconds) const;
+
+    /** Energy of a deserialization busy interval, joules. */
+    double deserializeEnergyJ(double busy_seconds) const;
+
+    /**
+     * Energy a software serializer burns on the host CPU, joules
+     * (TDP x time, the paper's accounting).
+     */
+    static double
+    softwareEnergyJ(double seconds)
+    {
+        return kHostTdpWatts * seconds;
+    }
+
+    /** Host CPU TDP, watts (i7-7820X). */
+    static constexpr double kHostTdpWatts = 140.0;
+
+    /** Host CPU die area for the Table V comparison, mm^2. */
+    static constexpr double kHostDieAreaMm2 = 2362.5;
+
+  private:
+    AccelConfig cfg_;
+    std::vector<ModuleSpec> serializer_;
+    std::vector<ModuleSpec> deserializer_;
+    std::vector<ModuleSpec> system_;
+};
+
+} // namespace cereal
+
+#endif // CEREAL_CEREAL_AREA_POWER_HH

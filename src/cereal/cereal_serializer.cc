@@ -1,0 +1,224 @@
+#include "cereal/cereal_serializer.hh"
+
+#include <deque>
+
+#include "heap/object.hh"
+#include "sim/logging.hh"
+
+namespace cereal {
+
+std::uint8_t
+CerealSerializer::nextUnitId()
+{
+    static std::uint8_t next = 0;
+    return ++next; // wraps at 255; IDs only need to differ pairwise
+}
+
+void
+CerealSerializer::registerClass(KlassId id)
+{
+    if (toClassId_.count(id)) {
+        return;
+    }
+    fatal_if(fromClassId_.size() >= kMaxClasses,
+             "Klass Pointer Table full (%zu classes)", kMaxClasses);
+    auto class_id = static_cast<std::uint32_t>(fromClassId_.size());
+    toClassId_.emplace(id, class_id);
+    fromClassId_.push_back(id);
+}
+
+void
+CerealSerializer::registerAll(const KlassRegistry &reg)
+{
+    for (KlassId id = 0; id < reg.size(); ++id) {
+        registerClass(id);
+    }
+}
+
+KlassId
+CerealSerializer::klassOfClassId(std::uint32_t class_id) const
+{
+    panic_if(class_id >= fromClassId_.size(),
+             "class ID %u not in Class ID Table", class_id);
+    return fromClassId_[class_id];
+}
+
+std::uint32_t
+CerealSerializer::classIdOf(KlassId id) const
+{
+    auto it = toClassId_.find(id);
+    fatal_if(it == toClassId_.end(),
+             "class %u not registered with Cereal; call RegisterClass",
+             id);
+    return it->second;
+}
+
+CerealStream
+CerealSerializer::serializeToStream(Heap &src, Addr root)
+{
+    panic_if(root == 0, "cannot serialize null root");
+    panic_if(!src.registry().hasCerealHeaderExt(),
+             "Cereal requires the 8 B header extension (Section V-E)");
+
+    // Bump the per-unit serialization counter; emulate the GC-assisted
+    // reset when the 16-bit field wraps.
+    if (++serialCounter_ == 0) {
+        src.clearCerealMetadata();
+        serialCounter_ = 1;
+    }
+    const std::uint16_t counter = serialCounter_;
+    const std::uint8_t unit = unitId_;
+
+    CerealStream out;
+    out.headerStripped = opts_.headerStrip;
+    ObjectPacker ref_packer;
+    ObjectPacker bitmap_packer;
+
+    std::deque<Addr> queue;
+    std::uint64_t assigned_bytes = 0;
+
+    // Header-manager visit: returns the object's relative address,
+    // assigning one (and enqueueing the object) on first visit.
+    auto visit = [&](Addr obj) -> Addr {
+        ObjectView v(src, obj);
+        std::uint64_t ext = v.extWord();
+        if (extword::serialCounter(ext) == counter &&
+            extword::unitId(ext) == unit) {
+            return extword::relAddr(ext) * 8;
+        }
+        Addr rel = assigned_bytes;
+        assigned_bytes += src.objectBytes(obj);
+        v.setExtWord(extword::make(counter, unit, rel / 8));
+        queue.push_back(obj);
+        return rel;
+    };
+
+    visit(root);
+    const unsigned header_slots = src.registry().headerSlots();
+    while (!queue.empty()) {
+        Addr obj = queue.front();
+        queue.pop_front();
+        ObjectView v(src, obj);
+
+        const auto bitmap = src.instanceBitmap(obj);
+        bitmap_packer.packBits(bitmap);
+        out.bitmapBits += bitmap.size();
+        ++out.objectCount;
+
+        for (unsigned s = 0; s < bitmap.size(); ++s) {
+            const Addr slot_addr = obj + Addr{s} * 8;
+            if (s >= header_slots && bitmap[s]) {
+                Addr target = src.load64(slot_addr);
+                std::uint64_t token =
+                    target ? encodeRelRef(visit(target)) : kNullRefToken;
+                ref_packer.packValue(token);
+                ++out.refEntries;
+                continue;
+            }
+            if (s == 0) {
+                // Mark word: optionally stripped (Figure 16).
+                if (!opts_.headerStrip) {
+                    out.valueArray.push_back(v.markWord());
+                }
+                continue;
+            }
+            if (s == 1) {
+                // Klass pointer -> class ID via the Klass Pointer Table.
+                out.valueArray.push_back(classIdOf(v.klassId()));
+                continue;
+            }
+            if (s == 2) {
+                // Extension slot: live visited-tracking state must not
+                // leak into the stream; the image gets a cleared slot.
+                out.valueArray.push_back(0);
+                continue;
+            }
+            out.valueArray.push_back(src.load64(slot_addr));
+        }
+    }
+
+    out.refBuckets = ref_packer.buckets();
+    out.refEndMap = ref_packer.endMap();
+    out.bitmapBuckets = bitmap_packer.buckets();
+    out.bitmapEndMap = bitmap_packer.endMap();
+    fatal_if(assigned_bytes > 0xffffffffULL,
+             "object graph exceeds the 4 B total-size field");
+    out.totalGraphBytes = static_cast<std::uint32_t>(assigned_bytes);
+    return out;
+}
+
+Addr
+CerealSerializer::deserializeStream(const CerealStream &s, Heap &dst)
+{
+    panic_if(!dst.registry().hasCerealHeaderExt(),
+             "Cereal requires the 8 B header extension (Section V-E)");
+    Addr base = dst.allocateRaw(s.totalGraphBytes);
+
+    ObjectUnpacker bitmaps(s.bitmapBuckets, s.bitmapEndMap);
+    ObjectUnpacker refs(s.refBuckets, s.refEndMap);
+    std::size_t value_at = 0;
+
+    auto next_value = [&]() -> std::uint64_t {
+        panic_if(value_at >= s.valueArray.size(), "value array underflow");
+        return s.valueArray[value_at++];
+    };
+
+    const unsigned header_slots = dst.registry().headerSlots();
+    Addr off = 0;
+    for (std::uint32_t i = 0; i < s.objectCount; ++i) {
+        const auto bitmap = bitmaps.nextBits();
+        const Addr obj = base + off;
+        for (unsigned slot = 0; slot < bitmap.size(); ++slot) {
+            const Addr slot_addr = obj + Addr{slot} * 8;
+            std::uint64_t word;
+            if (slot >= header_slots && bitmap[slot]) {
+                std::uint64_t token = refs.nextValue();
+                word = (token == kNullRefToken)
+                           ? 0
+                           : base + decodeRelRef(token);
+            } else if (slot == 0) {
+                // Mark word: from the stream, or regenerated when the
+                // sender stripped headers.
+                word = s.headerStripped
+                           ? markword::make(static_cast<std::uint32_t>(
+                                 (base + off) * 0x9e3779b1ULL >> 8))
+                           : next_value();
+            } else if (slot == 1) {
+                // Class ID -> klass pointer via the Class ID Table.
+                auto class_id =
+                    static_cast<std::uint32_t>(next_value());
+                word = dst.registry().metadataAddr(
+                    klassOfClassId(class_id));
+            } else {
+                word = next_value();
+            }
+            dst.store64(slot_addr, word);
+        }
+        dst.noteObject(obj);
+        off += Addr{bitmap.size()} * 8;
+    }
+    panic_if(off != s.totalGraphBytes,
+             "reconstructed %llu bytes, stream declared %u",
+             (unsigned long long)off, s.totalGraphBytes);
+    panic_if(value_at != s.valueArray.size(),
+             "value array not fully consumed");
+    fatal_if(s.objectCount == 0, "empty Cereal stream");
+    return base;
+}
+
+std::vector<std::uint8_t>
+CerealSerializer::serialize(Heap &src, Addr root, MemSink *)
+{
+    // Timing for Cereal comes from the accelerator model in
+    // cereal/accel, not from a CPU sink; the sink is ignored here.
+    return serializeToStream(src, root).encode();
+}
+
+Addr
+CerealSerializer::deserialize(const std::vector<std::uint8_t> &stream,
+                              Heap &dst, MemSink *)
+{
+    return deserializeStream(CerealStream::decode(stream), dst);
+}
+
+} // namespace cereal

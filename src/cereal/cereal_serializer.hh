@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Functional implementation of Cereal serialization/deserialization.
+ *
+ * This is the algorithm the Cereal hardware executes (paper Section V),
+ * implemented as a software reference: it produces and consumes real
+ * CerealStream byte streams and is the functional half of the
+ * accelerator model (the timing half lives in cereal/accel). It follows
+ * the hardware's structure exactly:
+ *
+ *  - objects are discovered in reference-arrival order (BFS), the order
+ *    the header manager sees them;
+ *  - visited tracking uses the 16-bit serialization counter in the
+ *    object's extension header word (Section V-E); on counter wrap the
+ *    heap's metadata is cleared, mimicking the GC-assisted reset;
+ *  - klass pointers are translated to dense class IDs via the
+ *    registered-class table (the Klass Pointer Table CAM holds at most
+ *    kMaxClasses entries);
+ *  - relative addresses accumulate the sizes of previously serialized
+ *    objects, exactly as the header manager's counter does.
+ */
+
+#ifndef CEREAL_CEREAL_CEREAL_SERIALIZER_HH
+#define CEREAL_CEREAL_CEREAL_SERIALIZER_HH
+
+#include <unordered_map>
+#include <vector>
+
+#include "cereal/format.hh"
+#include "serde/serializer.hh"
+
+namespace cereal {
+
+/** Capacity of the Klass Pointer Table / Class ID Table (Section V-E). */
+constexpr std::size_t kMaxClasses = 4096;
+
+/** Options for the Cereal format. */
+struct CerealOptions
+{
+    /**
+     * Strip mark words from the value array (Figure 16 "Header Strip").
+     * Identity hash codes are regenerated on deserialization.
+     */
+    bool headerStrip = false;
+};
+
+/** Functional Cereal serializer/deserializer. */
+class CerealSerializer : public Serializer
+{
+  public:
+    explicit CerealSerializer(CerealOptions opts = CerealOptions())
+        : opts_(opts)
+    {
+    }
+
+    std::string name() const override { return "cereal"; }
+
+    /**
+     * Register a class for S/D; mirrors the RegisterClass() API call
+     * that populates the hardware's CAM/SRAM tables.
+     */
+    void registerClass(KlassId id);
+
+    /** Register every class in @p reg (tests/benches). */
+    void registerAll(const KlassRegistry &reg);
+
+    std::vector<std::uint8_t>
+    serialize(Heap &src, Addr root, MemSink *sink = nullptr) override;
+
+    Addr deserialize(const std::vector<std::uint8_t> &stream, Heap &dst,
+                     MemSink *sink = nullptr) override;
+
+    /** Structured serialization (keeps the three arrays separate). */
+    CerealStream serializeToStream(Heap &src, Addr root);
+
+    /** Structured deserialization. */
+    Addr deserializeStream(const CerealStream &s, Heap &dst);
+
+    /** Number of registered classes. */
+    std::size_t registeredClasses() const { return fromClassId_.size(); }
+
+    /** The class registered under dense @p class_id. */
+    KlassId klassOfClassId(std::uint32_t class_id) const;
+
+    /** Dense class ID of @p id (must be registered). */
+    std::uint32_t classIdOf(KlassId id) const;
+
+    /** Unit ID stamped into extension words (shared-object support). */
+    std::uint8_t unitId() const { return unitId_; }
+
+  private:
+    CerealOptions opts_;
+    std::unordered_map<KlassId, std::uint32_t> toClassId_;
+    std::vector<KlassId> fromClassId_;
+    /** Per-serializer serialization counter (16-bit in hardware). */
+    std::uint16_t serialCounter_ = 0;
+    /**
+     * Distinct per-instance unit ID: a visited mark only counts when
+     * both the counter and the unit ID match, so two units' counters
+     * cannot alias each other's traversal state (Section V-E).
+     */
+    std::uint8_t unitId_ = nextUnitId();
+
+    static std::uint8_t nextUnitId();
+};
+
+} // namespace cereal
+
+#endif // CEREAL_CEREAL_CEREAL_SERIALIZER_HH

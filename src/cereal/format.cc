@@ -1,0 +1,238 @@
+#include "cereal/format.hh"
+
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace cereal {
+
+void
+ObjectPacker::pushBucketRun(const std::vector<bool> &with_marker)
+{
+    const std::size_t bits = with_marker.size();
+    const std::size_t bytes = (bits + 7) / 8;
+    const std::size_t pad = bytes * 8 - bits;
+
+    for (std::size_t b = 0; b < bytes; ++b) {
+        std::uint8_t bucket = 0;
+        for (unsigned bit = 0; bit < 8; ++bit) {
+            const std::size_t global = b * 8 + bit;
+            bool v = false;
+            if (global >= pad) {
+                v = with_marker[global - pad];
+            }
+            bucket = static_cast<std::uint8_t>((bucket << 1) | (v ? 1 : 0));
+        }
+        const std::size_t bucket_idx = buckets_.size();
+        buckets_.push_back(bucket);
+        if (bucket_idx / 8 >= endMap_.size()) {
+            endMap_.push_back(0);
+        }
+        if (b + 1 == bytes) {
+            endMap_[bucket_idx / 8] |=
+                static_cast<std::uint8_t>(1u << (bucket_idx % 8));
+        }
+    }
+    ++entries_;
+}
+
+void
+ObjectPacker::packBits(const std::vector<bool> &bits)
+{
+    std::vector<bool> with_marker;
+    with_marker.reserve(bits.size() + 1);
+    with_marker.push_back(true); // marker delimits padding from payload
+    with_marker.insert(with_marker.end(), bits.begin(), bits.end());
+    pushBucketRun(with_marker);
+}
+
+void
+ObjectPacker::packValue(std::uint64_t v)
+{
+    // Significant bits, MSB first; zero contributes no payload bits.
+    std::vector<bool> bits;
+    if (v != 0) {
+        int top = 63;
+        while (!((v >> top) & 1)) {
+            --top;
+        }
+        for (int i = top; i >= 0; --i) {
+            bits.push_back((v >> i) & 1);
+        }
+    }
+    packBits(bits);
+}
+
+bool
+ObjectUnpacker::endsEntry(std::size_t bucket) const
+{
+    panic_if(bucket / 8 >= endMap_->size(), "end map underflow");
+    return ((*endMap_)[bucket / 8] >> (bucket % 8)) & 1;
+}
+
+std::vector<bool>
+ObjectUnpacker::nextBits()
+{
+    panic_if(done(), "unpacker exhausted");
+    // Gather this entry's bucket run.
+    std::size_t first = pos_;
+    while (!endsEntry(pos_)) {
+        ++pos_;
+        panic_if(pos_ >= buckets_->size(), "unterminated packed entry");
+    }
+    std::size_t last = pos_;
+    ++pos_;
+
+    std::vector<bool> bits;
+    bits.reserve((last - first + 1) * 8);
+    for (std::size_t b = first; b <= last; ++b) {
+        std::uint8_t bucket = (*buckets_)[b];
+        for (int i = 7; i >= 0; --i) {
+            bits.push_back((bucket >> i) & 1);
+        }
+    }
+    // Strip padding zeros and the marker bit.
+    std::size_t marker = 0;
+    while (marker < bits.size() && !bits[marker]) {
+        ++marker;
+    }
+    panic_if(marker == bits.size(), "packed entry missing marker bit");
+    return std::vector<bool>(bits.begin() +
+                                 static_cast<std::ptrdiff_t>(marker) + 1,
+                             bits.end());
+}
+
+std::uint64_t
+ObjectUnpacker::nextValue()
+{
+    auto bits = nextBits();
+    panic_if(bits.size() > 64, "packed value wider than 64 bits");
+    std::uint64_t v = 0;
+    for (bool b : bits) {
+        v = (v << 1) | (b ? 1 : 0);
+    }
+    return v;
+}
+
+std::uint64_t
+CerealStream::serializedBytes() const
+{
+    return 4 /* total graph size */ + valueArray.size() * 8 +
+           refBuckets.size() + refEndMap.size() + bitmapBuckets.size() +
+           bitmapEndMap.size();
+}
+
+std::uint64_t
+CerealStream::baselineBytes() const
+{
+    // Section IV-A without packing: full 8 B per reference, raw bitmap
+    // bytes plus an 8 B bitmap-length word per object.
+    return 4 + valueArray.size() * 8 + refEntries * 8 +
+           (bitmapBits + 7) / 8 + std::uint64_t{objectCount} * 8;
+}
+
+namespace {
+
+void
+putU32(std::vector<std::uint8_t> &out, std::uint32_t v)
+{
+    out.insert(out.end(), reinterpret_cast<std::uint8_t *>(&v),
+               reinterpret_cast<std::uint8_t *>(&v) + 4);
+}
+
+void
+putU64(std::vector<std::uint8_t> &out, std::uint64_t v)
+{
+    out.insert(out.end(), reinterpret_cast<std::uint8_t *>(&v),
+               reinterpret_cast<std::uint8_t *>(&v) + 8);
+}
+
+std::uint32_t
+getU32(const std::vector<std::uint8_t> &in, std::size_t &at)
+{
+    std::uint32_t v;
+    panic_if(at + 4 > in.size(), "CerealStream decode underflow");
+    std::memcpy(&v, in.data() + at, 4);
+    at += 4;
+    return v;
+}
+
+std::uint64_t
+getU64(const std::vector<std::uint8_t> &in, std::size_t &at)
+{
+    std::uint64_t v;
+    panic_if(at + 8 > in.size(), "CerealStream decode underflow");
+    std::memcpy(&v, in.data() + at, 8);
+    at += 8;
+    return v;
+}
+
+constexpr std::uint32_t kStreamMagic = 0x4352454cu; // "CREL"
+
+} // namespace
+
+std::vector<std::uint8_t>
+CerealStream::encode() const
+{
+    std::vector<std::uint8_t> out;
+    putU32(out, kStreamMagic);
+    putU32(out, objectCount);
+    putU32(out, totalGraphBytes);
+    out.push_back(headerStripped ? 1 : 0);
+    putU64(out, valueArray.size());
+    putU64(out, refBuckets.size());
+    putU64(out, refEndMap.size());
+    putU64(out, bitmapBuckets.size());
+    putU64(out, bitmapEndMap.size());
+    putU64(out, refEntries);
+    putU64(out, bitmapBits);
+    const auto *v = reinterpret_cast<const std::uint8_t *>(
+        valueArray.data());
+    out.insert(out.end(), v, v + valueArray.size() * 8);
+    out.insert(out.end(), refBuckets.begin(), refBuckets.end());
+    out.insert(out.end(), refEndMap.begin(), refEndMap.end());
+    out.insert(out.end(), bitmapBuckets.begin(), bitmapBuckets.end());
+    out.insert(out.end(), bitmapEndMap.begin(), bitmapEndMap.end());
+    return out;
+}
+
+CerealStream
+CerealStream::decode(const std::vector<std::uint8_t> &bytes)
+{
+    CerealStream s;
+    std::size_t at = 0;
+    fatal_if(getU32(bytes, at) != kStreamMagic,
+             "bad Cereal stream magic");
+    s.objectCount = getU32(bytes, at);
+    s.totalGraphBytes = getU32(bytes, at);
+    panic_if(at >= bytes.size(), "CerealStream decode underflow");
+    s.headerStripped = bytes[at++] != 0;
+    std::uint64_t n_values = getU64(bytes, at);
+    std::uint64_t n_ref_buckets = getU64(bytes, at);
+    std::uint64_t n_ref_end = getU64(bytes, at);
+    std::uint64_t n_bm_buckets = getU64(bytes, at);
+    std::uint64_t n_bm_end = getU64(bytes, at);
+    s.refEntries = getU64(bytes, at);
+    s.bitmapBits = getU64(bytes, at);
+
+    panic_if(at + n_values * 8 + n_ref_buckets + n_ref_end +
+                     n_bm_buckets + n_bm_end !=
+                 bytes.size(),
+             "CerealStream length mismatch");
+
+    s.valueArray.resize(n_values);
+    std::memcpy(s.valueArray.data(), bytes.data() + at, n_values * 8);
+    at += n_values * 8;
+    auto grab = [&](std::vector<std::uint8_t> &dst, std::uint64_t n) {
+        dst.assign(bytes.begin() + static_cast<std::ptrdiff_t>(at),
+                   bytes.begin() + static_cast<std::ptrdiff_t>(at + n));
+        at += n;
+    };
+    grab(s.refBuckets, n_ref_buckets);
+    grab(s.refEndMap, n_ref_end);
+    grab(s.bitmapBuckets, n_bm_buckets);
+    grab(s.bitmapEndMap, n_bm_end);
+    return s;
+}
+
+} // namespace cereal

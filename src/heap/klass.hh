@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Class (klass) metadata model mirroring HotSpot's type descriptors.
+ *
+ * A KlassDescriptor captures what the paper's Section II calls the "type
+ * descriptor": the object layout (which 8 B slots hold references) and
+ * the total object size. The KlassRegistry owns all descriptors, assigns
+ * integer class IDs, and materialises each descriptor into a simulated
+ * metadata memory region so that metadata fetches cost real (modelled)
+ * memory traffic — the klass pointer in every object header is the
+ * simulated address of that metadata block.
+ *
+ * Layout contract (paper Section II / Figure 1a):
+ *  - every field occupies one 8 B-aligned slot;
+ *  - the header is 16 B: mark word (8 B) + klass pointer (8 B);
+ *  - with the Cereal header extension (Section V-E) an extra 8 B slot
+ *    follows the klass pointer;
+ *  - arrays add one slot holding the element count, then the elements.
+ */
+
+#ifndef CEREAL_HEAP_KLASS_HH
+#define CEREAL_HEAP_KLASS_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace cereal {
+
+/** Integer class identifier (dense, assigned at registration). */
+using KlassId = std::uint32_t;
+
+/** Sentinel for "no class". */
+constexpr KlassId kBadKlassId = ~KlassId{0};
+
+/** Java field/element types. */
+enum class FieldType : std::uint8_t
+{
+    Boolean,
+    Byte,
+    Char,
+    Short,
+    Int,
+    Long,
+    Float,
+    Double,
+    Reference,
+};
+
+/** Size in bytes of one element of @p t when packed inside an array. */
+unsigned fieldTypeBytes(FieldType t);
+
+/** Printable name of a field type ("int", "long", ...). */
+const char *fieldTypeName(FieldType t);
+
+/** One declared instance field. */
+struct FieldDesc
+{
+    std::string name;
+    FieldType type;
+};
+
+/**
+ * Immutable description of one class: its fields (for instance classes)
+ * or element type (for array classes).
+ */
+class KlassDescriptor
+{
+  public:
+    /** Build a plain instance class. */
+    KlassDescriptor(std::string name, std::vector<FieldDesc> fields);
+
+    /** Build an array class with elements of @p elem. */
+    static KlassDescriptor makeArray(std::string name, FieldType elem);
+
+    const std::string &name() const { return name_; }
+    bool isArray() const { return isArray_; }
+    FieldType elemType() const { return elemType_; }
+    const std::vector<FieldDesc> &fields() const { return fields_; }
+    std::size_t numFields() const { return fields_.size(); }
+
+    /** Indices (into fields()) of the reference-typed fields. */
+    const std::vector<std::uint32_t> &refFields() const { return refFields_; }
+
+  private:
+    KlassDescriptor() = default;
+
+    std::string name_;
+    std::vector<FieldDesc> fields_;
+    bool isArray_ = false;
+    FieldType elemType_ = FieldType::Reference;
+    std::vector<std::uint32_t> refFields_;
+};
+
+/**
+ * Registry of all classes known to one simulated JVM.
+ *
+ * Construction fixes the header geometry (2 slots, or 3 with the Cereal
+ * extension); all layout queries below include the header slots.
+ */
+class KlassRegistry
+{
+  public:
+    /**
+     * @param cereal_header_ext when true, serializable objects carry the
+     *        extra 8 B Cereal metadata slot (Section V-E)
+     * @param metadata_base simulated address where klass metadata lives
+     */
+    explicit KlassRegistry(bool cereal_header_ext = true,
+                           Addr metadata_base = 0x0800'0000'0000ULL);
+
+    /** Register a class; names must be unique. @return its dense id. */
+    KlassId add(KlassDescriptor desc);
+
+    /** Convenience: register an instance class from name + fields. */
+    KlassId
+    add(std::string name, std::vector<FieldDesc> fields)
+    {
+        return add(KlassDescriptor(std::move(name), std::move(fields)));
+    }
+
+    /** Get or create the canonical array class for @p elem. */
+    KlassId arrayKlass(FieldType elem);
+
+    const KlassDescriptor &klass(KlassId id) const;
+    std::size_t size() const { return descs_.size(); }
+
+    /** Lookup by name; kBadKlassId if absent. */
+    KlassId idByName(const std::string &name) const;
+
+    /** Number of 8 B header slots per object (2, or 3 with extension). */
+    unsigned headerSlots() const { return headerSlots_; }
+    bool hasCerealHeaderExt() const { return headerSlots_ == 3; }
+
+    /** Slot index of declared field @p field_idx of class @p id. */
+    unsigned
+    fieldSlot(KlassId, std::uint32_t field_idx) const
+    {
+        return headerSlots_ + field_idx;
+    }
+
+    /** Slot index holding an array's element count. */
+    unsigned arrayLengthSlot() const { return headerSlots_; }
+
+    /** First slot of array element storage. */
+    unsigned arrayDataSlot() const { return headerSlots_ + 1; }
+
+    /** Total 8 B slots of an instance of non-array class @p id. */
+    unsigned instanceSlots(KlassId id) const;
+
+    /** Total 8 B slots of an array of class @p id with @p n elements. */
+    unsigned arraySlots(KlassId id, std::uint64_t n) const;
+
+    /**
+     * Layout bitmap of a non-array instance: bit i set iff slot i holds
+     * a reference (paper Figure 4a). Header slots are always zero.
+     */
+    const std::vector<bool> &layoutBitmap(KlassId id) const;
+
+    /** Simulated address of the metadata block for class @p id. */
+    Addr metadataAddr(KlassId id) const;
+
+    /** Size in bytes of the metadata block for class @p id. */
+    Addr metadataBytes(KlassId id) const;
+
+    /** Reverse map: metadata address -> class id (kBadKlassId if none). */
+    KlassId idByMetadataAddr(Addr addr) const;
+
+  private:
+    struct Record
+    {
+        KlassDescriptor desc;
+        std::vector<bool> bitmap; // empty for arrays
+        Addr metaAddr;
+        Addr metaBytes;
+    };
+
+    unsigned headerSlots_;
+    Addr metadataBase_;
+    Addr metadataTop_;
+    std::vector<Record> descs_;
+    std::unordered_map<std::string, KlassId> byName_;
+    std::unordered_map<Addr, KlassId> byMetaAddr_;
+    std::unordered_map<std::uint8_t, KlassId> arrayKlasses_;
+};
+
+} // namespace cereal
+
+#endif // CEREAL_HEAP_KLASS_HH

@@ -1,0 +1,229 @@
+#include "heap/walker.hh"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "heap/object.hh"
+#include "sim/logging.hh"
+
+namespace cereal {
+
+namespace {
+
+/** Push the reference targets of @p obj onto @p out in traversal order. */
+void
+collectRefs(Heap &heap, Addr obj, std::vector<Addr> &out)
+{
+    ObjectView v(heap, obj);
+    const auto &d = v.klass();
+    if (d.isArray()) {
+        if (d.elemType() == FieldType::Reference) {
+            const std::uint64_t n = v.length();
+            for (std::uint64_t i = 0; i < n; ++i) {
+                out.push_back(v.getRefElem(i));
+            }
+        }
+        return;
+    }
+    for (std::uint32_t fi : d.refFields()) {
+        out.push_back(v.getRef(fi));
+    }
+}
+
+} // namespace
+
+void
+GraphWalker::walk(Addr root, const std::function<void(Addr)> &visit) const
+{
+    if (root == 0) {
+        return;
+    }
+    std::unordered_set<Addr> seen;
+    // Explicit stack: object graphs (long lists) can be deep enough to
+    // overflow the host call stack.
+    std::vector<Addr> stack{root};
+    std::vector<Addr> refs;
+    while (!stack.empty()) {
+        Addr obj = stack.back();
+        stack.pop_back();
+        if (obj == 0 || !seen.insert(obj).second) {
+            continue;
+        }
+        visit(obj);
+        refs.clear();
+        collectRefs(*heap_, obj, refs);
+        // Push in reverse so the first declared reference is visited
+        // first (proper DFS preorder).
+        for (auto it = refs.rbegin(); it != refs.rend(); ++it) {
+            stack.push_back(*it);
+        }
+    }
+}
+
+std::vector<Addr>
+GraphWalker::reachable(Addr root) const
+{
+    std::vector<Addr> out;
+    walk(root, [&](Addr a) { out.push_back(a); });
+    return out;
+}
+
+GraphStats
+GraphWalker::stats(Addr root) const
+{
+    GraphStats gs;
+    if (root == 0) {
+        return gs;
+    }
+    std::unordered_map<Addr, std::uint64_t> depth;
+    std::vector<Addr> stack{root};
+    depth[root] = 1;
+    std::unordered_set<Addr> seen;
+    std::vector<Addr> refs;
+    while (!stack.empty()) {
+        Addr obj = stack.back();
+        stack.pop_back();
+        if (!seen.insert(obj).second) {
+            continue;
+        }
+        const std::uint64_t d = depth[obj];
+        gs.maxDepth = std::max(gs.maxDepth, d);
+        ++gs.objectCount;
+        gs.totalBytes += heap_->objectBytes(obj);
+        ObjectView v(*heap_, obj);
+        if (v.isArray()) {
+            ++gs.arrayCount;
+        }
+        refs.clear();
+        collectRefs(*heap_, obj, refs);
+        for (Addr r : refs) {
+            if (r == 0) {
+                ++gs.nullReferences;
+                continue;
+            }
+            ++gs.referenceEdges;
+            if (!seen.count(r)) {
+                if (!depth.count(r)) {
+                    depth[r] = d + 1;
+                }
+                stack.push_back(r);
+            }
+        }
+    }
+    return gs;
+}
+
+namespace {
+
+/** State for the pairwise isomorphism walk. */
+struct EqContext
+{
+    Heap *ha;
+    Heap *hb;
+    std::unordered_map<Addr, Addr> aToB;
+    std::string *why;
+    bool compareHash;
+
+    bool
+    fail(const std::string &msg)
+    {
+        if (why) {
+            *why = msg;
+        }
+        return false;
+    }
+};
+
+bool
+objectsMatch(EqContext &ctx, Addr a, Addr b,
+             std::vector<std::pair<Addr, Addr>> &work)
+{
+    ObjectView va(*ctx.ha, a);
+    ObjectView vb(*ctx.hb, b);
+
+    const auto &da = va.klass();
+    const auto &db = vb.klass();
+    if (da.name() != db.name()) {
+        return ctx.fail(strfmt("class mismatch: %s vs %s @ %#llx/%#llx",
+                               da.name().c_str(), db.name().c_str(),
+                               (unsigned long long)a,
+                               (unsigned long long)b));
+    }
+
+    if (ctx.compareHash && va.identityHash() != vb.identityHash()) {
+        return ctx.fail(strfmt("identity hash mismatch in %s",
+                               da.name().c_str()));
+    }
+
+    if (da.isArray()) {
+        if (va.length() != vb.length()) {
+            return ctx.fail(strfmt("array length mismatch in %s: "
+                                   "%llu vs %llu", da.name().c_str(),
+                                   (unsigned long long)va.length(),
+                                   (unsigned long long)vb.length()));
+        }
+        const std::uint64_t n = va.length();
+        if (da.elemType() == FieldType::Reference) {
+            for (std::uint64_t i = 0; i < n; ++i) {
+                work.emplace_back(va.getRefElem(i), vb.getRefElem(i));
+            }
+        } else {
+            for (std::uint64_t i = 0; i < n; ++i) {
+                if (va.getElem(i) != vb.getElem(i)) {
+                    return ctx.fail(strfmt(
+                        "array element %llu mismatch in %s",
+                        (unsigned long long)i, da.name().c_str()));
+                }
+            }
+        }
+        return true;
+    }
+
+    for (std::uint32_t i = 0; i < da.numFields(); ++i) {
+        const auto &f = da.fields()[i];
+        if (f.type == FieldType::Reference) {
+            work.emplace_back(va.getRef(i), vb.getRef(i));
+        } else if (va.getRaw(i) != vb.getRaw(i)) {
+            return ctx.fail(strfmt("field '%s' mismatch in %s",
+                                   f.name.c_str(), da.name().c_str()));
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+graphEquals(Heap &heap_a, Addr root_a, Heap &heap_b, Addr root_b,
+            std::string *why, bool compare_identity_hash)
+{
+    EqContext ctx{&heap_a, &heap_b, {}, why, compare_identity_hash};
+
+    std::vector<std::pair<Addr, Addr>> work{{root_a, root_b}};
+    while (!work.empty()) {
+        auto [a, b] = work.back();
+        work.pop_back();
+        if (a == 0 || b == 0) {
+            if (a != b) {
+                return ctx.fail("null vs non-null reference");
+            }
+            continue;
+        }
+        auto it = ctx.aToB.find(a);
+        if (it != ctx.aToB.end()) {
+            // Aliasing structure must be preserved: a previously visited
+            // object must map to the same counterpart.
+            if (it->second != b) {
+                return ctx.fail("sharing (aliasing) structure mismatch");
+            }
+            continue;
+        }
+        ctx.aToB.emplace(a, b);
+        if (!objectsMatch(ctx, a, b, work)) {
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace cereal

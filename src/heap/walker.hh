@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Object-graph traversal and structural comparison utilities.
+ *
+ * GraphWalker performs the recursive object-graph traversal that every
+ * serializer needs (Section II): depth-first from a root, visiting each
+ * reachable object once, in a deterministic order (reference fields in
+ * declaration order; array elements in index order). Graph equality
+ * checks that two heaps hold isomorphic graphs — the correctness oracle
+ * for every serialize/deserialize round trip in the test suite.
+ */
+
+#ifndef CEREAL_HEAP_WALKER_HH
+#define CEREAL_HEAP_WALKER_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "heap/heap.hh"
+
+namespace cereal {
+
+/** Summary statistics of one reachable object graph. */
+struct GraphStats
+{
+    std::uint64_t objectCount = 0;
+    std::uint64_t totalBytes = 0;
+    std::uint64_t referenceEdges = 0;
+    std::uint64_t nullReferences = 0;
+    std::uint64_t arrayCount = 0;
+    std::uint64_t maxDepth = 0;
+};
+
+/** Depth-first object graph traversal. */
+class GraphWalker
+{
+  public:
+    explicit GraphWalker(Heap &heap) : heap_(&heap) {}
+
+    /**
+     * Visit every object reachable from @p root exactly once, calling
+     * @p visit in discovery (pre) order.
+     */
+    void walk(Addr root, const std::function<void(Addr)> &visit) const;
+
+    /** All reachable objects from @p root in discovery order. */
+    std::vector<Addr> reachable(Addr root) const;
+
+    /** Aggregate statistics of the graph rooted at @p root. */
+    GraphStats stats(Addr root) const;
+
+  private:
+    Heap *heap_;
+};
+
+/**
+ * Check that the graphs rooted at (heap_a, root_a) and (heap_b, root_b)
+ * are isomorphic: same classes, same primitive values, same reference
+ * shape (including aliasing/sharing and null positions).
+ *
+ * @param why when non-null, receives a description of the first
+ *            mismatch found
+ * @param compare_identity_hash when true, mark-word identity hash codes
+ *            must match as well (serializers that strip headers
+ *            legitimately lose them)
+ */
+bool graphEquals(Heap &heap_a, Addr root_a, Heap &heap_b, Addr root_b,
+                 std::string *why = nullptr,
+                 bool compare_identity_hash = false);
+
+} // namespace cereal
+
+#endif // CEREAL_HEAP_WALKER_HH

@@ -1,0 +1,101 @@
+#include "mem/cache.hh"
+
+#include "sim/logging.hh"
+
+namespace cereal {
+
+Cache::Cache(const CacheConfig &cfg) : cfg_(cfg)
+{
+    panic_if(!isPowerOf2(cfg_.lineBytes), "line size must be 2^n");
+    panic_if(cfg_.ways == 0, "cache needs at least one way");
+    numSets_ = cfg_.sizeBytes / (cfg_.lineBytes * cfg_.ways);
+    panic_if(numSets_ == 0, "cache smaller than one set");
+    lines_.resize(numSets_ * cfg_.ways);
+}
+
+std::size_t
+Cache::setIndex(Addr line_addr) const
+{
+    return static_cast<std::size_t>((line_addr / cfg_.lineBytes) % numSets_);
+}
+
+Addr
+Cache::tagOf(Addr line_addr) const
+{
+    return line_addr / cfg_.lineBytes / numSets_;
+}
+
+CacheAccessResult
+Cache::access(Addr addr, bool write)
+{
+    ++clock_;
+    const Addr la = lineAddr(addr);
+    const std::size_t set = setIndex(la);
+    const Addr tag = tagOf(la);
+    Line *base = &lines_[set * cfg_.ways];
+
+    // Hit path.
+    for (unsigned w = 0; w < cfg_.ways; ++w) {
+        Line &ln = base[w];
+        if (ln.valid && ln.tag == tag) {
+            ln.lastUse = clock_;
+            ln.dirty = ln.dirty || write;
+            ++hits_;
+            return {true, false, kBadAddr};
+        }
+    }
+
+    // Miss: pick an invalid way, else the LRU way.
+    ++misses_;
+    Line *victim = base;
+    for (unsigned w = 0; w < cfg_.ways; ++w) {
+        Line &ln = base[w];
+        if (!ln.valid) {
+            victim = &ln;
+            break;
+        }
+        if (ln.lastUse < victim->lastUse) {
+            victim = &ln;
+        }
+    }
+
+    CacheAccessResult res{false, false, kBadAddr};
+    if (victim->valid && victim->dirty) {
+        res.writeback = true;
+        // Reconstruct the victim's line address from its tag + this set.
+        res.victimAddr =
+            (victim->tag * numSets_ + set) * cfg_.lineBytes;
+    }
+
+    victim->valid = true;
+    victim->tag = tag;
+    victim->dirty = write;
+    victim->lastUse = clock_;
+    return res;
+}
+
+bool
+Cache::contains(Addr addr) const
+{
+    const Addr la = lineAddr(addr);
+    const std::size_t set = setIndex(la);
+    const Addr tag = tagOf(la);
+    const Line *base = &lines_[set * cfg_.ways];
+    for (unsigned w = 0; w < cfg_.ways; ++w) {
+        if (base[w].valid && base[w].tag == tag) {
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+Cache::flush()
+{
+    for (auto &ln : lines_) {
+        ln = Line{};
+    }
+    resetStats();
+}
+
+} // namespace cereal

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Set-associative cache model with LRU replacement.
+ *
+ * Used to model the host CPU's L1/L2/L3 hierarchy (Table I) when timing
+ * the software serializers. The model tracks tags and dirty bits only —
+ * data lives in the functional heap — and reports hit/miss plus any
+ * dirty victim that a fill evicts, so the caller can charge writebacks.
+ */
+
+#ifndef CEREAL_MEM_CACHE_HH
+#define CEREAL_MEM_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace cereal {
+
+/** Geometry and latency of one cache level. */
+struct CacheConfig
+{
+    /** Total capacity in bytes. */
+    Addr sizeBytes;
+    /** Associativity (ways per set). */
+    unsigned ways;
+    /** Line size in bytes. */
+    Addr lineBytes = 64;
+    /** Access (hit) latency in core cycles. */
+    Cycles hitLatency;
+
+    /** L1D of the i7-7820X: 32 KB, 8-way, 4-cycle. */
+    static CacheConfig l1() { return {32 * 1024, 8, 64, 4}; }
+    /** L2: 1 MB private, 16-way, 14-cycle. */
+    static CacheConfig l2() { return {1024 * 1024, 16, 64, 14}; }
+    /** L3: 11 MB shared, 11-way, 44-cycle. */
+    static CacheConfig l3() { return {11 * 1024 * 1024, 11, 64, 44}; }
+};
+
+/** Outcome of a single cache access. */
+struct CacheAccessResult
+{
+    bool hit;
+    /** True when a dirty line was evicted by the fill. */
+    bool writeback;
+    /** Address of the evicted dirty line (valid when writeback). */
+    Addr victimAddr;
+};
+
+/** One level of a cache hierarchy (tags + LRU + dirty bits). */
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig &cfg);
+
+    const CacheConfig &config() const { return cfg_; }
+
+    /**
+     * Access @p addr; on a miss the line is filled (write-allocate).
+     * Writes mark the line dirty.
+     */
+    CacheAccessResult access(Addr addr, bool write);
+
+    /** Probe without side effects. */
+    bool contains(Addr addr) const;
+
+    /** Drop all lines and reset statistics. */
+    void flush();
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    std::uint64_t accesses() const { return hits_ + misses_; }
+    double
+    missRate() const
+    {
+        auto n = accesses();
+        return n ? static_cast<double>(misses_) / static_cast<double>(n) : 0;
+    }
+    void
+    resetStats()
+    {
+        hits_ = 0;
+        misses_ = 0;
+    }
+
+  private:
+    struct Line
+    {
+        Addr tag = kBadAddr;
+        bool valid = false;
+        bool dirty = false;
+        /** LRU stamp: larger is more recent. */
+        std::uint64_t lastUse = 0;
+    };
+
+    Addr lineAddr(Addr addr) const { return roundDown(addr, cfg_.lineBytes); }
+    std::size_t setIndex(Addr line_addr) const;
+    Addr tagOf(Addr line_addr) const;
+
+    CacheConfig cfg_;
+    std::size_t numSets_;
+    std::vector<Line> lines_; // numSets_ * ways, set-major
+    std::uint64_t clock_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace cereal
+
+#endif // CEREAL_MEM_CACHE_HH

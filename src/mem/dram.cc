@@ -1,0 +1,148 @@
+#include "mem/dram.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace cereal {
+
+Dram::Dram(const std::string &name, EventQueue &eq, const DramConfig &cfg)
+    : SimObject(name, eq), cfg_(cfg)
+{
+    panic_if(!isPowerOf2(cfg_.burstBytes), "burst size must be 2^n");
+    panic_if(!isPowerOf2(cfg_.numChannels), "channel count must be 2^n");
+    panic_if(!isPowerOf2(cfg_.banksPerChannel), "bank count must be 2^n");
+
+    channels_.resize(cfg_.numChannels);
+    for (auto &ch : channels_) {
+        ch.banks.resize(cfg_.banksPerChannel);
+    }
+
+    tRCD_ = nsToTicks(cfg_.tRCDns);
+    tCAS_ = nsToTicks(cfg_.tCASns);
+    tRP_ = nsToTicks(cfg_.tRPns);
+    tBURST_ = nsToTicks(cfg_.tBURSTns);
+    tCtrl_ = nsToTicks(cfg_.tCtrlNs);
+
+    stats().add("reads", "read bursts serviced", statReads_);
+    stats().add("writes", "write bursts serviced", statWrites_);
+    stats().add("rowHits", "row-buffer hits", statRowHits_);
+    stats().add("rowMisses", "row-buffer misses", statRowMisses_);
+}
+
+void
+Dram::decode(Addr addr, unsigned &channel, unsigned &bank, Addr &row) const
+{
+    // Channel-interleave consecutive bursts so streaming accesses spread
+    // across channels (matching typical server mappings); banks
+    // interleave above channels, rows above banks.
+    Addr granule = addr / cfg_.burstBytes;
+    channel = static_cast<unsigned>(granule % cfg_.numChannels);
+    granule /= cfg_.numChannels;
+    const Addr bursts_per_row = cfg_.rowBytes / cfg_.burstBytes;
+    Addr row_in_channel = granule / bursts_per_row;
+    bank = static_cast<unsigned>(row_in_channel % cfg_.banksPerChannel);
+    row = row_in_channel / cfg_.banksPerChannel;
+}
+
+DramResult
+Dram::access(Addr addr, bool write, Tick issue)
+{
+    unsigned ch_idx, bank_idx;
+    Addr row;
+    decode(addr, ch_idx, bank_idx, row);
+    Channel &ch = channels_[ch_idx];
+    Bank &bank = ch.banks[bank_idx];
+
+    Tick start = std::max(issue, bank.readyAt);
+
+    bool row_hit = (bank.openRow == row);
+    Tick access_lat = tCAS_;
+    if (!row_hit) {
+        // Closed bank needs just an activate; a conflicting open row
+        // needs precharge + activate.
+        access_lat += (bank.openRow == kBadAddr) ? tRCD_ : (tRP_ + tRCD_);
+        bank.openRow = row;
+    }
+
+    // Data burst begins once the column access completes and the channel
+    // data bus is free.
+    Tick data_start = std::max(start + access_lat, ch.busFreeAt);
+    Tick data_end = data_start + tBURST_;
+    ch.busFreeAt = data_end;
+
+    // Column commands pipeline: on a row hit the bank can accept the
+    // next CAS after one command cadence (tCCD ~= tBURST), letting an
+    // open-row stream saturate the data bus. A row change occupies the
+    // bank for the whole precharge/activate sequence.
+    bank.readyAt = row_hit ? start + tBURST_ : start + access_lat;
+
+    Tick complete = data_end + tCtrl_;
+
+    ++accesses_;
+    if (write) {
+        bytesWritten_ += cfg_.burstBytes;
+        ++statWrites_;
+    } else {
+        bytesRead_ += cfg_.burstBytes;
+        ++statReads_;
+    }
+    if (row_hit) {
+        ++rowHits_;
+        ++statRowHits_;
+    } else {
+        ++statRowMisses_;
+    }
+    latencySumNs_ += static_cast<double>(complete - issue) / 1e3;
+
+    return {complete, row_hit};
+}
+
+Tick
+Dram::accessRange(Addr addr, Addr bytes, bool write, Tick issue)
+{
+    if (bytes == 0) {
+        return issue;
+    }
+    Addr first = roundDown(addr, cfg_.burstBytes);
+    Addr last = roundDown(addr + bytes - 1, cfg_.burstBytes);
+    Tick done = issue;
+    for (Addr a = first; a <= last; a += cfg_.burstBytes) {
+        done = std::max(done, access(a, write, issue).completeTick);
+    }
+    return done;
+}
+
+void
+Dram::resetStats()
+{
+    bytesRead_ = 0;
+    bytesWritten_ = 0;
+    accesses_ = 0;
+    rowHits_ = 0;
+    latencySumNs_ = 0;
+    statReads_.reset();
+    statWrites_.reset();
+    statRowHits_.reset();
+    statRowMisses_.reset();
+}
+
+double
+Dram::utilization(Tick window_start, Tick window_end) const
+{
+    if (window_end <= window_start) {
+        return 0;
+    }
+    double secs = ticksToSeconds(window_end - window_start);
+    double bytes =
+        static_cast<double>(bytesRead_) + static_cast<double>(bytesWritten_);
+    return (bytes / secs) / cfg_.peakBandwidth();
+}
+
+double
+Dram::avgLatencyNs() const
+{
+    return accesses_ ? latencySumNs_ / static_cast<double>(accesses_) : 0;
+}
+
+} // namespace cereal

@@ -1,0 +1,340 @@
+#include "serde/java_serde.hh"
+
+#include <deque>
+#include <unordered_map>
+
+#include "heap/object.hh"
+#include "serde/bytes.hh"
+#include "sim/logging.hh"
+
+namespace cereal {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0xACED0005;
+constexpr std::uint8_t kTagObject = 0x73;
+constexpr std::uint8_t kTagArray = 0x75;
+constexpr std::uint8_t kTagClassDescFull = 0x72;
+constexpr std::uint8_t kTagClassDescHandle = 0x71;
+constexpr std::uint32_t kNullHandle = 0xffffffff;
+
+char
+typeChar(FieldType t)
+{
+    switch (t) {
+      case FieldType::Boolean: return 'Z';
+      case FieldType::Byte: return 'B';
+      case FieldType::Char: return 'C';
+      case FieldType::Short: return 'S';
+      case FieldType::Int: return 'I';
+      case FieldType::Long: return 'J';
+      case FieldType::Float: return 'F';
+      case FieldType::Double: return 'D';
+      case FieldType::Reference: return 'L';
+    }
+    return '?';
+}
+
+FieldType
+typeFromChar(char c)
+{
+    switch (c) {
+      case 'Z': return FieldType::Boolean;
+      case 'B': return FieldType::Byte;
+      case 'C': return FieldType::Char;
+      case 'S': return FieldType::Short;
+      case 'I': return FieldType::Int;
+      case 'J': return FieldType::Long;
+      case 'F': return FieldType::Float;
+      case 'D': return FieldType::Double;
+      case 'L': return FieldType::Reference;
+    }
+    panic("bad type char '%c'", c);
+}
+
+void
+charge(MemSink *sink, std::uint64_t ops)
+{
+    if (sink) {
+        sink->compute(ops);
+    }
+}
+
+/** Model an identity-hash-map probe in scratch memory. */
+void
+chargeProbe(MemSink *sink, const JavaSerdeCosts &costs, Addr key)
+{
+    if (!sink) {
+        return;
+    }
+    sink->compute(costs.handleProbe);
+    // Bucket read + entry read, scattered over a table.
+    Addr bucket = kScratchBase + (key * 0x9e3779b97f4a7c15ULL) % (1 << 22);
+    sink->load(roundDown(bucket, 8), 8);
+    sink->load(roundDown(bucket, 8) + 8, 8);
+}
+
+} // namespace
+
+std::vector<std::uint8_t>
+JavaSerializer::serialize(Heap &src, Addr root, MemSink *sink)
+{
+    ByteWriter w(sink);
+    w.u32(kMagic);
+
+    // Object handles are assigned in enqueue (BFS discovery) order, so
+    // record i in the stream describes handle i.
+    std::unordered_map<Addr, std::uint32_t> handles;
+    std::deque<Addr> queue;
+    std::unordered_map<KlassId, std::uint32_t> class_handles;
+
+    auto handle_of = [&](Addr obj) -> std::uint32_t {
+        if (obj == 0) {
+            return kNullHandle;
+        }
+        chargeProbe(sink, costs_, obj);
+        auto it = handles.find(obj);
+        if (it != handles.end()) {
+            return it->second;
+        }
+        auto h = static_cast<std::uint32_t>(handles.size());
+        handles.emplace(obj, h);
+        queue.push_back(obj);
+        return h;
+    };
+
+    auto write_classdesc = [&](KlassId id) {
+        auto it = class_handles.find(id);
+        if (it != class_handles.end()) {
+            w.u8(kTagClassDescHandle);
+            w.u32(it->second);
+            charge(sink, 8);
+            return;
+        }
+        const auto &d = src.registry().klass(id);
+        w.u8(kTagClassDescFull);
+        w.str(d.name());
+        charge(sink, costs_.stringOpPerByte * d.name().size());
+        if (d.isArray()) {
+            w.u8(1);
+            w.u8(static_cast<std::uint8_t>(typeChar(d.elemType())));
+        } else {
+            w.u8(0);
+            w.u16(static_cast<std::uint16_t>(d.numFields()));
+            for (const auto &f : d.fields()) {
+                // ObjectStreamClass resolves each declared field
+                // reflectively when building the descriptor.
+                charge(sink, costs_.reflectLookup +
+                                 costs_.stringOpPerByte * f.name.size());
+                w.u8(static_cast<std::uint8_t>(typeChar(f.type)));
+                w.str(f.name);
+            }
+        }
+        class_handles.emplace(
+            id, static_cast<std::uint32_t>(class_handles.size()));
+    };
+
+    handle_of(root);
+    while (!queue.empty()) {
+        Addr obj = queue.front();
+        queue.pop_front();
+
+        // Header read to find the object's class: the address came from
+        // the reference that discovered this object (pointer chase).
+        if (sink) {
+            sink->loadDep(obj, 16);
+        }
+        charge(sink, costs_.perObject);
+
+        ObjectView v(src, obj);
+        const auto &d = v.klass();
+        KlassId id = v.klassId();
+
+        if (d.isArray()) {
+            w.u8(kTagArray);
+            write_classdesc(id);
+            const std::uint64_t n = v.length();
+            w.u32(static_cast<std::uint32_t>(n));
+            if (d.elemType() == FieldType::Reference) {
+                for (std::uint64_t i = 0; i < n; ++i) {
+                    if (sink) {
+                        sink->load(v.elemAddr(i), 8);
+                    }
+                    charge(sink, costs_.perElement);
+                    w.u32(handle_of(v.getRefElem(i)));
+                }
+            } else {
+                const unsigned esz = fieldTypeBytes(d.elemType());
+                for (std::uint64_t i = 0; i < n; ++i) {
+                    if (sink) {
+                        sink->load(v.elemAddr(i), esz);
+                    }
+                    charge(sink, costs_.perElement);
+                    std::uint64_t e = v.getElem(i);
+                    w.raw(&e, esz);
+                }
+            }
+            continue;
+        }
+
+        w.u8(kTagObject);
+        write_classdesc(id);
+        for (std::uint32_t i = 0; i < d.numFields(); ++i) {
+            const auto &f = d.fields()[i];
+            // Field extraction through the reflect package.
+            charge(sink, costs_.reflectLookup + costs_.reflectGet +
+                             costs_.stringOpPerByte * f.name.size());
+            if (sink) {
+                sink->load(v.fieldAddr(i), 8);
+            }
+            if (f.type == FieldType::Reference) {
+                w.u32(handle_of(v.getRef(i)));
+            } else {
+                std::uint64_t raw = v.getRaw(i);
+                w.raw(&raw, fieldTypeBytes(f.type));
+            }
+        }
+    }
+
+    return w.take();
+}
+
+Addr
+JavaSerializer::deserialize(const std::vector<std::uint8_t> &stream,
+                            Heap &dst, MemSink *sink)
+{
+    ByteReader r(stream, sink);
+    fatal_if(r.u32() != kMagic, "bad Java stream magic");
+
+    std::vector<Addr> handles;
+    std::vector<KlassId> class_handles;
+    struct Patch
+    {
+        Addr slotAddr;
+        std::uint32_t handle;
+    };
+    std::vector<Patch> patches;
+
+    auto read_classdesc = [&]() -> KlassId {
+        std::uint8_t tag = r.u8();
+        if (tag == kTagClassDescHandle) {
+            std::uint32_t h = r.u32();
+            charge(sink, 8);
+            panic_if(h >= class_handles.size(), "bad class handle");
+            return class_handles[h];
+        }
+        panic_if(tag != kTagClassDescFull, "bad classdesc tag %u", tag);
+        std::string cls_name = r.str();
+        // Type resolution: hash the name and match it against the
+        // registry — the string work the paper calls out as Java S/D's
+        // bottleneck.
+        charge(sink, 2 * costs_.stringOpPerByte * cls_name.size());
+        chargeProbe(sink, costs_, cls_name.size());
+        bool is_array = r.u8() != 0;
+        KlassId id;
+        if (is_array) {
+            FieldType elem = typeFromChar(static_cast<char>(r.u8()));
+            id = dst.registry().arrayKlass(elem);
+        } else {
+            id = dst.registry().idByName(cls_name);
+            fatal_if(id == kBadKlassId, "unknown class '%s' in stream",
+                     cls_name.c_str());
+            std::uint16_t nf = r.u16();
+            fatal_if(nf != dst.registry().klass(id).numFields(),
+                     "field count mismatch for '%s'", cls_name.c_str());
+            for (std::uint16_t i = 0; i < nf; ++i) {
+                r.u8(); // type char
+                std::string fname = r.str();
+                // Matching serialized fields to runtime Field objects.
+                charge(sink, costs_.reflectLookup +
+                                 2 * costs_.stringOpPerByte * fname.size());
+            }
+        }
+        class_handles.push_back(id);
+        return id;
+    };
+
+    while (!r.done()) {
+        std::uint8_t tag = r.u8();
+        // readObject0 dispatch + descriptor validation + handle setup +
+        // reflective allocation path.
+        charge(sink, costs_.deserPerObject);
+        if (tag == kTagArray) {
+            KlassId id = read_classdesc();
+            const auto &d = dst.registry().klass(id);
+            std::uint32_t n = r.u32();
+            charge(sink, costs_.alloc);
+            Addr obj = dst.allocateArray(d.elemType(), n);
+            if (sink) {
+                sink->store(obj, 24);
+            }
+            handles.push_back(obj);
+            ObjectView v(dst, obj);
+            if (d.elemType() == FieldType::Reference) {
+                for (std::uint32_t i = 0; i < n; ++i) {
+                    charge(sink, costs_.perElement);
+                    std::uint32_t h = r.u32();
+                    patches.push_back({v.elemAddr(i), h});
+                }
+            } else {
+                const unsigned esz = fieldTypeBytes(d.elemType());
+                for (std::uint32_t i = 0; i < n; ++i) {
+                    charge(sink, costs_.perElement);
+                    std::uint64_t e = 0;
+                    r.raw(&e, esz);
+                    v.setElem(i, e);
+                    if (sink) {
+                        sink->store(v.elemAddr(i), esz);
+                    }
+                }
+            }
+            continue;
+        }
+        panic_if(tag != kTagObject, "bad record tag %u at %zu", tag,
+                 r.pos());
+        KlassId id = read_classdesc();
+        const auto &d = dst.registry().klass(id);
+        charge(sink, costs_.alloc);
+        Addr obj = dst.allocateInstance(id);
+        if (sink) {
+            sink->store(obj, 16);
+        }
+        handles.push_back(obj);
+        ObjectView v(dst, obj);
+        for (std::uint32_t i = 0; i < d.numFields(); ++i) {
+            const auto &f = d.fields()[i];
+            charge(sink, costs_.deserPerField + costs_.reflectSet +
+                             costs_.stringOpPerByte * f.name.size());
+            if (f.type == FieldType::Reference) {
+                std::uint32_t h = r.u32();
+                patches.push_back({v.fieldAddr(i), h});
+            } else {
+                std::uint64_t raw = 0;
+                r.raw(&raw, fieldTypeBytes(f.type));
+                v.setRaw(i, raw);
+            }
+            if (sink) {
+                sink->store(v.fieldAddr(i), 8);
+            }
+        }
+    }
+
+    // Resolve forward references now that every handle has an address.
+    for (const auto &p : patches) {
+        charge(sink, 4);
+        Addr target = 0;
+        if (p.handle != kNullHandle) {
+            panic_if(p.handle >= handles.size(), "bad object handle");
+            target = handles[p.handle];
+        }
+        dst.store64(p.slotAddr, target);
+        if (sink) {
+            sink->store(p.slotAddr, 8);
+        }
+    }
+
+    fatal_if(handles.empty(), "empty Java stream");
+    return handles[0];
+}
+
+} // namespace cereal

@@ -1,0 +1,296 @@
+#include "serde/kryo_serde.hh"
+
+#include <deque>
+
+#include "heap/object.hh"
+#include "serde/bytes.hh"
+#include "sim/logging.hh"
+
+namespace cereal {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x4b52594f; // "KRYO"
+constexpr std::uint64_t kNullRef = 0;
+
+void
+charge(MemSink *sink, std::uint64_t ops)
+{
+    if (sink) {
+        sink->compute(ops);
+    }
+}
+
+void
+chargeProbe(MemSink *sink, const KryoSerdeCosts &costs, Addr key)
+{
+    if (!sink) {
+        return;
+    }
+    sink->compute(costs.handleProbe);
+    Addr bucket = kScratchBase + (key * 0x9e3779b97f4a7c15ULL) % (1 << 22);
+    sink->load(roundDown(bucket, 8), 8);
+}
+
+/** Zig-zag a signed 64-bit slot so small negatives stay short. */
+std::uint64_t
+zigzag(std::uint64_t raw)
+{
+    auto s = static_cast<std::int64_t>(raw);
+    return (static_cast<std::uint64_t>(s) << 1) ^
+           static_cast<std::uint64_t>(s >> 63);
+}
+
+std::uint64_t
+unzigzag(std::uint64_t z)
+{
+    return (z >> 1) ^ (~(z & 1) + 1);
+}
+
+} // namespace
+
+void
+KryoSerializer::registerClass(KlassId id)
+{
+    if (toKryoId_.count(id)) {
+        return;
+    }
+    auto kryo_id = static_cast<std::uint32_t>(fromKryoId_.size());
+    toKryoId_.emplace(id, kryo_id);
+    fromKryoId_.push_back(id);
+}
+
+void
+KryoSerializer::registerAll(const KlassRegistry &reg)
+{
+    for (KlassId id = 0; id < reg.size(); ++id) {
+        registerClass(id);
+    }
+}
+
+std::uint32_t
+KryoSerializer::kryoIdOf(KlassId id) const
+{
+    auto it = toKryoId_.find(id);
+    fatal_if(it == toKryoId_.end(),
+             "class id %u not registered with Kryo; call registerClass()",
+             id);
+    return it->second;
+}
+
+std::vector<std::uint8_t>
+KryoSerializer::serialize(Heap &src, Addr root, MemSink *sink)
+{
+    ByteWriter w(sink);
+    w.u32(kMagic);
+
+    std::unordered_map<Addr, std::uint64_t> handles;
+    std::deque<Addr> queue;
+
+    // Reference encoding: 0 = null, otherwise handle+1 as varint.
+    auto ref_token = [&](Addr obj) -> std::uint64_t {
+        if (obj == 0) {
+            return kNullRef;
+        }
+        chargeProbe(sink, costs_, obj);
+        auto it = handles.find(obj);
+        if (it != handles.end()) {
+            return it->second + 1;
+        }
+        std::uint64_t h = handles.size();
+        handles.emplace(obj, h);
+        queue.push_back(obj);
+        return h + 1;
+    };
+
+    ref_token(root);
+    while (!queue.empty()) {
+        Addr obj = queue.front();
+        queue.pop_front();
+
+        if (sink) {
+            sink->loadDep(obj, 16); // header: resolve class (pointer chase)
+        }
+        charge(sink, costs_.perObject);
+
+        ObjectView v(src, obj);
+        const auto &d = v.klass();
+        w.u32(kryoIdOf(v.klassId()));
+
+        if (d.isArray()) {
+            const std::uint64_t n = v.length();
+            charge(sink, costs_.varint);
+            w.varint(n);
+            if (d.elemType() == FieldType::Reference) {
+                for (std::uint64_t i = 0; i < n; ++i) {
+                    if (sink) {
+                        sink->load(v.elemAddr(i), 8);
+                    }
+                    charge(sink, costs_.varint);
+                    w.varint(ref_token(v.getRefElem(i)));
+                }
+            } else {
+                // Bulk fast path: copy the backing store as raw bytes.
+                const unsigned esz = fieldTypeBytes(d.elemType());
+                const Addr bytes = n * esz;
+                if (sink) {
+                    sink->load(v.elemAddr(0), 0); // position marker
+                    for (Addr off = 0; off < bytes; off += 64) {
+                        std::uint32_t chunk = static_cast<std::uint32_t>(
+                            std::min<Addr>(64, bytes - off));
+                        sink->load(v.elemAddr(0) + off, chunk);
+                        sink->compute(costs_.bulkPerBlock);
+                    }
+                }
+                std::vector<std::uint8_t> tmp(bytes);
+                src.loadBytes(v.elemAddr(0), tmp.data(), bytes);
+                w.raw(tmp.data(), bytes);
+            }
+            continue;
+        }
+
+        // Null-check byte present on every object record (Figure 1c).
+        w.u8(1);
+        for (std::uint32_t i = 0; i < d.numFields(); ++i) {
+            const auto &f = d.fields()[i];
+            charge(sink, costs_.fieldGet);
+            if (sink) {
+                sink->load(v.fieldAddr(i), 8);
+            }
+            switch (f.type) {
+              case FieldType::Reference:
+                charge(sink, costs_.varint);
+                w.varint(ref_token(v.getRef(i)));
+                break;
+              case FieldType::Int:
+              case FieldType::Long:
+              case FieldType::Short:
+                charge(sink, costs_.varint);
+                w.varint(zigzag(v.getRaw(i)));
+                break;
+              default: {
+                std::uint64_t raw = v.getRaw(i);
+                w.raw(&raw, fieldTypeBytes(f.type));
+                break;
+              }
+            }
+        }
+    }
+
+    return w.take();
+}
+
+Addr
+KryoSerializer::deserialize(const std::vector<std::uint8_t> &stream,
+                            Heap &dst, MemSink *sink)
+{
+    ByteReader r(stream, sink);
+    fatal_if(r.u32() != kMagic, "bad Kryo stream magic");
+
+    std::vector<Addr> handles;
+    struct Patch
+    {
+        Addr slotAddr;
+        std::uint64_t token;
+    };
+    std::vector<Patch> patches;
+
+    while (!r.done()) {
+        charge(sink, costs_.perObject);
+        std::uint32_t kryo_id = r.u32();
+        fatal_if(kryo_id >= fromKryoId_.size(),
+                 "unregistered Kryo class id %u", kryo_id);
+        // Class-ID table lookup (a flat array in Kryo).
+        charge(sink, 4);
+        if (sink) {
+            sink->load(kScratchBase + kryo_id * 8, 8);
+        }
+        KlassId id = fromKryoId_[kryo_id];
+        const auto &d = dst.registry().klass(id);
+
+        if (d.isArray()) {
+            charge(sink, costs_.varint);
+            std::uint64_t n = r.varint();
+            charge(sink, costs_.alloc);
+            Addr obj = dst.allocateArray(d.elemType(), n);
+            if (sink) {
+                sink->store(obj, 24);
+            }
+            handles.push_back(obj);
+            ObjectView v(dst, obj);
+            if (d.elemType() == FieldType::Reference) {
+                for (std::uint64_t i = 0; i < n; ++i) {
+                    charge(sink, costs_.varint);
+                    patches.push_back({v.elemAddr(i), r.varint()});
+                }
+            } else {
+                const unsigned esz = fieldTypeBytes(d.elemType());
+                const Addr bytes = n * esz;
+                std::vector<std::uint8_t> tmp(bytes);
+                r.raw(tmp.data(), bytes);
+                dst.storeBytes(v.elemAddr(0), tmp.data(), bytes);
+                if (sink) {
+                    for (Addr off = 0; off < bytes; off += 64) {
+                        std::uint32_t chunk = static_cast<std::uint32_t>(
+                            std::min<Addr>(64, bytes - off));
+                        sink->store(v.elemAddr(0) + off, chunk);
+                        sink->compute(costs_.bulkPerBlock);
+                    }
+                }
+            }
+            continue;
+        }
+
+        fatal_if(r.u8() != 1, "unexpected null-check byte");
+        charge(sink, costs_.alloc);
+        Addr obj = dst.allocateInstance(id);
+        if (sink) {
+            sink->store(obj, 16);
+        }
+        handles.push_back(obj);
+        ObjectView v(dst, obj);
+        for (std::uint32_t i = 0; i < d.numFields(); ++i) {
+            const auto &f = d.fields()[i];
+            charge(sink, costs_.fieldSet);
+            switch (f.type) {
+              case FieldType::Reference:
+                charge(sink, costs_.varint);
+                patches.push_back({v.fieldAddr(i), r.varint()});
+                break;
+              case FieldType::Int:
+              case FieldType::Long:
+              case FieldType::Short:
+                charge(sink, costs_.varint);
+                v.setRaw(i, unzigzag(r.varint()));
+                break;
+              default: {
+                std::uint64_t raw = 0;
+                r.raw(&raw, fieldTypeBytes(f.type));
+                v.setRaw(i, raw);
+                break;
+              }
+            }
+            if (sink) {
+                sink->store(v.fieldAddr(i), 8);
+            }
+        }
+    }
+
+    for (const auto &p : patches) {
+        charge(sink, 3);
+        Addr target = 0;
+        if (p.token != kNullRef) {
+            panic_if(p.token - 1 >= handles.size(), "bad Kryo ref token");
+            target = handles[p.token - 1];
+        }
+        dst.store64(p.slotAddr, target);
+        if (sink) {
+            sink->store(p.slotAddr, 8);
+        }
+    }
+
+    fatal_if(handles.empty(), "empty Kryo stream");
+    return handles[0];
+}
+
+} // namespace cereal

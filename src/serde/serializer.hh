@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Common interface for all serializers (software baselines and Cereal's
+ * functional format implementation).
+ *
+ * A serializer converts the object graph rooted at some heap object into
+ * a byte stream, and reconstructs an isomorphic graph from that stream
+ * into a (typically different) heap. Both directions optionally narrate
+ * their memory behaviour to a MemSink for timing.
+ */
+
+#ifndef CEREAL_SERDE_SERIALIZER_HH
+#define CEREAL_SERDE_SERIALIZER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "heap/heap.hh"
+#include "serde/sink.hh"
+
+namespace cereal {
+
+/** Abstract serializer/deserializer pair. */
+class Serializer
+{
+  public:
+    virtual ~Serializer() = default;
+
+    /** Human-readable library name ("java", "kryo", "skyway", ...). */
+    virtual std::string name() const = 0;
+
+    /**
+     * Serialize the graph rooted at @p root in @p src.
+     * @param sink optional timing narration target
+     */
+    virtual std::vector<std::uint8_t>
+    serialize(Heap &src, Addr root, MemSink *sink = nullptr) = 0;
+
+    /**
+     * Reconstruct the graph from @p stream into @p dst.
+     * @return the address of the new root object
+     */
+    virtual Addr
+    deserialize(const std::vector<std::uint8_t> &stream, Heap &dst,
+                MemSink *sink = nullptr) = 0;
+};
+
+} // namespace cereal
+
+#endif // CEREAL_SERDE_SERIALIZER_HH

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Memory/compute event sink used to time software serializers.
+ *
+ * Every software serializer in src/serde is functionally real — it
+ * produces and parses actual byte streams. To *time* a run, a serializer
+ * additionally narrates what a CPU implementation would do: loads and
+ * stores with their addresses, and batches of plain ALU/branch work.
+ * A MemSink consumes that narration online (no trace is buffered), so
+ * the CPU timing model in src/cpu can replay it through a cache
+ * hierarchy and DRAM as the serializer executes.
+ *
+ * Address-space convention: heap objects live at the heap's base, the
+ * serialized stream is modelled at kStreamBase (sequential), and
+ * serializer-private bookkeeping (hash tables of visited objects) at
+ * kScratchBase.
+ */
+
+#ifndef CEREAL_SERDE_SINK_HH
+#define CEREAL_SERDE_SINK_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace cereal {
+
+/** Simulated address where the serialized byte stream is buffered. */
+constexpr Addr kStreamBase = 0x20'0000'0000ULL;
+
+/** Simulated address of serializer-private scratch structures. */
+constexpr Addr kScratchBase = 0x30'0000'0000ULL;
+
+/** Online consumer of a serializer's memory/compute narration. */
+class MemSink
+{
+  public:
+    virtual ~MemSink() = default;
+
+    /** A data load of @p bytes at @p addr. */
+    virtual void load(Addr addr, std::uint32_t bytes) = 0;
+
+    /** A data store of @p bytes at @p addr. */
+    virtual void store(Addr addr, std::uint32_t bytes) = 0;
+
+    /** @p ops units of non-memory work (ALU, branch, call overhead). */
+    virtual void compute(std::uint64_t ops) = 0;
+
+    /**
+     * A *dependent* load: its address was produced by a just-loaded
+     * value (pointer chasing during object-graph traversal), so no
+     * other memory request can issue until it returns. Timing models
+     * serialise on these; the default treats it as a plain load.
+     */
+    virtual void
+    loadDep(Addr addr, std::uint32_t bytes)
+    {
+        load(addr, bytes);
+    }
+};
+
+/** Sink that ignores everything (functional-only runs). */
+class NullSink : public MemSink
+{
+  public:
+    void load(Addr, std::uint32_t) override {}
+    void store(Addr, std::uint32_t) override {}
+    void compute(std::uint64_t) override {}
+};
+
+/** Sink that only counts traffic (tests and sanity checks). */
+class CountingSink : public MemSink
+{
+  public:
+    void
+    load(Addr, std::uint32_t bytes) override
+    {
+        ++loads;
+        loadBytes += bytes;
+    }
+
+    void
+    store(Addr, std::uint32_t bytes) override
+    {
+        ++stores;
+        storeBytes += bytes;
+    }
+
+    void compute(std::uint64_t ops) override { computeOps += ops; }
+
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t loadBytes = 0;
+    std::uint64_t storeBytes = 0;
+    std::uint64_t computeOps = 0;
+};
+
+} // namespace cereal
+
+#endif // CEREAL_SERDE_SINK_HH

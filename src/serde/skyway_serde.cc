@@ -1,0 +1,231 @@
+#include "serde/skyway_serde.hh"
+
+#include <deque>
+#include <unordered_map>
+
+#include "heap/object.hh"
+#include "serde/bytes.hh"
+#include "sim/logging.hh"
+
+namespace cereal {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x534b5957; // "SKYW"
+
+void
+charge(MemSink *sink, std::uint64_t ops)
+{
+    if (sink) {
+        sink->compute(ops);
+    }
+}
+
+void
+chargeProbe(MemSink *sink, const SkywaySerdeCosts &costs, Addr key)
+{
+    if (!sink) {
+        return;
+    }
+    sink->compute(costs.handleProbe);
+    Addr bucket = kScratchBase + (key * 0x9e3779b97f4a7c15ULL) % (1 << 22);
+    sink->load(roundDown(bucket, 8), 8);
+}
+
+/** Encode a reference slot: null stays 0, else tagged relative offset. */
+std::uint64_t
+encodeRef(std::uint64_t rel)
+{
+    return (rel << 1) | 1;
+}
+
+} // namespace
+
+std::vector<std::uint8_t>
+SkywaySerializer::serialize(Heap &src, Addr root, MemSink *sink)
+{
+    ByteWriter w(sink);
+    w.u32(kMagic);
+
+    // Relative addresses are assigned at first encounter: the stream
+    // data section is laid out in BFS discovery order.
+    std::unordered_map<Addr, std::uint64_t> rel_of;
+    std::deque<Addr> queue;
+    std::uint64_t assigned_bytes = 0;
+
+    std::unordered_map<KlassId, std::uint32_t> type_ids;
+    std::vector<KlassId> type_table;
+
+    auto ref_rel = [&](Addr obj) -> std::uint64_t {
+        panic_if(obj == 0, "ref_rel(null)");
+        chargeProbe(sink, costs_, obj);
+        auto it = rel_of.find(obj);
+        if (it != rel_of.end()) {
+            return it->second;
+        }
+        std::uint64_t rel = assigned_bytes;
+        assigned_bytes += src.objectBytes(obj);
+        rel_of.emplace(obj, rel);
+        queue.push_back(obj);
+        return rel;
+    };
+
+    auto type_id_of = [&](KlassId id) -> std::uint32_t {
+        auto it = type_ids.find(id);
+        if (it != type_ids.end()) {
+            return it->second;
+        }
+        // Automatic type registration: first encounter assigns an ID.
+        auto tid = static_cast<std::uint32_t>(type_table.size());
+        type_ids.emplace(id, tid);
+        type_table.push_back(id);
+        return tid;
+    };
+
+    // Reserve the data-section length; patched once known.
+    std::size_t len_at = w.size();
+    w.u64(0);
+
+    ref_rel(root);
+    while (!queue.empty()) {
+        Addr obj = queue.front();
+        queue.pop_front();
+        charge(sink, costs_.perObject);
+
+        ObjectView v(src, obj);
+        const unsigned slots = v.slots();
+        const auto bitmap = src.instanceBitmap(obj);
+        const unsigned header_slots = src.registry().headerSlots();
+
+        for (unsigned s = 0; s < slots; ++s) {
+            if (sink) {
+                // The first word of each object is reached by chasing
+                // the discovering reference; the rest stream.
+                if (s == 0) {
+                    sink->loadDep(obj, 8);
+                } else {
+                    sink->load(obj + Addr{s} * 8, 8);
+                }
+                sink->compute(costs_.copyPerWord);
+            }
+            std::uint64_t word = src.load64(obj + Addr{s} * 8);
+            if (s == 1) {
+                // Klass pointer -> integer type ID.
+                word = type_id_of(v.klassId());
+            } else if (s >= header_slots && bitmap[s]) {
+                // Reference -> relative address.
+                charge(sink, costs_.refAdjust);
+                word = word ? encodeRef(ref_rel(word)) : 0;
+            }
+            w.u64(word);
+        }
+    }
+    w.patchU32(len_at, static_cast<std::uint32_t>(assigned_bytes));
+    w.patchU32(len_at + 4,
+               static_cast<std::uint32_t>(assigned_bytes >> 32));
+
+    // Trailing type table: id -> class name.
+    w.u32(static_cast<std::uint32_t>(type_table.size()));
+    for (KlassId id : type_table) {
+        const auto &d = src.registry().klass(id);
+        w.str(d.name());
+        charge(sink, d.name().size());
+    }
+
+    return w.take();
+}
+
+Addr
+SkywaySerializer::deserialize(const std::vector<std::uint8_t> &stream,
+                              Heap &dst, MemSink *sink)
+{
+    ByteReader r(stream, sink);
+    fatal_if(r.u32() != kMagic, "bad Skyway stream magic");
+    std::uint64_t data_bytes = r.u64();
+
+    // Bulk copy of the whole data section into fresh heap space — the
+    // "simple memory copy" Skyway is built around.
+    Addr base = dst.allocateRaw(data_bytes);
+    {
+        std::vector<std::uint8_t> tmp(data_bytes);
+        r.raw(tmp.data(), data_bytes);
+        dst.storeBytes(base, tmp.data(), data_bytes);
+        if (sink) {
+            for (Addr off = 0; off < data_bytes; off += 64) {
+                auto chunk = static_cast<std::uint32_t>(
+                    std::min<Addr>(64, data_bytes - off));
+                sink->store(base + off, chunk);
+                sink->compute(costs_.bulkPerBlock);
+            }
+        }
+    }
+
+    // Type table: resolve stream type IDs to registry classes.
+    std::uint32_t type_count = r.u32();
+    std::vector<KlassId> types(type_count);
+    for (std::uint32_t i = 0; i < type_count; ++i) {
+        std::string type_name = r.str();
+        KlassId id = dst.registry().idByName(type_name);
+        fatal_if(id == kBadKlassId, "unknown class '%s' in Skyway stream",
+                 type_name.c_str());
+        types[i] = id;
+        charge(sink, 2 * type_name.size());
+    }
+
+    // Sequential fix-up pass: restore klass pointers, rebase references.
+    const unsigned header_slots = dst.registry().headerSlots();
+    Addr off = 0;
+    Addr root = 0;
+    bool first = true;
+    while (off < data_bytes) {
+        Addr obj = base + off;
+        charge(sink, costs_.fixupPerObject);
+
+        if (sink) {
+            sink->load(obj + 8, 8);
+        }
+        std::uint64_t tid = dst.load64(obj + 8);
+        panic_if(tid >= types.size(), "bad Skyway type id %llu at +%llu",
+                 (unsigned long long)tid, (unsigned long long)off);
+        KlassId id = types[tid];
+        dst.store64(obj + 8, dst.registry().metadataAddr(id));
+        if (sink) {
+            sink->store(obj + 8, 8);
+        }
+        if (dst.registry().hasCerealHeaderExt()) {
+            // Stale visited counters from the sender must not leak.
+            dst.store64(obj + 16, 0);
+        }
+
+        dst.noteObject(obj);
+        if (first) {
+            root = obj;
+            first = false;
+        }
+
+        const unsigned slots = dst.objectSlots(obj);
+        const auto bitmap = dst.instanceBitmap(obj);
+        for (unsigned s = header_slots; s < slots; ++s) {
+            if (!bitmap[s]) {
+                continue;
+            }
+            charge(sink, costs_.refAdjust);
+            Addr slot_addr = obj + Addr{s} * 8;
+            if (sink) {
+                sink->load(slot_addr, 8);
+            }
+            std::uint64_t enc = dst.load64(slot_addr);
+            if (enc != 0) {
+                dst.store64(slot_addr, base + (enc >> 1));
+                if (sink) {
+                    sink->store(slot_addr, 8);
+                }
+            }
+        }
+        off += Addr{slots} * 8;
+    }
+    fatal_if(first, "empty Skyway stream");
+    return root;
+}
+
+} // namespace cereal

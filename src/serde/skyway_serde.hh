@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Model of the Skyway serializer (Nguyen et al., ASPLOS 2018).
+ *
+ * Skyway transfers objects as verbatim memory images (Section II):
+ *  - serialization copies each reachable object — header included —
+ *    into the stream, rewriting the klass pointer to an integer type ID
+ *    and every reference field to a *relative address* (the target's
+ *    byte offset inside the stream's data section);
+ *  - type registration is automatic: type IDs are assigned on first
+ *    encounter and a name table travels with the stream;
+ *  - deserialization is one bulk copy of the data section into the heap
+ *    followed by a *sequential* fix-up pass that restores klass pointers
+ *    and rebases every reference — the serial dependency chain the paper
+ *    contrasts with Cereal's parallel block reconstruction.
+ */
+
+#ifndef CEREAL_SERDE_SKYWAY_SERDE_HH
+#define CEREAL_SERDE_SKYWAY_SERDE_HH
+
+#include "serde/serializer.hh"
+
+namespace cereal {
+
+/** Tunable compute-cost constants for the Skyway model (op units). */
+struct SkywaySerdeCosts
+{
+    /** Visited-table probe (thread-local hash table). */
+    std::uint64_t handleProbe = 28;
+    /** Per-8 B-word cost of the object image copy. */
+    std::uint64_t copyPerWord = 2;
+    /** Converting one reference to/from a relative address. */
+    std::uint64_t refAdjust = 10;
+    /** Fixed per-object overhead (traversal dispatch). */
+    std::uint64_t perObject = 40;
+    /** Per-object fix-up dispatch on the receiver. */
+    std::uint64_t fixupPerObject = 24;
+    /** Per-64 B block cost of the receiver's bulk copy. */
+    std::uint64_t bulkPerBlock = 6;
+};
+
+/** The Skyway serializer model. */
+class SkywaySerializer : public Serializer
+{
+  public:
+    explicit SkywaySerializer(SkywaySerdeCosts costs = SkywaySerdeCosts())
+        : costs_(costs)
+    {
+    }
+
+    std::string name() const override { return "skyway"; }
+
+    std::vector<std::uint8_t>
+    serialize(Heap &src, Addr root, MemSink *sink = nullptr) override;
+
+    Addr deserialize(const std::vector<std::uint8_t> &stream, Heap &dst,
+                     MemSink *sink = nullptr) override;
+
+  private:
+    SkywaySerdeCosts costs_;
+};
+
+} // namespace cereal
+
+#endif // CEREAL_SERDE_SKYWAY_SERDE_HH

@@ -1,0 +1,184 @@
+#include "shuffle/lz.hh"
+
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace cereal {
+
+namespace {
+
+/** Simulated address of the compressed output buffer. */
+constexpr Addr kCompressedBase = kStreamBase + 0x8'0000'0000ULL;
+
+constexpr unsigned kHashBits = 14;
+constexpr std::size_t kHashSize = std::size_t{1} << kHashBits;
+constexpr std::size_t kMaxOffset = 0xffff;
+constexpr std::size_t kMinMatch = 4;
+constexpr std::size_t kMaxMatch = 127 + kMinMatch;
+
+std::uint32_t
+read32(const std::vector<std::uint8_t> &v, std::size_t at)
+{
+    std::uint32_t x;
+    std::memcpy(&x, v.data() + at, 4);
+    return x;
+}
+
+std::uint32_t
+hash4(std::uint32_t x)
+{
+    return (x * 2654435761u) >> (32 - kHashBits);
+}
+
+/** Narrate a sequential access of @p n bytes in 64 B chunks. */
+void
+touch(MemSink *sink, Addr base, std::size_t at, std::size_t n, bool write)
+{
+    if (!sink) {
+        return;
+    }
+    Addr lo = base + at;
+    Addr hi = lo + n;
+    for (Addr a = roundDown(lo, 64); a < hi; a += 64) {
+        if (write) {
+            sink->store(a, 64);
+        } else {
+            sink->load(a, 64);
+        }
+    }
+}
+
+} // namespace
+
+std::vector<std::uint8_t>
+LzCodec::compress(const std::vector<std::uint8_t> &input,
+                  MemSink *sink) const
+{
+    const std::size_t n = input.size();
+    std::vector<std::uint8_t> out;
+    out.reserve(n / 2 + 16);
+    auto raw = static_cast<std::uint32_t>(n);
+    out.insert(out.end(), reinterpret_cast<std::uint8_t *>(&raw),
+               reinterpret_cast<std::uint8_t *>(&raw) + 4);
+
+    if (sink) {
+        sink->compute(costs_.perInputByte * n);
+    }
+
+    std::vector<std::int64_t> table(kHashSize, -1);
+    std::size_t pos = 0;
+    std::size_t literal_start = 0;
+
+    auto flush_literals = [&](std::size_t end) {
+        std::size_t at = literal_start;
+        while (at < end) {
+            std::size_t run = std::min<std::size_t>(end - at, 127);
+            if (sink) {
+                sink->compute(costs_.perToken);
+            }
+            out.push_back(static_cast<std::uint8_t>(run));
+            std::size_t out_at = out.size();
+            out.insert(out.end(), input.begin() +
+                                      static_cast<std::ptrdiff_t>(at),
+                       input.begin() +
+                           static_cast<std::ptrdiff_t>(at + run));
+            touch(sink, kStreamBase, at, run, false);
+            touch(sink, kCompressedBase, out_at, run, true);
+            at += run;
+        }
+        literal_start = end;
+    };
+
+    while (pos + kMinMatch <= n) {
+        std::uint32_t h = hash4(read32(input, pos));
+        std::int64_t cand = table[h];
+        table[h] = static_cast<std::int64_t>(pos);
+        if (sink) {
+            sink->compute(costs_.perProbe);
+            sink->load(kScratchBase + Addr{h} * 8, 8);
+            sink->store(kScratchBase + Addr{h} * 8, 8);
+        }
+
+        if (cand >= 0 &&
+            pos - static_cast<std::size_t>(cand) <= kMaxOffset &&
+            read32(input, static_cast<std::size_t>(cand)) ==
+                read32(input, pos)) {
+            // Extend the match.
+            std::size_t len = kMinMatch;
+            const auto cpos = static_cast<std::size_t>(cand);
+            while (pos + len < n && len < kMaxMatch &&
+                   input[cpos + len] == input[pos + len]) {
+                ++len;
+            }
+            flush_literals(pos);
+            if (sink) {
+                sink->compute(costs_.perToken);
+                sink->store(kCompressedBase + out.size(), 3);
+            }
+            out.push_back(static_cast<std::uint8_t>(
+                0x80 | (len - kMinMatch)));
+            auto off = static_cast<std::uint16_t>(pos - cpos);
+            out.push_back(static_cast<std::uint8_t>(off & 0xff));
+            out.push_back(static_cast<std::uint8_t>(off >> 8));
+            pos += len;
+            literal_start = pos;
+        } else {
+            ++pos;
+        }
+    }
+    flush_literals(n);
+    return out;
+}
+
+std::vector<std::uint8_t>
+LzCodec::decompress(const std::vector<std::uint8_t> &compressed,
+                    MemSink *sink) const
+{
+    panic_if(compressed.size() < 4, "truncated LZ stream");
+    std::uint32_t raw;
+    std::memcpy(&raw, compressed.data(), 4);
+    std::vector<std::uint8_t> out;
+    out.reserve(raw);
+
+    if (sink) {
+        sink->compute(costs_.perOutputByte * raw);
+        touch(sink, kCompressedBase, 0, compressed.size(), false);
+    }
+
+    std::size_t at = 4;
+    while (at < compressed.size()) {
+        std::uint8_t tag = compressed[at++];
+        if (tag & 0x80) {
+            panic_if(at + 2 > compressed.size(), "truncated copy token");
+            std::size_t len = (tag & 0x7f) + kMinMatch;
+            std::size_t off = compressed[at] |
+                              (std::size_t{compressed[at + 1]} << 8);
+            at += 2;
+            panic_if(off == 0 || off > out.size(),
+                     "bad LZ back-reference");
+            // Byte-wise copy: overlapping references are well defined.
+            std::size_t src = out.size() - off;
+            for (std::size_t i = 0; i < len; ++i) {
+                out.push_back(out[src + i]);
+            }
+            touch(sink, kStreamBase, out.size() - len, len, true);
+        } else {
+            std::size_t run = tag;
+            panic_if(run == 0, "zero literal run");
+            panic_if(at + run > compressed.size(),
+                     "truncated literal run");
+            out.insert(out.end(),
+                       compressed.begin() + static_cast<std::ptrdiff_t>(at),
+                       compressed.begin() +
+                           static_cast<std::ptrdiff_t>(at + run));
+            touch(sink, kStreamBase, out.size() - run, run, true);
+            at += run;
+        }
+    }
+    panic_if(out.size() != raw, "LZ stream length mismatch (%zu vs %u)",
+             out.size(), raw);
+    return out;
+}
+
+} // namespace cereal

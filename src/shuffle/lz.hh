@@ -1,0 +1,83 @@
+/**
+ * @file
+ * LZ77-class block compressor used by the shuffle substrate.
+ *
+ * Spark compresses every shuffle stream (LZ4 by default); the paper's
+ * Spark-level S/D times therefore include a per-byte compression
+ * component that dwarfs Kryo's codec advantage (Figure 13: 1.67x vs
+ * the 30x+ seen on raw microbenchmarks). This is a real, working
+ * compressor — greedy hash-chain match finder over a 64 KB window,
+ * emitting literal runs and (offset, length) copies — so that the
+ * shuffle component of the Spark figures is *measured* through the CPU
+ * timing model rather than assumed.
+ *
+ * Format (little-endian):
+ *   stream  := u32 rawSize, token*
+ *   token   := u8 tag
+ *              tag & 0x80 ? copy : literal-run
+ *   literal := tag (= count 1..127), count raw bytes
+ *   copy    := tag (= 0x80 | lenCode), u16 offset; length = lenCode + 4
+ *
+ * Like the serializers, both directions narrate their work to an
+ * optional MemSink (input loads, hash-table probes in scratch memory,
+ * output stores) for the core timing model.
+ */
+
+#ifndef CEREAL_SHUFFLE_LZ_HH
+#define CEREAL_SHUFFLE_LZ_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "serde/sink.hh"
+
+namespace cereal {
+
+/**
+ * Tunable compute-cost constants for the compressor (op units).
+ *
+ * Defaults are calibrated to the *JVM* compression stack Spark really
+ * runs (LZ4BlockOutputStream + XXHash checksum + BufferedOutputStream
+ * copies + JNI crossings), which sustains ~60-130 MB/s per task in
+ * published Spark shuffle studies — an order of magnitude slower than
+ * a bare C LZ4 kernel.
+ */
+struct LzCosts
+{
+    /** Per input byte: hashing, match extension, checksum, buffer
+     *  copies through the stream stack. */
+    std::uint64_t perInputByte = 40;
+    /** Per hash-table probe (candidate lookup). */
+    std::uint64_t perProbe = 10;
+    /** Per emitted token. */
+    std::uint64_t perToken = 12;
+    /** Decompression: per output byte copied (incl. checksum). */
+    std::uint64_t perOutputByte = 16;
+};
+
+/** LZ77 block codec. */
+class LzCodec
+{
+  public:
+    explicit LzCodec(LzCosts costs = LzCosts()) : costs_(costs) {}
+
+    /**
+     * Compress @p input.
+     * @param sink optional timing narration
+     */
+    std::vector<std::uint8_t>
+    compress(const std::vector<std::uint8_t> &input,
+             MemSink *sink = nullptr) const;
+
+    /** Decompress a stream produced by compress(). */
+    std::vector<std::uint8_t>
+    decompress(const std::vector<std::uint8_t> &compressed,
+               MemSink *sink = nullptr) const;
+
+  private:
+    LzCosts costs_;
+};
+
+} // namespace cereal
+
+#endif // CEREAL_SHUFFLE_LZ_HH

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Shuffle-stage substrate: what happens to serialized bytes between
+ * the codec and the wire/disk in a Spark-like framework.
+ *
+ * Software serializers emit through a stream stack that block-
+ * compresses (LZ4-style) and buffer-copies the stream; the reverse
+ * path decompresses. Cereal's output is already written to memory by
+ * the accelerator in its packed format, so the driver's job is a bulk
+ * handoff copy into the shuffle buffer, with compression disabled (the
+ * packed format plays that role). Both paths are *measured* on the CPU
+ * timing model — no assumed per-byte constants.
+ */
+
+#ifndef CEREAL_SHUFFLE_SHUFFLE_HH
+#define CEREAL_SHUFFLE_SHUFFLE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cpu/core_model.hh"
+#include "shuffle/lz.hh"
+
+namespace cereal {
+
+/** Result of pushing one serialized stream through the shuffle stage. */
+struct ShuffleTiming
+{
+    /** Bytes that actually hit the shuffle file/wire. */
+    std::uint64_t wireBytes = 0;
+    /** CPU time spent in the stage, seconds. */
+    double seconds = 0;
+};
+
+/** Models one executor's shuffle write/read paths. */
+class ShuffleStage
+{
+  public:
+    explicit ShuffleStage(CoreConfig core_cfg = CoreConfig(),
+                          LzCosts lz_costs = LzCosts())
+        : coreCfg_(core_cfg), codec_(lz_costs)
+    {
+    }
+
+    /**
+     * Software shuffle write: block-compress the serialized stream and
+     * buffer-copy the result toward the file.
+     */
+    ShuffleTiming softwareWrite(
+        const std::vector<std::uint8_t> &serialized) const;
+
+    /**
+     * Software shuffle read: fetch + decompress back into the form the
+     * deserializer consumes.
+     */
+    ShuffleTiming softwareRead(
+        const std::vector<std::uint8_t> &serialized) const;
+
+    /**
+     * Cereal driver handoff: a bulk copy of the accelerator-written
+     * stream into the shuffle buffer (no re-compression — the packed
+     * format already did that work).
+     */
+    ShuffleTiming cerealHandoff(std::uint64_t stream_bytes) const;
+
+    const LzCodec &codec() const { return codec_; }
+
+  private:
+    CoreConfig coreCfg_;
+    LzCodec codec_;
+};
+
+} // namespace cereal
+
+#endif // CEREAL_SHUFFLE_SHUFFLE_HH

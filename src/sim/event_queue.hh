@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * The EventQueue holds (tick, sequence, callback) triples and fires them
+ * in tick order; ties break in scheduling order so the simulation is
+ * deterministic. Components schedule std::function callbacks directly or
+ * reuse a MemberEvent bound to one of their methods.
+ */
+
+#ifndef CEREAL_SIM_EVENT_QUEUE_HH
+#define CEREAL_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace cereal {
+
+/** Global discrete-event queue; one instance per simulated machine. */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /** Schedule @p cb to run at absolute tick @p when (>= now). */
+    void
+    schedule(Tick when, Callback cb)
+    {
+        panic_if(when < now_, "scheduling event in the past (%llu < %llu)",
+                 (unsigned long long)when, (unsigned long long)now_);
+        heap_.push(Scheduled{when, nextSeq_++, std::move(cb)});
+    }
+
+    /** Schedule @p cb to run @p delta ticks from now. */
+    void
+    scheduleIn(Tick delta, Callback cb)
+    {
+        schedule(now_ + delta, std::move(cb));
+    }
+
+    /** True if no events remain. */
+    bool empty() const { return heap_.empty(); }
+
+    /** Number of pending events. */
+    std::size_t pending() const { return heap_.size(); }
+
+    /** Tick of the next pending event (kMaxTick when empty). */
+    Tick
+    nextEventTick() const
+    {
+        return heap_.empty() ? kMaxTick : heap_.top().when;
+    }
+
+    /**
+     * Run a single event.
+     * @return true if an event was executed.
+     */
+    bool
+    step()
+    {
+        if (heap_.empty()) {
+            return false;
+        }
+        // Move the scheduled record out before popping: the callback may
+        // schedule new events and mutate the heap.
+        Scheduled ev = std::move(const_cast<Scheduled &>(heap_.top()));
+        heap_.pop();
+        now_ = ev.when;
+        ++executed_;
+        ev.cb();
+        return true;
+    }
+
+    /** Run until the queue drains; returns the final tick. */
+    Tick
+    runAll()
+    {
+        while (step()) {
+        }
+        return now_;
+    }
+
+    /** Run events up to and including tick @p until. */
+    Tick
+    runUntil(Tick until)
+    {
+        while (!heap_.empty() && heap_.top().when <= until) {
+            step();
+        }
+        if (now_ < until) {
+            now_ = until;
+        }
+        return now_;
+    }
+
+    /** Total events executed since construction. */
+    std::uint64_t executedCount() const { return executed_; }
+
+  private:
+    struct Scheduled
+    {
+        Tick when;
+        std::uint64_t seq;
+        Callback cb;
+
+        bool
+        operator>(const Scheduled &o) const
+        {
+            if (when != o.when) {
+                return when > o.when;
+            }
+            return seq > o.seq;
+        }
+    };
+
+    std::priority_queue<Scheduled, std::vector<Scheduled>,
+                        std::greater<Scheduled>> heap_;
+    Tick now_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t executed_ = 0;
+};
+
+/**
+ * Helper that models a clocked component: converts between the module's
+ * local cycle count and global ticks given a fixed clock period.
+ */
+class ClockDomain
+{
+  public:
+    /** @param period_ticks clock period in ticks (ps). */
+    explicit ClockDomain(Tick period_ticks) : period_(period_ticks)
+    {
+        panic_if(period_ == 0, "zero clock period");
+    }
+
+    Tick period() const { return period_; }
+
+    /** Ticks taken by @p n cycles. */
+    Tick cyclesToTicks(Cycles n) const { return n * period_; }
+
+    /** Cycles (rounded up) covering @p t ticks. */
+    Cycles
+    ticksToCycles(Tick t) const
+    {
+        return (t + period_ - 1) / period_;
+    }
+
+    /** The next tick at or after @p t that lies on a clock edge. */
+    Tick
+    clockEdge(Tick t) const
+    {
+        // Periods need not be powers of two; round up by division.
+        return ((t + period_ - 1) / period_) * period_;
+    }
+
+  private:
+    Tick period_;
+};
+
+} // namespace cereal
+
+#endif // CEREAL_SIM_EVENT_QUEUE_HH

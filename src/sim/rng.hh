@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload builders.
+ *
+ * All workload generators in this project take an explicit seed and use
+ * this generator so that tests and benchmark rows are reproducible
+ * run-to-run and across platforms (std::mt19937 distributions are not
+ * specified portably; we implement our own bounded draws).
+ *
+ * The core is xoshiro256**, seeded through splitmix64 as its authors
+ * recommend.
+ */
+
+#ifndef CEREAL_SIM_RNG_HH
+#define CEREAL_SIM_RNG_HH
+
+#include <cstdint>
+
+namespace cereal {
+
+/** Deterministic, portable 64-bit PRNG (xoshiro256**). */
+class Rng
+{
+  public:
+    /** Construct with a seed; equal seeds yield equal streams. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL)
+    {
+        std::uint64_t x = seed;
+        for (auto &word : state_) {
+            word = splitmix64(x);
+        }
+    }
+
+    /** Next raw 64-bit draw. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform draw in [0, bound) with rejection to avoid modulo bias. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        if (bound <= 1) {
+            return 0;
+        }
+        const std::uint64_t threshold = (0 - bound) % bound;
+        for (;;) {
+            std::uint64_t r = next();
+            if (r >= threshold) {
+                return r % bound;
+            }
+        }
+    }
+
+    /** Uniform draw in [lo, hi] inclusive. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw with probability @p p of true. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    static std::uint64_t
+    splitmix64(std::uint64_t &x)
+    {
+        x += 0x9e3779b97f4a7c15ULL;
+        std::uint64_t z = x;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    std::uint64_t state_[4];
+};
+
+} // namespace cereal
+
+#endif // CEREAL_SIM_RNG_HH

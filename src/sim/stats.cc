@@ -1,0 +1,38 @@
+#include "sim/stats.hh"
+
+#include <iomanip>
+
+namespace cereal {
+namespace stats {
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    os << "---- " << name_ << " ----\n";
+    for (const auto &e : entries_) {
+        os << std::left << std::setw(36) << (name_ + "." + e.name);
+        switch (e.kind) {
+          case Kind::Scalar: {
+            const auto *s = static_cast<const Scalar *>(e.stat);
+            os << std::setw(16) << s->value();
+            break;
+          }
+          case Kind::Average: {
+            const auto *a = static_cast<const Average *>(e.stat);
+            os << "mean=" << a->mean() << " min=" << a->min()
+               << " max=" << a->max() << " n=" << a->count();
+            break;
+          }
+          case Kind::Histogram: {
+            const auto *h = static_cast<const Histogram *>(e.stat);
+            os << "mean=" << h->mean() << " n=" << h->count()
+               << " overflow=" << h->overflow();
+            break;
+          }
+        }
+        os << "  # " << e.desc << "\n";
+    }
+}
+
+} // namespace stats
+} // namespace cereal

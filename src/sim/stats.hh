@@ -1,0 +1,185 @@
+/**
+ * @file
+ * A small statistics package in the spirit of gem5's Stats.
+ *
+ * Hardware model components own typed statistics (scalars, averages,
+ * histograms) registered into a StatGroup. Benchmark harnesses read the
+ * values programmatically; dump() renders a human-readable report.
+ */
+
+#ifndef CEREAL_SIM_STATS_HH
+#define CEREAL_SIM_STATS_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace cereal {
+namespace stats {
+
+/** A named, monotonically adjustable scalar statistic. */
+class Scalar
+{
+  public:
+    Scalar() = default;
+
+    Scalar &operator+=(double v) { value_ += v; return *this; }
+    Scalar &operator-=(double v) { value_ -= v; return *this; }
+    Scalar &operator++() { value_ += 1; return *this; }
+    void set(double v) { value_ = v; }
+    void reset() { value_ = 0; }
+    double value() const { return value_; }
+
+  private:
+    double value_ = 0;
+};
+
+/** Mean/min/max over a stream of samples. */
+class Average
+{
+  public:
+    Average() = default;
+
+    /** Record one sample. */
+    void
+    sample(double v)
+    {
+        sum_ += v;
+        ++count_;
+        if (count_ == 1 || v < min_) {
+            min_ = v;
+        }
+        if (count_ == 1 || v > max_) {
+            max_ = v;
+        }
+    }
+
+    void
+    reset()
+    {
+        sum_ = 0;
+        count_ = 0;
+        min_ = 0;
+        max_ = 0;
+    }
+
+    double mean() const { return count_ ? sum_ / count_ : 0; }
+    double sum() const { return sum_; }
+    double min() const { return min_; }
+    double max() const { return max_; }
+    std::uint64_t count() const { return count_; }
+
+  private:
+    double sum_ = 0;
+    std::uint64_t count_ = 0;
+    double min_ = 0;
+    double max_ = 0;
+};
+
+/** Fixed-bucket histogram over [0, bucketWidth * numBuckets). */
+class Histogram
+{
+  public:
+    /** @param num_buckets bucket count; @param width bucket width. */
+    Histogram(std::size_t num_buckets = 16, double width = 1.0)
+        : buckets_(num_buckets, 0), width_(width)
+    {
+    }
+
+    /** Record one sample; values past the last bucket go to overflow. */
+    void
+    sample(double v)
+    {
+        avg_.sample(v);
+        auto idx = static_cast<std::size_t>(v / width_);
+        if (idx >= buckets_.size()) {
+            ++overflow_;
+        } else {
+            ++buckets_[idx];
+        }
+    }
+
+    void
+    reset()
+    {
+        for (auto &b : buckets_) {
+            b = 0;
+        }
+        overflow_ = 0;
+        avg_.reset();
+    }
+
+    const std::vector<std::uint64_t> &buckets() const { return buckets_; }
+    std::uint64_t overflow() const { return overflow_; }
+    double mean() const { return avg_.mean(); }
+    std::uint64_t count() const { return avg_.count() ; }
+    double bucketWidth() const { return width_; }
+
+  private:
+    std::vector<std::uint64_t> buckets_;
+    double width_;
+    std::uint64_t overflow_ = 0;
+    Average avg_;
+};
+
+/** Kind discriminator for registered statistics. */
+enum class Kind { Scalar, Average, Histogram };
+
+/** One registration record inside a StatGroup. */
+struct Entry
+{
+    std::string name;
+    std::string desc;
+    Kind kind;
+    const void *stat;
+};
+
+/**
+ * A named collection of statistics owned by one model component.
+ *
+ * Components register member statistics once at construction; the group
+ * does not own the statistic objects, only pointers, so the registering
+ * component must outlive the group's use.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    void
+    add(const std::string &stat_name, const std::string &desc,
+        const Scalar &s)
+    {
+        entries_.push_back({stat_name, desc, Kind::Scalar, &s});
+    }
+
+    void
+    add(const std::string &stat_name, const std::string &desc,
+        const Average &a)
+    {
+        entries_.push_back({stat_name, desc, Kind::Average, &a});
+    }
+
+    void
+    add(const std::string &stat_name, const std::string &desc,
+        const Histogram &h)
+    {
+        entries_.push_back({stat_name, desc, Kind::Histogram, &h});
+    }
+
+    /** Render all registered statistics to @p os. */
+    void dump(std::ostream &os) const;
+
+    const std::string &name() const { return name_; }
+    const std::vector<Entry> &entries() const { return entries_; }
+
+  private:
+    std::string name_;
+    std::vector<Entry> entries_;
+};
+
+} // namespace stats
+} // namespace cereal
+
+#endif // CEREAL_SIM_STATS_HH

@@ -1,0 +1,120 @@
+#include "workloads/harness.hh"
+
+#include <cmath>
+
+#include "cereal/area_power.hh"
+#include "heap/walker.hh"
+#include "sim/logging.hh"
+
+namespace cereal {
+namespace workloads {
+
+SdMeasurement
+measureSoftware(Serializer &ser, Heap &src, Addr root,
+                const CoreConfig &core_cfg, bool verify)
+{
+    SdMeasurement out;
+    out.serializer = ser.name();
+    out.objects = GraphWalker(src).stats(root).objectCount;
+
+    // --- serialize ------------------------------------------------------
+    std::vector<std::uint8_t> stream;
+    {
+        EventQueue eq;
+        Dram dram("dram.ser", eq);
+        CoreModel core(dram, core_cfg);
+        stream = ser.serialize(src, root, &core);
+        auto st = core.finish();
+        out.serSeconds = st.seconds;
+        out.serBandwidth = st.bandwidthUtil;
+        out.serIpc = st.ipc;
+        out.serLlcMissRate = st.llcMissRate;
+        out.serEnergyJ = AreaPowerModel::softwareEnergyJ(st.seconds);
+    }
+    out.streamBytes = stream.size();
+
+    // --- deserialize ----------------------------------------------------
+    {
+        EventQueue eq;
+        Dram dram("dram.deser", eq);
+        CoreModel core(dram, core_cfg);
+        Heap dst(src.registry(), 0x9'0000'0000ULL);
+        Addr nr = ser.deserialize(stream, dst, &core);
+        auto st = core.finish();
+        out.deserSeconds = st.seconds;
+        out.deserBandwidth = st.bandwidthUtil;
+        out.deserIpc = st.ipc;
+        out.deserLlcMissRate = st.llcMissRate;
+        out.deserEnergyJ = AreaPowerModel::softwareEnergyJ(st.seconds);
+        if (verify) {
+            std::string why;
+            panic_if(!graphEquals(src, root, dst, nr, &why),
+                     "%s round trip broken: %s", ser.name().c_str(),
+                     why.c_str());
+        }
+    }
+    return out;
+}
+
+SdMeasurement
+measureCereal(Heap &src, Addr root, const AccelConfig &accel_cfg,
+              const CerealOptions &opts, bool verify)
+{
+    SdMeasurement out;
+    out.serializer = "cereal";
+    out.objects = GraphWalker(src).stats(root).objectCount;
+
+    AreaPowerModel power(accel_cfg);
+
+    CerealStream stream;
+    {
+        EventQueue eq;
+        Dram dram("dram.ser", eq);
+        CerealContext ctx(dram, accel_cfg, opts);
+        ctx.registerAll(src.registry());
+        ObjectOutputStream oos;
+        auto w = ctx.writeObject(oos, src, root);
+        stream = std::move(w.stream);
+        out.serSeconds = w.timing.latencySeconds;
+        out.serBandwidth = dram.utilization(w.timing.start, w.timing.done);
+        out.serEnergyJ = power.serializeEnergyJ(
+            ticksToSeconds(ctx.device().suBusyTicks()));
+    }
+    out.streamBytes = stream.serializedBytes();
+
+    {
+        EventQueue eq;
+        Dram dram("dram.deser", eq);
+        CerealContext ctx(dram, accel_cfg, opts);
+        ctx.registerAll(src.registry());
+        Heap dst(src.registry(), 0x9'0000'0000ULL);
+        Addr nr = ctx.serializer().deserializeStream(stream, dst);
+        auto t = ctx.device().deserialize(stream, nr, 0);
+        out.deserSeconds = t.latencySeconds;
+        out.deserBandwidth = dram.utilization(t.start, t.done);
+        out.deserEnergyJ = power.deserializeEnergyJ(
+            ticksToSeconds(ctx.device().duBusyTicks()));
+        if (verify) {
+            std::string why;
+            panic_if(!graphEquals(src, root, dst, nr, &why),
+                     "cereal round trip broken: %s", why.c_str());
+        }
+    }
+    return out;
+}
+
+double
+geomean(const std::vector<double> &xs)
+{
+    if (xs.empty()) {
+        return 0;
+    }
+    double log_sum = 0;
+    for (double x : xs) {
+        log_sum += std::log(x);
+    }
+    return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+} // namespace workloads
+} // namespace cereal

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Shared measurement harness for the benchmark binaries.
+ *
+ * Provides one-call measurement of a (serializer, object graph) pair:
+ * software serializers run through the CPU core timing model, Cereal
+ * runs through the accelerator device model; both sit on identically
+ * configured DDR4 instances so bandwidth utilisations are comparable
+ * (Figures 3, 10, 11, 13, 15).
+ */
+
+#ifndef CEREAL_WORKLOADS_HARNESS_HH
+#define CEREAL_WORKLOADS_HARNESS_HH
+
+#include <string>
+
+#include "cereal/api.hh"
+#include "cpu/core_model.hh"
+#include "serde/serializer.hh"
+
+namespace cereal {
+namespace workloads {
+
+/** Timing/traffic results of one S/D pair on one workload. */
+struct SdMeasurement
+{
+    std::string serializer;
+    double serSeconds = 0;
+    double deserSeconds = 0;
+    /** DRAM bandwidth utilisation during each phase (0..1). */
+    double serBandwidth = 0;
+    double deserBandwidth = 0;
+    /** CPU-only metrics (zero for Cereal). */
+    double serIpc = 0;
+    double deserIpc = 0;
+    double serLlcMissRate = 0;
+    double deserLlcMissRate = 0;
+    /** Serialized stream size, bytes. */
+    std::uint64_t streamBytes = 0;
+    /** Objects in the graph. */
+    std::uint64_t objects = 0;
+    /** Energy per the paper's accounting (TDP or Table V), joules. */
+    double serEnergyJ = 0;
+    double deserEnergyJ = 0;
+};
+
+/**
+ * Time @p ser on the graph rooted at @p root with the CPU model.
+ *
+ * A fresh DDR4 + core model pair is used for each direction; the
+ * destination heap for deserialization is created internally.
+ *
+ * @param verify when true, the deserialized graph is checked
+ *        isomorphic to the source (panics otherwise)
+ */
+SdMeasurement measureSoftware(Serializer &ser, Heap &src, Addr root,
+                              const CoreConfig &core_cfg = CoreConfig(),
+                              bool verify = true);
+
+/**
+ * Time Cereal on the graph rooted at @p root with the accelerator
+ * model (functional serializer validates the round trip when @p verify
+ * is set).
+ */
+SdMeasurement measureCereal(Heap &src, Addr root,
+                            const AccelConfig &accel_cfg = AccelConfig(),
+                            const CerealOptions &opts = CerealOptions(),
+                            bool verify = true);
+
+/** Geometric mean helper used throughout the figure benches. */
+double geomean(const std::vector<double> &xs);
+
+} // namespace workloads
+} // namespace cereal
+
+#endif // CEREAL_WORKLOADS_HARNESS_HH

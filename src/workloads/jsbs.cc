@@ -1,0 +1,222 @@
+#include "workloads/jsbs.hh"
+
+#include "heap/object.hh"
+#include "sim/rng.hh"
+
+namespace cereal {
+namespace workloads {
+
+JsbsWorkload::JsbsWorkload(KlassRegistry &registry) : registry_(&registry)
+{
+    image_ = registry.add("jsbs.Image", {{"uri", FieldType::Reference},
+                                         {"title", FieldType::Reference},
+                                         {"width", FieldType::Int},
+                                         {"height", FieldType::Int},
+                                         {"size", FieldType::Int}});
+    media_ = registry.add(
+        "jsbs.Media",
+        {{"uri", FieldType::Reference},
+         {"title", FieldType::Reference},
+         {"width", FieldType::Int},
+         {"height", FieldType::Int},
+         {"format", FieldType::Reference},
+         {"duration", FieldType::Long},
+         {"size", FieldType::Long},
+         {"bitrate", FieldType::Int},
+         {"hasBitrate", FieldType::Boolean},
+         {"persons", FieldType::Reference},
+         {"player", FieldType::Int},
+         {"copyright", FieldType::Reference}});
+    mediaContent_ = registry.add(
+        "jsbs.MediaContent", {{"media", FieldType::Reference},
+                              {"images", FieldType::Reference}});
+    registry.arrayKlass(FieldType::Char);
+    registry.arrayKlass(FieldType::Reference);
+}
+
+Addr
+JsbsWorkload::makeString(Heap &heap, const std::string &s) const
+{
+    Addr arr = heap.allocateArray(FieldType::Char, s.size());
+    ObjectView v(heap, arr);
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        v.setElem(i, static_cast<std::uint64_t>(s[i]));
+    }
+    return arr;
+}
+
+Addr
+JsbsWorkload::buildMediaContent(Heap &heap, std::uint64_t seed) const
+{
+    Rng rng(seed);
+    // The canonical jvm-serializers media payload.
+    Addr media = heap.allocateInstance(media_);
+    {
+        ObjectView m(heap, media);
+        m.setRef(0, makeString(heap,
+                               "http://javaone.com/keynote.mpg"));
+        m.setRef(1, makeString(heap, "Javaone Keynote"));
+        m.setInt(2, 640);
+        m.setInt(3, 480);
+        m.setRef(4, makeString(heap, "video/mpg4"));
+        m.setLong(5, 18000000);
+        m.setLong(6, 58982400);
+        m.setInt(7, 262144);
+        m.setRaw(8, 1);
+        Addr persons = heap.allocateArray(FieldType::Reference, 2);
+        ObjectView pv(heap, persons);
+        pv.setRefElem(0, makeString(heap, "Bill Gates"));
+        pv.setRefElem(1, makeString(heap, "Steve Jobs"));
+        m.setRef(9, persons);
+        m.setInt(10, static_cast<std::int32_t>(rng.below(2))); // player
+        m.setRef(11, 0); // copyright: null
+    }
+
+    Addr images = heap.allocateArray(FieldType::Reference, 2);
+    {
+        ObjectView iv(heap, images);
+        const char *uris[2] = {
+            "http://javaone.com/keynote_large.jpg",
+            "http://javaone.com/keynote_small.jpg",
+        };
+        const int dims[2][3] = {{1024, 768, 2}, {320, 240, 0}};
+        for (int i = 0; i < 2; ++i) {
+            Addr img = heap.allocateInstance(image_);
+            ObjectView v(heap, img);
+            v.setRef(0, makeString(heap, uris[i]));
+            v.setRef(1, i == 0 ? makeString(heap, "Javaone Keynote")
+                               : Addr{0});
+            v.setInt(2, dims[i][0]);
+            v.setInt(3, dims[i][1]);
+            v.setInt(4, dims[i][2]);
+            iv.setRefElem(i, img);
+        }
+    }
+
+    Addr mc = heap.allocateInstance(mediaContent_);
+    ObjectView v(heap, mc);
+    v.setRef(0, media);
+    v.setRef(1, images);
+    return mc;
+}
+
+Addr
+JsbsWorkload::buildBatch(Heap &heap, std::uint64_t n,
+                         std::uint64_t seed) const
+{
+    Addr batch = heap.allocateArray(FieldType::Reference, n);
+    ObjectView v(heap, batch);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        v.setRefElem(i, buildMediaContent(heap, seed + i));
+    }
+    return batch;
+}
+
+const std::vector<JsbsLibrary> &
+jsbsLibraries()
+{
+    // Factors are relative to the measured java-built-in run
+    // (ser, deser, size); anchors are measured with this repo's real
+    // implementations. The spread follows the jvm-serializers wiki's
+    // published ordering: hand-rolled/codegen binary codecs fastest,
+    // reflective XML stacks slowest, java-built-in near the bottom.
+    static const std::vector<JsbsLibrary> libs = {
+        // --- measured anchors ------------------------------------------
+        {"java-built-in", 1.0, 1.0, 1.0, true},
+        {"kryo", 0.0, 0.0, 0.0, true},        // factors filled by bench
+        {"kryo-manual", 0.22, 0.045, 0.38, false},
+        // --- codegen / hand-rolled binary -------------------------------
+        {"colfer", 0.16, 0.030, 0.33, false},
+        {"protostuff-manual", 0.18, 0.035, 0.36, false},
+        {"wobly", 0.19, 0.038, 0.35, false},
+        {"wobly-compact", 0.21, 0.040, 0.31, false},
+        {"datakernel", 0.17, 0.033, 0.37, false},
+        {"protostuff", 0.23, 0.048, 0.36, false},
+        {"protostuff-runtime", 0.30, 0.075, 0.38, false},
+        {"fst-flat-pre", 0.24, 0.052, 0.40, false},
+        {"fst-flat", 0.28, 0.065, 0.42, false},
+        {"kryo-flat-pre", 0.25, 0.055, 0.40, false},
+        {"kryo-flat", 0.29, 0.068, 0.41, false},
+        {"kryo-opt", 0.26, 0.060, 0.39, false},
+        {"sbe", 0.20, 0.036, 0.48, false},
+        {"capnproto", 0.22, 0.042, 0.55, false},
+        {"flatbuffers", 0.27, 0.045, 0.60, false},
+        {"java-manual", 0.30, 0.080, 0.58, false},
+        {"obser", 0.33, 0.095, 0.62, false},
+        // --- schema-based binary frameworks -----------------------------
+        {"protobuf", 0.35, 0.090, 0.40, false},
+        {"protobuf/protostuff", 0.31, 0.082, 0.40, false},
+        {"thrift-compact", 0.38, 0.105, 0.42, false},
+        {"thrift", 0.42, 0.120, 0.50, false},
+        {"avro-specific", 0.40, 0.135, 0.37, false},
+        {"avro-generic", 0.52, 0.190, 0.37, false},
+        {"msgpack-manual", 0.33, 0.088, 0.44, false},
+        {"msgpack-databind", 0.48, 0.160, 0.46, false},
+        {"cbor-manual", 0.36, 0.098, 0.45, false},
+        {"cbor/jackson", 0.46, 0.150, 0.47, false},
+        {"smile/jackson-manual", 0.37, 0.100, 0.45, false},
+        {"smile/jackson", 0.47, 0.155, 0.47, false},
+        {"smile/protostuff", 0.38, 0.110, 0.46, false},
+        {"ion-binary", 0.50, 0.170, 0.52, false},
+        {"bson/jackson", 0.55, 0.200, 0.62, false},
+        {"bson/mongodb", 0.75, 0.310, 0.62, false},
+        {"fst", 0.36, 0.105, 0.50, false},
+        {"hessian", 0.70, 0.330, 0.58, false},
+        {"burlap", 1.40, 0.750, 1.10, false},
+        {"jboss-serialization", 0.85, 0.460, 0.90, false},
+        {"jboss-marshalling-river", 0.78, 0.400, 0.76, false},
+        {"jboss-marshalling-serial", 0.95, 0.620, 0.98, false},
+        {"stephenerialization", 1.05, 0.700, 0.95, false},
+        {"jserial", 0.88, 0.540, 0.92, false},
+        {"pickle", 0.62, 0.260, 0.55, false},
+        {"scala-pickling", 0.80, 0.420, 0.66, false},
+        {"chill", 0.45, 0.140, 0.45, false},
+        {"chill-java", 0.49, 0.165, 0.46, false},
+        // --- JSON databind / reflective ----------------------------------
+        {"json/jackson-manual", 0.40, 0.130, 0.72, false},
+        {"json/jackson+afterburner", 0.52, 0.185, 0.74, false},
+        {"json/jackson", 0.60, 0.240, 0.74, false},
+        {"json/jackson-databind", 0.63, 0.260, 0.74, false},
+        {"json/fastjson", 0.58, 0.230, 0.74, false},
+        {"json/gson-manual", 0.72, 0.300, 0.74, false},
+        {"json/gson", 0.95, 0.480, 0.76, false},
+        {"json/genson", 0.78, 0.370, 0.75, false},
+        {"json/flexjson", 1.80, 1.050, 0.86, false},
+        {"json/json-lib", 2.60, 1.600, 0.92, false},
+        {"json/json-io", 1.10, 0.640, 0.82, false},
+        {"json/jsonij", 1.90, 1.150, 0.88, false},
+        {"json/argo", 2.20, 1.350, 0.90, false},
+        {"json/svenson", 1.30, 0.780, 0.84, false},
+        {"json/mjson", 1.50, 0.900, 0.86, false},
+        {"json/json-smart", 0.85, 0.430, 0.78, false},
+        {"json/johnzon", 1.00, 0.560, 0.80, false},
+        {"json/glassfish", 1.25, 0.740, 0.82, false},
+        {"json/jsonp", 1.35, 0.800, 0.82, false},
+        {"json/javax-tree", 1.40, 0.860, 0.84, false},
+        {"json/simple", 1.60, 0.980, 0.88, false},
+        {"json/org.json", 1.45, 0.880, 0.86, false},
+        {"json/jsonutil", 1.70, 1.020, 0.88, false},
+        {"json/sojo", 1.95, 1.200, 0.90, false},
+        {"json/dsl-json", 0.42, 0.140, 0.72, false},
+        {"json/dsl-json-databind", 0.50, 0.180, 0.72, false},
+        {"json/boon-databind", 0.66, 0.280, 0.76, false},
+        {"json/johnson-databind", 0.92, 0.470, 0.78, false},
+        {"json/protostuff", 0.56, 0.210, 0.73, false},
+        {"json/protobuf", 0.64, 0.270, 0.75, false},
+        // --- XML / YAML stacks -------------------------------------------
+        {"xml/xstream+c", 2.90, 1.900, 1.55, false},
+        {"xml/xstream+c-woodstox", 2.40, 1.550, 1.45, false},
+        {"xml/xstream+c-aalto", 2.20, 1.400, 1.45, false},
+        {"xml/jaxb", 1.90, 1.150, 1.40, false},
+        {"xml/jaxb-aalto", 1.60, 0.950, 1.40, false},
+        {"xml/exi-manual", 0.90, 0.520, 0.50, false},
+        {"xml/fastinfoset", 1.30, 0.800, 0.92, false},
+        {"xml/woodstox-manual", 1.10, 0.660, 1.30, false},
+        {"xml/aalto-manual", 0.98, 0.580, 1.30, false},
+        {"yaml/snakeyaml", 3.60, 2.300, 1.35, false},
+    };
+    return libs;
+}
+
+} // namespace workloads
+} // namespace cereal

@@ -1,0 +1,196 @@
+#include "workloads/micro.hh"
+
+#include <deque>
+
+#include "heap/object.hh"
+#include "sim/logging.hh"
+
+namespace cereal {
+namespace workloads {
+
+const std::vector<MicroBench> &
+allMicroBenches()
+{
+    static const std::vector<MicroBench> all = {
+        MicroBench::TreeNarrow, MicroBench::TreeWide,
+        MicroBench::ListSmall,  MicroBench::ListLarge,
+        MicroBench::GraphSparse, MicroBench::GraphDense,
+    };
+    return all;
+}
+
+const char *
+microBenchName(MicroBench mb)
+{
+    switch (mb) {
+      case MicroBench::TreeNarrow: return "tree-narrow";
+      case MicroBench::TreeWide: return "tree-wide";
+      case MicroBench::ListSmall: return "list-small";
+      case MicroBench::ListLarge: return "list-large";
+      case MicroBench::GraphSparse: return "graph-sparse";
+      case MicroBench::GraphDense: return "graph-dense";
+    }
+    return "?";
+}
+
+std::uint64_t
+microBenchPaperNodes(MicroBench mb)
+{
+    switch (mb) {
+      case MicroBench::TreeNarrow: return 2'097'150;
+      case MicroBench::TreeWide: return 19'173'960;
+      case MicroBench::ListSmall: return 524'288;
+      case MicroBench::ListLarge: return 2'097'152;
+      case MicroBench::GraphSparse: return 4'096;
+      case MicroBench::GraphDense: return 4'096;
+    }
+    return 0;
+}
+
+MicroWorkloads::MicroWorkloads(KlassRegistry &registry)
+    : registry_(&registry)
+{
+    treeNode2_ = registry.add(
+        "TreeNode2", {{"value", FieldType::Long},
+                      {"left", FieldType::Reference},
+                      {"right", FieldType::Reference}});
+    treeNode8_ = registry.add(
+        "TreeNode8", {{"value", FieldType::Long},
+                      {"c0", FieldType::Reference},
+                      {"c1", FieldType::Reference},
+                      {"c2", FieldType::Reference},
+                      {"c3", FieldType::Reference},
+                      {"c4", FieldType::Reference},
+                      {"c5", FieldType::Reference},
+                      {"c6", FieldType::Reference},
+                      {"c7", FieldType::Reference}});
+    listNode_ = registry.add(
+        "ListNode", {{"value", FieldType::Long},
+                     {"next", FieldType::Reference}});
+    graphNode_ = registry.add(
+        "GraphNode", {{"id", FieldType::Long},
+                      {"neighbors", FieldType::Reference}});
+    registry.arrayKlass(FieldType::Reference);
+}
+
+Addr
+MicroWorkloads::build(Heap &heap, MicroBench mb, std::uint64_t scale_div,
+                      std::uint64_t seed) const
+{
+    panic_if(scale_div == 0, "scale divisor must be >= 1");
+    Rng rng(seed);
+    const std::uint64_t paper_nodes = microBenchPaperNodes(mb);
+    switch (mb) {
+      case MicroBench::TreeNarrow:
+        return buildTree(heap, 2,
+                         std::max<std::uint64_t>(paper_nodes / scale_div, 7),
+                         rng);
+      case MicroBench::TreeWide:
+        return buildTree(heap, 8,
+                         std::max<std::uint64_t>(paper_nodes / scale_div, 9),
+                         rng);
+      case MicroBench::ListSmall:
+      case MicroBench::ListLarge:
+        return buildList(
+            heap, std::max<std::uint64_t>(paper_nodes / scale_div, 4), rng);
+      case MicroBench::GraphSparse:
+        return buildGraph(
+            heap, std::max<std::uint64_t>(paper_nodes / scale_div, 8), 1,
+            rng);
+      case MicroBench::GraphDense: {
+        // Dense: every node points at (almost) every other node. Scale
+        // node count by sqrt so edge volume scales ~linearly.
+        std::uint64_t n = paper_nodes;
+        std::uint64_t div = scale_div;
+        while (div >= 4) {
+            n /= 2;
+            div /= 4;
+        }
+        if (div >= 2) {
+            n = n * 100 / 141;
+        }
+        n = std::max<std::uint64_t>(n, 8);
+        return buildGraph(heap, n, n - 1, rng);
+      }
+    }
+    panic("bad microbenchmark id");
+}
+
+Addr
+MicroWorkloads::buildTree(Heap &heap, unsigned fanout, std::uint64_t nodes,
+                          Rng &rng) const
+{
+    panic_if(fanout != 2 && fanout != 8, "tree fanout must be 2 or 8");
+    const KlassId node_klass = (fanout == 2) ? treeNode2_ : treeNode8_;
+
+    Addr root = heap.allocateInstance(node_klass);
+    ObjectView(heap, root).setLong(0, static_cast<std::int64_t>(rng.next()));
+    std::uint64_t created = 1;
+
+    // Breadth-first fill to get a complete tree of exactly `nodes`.
+    std::deque<Addr> frontier{root};
+    while (created < nodes && !frontier.empty()) {
+        Addr parent = frontier.front();
+        frontier.pop_front();
+        ObjectView pv(heap, parent);
+        for (unsigned c = 0; c < fanout && created < nodes; ++c) {
+            Addr child = heap.allocateInstance(node_klass);
+            ObjectView cv(heap, child);
+            cv.setLong(0, static_cast<std::int64_t>(rng.below(1 << 20)));
+            pv.setRef(1 + c, child);
+            frontier.push_back(child);
+            ++created;
+        }
+    }
+    return root;
+}
+
+Addr
+MicroWorkloads::buildList(Heap &heap, std::uint64_t length, Rng &rng) const
+{
+    panic_if(length == 0, "empty list");
+    Addr head = heap.allocateInstance(listNode_);
+    ObjectView(heap, head)
+        .setLong(0, static_cast<std::int64_t>(rng.below(1 << 20)));
+    Addr tail = head;
+    for (std::uint64_t i = 1; i < length; ++i) {
+        Addr node = heap.allocateInstance(listNode_);
+        ObjectView nv(heap, node);
+        nv.setLong(0, static_cast<std::int64_t>(rng.below(1 << 20)));
+        ObjectView(heap, tail).setRef(1, node);
+        tail = node;
+    }
+    return head;
+}
+
+Addr
+MicroWorkloads::buildGraph(Heap &heap, std::uint64_t nodes,
+                           std::uint64_t edges_per_node, Rng &rng) const
+{
+    panic_if(nodes == 0, "empty graph");
+    std::vector<Addr> node_addrs(nodes);
+    for (std::uint64_t i = 0; i < nodes; ++i) {
+        Addr n = heap.allocateInstance(graphNode_);
+        ObjectView(heap, n).setLong(0, static_cast<std::int64_t>(i));
+        node_addrs[i] = n;
+    }
+    for (std::uint64_t i = 0; i < nodes; ++i) {
+        Addr arr = heap.allocateArray(FieldType::Reference, edges_per_node);
+        ObjectView av(heap, arr);
+        for (std::uint64_t e = 0; e < edges_per_node; ++e) {
+            av.setRefElem(e, node_addrs[rng.below(nodes)]);
+        }
+        ObjectView(heap, node_addrs[i]).setRef(1, arr);
+    }
+    // Root: a reference array holding every node so the whole graph is
+    // reachable even if the random edges leave some node unreferenced.
+    Addr root = heap.allocateArray(FieldType::Reference, nodes);
+    ObjectView rv(heap, root);
+    for (std::uint64_t i = 0; i < nodes; ++i) {
+        rv.setRefElem(i, node_addrs[i]);
+    }
+    return root;
+}
+
+} // namespace workloads
+} // namespace cereal

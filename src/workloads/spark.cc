@@ -1,0 +1,205 @@
+#include "workloads/spark.hh"
+
+#include "heap/object.hh"
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace cereal {
+namespace workloads {
+
+const std::vector<SparkAppSpec> &
+sparkApps()
+{
+    // Java-S/D phase fractions chosen to reproduce Figure 2(a)'s
+    // aggregates: mean S/D share 39.5%, SVM 90.9%, visible extra I/O
+    // for NWeight.
+    static const std::vector<SparkAppSpec> apps = {
+        {"NWeight", "Graph", 156, {0.36, 0.07, 0.14, 0.43}},
+        {"SVM", "Machine learning", 1740, {0.055, 0.020, 0.016, 0.909}},
+        {"Bayes", "Machine learning", 1126, {0.53, 0.08, 0.10, 0.29}},
+        {"LR", "Machine learning", 1945, {0.50, 0.07, 0.09, 0.34}},
+        {"Terasort", "Sort", 3072, {0.39, 0.05, 0.22, 0.34}},
+        {"ALS", "Machine learning", 1331, {0.58, 0.08, 0.06, 0.28}},
+    };
+    return apps;
+}
+
+PhaseBreakdown
+scalePhases(const PhaseBreakdown &java_phases, double sd_speedup)
+{
+    panic_if(sd_speedup <= 0, "bad S/D speedup");
+    const double other =
+        java_phases.compute + java_phases.gc + java_phases.io;
+    const double sd = java_phases.sd / sd_speedup;
+    const double total = other + sd;
+    return {java_phases.compute / total, java_phases.gc / total,
+            java_phases.io / total, sd / total};
+}
+
+double
+programSpeedup(const PhaseBreakdown &java_phases, double sd_speedup)
+{
+    const double other =
+        java_phases.compute + java_phases.gc + java_phases.io;
+    return 1.0 / (other + java_phases.sd / sd_speedup);
+}
+
+SparkWorkloads::SparkWorkloads(KlassRegistry &registry)
+    : registry_(&registry)
+{
+    denseVector_ = registry.add(
+        "spark.DenseVector", {{"values", FieldType::Reference}});
+    labeledPoint_ = registry.add(
+        "spark.LabeledPoint", {{"label", FieldType::Double},
+                               {"features", FieldType::Reference}});
+    terasortRecord_ = registry.add(
+        "spark.TerasortRecord", {{"key", FieldType::Reference},
+                                 {"value", FieldType::Reference}});
+    rating_ = registry.add("spark.Rating", {{"user", FieldType::Int},
+                                            {"product", FieldType::Int},
+                                            {"rating", FieldType::Double}});
+    edge_ = registry.add("spark.Edge", {{"weight", FieldType::Double},
+                                        {"target", FieldType::Reference}});
+    vertex_ = registry.add(
+        "spark.Vertex", {{"id", FieldType::Long},
+                         {"edges", FieldType::Reference}});
+    registry.arrayKlass(FieldType::Double);
+    registry.arrayKlass(FieldType::Byte);
+    registry.arrayKlass(FieldType::Reference);
+}
+
+Addr
+SparkWorkloads::buildLabeledPoints(Heap &heap, std::uint64_t n,
+                                   unsigned dim, std::uint64_t seed) const
+{
+    Rng rng(seed);
+    Addr batch = heap.allocateArray(FieldType::Reference, n);
+    ObjectView bv(heap, batch);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        Addr values = heap.allocateArray(FieldType::Double, dim);
+        ObjectView vv(heap, values);
+        for (unsigned d = 0; d < dim; ++d) {
+            double x = rng.uniform();
+            std::uint64_t bits;
+            static_assert(sizeof(bits) == sizeof(x));
+            __builtin_memcpy(&bits, &x, 8);
+            vv.setElem(d, bits);
+        }
+        Addr vec = heap.allocateInstance(denseVector_);
+        ObjectView(heap, vec).setRef(0, values);
+        Addr lp = heap.allocateInstance(labeledPoint_);
+        ObjectView lv(heap, lp);
+        lv.setDouble(0, rng.chance(0.5) ? 1.0 : -1.0);
+        lv.setRef(1, vec);
+        bv.setRefElem(i, lp);
+    }
+    return batch;
+}
+
+Addr
+SparkWorkloads::buildTerasortRecords(Heap &heap, std::uint64_t n,
+                                     std::uint64_t seed) const
+{
+    Rng rng(seed);
+    Addr batch = heap.allocateArray(FieldType::Reference, n);
+    ObjectView bv(heap, batch);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        Addr key = heap.allocateArray(FieldType::Byte, 10);
+        Addr value = heap.allocateArray(FieldType::Byte, 90);
+        ObjectView kv(heap, key);
+        for (unsigned b = 0; b < 10; ++b) {
+            kv.setElem(b, rng.below(95) + 32);
+        }
+        ObjectView vv(heap, value);
+        for (unsigned b = 0; b < 90; ++b) {
+            vv.setElem(b, rng.below(95) + 32);
+        }
+        Addr rec = heap.allocateInstance(terasortRecord_);
+        ObjectView rv(heap, rec);
+        rv.setRef(0, key);
+        rv.setRef(1, value);
+        bv.setRefElem(i, rec);
+    }
+    return batch;
+}
+
+Addr
+SparkWorkloads::buildRatings(Heap &heap, std::uint64_t n,
+                             std::uint64_t seed) const
+{
+    Rng rng(seed);
+    Addr batch = heap.allocateArray(FieldType::Reference, n);
+    ObjectView bv(heap, batch);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        Addr r = heap.allocateInstance(rating_);
+        ObjectView rv(heap, r);
+        rv.setInt(0, static_cast<std::int32_t>(rng.below(100000)));
+        rv.setInt(1, static_cast<std::int32_t>(rng.below(20000)));
+        rv.setDouble(2, 1.0 + static_cast<double>(rng.below(9)) / 2.0);
+        bv.setRefElem(i, r);
+    }
+    return batch;
+}
+
+Addr
+SparkWorkloads::buildAdjacency(Heap &heap, std::uint64_t vertices,
+                               std::uint64_t degree,
+                               std::uint64_t seed) const
+{
+    Rng rng(seed);
+    std::vector<Addr> verts(vertices);
+    for (std::uint64_t i = 0; i < vertices; ++i) {
+        verts[i] = heap.allocateInstance(vertex_);
+        ObjectView(heap, verts[i])
+            .setLong(0, static_cast<std::int64_t>(i));
+    }
+    for (std::uint64_t i = 0; i < vertices; ++i) {
+        Addr edges = heap.allocateArray(FieldType::Reference, degree);
+        ObjectView ev(heap, edges);
+        for (std::uint64_t e = 0; e < degree; ++e) {
+            Addr edge = heap.allocateInstance(edge_);
+            ObjectView eo(heap, edge);
+            eo.setDouble(0, rng.uniform());
+            eo.setRef(1, verts[rng.below(vertices)]);
+            ev.setRefElem(e, edge);
+        }
+        ObjectView(heap, verts[i]).setRef(1, edges);
+    }
+    Addr batch = heap.allocateArray(FieldType::Reference, vertices);
+    ObjectView bv(heap, batch);
+    for (std::uint64_t i = 0; i < vertices; ++i) {
+        bv.setRefElem(i, verts[i]);
+    }
+    return batch;
+}
+
+Addr
+SparkWorkloads::build(Heap &heap, const std::string &app_name,
+                      std::uint64_t scale_div, std::uint64_t seed) const
+{
+    panic_if(scale_div == 0, "scale divisor must be >= 1");
+    auto scaled = [&](std::uint64_t paper_n, std::uint64_t min_n) {
+        return std::max<std::uint64_t>(paper_n / scale_div, min_n);
+    };
+    // Batch sizes model one shuffle block's object population.
+    if (app_name == "NWeight") {
+        return buildAdjacency(heap, scaled(8192, 32), 8, seed);
+    }
+    if (app_name == "SVM" || app_name == "LR") {
+        return buildLabeledPoints(heap, scaled(65536, 64), 16, seed);
+    }
+    if (app_name == "Bayes") {
+        // Sparse-ish text features: short vectors, more objects.
+        return buildLabeledPoints(heap, scaled(131072, 64), 8, seed);
+    }
+    if (app_name == "Terasort") {
+        return buildTerasortRecords(heap, scaled(131072, 64), seed);
+    }
+    if (app_name == "ALS") {
+        return buildRatings(heap, scaled(262144, 64), seed);
+    }
+    fatal("unknown Spark app '%s'", app_name.c_str());
+}
+
+} // namespace workloads
+} // namespace cereal

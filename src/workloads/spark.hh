@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Models of the six HiBench Spark applications (paper Table III,
+ * Figures 2 and 13-17).
+ *
+ * Each application is modelled by two things:
+ *
+ *  1. a *phase breakdown* under the Java-serializer configuration —
+ *     the compute/GC/IO/S-D fractions of Figure 2(a). The paper
+ *     measured these on real Spark; here they are workload-model
+ *     parameters chosen to match the stated aggregates (S/D averages
+ *     39.5% under Java S/D and 28.3% under Kryo; SVM peaks at 90.9%
+ *     and 83.4%). Phase fractions under other serializers are *derived*
+ *     by rescaling the S/D component with the measured S/D speedup;
+ *
+ *  2. an *S/D workload generator* producing the object graphs the app
+ *     actually shuffles/caches: labeled feature vectors for the ML
+ *     apps, key/value records for Terasort, adjacency structures for
+ *     NWeight, rating tuples for ALS. These drive the timing models to
+ *     obtain the per-app S/D speedups of Figure 13.
+ */
+
+#ifndef CEREAL_WORKLOADS_SPARK_HH
+#define CEREAL_WORKLOADS_SPARK_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "heap/heap.hh"
+
+namespace cereal {
+namespace workloads {
+
+/** Phase-time fractions of one app run (sums to 1). */
+struct PhaseBreakdown
+{
+    double compute;
+    double gc;
+    double io;
+    double sd;
+};
+
+/** Static description of one Spark application (Table III row). */
+struct SparkAppSpec
+{
+    std::string name;
+    std::string type;
+    /** HiBench input size, MB (Table III). */
+    unsigned inputMB;
+    /** Figure 2(a) breakdown under Java S/D. */
+    PhaseBreakdown javaPhases;
+};
+
+/** All six applications in Table III order. */
+const std::vector<SparkAppSpec> &sparkApps();
+
+/**
+ * Rescale @p java_phases for a serializer whose S/D runs
+ * @p sd_speedup times faster than Java S/D; the other phases keep
+ * their absolute time (Amdahl).
+ */
+PhaseBreakdown scalePhases(const PhaseBreakdown &java_phases,
+                           double sd_speedup);
+
+/** Whole-program speedup when only the S/D phase accelerates. */
+double programSpeedup(const PhaseBreakdown &java_phases,
+                      double sd_speedup);
+
+/** Object-graph builders for the apps' S/D payloads. */
+class SparkWorkloads
+{
+  public:
+    explicit SparkWorkloads(KlassRegistry &registry);
+
+    /**
+     * Build the representative shuffle/cache batch for @p app_name.
+     *
+     * @param scale_div divides the modelled batch object count
+     * @return root of the batch graph
+     */
+    Addr build(Heap &heap, const std::string &app_name,
+               std::uint64_t scale_div = 1, std::uint64_t seed = 1) const;
+
+    // Individual builders (also used by examples/tests):
+
+    /** LabeledPoint{label, DenseVector{double[d]}} batch (SVM/LR/Bayes). */
+    Addr buildLabeledPoints(Heap &heap, std::uint64_t n, unsigned dim,
+                            std::uint64_t seed) const;
+
+    /** Terasort 10+90-byte key/value records. */
+    Addr buildTerasortRecords(Heap &heap, std::uint64_t n,
+                              std::uint64_t seed) const;
+
+    /** Rating{user,product,rating} tuples (ALS). */
+    Addr buildRatings(Heap &heap, std::uint64_t n,
+                      std::uint64_t seed) const;
+
+    /** Vertex adjacency batch with weighted edges (NWeight). */
+    Addr buildAdjacency(Heap &heap, std::uint64_t vertices,
+                        std::uint64_t degree, std::uint64_t seed) const;
+
+  private:
+    KlassRegistry *registry_;
+    KlassId labeledPoint_;
+    KlassId denseVector_;
+    KlassId terasortRecord_;
+    KlassId rating_;
+    KlassId vertex_;
+    KlassId edge_;
+};
+
+} // namespace workloads
+} // namespace cereal
+
+#endif // CEREAL_WORKLOADS_SPARK_HH

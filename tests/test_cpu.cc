@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Unit tests for the CPU core timing model: compute CPI, cache
+ * integration, the bounded miss window (MLP limit), and dependent
+ * (pointer-chasing) load serialization.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/core_model.hh"
+
+namespace cereal {
+namespace {
+
+class CoreTest : public ::testing::Test
+{
+  protected:
+    CoreTest() : dram("dram", eq) {}
+
+    EventQueue eq;
+    Dram dram;
+};
+
+TEST_F(CoreTest, ComputeAdvancesByCpi)
+{
+    CoreConfig cfg;
+    cfg.cpiBase = 0.5;
+    CoreModel core(dram, cfg);
+    core.compute(1000);
+    auto st = core.finish();
+    EXPECT_EQ(st.instructions, 1000u);
+    EXPECT_NEAR(st.ipc, 2.0, 0.01); // 1/cpi
+}
+
+TEST_F(CoreTest, CachedLoadsAreCheap)
+{
+    CoreModel core(dram, CoreConfig());
+    core.load(0x1000, 8); // cold miss
+    EXPECT_EQ(dram.accesses(), 1u);
+    Tick after_miss = core.curTick();
+    for (int i = 0; i < 100; ++i) {
+        core.load(0x1000, 8); // L1 hits
+    }
+    // Hits never touch DRAM and cost ~1 cycle each.
+    EXPECT_EQ(dram.accesses(), 1u);
+    Tick hit_ticks = core.curTick() - after_miss;
+    EXPECT_LT(hit_ticks, nsToTicks(100));
+    EXPECT_GT(core.instructions(), 100u);
+}
+
+TEST_F(CoreTest, DependentLoadsSerialize)
+{
+    // Chain of dependent misses: total time ~ N * memory latency.
+    CoreModel core(dram, CoreConfig());
+    const int n = 100;
+    for (int i = 0; i < n; ++i) {
+        core.loadDep(static_cast<Addr>(i) * 1'000'000, 8);
+    }
+    auto st = core.finish();
+    double ns_per_load = static_cast<double>(st.elapsedTicks) / n / 1e3;
+    EXPECT_GT(ns_per_load, 30.0); // each pays a full round trip
+}
+
+TEST_F(CoreTest, IndependentLoadsOverlap)
+{
+    CoreModel core(dram, CoreConfig());
+    const int n = 100;
+    for (int i = 0; i < n; ++i) {
+        core.load(static_cast<Addr>(i) * 1'000'000, 8);
+    }
+    auto st = core.finish();
+    double ns_per_load = static_cast<double>(st.elapsedTicks) / n / 1e3;
+    // Overlapped up to the window: far below one round trip each.
+    EXPECT_LT(ns_per_load, 20.0);
+}
+
+TEST_F(CoreTest, WiderWindowIsFaster)
+{
+    auto run = [](unsigned window) {
+        EventQueue eq;
+        Dram dram("d", eq);
+        CoreConfig cfg;
+        cfg.missWindow = window;
+        CoreModel core(dram, cfg);
+        for (int i = 0; i < 500; ++i) {
+            core.load(static_cast<Addr>(i) * 1'000'000, 8);
+        }
+        return core.finish().elapsedTicks;
+    };
+    EXPECT_LT(run(16), run(2));
+}
+
+TEST_F(CoreTest, StoresCountAsTraffic)
+{
+    CoreModel core(dram, CoreConfig());
+    for (int i = 0; i < 64; ++i) {
+        core.store(static_cast<Addr>(i) * 64, 64);
+    }
+    auto st = core.finish();
+    EXPECT_GT(st.dramBytes, 0u);
+}
+
+TEST_F(CoreTest, WritebacksReachDram)
+{
+    CoreModel core(dram, CoreConfig());
+    // Dirty far more lines than L1+L2+L3 hold, then sweep again: the
+    // second pass must evict dirty victims to DRAM.
+    const Addr span = 64 * 1024 * 1024;
+    for (Addr a = 0; a < span; a += 4096) {
+        core.store(a, 8);
+    }
+    std::uint64_t writes_before = dram.bytesWritten();
+    for (Addr a = 0; a < span; a += 4096) {
+        core.store(a + span, 8);
+    }
+    core.drain();
+    EXPECT_GT(dram.bytesWritten(), writes_before);
+}
+
+TEST_F(CoreTest, FinishReportsConsistentStats)
+{
+    CoreModel core(dram, CoreConfig());
+    core.compute(100);
+    core.load(0x5000, 64);
+    auto st = core.finish();
+    EXPECT_GT(st.elapsedTicks, 0u);
+    EXPECT_GT(st.instructions, 100u);
+    EXPECT_GT(st.ipc, 0.0);
+    EXPECT_GE(st.bandwidthUtil, 0.0);
+    EXPECT_LE(st.bandwidthUtil, 1.0);
+    EXPECT_GT(st.seconds, 0.0);
+}
+
+TEST_F(CoreTest, MultiLineAccessTouchesAllLines)
+{
+    CoreModel core(dram, CoreConfig());
+    core.load(0x1000, 256); // 4 lines
+    // All four lines now hit.
+    std::uint64_t misses_before = core.l3().misses();
+    core.load(0x1000, 256);
+    EXPECT_EQ(core.l3().misses(), misses_before);
+}
+
+TEST_F(CoreTest, ZeroByteAccessIsFree)
+{
+    CoreModel core(dram, CoreConfig());
+    core.load(0x1000, 0);
+    core.store(0x1000, 0);
+    core.loadDep(0x1000, 0);
+    EXPECT_EQ(core.instructions(), 0u);
+    EXPECT_EQ(core.curTick(), 0u);
+}
+
+} // namespace
+} // namespace cereal

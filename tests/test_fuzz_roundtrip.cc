@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Property/fuzz tests: randomly generated class hierarchies and object
+ * graphs (random field mixes, arrays of every element type, random
+ * reference wiring with nulls, sharing and cycles) must round-trip
+ * through every serializer into an isomorphic graph.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cereal/accel/device.hh"
+#include "cereal/cereal_serializer.hh"
+#include "heap/object.hh"
+#include "heap/walker.hh"
+#include "serde/java_serde.hh"
+#include "serde/kryo_serde.hh"
+#include "serde/skyway_serde.hh"
+#include "sim/rng.hh"
+
+namespace cereal {
+namespace {
+
+constexpr FieldType kPrimitives[] = {
+    FieldType::Boolean, FieldType::Byte,  FieldType::Char,
+    FieldType::Short,   FieldType::Int,   FieldType::Long,
+    FieldType::Float,   FieldType::Double,
+};
+
+/** Generates a random registry + object graph from a seed. */
+struct RandomGraph
+{
+    RandomGraph(std::uint64_t seed, Addr heap_base)
+        : rng(seed), heap(registry, heap_base)
+    {
+        // 1-6 random classes with 0-9 fields each.
+        const unsigned num_classes = 1 + rng.below(6);
+        for (unsigned c = 0; c < num_classes; ++c) {
+            std::vector<FieldDesc> fields;
+            const unsigned nf = rng.below(10);
+            for (unsigned f = 0; f < nf; ++f) {
+                FieldType t;
+                if (rng.chance(0.4)) {
+                    t = FieldType::Reference;
+                } else {
+                    t = kPrimitives[rng.below(8)];
+                }
+                fields.push_back(
+                    {strfmt("f%u", f), t});
+            }
+            classes.push_back(registry.add(
+                strfmt("Rand%llu_%u", (unsigned long long)seed, c),
+                std::move(fields)));
+        }
+        // Pre-register every array klass so all serializers share ids.
+        for (auto t : kPrimitives) {
+            registry.arrayKlass(t);
+        }
+        registry.arrayKlass(FieldType::Reference);
+
+        // Allocate 1-150 objects: 70% instances, 30% arrays.
+        const unsigned n = 1 + rng.below(150);
+        for (unsigned i = 0; i < n; ++i) {
+            if (rng.chance(0.7)) {
+                KlassId k = classes[rng.below(classes.size())];
+                Addr obj = heap.allocateInstance(k);
+                ObjectView v(heap, obj);
+                const auto &d = registry.klass(k);
+                for (std::uint32_t f = 0; f < d.numFields(); ++f) {
+                    FieldType ft = d.fields()[f].type;
+                    if (ft != FieldType::Reference) {
+                        // Respect the JVM invariant that a narrow field
+                        // holds nothing above its width.
+                        unsigned bits = fieldTypeBytes(ft) * 8;
+                        std::uint64_t mask =
+                            bits == 64 ? ~0ULL : (1ULL << bits) - 1;
+                        v.setRaw(f, rng.next() & mask);
+                    }
+                }
+                objects.push_back(obj);
+            } else if (rng.chance(0.5)) {
+                FieldType t = kPrimitives[rng.below(8)];
+                std::uint64_t len = rng.below(40);
+                Addr arr = heap.allocateArray(t, len);
+                ObjectView v(heap, arr);
+                for (std::uint64_t e = 0; e < len; ++e) {
+                    v.setElem(e, rng.next());
+                }
+                objects.push_back(arr);
+            } else {
+                objects.push_back(heap.allocateArray(
+                    FieldType::Reference, rng.below(12)));
+            }
+        }
+
+        // Random wiring: every reference slot gets null (25%) or a
+        // random object (cycles and sharing arise naturally).
+        for (Addr obj : objects) {
+            ObjectView v(heap, obj);
+            const auto &d = v.klass();
+            if (d.isArray()) {
+                if (d.elemType() == FieldType::Reference) {
+                    for (std::uint64_t e = 0; e < v.length(); ++e) {
+                        v.setRefElem(e, randomTarget());
+                    }
+                }
+            } else {
+                for (std::uint32_t f : d.refFields()) {
+                    v.setRef(f, randomTarget());
+                }
+            }
+        }
+
+        // Root: a reference array pointing at a random sample, so a
+        // healthy part of the population is reachable.
+        const std::uint64_t root_len = 1 + rng.below(objects.size());
+        root = heap.allocateArray(FieldType::Reference, root_len);
+        ObjectView rv(heap, root);
+        for (std::uint64_t i = 0; i < root_len; ++i) {
+            rv.setRefElem(i, objects[rng.below(objects.size())]);
+        }
+    }
+
+    Addr
+    randomTarget()
+    {
+        if (objects.empty() || rng.chance(0.25)) {
+            return 0;
+        }
+        return objects[rng.below(objects.size())];
+    }
+
+    Rng rng;
+    KlassRegistry registry;
+    Heap heap;
+    std::vector<KlassId> classes;
+    std::vector<Addr> objects;
+    Addr root = 0;
+};
+
+std::unique_ptr<Serializer>
+makeSerializer(const std::string &which, const KlassRegistry &reg)
+{
+    if (which == "java") {
+        return std::make_unique<JavaSerializer>();
+    }
+    if (which == "kryo") {
+        auto k = std::make_unique<KryoSerializer>();
+        k->registerAll(reg);
+        return k;
+    }
+    if (which == "skyway") {
+        return std::make_unique<SkywaySerializer>();
+    }
+    auto c = std::make_unique<CerealSerializer>();
+    c->registerAll(reg);
+    return c;
+}
+
+class FuzzRoundTrip
+    : public ::testing::TestWithParam<std::tuple<std::string, int>>
+{
+};
+
+TEST_P(FuzzRoundTrip, RandomGraphIsIsomorphicAfterRoundTrip)
+{
+    const auto &[which, seed] = GetParam();
+    RandomGraph g(static_cast<std::uint64_t>(seed) * 7919 + 13,
+                  0x1'0000'0000ULL);
+    auto ser = makeSerializer(which, g.registry);
+
+    auto stream = ser->serialize(g.heap, g.root, nullptr);
+    Heap dst(g.registry, 0x9'0000'0000ULL);
+    Addr nr = ser->deserialize(stream, dst, nullptr);
+
+    std::string why;
+    ASSERT_TRUE(graphEquals(g.heap, g.root, dst, nr, &why))
+        << which << " seed=" << seed << ": " << why;
+
+    // Second hop (receiver re-serializes): still isomorphic.
+    auto stream2 = ser->serialize(dst, nr, nullptr);
+    Heap dst2(g.registry, 0x11'0000'0000ULL);
+    Addr nr2 = ser->deserialize(stream2, dst2, nullptr);
+    ASSERT_TRUE(graphEquals(g.heap, g.root, dst2, nr2, &why))
+        << which << " second hop, seed=" << seed << ": " << why;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSerializers, FuzzRoundTrip,
+    ::testing::Combine(::testing::Values("java", "kryo", "skyway",
+                                         "cereal"),
+                       ::testing::Range(0, 12)),
+    [](const auto &info) {
+        return std::get<0>(info.param) + "_seed" +
+               std::to_string(std::get<1>(info.param));
+    });
+
+/** The fuzz graphs also exercise the timing models without crashing. */
+TEST(FuzzTiming, AcceleratorHandlesRandomGraphs)
+{
+    for (int seed = 0; seed < 4; ++seed) {
+        RandomGraph g(static_cast<std::uint64_t>(seed) * 104729 + 7,
+                      0x1'0000'0000ULL);
+        EventQueue eq;
+        Dram dram("dram", eq);
+        CerealDevice dev(dram);
+        auto t = dev.serialize(g.heap, g.root, 0);
+        EXPECT_GT(t.done, 0u);
+
+        CerealSerializer ser;
+        ser.registerAll(g.registry);
+        auto stream = ser.serializeToStream(g.heap, g.root);
+        Heap dst(g.registry, 0x9'0000'0000ULL);
+        Addr base = ser.deserializeStream(stream, dst);
+        auto d = dev.deserialize(stream, base, t.done);
+        EXPECT_GE(d.done, t.done);
+    }
+}
+
+} // namespace
+} // namespace cereal

@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Unit tests for the JVM heap model: klass registry layout computation,
+ * object allocation and header format, field/array accessors, layout
+ * bitmaps, and the Cereal header extension.
+ */
+
+#include <gtest/gtest.h>
+
+#include "heap/heap.hh"
+#include "heap/object.hh"
+
+namespace cereal {
+namespace {
+
+class HeapTest : public ::testing::Test
+{
+  protected:
+    HeapTest() : reg(/*cereal_header_ext=*/true), heap(reg)
+    {
+        point = reg.add("Point", {{"x", FieldType::Long},
+                                  {"y", FieldType::Long}});
+        node = reg.add("Node", {{"value", FieldType::Int},
+                                {"next", FieldType::Reference},
+                                {"label", FieldType::Reference}});
+    }
+
+    KlassRegistry reg;
+    Heap heap;
+    KlassId point;
+    KlassId node;
+};
+
+TEST_F(HeapTest, HeaderGeometryWithExtension)
+{
+    EXPECT_EQ(reg.headerSlots(), 3u);
+    EXPECT_TRUE(reg.hasCerealHeaderExt());
+    // Point: 3 header slots + 2 fields.
+    EXPECT_EQ(reg.instanceSlots(point), 5u);
+}
+
+TEST_F(HeapTest, HeaderGeometryWithoutExtension)
+{
+    KlassRegistry plain(false);
+    KlassId p = plain.add("P", {{"x", FieldType::Long}});
+    EXPECT_EQ(plain.headerSlots(), 2u);
+    EXPECT_EQ(plain.instanceSlots(p), 3u);
+}
+
+TEST_F(HeapTest, AllocationAssignsHeader)
+{
+    Addr obj = heap.allocateInstance(point);
+    ObjectView v(heap, obj);
+    EXPECT_EQ(v.klassId(), point);
+    EXPECT_EQ(v.slots(), 5u);
+    EXPECT_EQ(v.bytes(), 40u);
+    // Mark word carries a 31-bit identity hash.
+    EXPECT_LE(v.identityHash(), 0x7fffffffu);
+    // Extension word starts cleared.
+    EXPECT_EQ(v.extWord(), 0u);
+}
+
+TEST_F(HeapTest, DistinctIdentityHashes)
+{
+    Addr a = heap.allocateInstance(point);
+    Addr b = heap.allocateInstance(point);
+    EXPECT_NE(ObjectView(heap, a).identityHash(),
+              ObjectView(heap, b).identityHash());
+}
+
+TEST_F(HeapTest, FieldAccessors)
+{
+    Addr obj = heap.allocateInstance(point);
+    ObjectView v(heap, obj);
+    v.setLong(0, -123456789);
+    v.setDouble(1, 2.718281828);
+    EXPECT_EQ(v.getLong(0), -123456789);
+    EXPECT_DOUBLE_EQ(v.getDouble(1), 2.718281828);
+
+    v.setInt(0, -42);
+    EXPECT_EQ(v.getInt(0), -42);
+}
+
+TEST_F(HeapTest, ReferenceFields)
+{
+    Addr a = heap.allocateInstance(node);
+    Addr b = heap.allocateInstance(node);
+    ObjectView va(heap, a);
+    va.setRef(1, b);
+    EXPECT_EQ(va.getRef(1), b);
+    EXPECT_EQ(va.getRef(2), 0u); // null by default
+}
+
+TEST_F(HeapTest, LayoutBitmapMarksReferences)
+{
+    const auto &bm = reg.layoutBitmap(node);
+    // Slots: mark, klass, ext, value, next, label.
+    ASSERT_EQ(bm.size(), 6u);
+    EXPECT_FALSE(bm[0]);
+    EXPECT_FALSE(bm[1]);
+    EXPECT_FALSE(bm[2]);
+    EXPECT_FALSE(bm[3]);
+    EXPECT_TRUE(bm[4]);
+    EXPECT_TRUE(bm[5]);
+}
+
+TEST_F(HeapTest, PrimitiveArrayPacksElements)
+{
+    Addr arr = heap.allocateArray(FieldType::Int, 10);
+    ObjectView v(heap, arr);
+    EXPECT_TRUE(v.isArray());
+    EXPECT_EQ(v.length(), 10u);
+    // 3 header slots + length slot + ceil(40/8) = 9 slots.
+    EXPECT_EQ(v.slots(), 9u);
+    for (std::uint64_t i = 0; i < 10; ++i) {
+        v.setElem(i, i * 1000 + 7);
+    }
+    for (std::uint64_t i = 0; i < 10; ++i) {
+        EXPECT_EQ(v.getElem(i), i * 1000 + 7);
+    }
+}
+
+TEST_F(HeapTest, CharArrayPacking)
+{
+    Addr arr = heap.allocateArray(FieldType::Char, 7);
+    ObjectView v(heap, arr);
+    // 14 bytes of data -> 2 slots.
+    EXPECT_EQ(v.slots(), 3u + 1u + 2u);
+    v.setElem(0, 'H');
+    v.setElem(6, 'z');
+    EXPECT_EQ(v.getElem(0), static_cast<std::uint64_t>('H'));
+    EXPECT_EQ(v.getElem(6), static_cast<std::uint64_t>('z'));
+}
+
+TEST_F(HeapTest, ReferenceArrayBitmap)
+{
+    Addr arr = heap.allocateArray(FieldType::Reference, 3);
+    auto bm = heap.instanceBitmap(arr);
+    // mark, klass, ext, length, then 3 reference slots.
+    ASSERT_EQ(bm.size(), 7u);
+    EXPECT_FALSE(bm[3]);
+    EXPECT_TRUE(bm[4]);
+    EXPECT_TRUE(bm[5]);
+    EXPECT_TRUE(bm[6]);
+}
+
+TEST_F(HeapTest, PrimitiveArrayBitmapAllZero)
+{
+    Addr arr = heap.allocateArray(FieldType::Long, 4);
+    auto bm = heap.instanceBitmap(arr);
+    for (bool b : bm) {
+        EXPECT_FALSE(b);
+    }
+}
+
+TEST_F(HeapTest, ExtWordPackUnpack)
+{
+    std::uint64_t w = extword::make(0xBEEF, 7, 0x123456789ALL);
+    EXPECT_EQ(extword::serialCounter(w), 0xBEEF);
+    EXPECT_EQ(extword::unitId(w), 7);
+    EXPECT_EQ(extword::relAddr(w), 0x123456789Au);
+}
+
+TEST_F(HeapTest, MarkWordPackUnpack)
+{
+    std::uint64_t m = markword::make(0x7fffffff, 5, 0x3f);
+    EXPECT_EQ(markword::hash(m), 0x7fffffffu);
+    EXPECT_EQ(markword::sync(m), 5);
+    EXPECT_EQ(markword::gc(m), 0x3f);
+}
+
+TEST_F(HeapTest, ClearCerealMetadata)
+{
+    Addr a = heap.allocateInstance(point);
+    Addr b = heap.allocateInstance(node);
+    ObjectView(heap, a).setExtWord(extword::make(3, 1, 100));
+    ObjectView(heap, b).setExtWord(extword::make(4, 2, 200));
+    heap.clearCerealMetadata();
+    EXPECT_EQ(ObjectView(heap, a).extWord(), 0u);
+    EXPECT_EQ(ObjectView(heap, b).extWord(), 0u);
+}
+
+TEST_F(HeapTest, OutOfBoundsAccessPanics)
+{
+    EXPECT_DEATH(heap.load64(heap.base() + heap.usedBytes() + 64),
+                 "out of bounds");
+}
+
+TEST_F(HeapTest, DuplicateClassNameFatal)
+{
+    EXPECT_DEATH(
+        {
+            KlassRegistry r2;
+            r2.add("Dup", {});
+            r2.add("Dup", {});
+        },
+        "registered twice");
+}
+
+TEST_F(HeapTest, MetadataAddressesResolve)
+{
+    Addr meta = reg.metadataAddr(node);
+    EXPECT_EQ(reg.idByMetadataAddr(meta), node);
+    EXPECT_GE(reg.metadataBytes(node), 16u);
+    // Object klass pointers hold the metadata address.
+    Addr obj = heap.allocateInstance(node);
+    EXPECT_EQ(heap.load64(obj + 8), meta);
+}
+
+TEST_F(HeapTest, ArrayKlassCanonicalised)
+{
+    KlassId a = reg.arrayKlass(FieldType::Int);
+    KlassId b = reg.arrayKlass(FieldType::Int);
+    EXPECT_EQ(a, b);
+    EXPECT_NE(reg.arrayKlass(FieldType::Long), a);
+    EXPECT_EQ(reg.klass(a).name(), "int[]");
+}
+
+TEST_F(HeapTest, IdByNameLookup)
+{
+    EXPECT_EQ(reg.idByName("Point"), point);
+    EXPECT_EQ(reg.idByName("NoSuch"), kBadKlassId);
+}
+
+TEST_F(HeapTest, ObjectCountTracksAllocations)
+{
+    EXPECT_EQ(heap.objectCount(), 0u);
+    heap.allocateInstance(point);
+    heap.allocateArray(FieldType::Int, 3);
+    EXPECT_EQ(heap.objectCount(), 2u);
+}
+
+} // namespace
+} // namespace cereal

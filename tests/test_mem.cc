@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Unit tests for the memory system: DDR4 timing/bandwidth model and the
+ * set-associative cache model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/cache.hh"
+#include "mem/dram.hh"
+
+namespace cereal {
+namespace {
+
+class DramTest : public ::testing::Test
+{
+  protected:
+    EventQueue eq;
+    DramConfig cfg;
+};
+
+TEST_F(DramTest, ZeroLoadLatencyNear40ns)
+{
+    Dram dram("dram", eq, cfg);
+    auto res = dram.access(0x1000, false, 0);
+    double latency_ns = static_cast<double>(res.completeTick) / 1e3;
+    // Table I: zero-load latency 40 ns. First access misses the row
+    // buffer (activate included).
+    EXPECT_GT(latency_ns, 30.0);
+    EXPECT_LT(latency_ns, 60.0);
+}
+
+TEST_F(DramTest, RowHitFasterThanRowMiss)
+{
+    Dram dram("dram", eq, cfg);
+    // Same row: second access should be a row hit and faster.
+    auto miss = dram.access(0x0, false, 0);
+    Tick t1 = miss.completeTick;
+    auto hit = dram.access(64 * cfg.numChannels, false, t1);
+    EXPECT_FALSE(miss.rowHit);
+    EXPECT_TRUE(hit.rowHit);
+    EXPECT_LT(hit.completeTick - t1, t1);
+}
+
+TEST_F(DramTest, PeakBandwidthMatchesTableI)
+{
+    // 4 channels x 19.2 GB/s = 76.8 GB/s.
+    EXPECT_NEAR(cfg.peakBandwidth() / 1e9, 76.8, 1.0);
+}
+
+TEST_F(DramTest, StreamingApproachesPeakBandwidth)
+{
+    Dram dram("dram", eq, cfg);
+    // Stream 16 MB sequentially with unlimited outstanding requests:
+    // every burst is issued at tick 0 and the banks/buses serialise.
+    const Addr total = 16 * 1024 * 1024;
+    Tick done = 0;
+    for (Addr a = 0; a < total; a += 64) {
+        done = std::max(done, dram.access(a, false, 0).completeTick);
+    }
+    double util = dram.utilization(0, done);
+    EXPECT_GT(util, 0.80);
+    EXPECT_LE(util, 1.01);
+}
+
+TEST_F(DramTest, SingleStreamIsLatencyBound)
+{
+    Dram dram("dram", eq, cfg);
+    // One access at a time (dependent chain): utilization collapses.
+    Tick t = 0;
+    const int n = 1000;
+    for (int i = 0; i < n; ++i) {
+        t = dram.access(static_cast<Addr>(i) * 4096, false, t).completeTick;
+    }
+    double util = dram.utilization(0, t);
+    EXPECT_LT(util, 0.05);
+}
+
+TEST_F(DramTest, AccessRangeSplitsIntoBursts)
+{
+    Dram dram("dram", eq, cfg);
+    dram.accessRange(0, 256, false, 0);
+    EXPECT_EQ(dram.accesses(), 4u);
+    EXPECT_EQ(dram.bytesRead(), 256u);
+
+    dram.resetStats();
+    // Unaligned range spanning two bursts.
+    dram.accessRange(60, 8, true, 0);
+    EXPECT_EQ(dram.accesses(), 2u);
+    EXPECT_EQ(dram.bytesWritten(), 128u);
+}
+
+TEST_F(DramTest, StatsResetClearsCounts)
+{
+    Dram dram("dram", eq, cfg);
+    dram.access(0, false, 0);
+    dram.resetStats();
+    EXPECT_EQ(dram.accesses(), 0u);
+    EXPECT_EQ(dram.bytesRead(), 0u);
+    EXPECT_DOUBLE_EQ(dram.avgLatencyNs(), 0.0);
+}
+
+TEST(CacheTest, HitAfterFill)
+{
+    Cache c(CacheConfig::l1());
+    auto first = c.access(0x1000, false);
+    EXPECT_FALSE(first.hit);
+    auto second = c.access(0x1000, false);
+    EXPECT_TRUE(second.hit);
+    // Same line, different byte.
+    EXPECT_TRUE(c.access(0x103f, false).hit);
+    // Next line misses.
+    EXPECT_FALSE(c.access(0x1040, false).hit);
+    EXPECT_EQ(c.hits(), 2u);
+    EXPECT_EQ(c.misses(), 2u);
+}
+
+TEST(CacheTest, LruEvictsOldest)
+{
+    // Tiny 2-way cache: 2 sets of 2 ways, 64 B lines -> 256 B.
+    Cache c(CacheConfig{256, 2, 64, 1});
+    // Three lines mapping to set 0 (stride = 128 B for 2 sets).
+    c.access(0 * 128, false);
+    c.access(2 * 128, false);
+    c.access(4 * 128, false); // evicts line 0
+    EXPECT_FALSE(c.access(0, false).hit);
+    // Line 2*128 was least-recently used after the previous access
+    // filled line 0 over 4*128's... verify the re-access pattern:
+    EXPECT_TRUE(c.contains(0));
+}
+
+TEST(CacheTest, DirtyEvictionReportsWriteback)
+{
+    Cache c(CacheConfig{256, 2, 64, 1});
+    c.access(0 * 128, true); // dirty
+    c.access(2 * 128, false);
+    auto res = c.access(4 * 128, false); // evicts dirty line 0
+    EXPECT_TRUE(res.writeback);
+    EXPECT_EQ(res.victimAddr, 0u);
+}
+
+TEST(CacheTest, CleanEvictionNoWriteback)
+{
+    Cache c(CacheConfig{256, 2, 64, 1});
+    c.access(0 * 128, false);
+    c.access(2 * 128, false);
+    auto res = c.access(4 * 128, false);
+    EXPECT_FALSE(res.writeback);
+}
+
+TEST(CacheTest, VictimAddressRoundTrips)
+{
+    Cache c(CacheConfig{256, 2, 64, 1});
+    const Addr probe = 0x12340080; // maps to set 1
+    c.access(probe, true);
+    // Force eviction of `probe` by filling its set.
+    Addr conflict1 = probe + 128;
+    Addr conflict2 = probe + 256;
+    c.access(conflict1, false);
+    auto res = c.access(conflict2, false);
+    ASSERT_TRUE(res.writeback);
+    EXPECT_EQ(res.victimAddr, roundDown(probe, 64));
+}
+
+TEST(CacheTest, FlushDropsEverything)
+{
+    Cache c(CacheConfig::l1());
+    c.access(0x1000, true);
+    c.flush();
+    EXPECT_FALSE(c.contains(0x1000));
+    EXPECT_EQ(c.accesses(), 0u);
+}
+
+TEST(CacheTest, CapacityMissBehaviour)
+{
+    Cache c(CacheConfig::l1()); // 32 KB
+    // Touch 64 KB; re-touching the first half must miss again.
+    for (Addr a = 0; a < 64 * 1024; a += 64) {
+        c.access(a, false);
+    }
+    c.resetStats();
+    for (Addr a = 0; a < 16 * 1024; a += 64) {
+        c.access(a, false);
+    }
+    EXPECT_GT(c.missRate(), 0.99);
+}
+
+TEST(CacheTest, GeometryConfigsValid)
+{
+    // The three Table I levels construct without panicking.
+    Cache l1(CacheConfig::l1());
+    Cache l2(CacheConfig::l2());
+    Cache l3(CacheConfig::l3());
+    EXPECT_EQ(l1.config().sizeBytes, 32u * 1024);
+    EXPECT_EQ(l2.config().sizeBytes, 1024u * 1024);
+    EXPECT_EQ(l3.config().sizeBytes, 11u * 1024 * 1024);
+}
+
+} // namespace
+} // namespace cereal

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Cross-model consistency properties: the accelerator timing models
+ * replay the same traversal/stream structure the functional serializer
+ * produces, so their structural counters must agree exactly — for any
+ * workload shape.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cereal/accel/du.hh"
+#include "cereal/accel/su.hh"
+#include "cereal/cereal_serializer.hh"
+#include "heap/walker.hh"
+#include "workloads/jsbs.hh"
+#include "workloads/micro.hh"
+#include "workloads/spark.hh"
+
+namespace cereal {
+namespace {
+
+using workloads::MicroBench;
+using workloads::MicroWorkloads;
+
+class Consistency : public ::testing::TestWithParam<MicroBench>
+{
+};
+
+TEST_P(Consistency, SuCountersMatchFunctionalSerializer)
+{
+    KlassRegistry reg;
+    MicroWorkloads micro(reg);
+    Heap src(reg);
+    Addr root = micro.build(src, GetParam(), 512, 3);
+
+    CerealSerializer ser;
+    ser.registerAll(reg);
+    auto stream = ser.serializeToStream(src, root);
+
+    EventQueue eq;
+    Dram dram("dram", eq);
+    Mai mai(dram, 64);
+    SerializationUnit su(mai, AccelConfig());
+    auto r = su.serialize(src, root, 0, 0x100'0000'0000ULL);
+
+    // Same objects visited.
+    EXPECT_EQ(r.objects, stream.objectCount);
+    // SU ref count = stream ref entries + 1 (the root arrives at the
+    // HM as a reference but occupies no reference slot).
+    EXPECT_EQ(r.refs, stream.refEntries + 1);
+    // The SU must read at least every byte of every object plus one
+    // visited check per reference.
+    auto gs = GraphWalker(src).stats(root);
+    EXPECT_GE(r.bytesRead, gs.totalBytes);
+    // The SU's stream output volume tracks the functional stream's
+    // (packed sizes computed independently; equal by construction).
+    EXPECT_NEAR(static_cast<double>(r.bytesWritten),
+                static_cast<double>(stream.serializedBytes()),
+                static_cast<double>(stream.serializedBytes()) * 0.05 +
+                    64);
+}
+
+TEST_P(Consistency, DuBlocksCoverExactImage)
+{
+    KlassRegistry reg;
+    MicroWorkloads micro(reg);
+    Heap src(reg);
+    Addr root = micro.build(src, GetParam(), 512, 3);
+
+    CerealSerializer ser;
+    ser.registerAll(reg);
+    auto stream = ser.serializeToStream(src, root);
+
+    EventQueue eq;
+    Dram dram("dram", eq);
+    Mai mai(dram, 64);
+    DeserializationUnit du(mai, AccelConfig());
+    auto r = du.deserialize(stream, 0x100'0000'0000ULL,
+                            0x9'0000'0000ULL, 0);
+
+    EXPECT_EQ(r.blocks, (stream.totalGraphBytes + 63) / 64);
+    EXPECT_EQ(r.bytesWritten, stream.totalGraphBytes);
+    // The DU streams exactly the serialized input (sans the 4 B size
+    // word held in a register).
+    EXPECT_EQ(r.bytesRead, stream.serializedBytes() - 4);
+}
+
+TEST_P(Consistency, TimingInvariants)
+{
+    KlassRegistry reg;
+    MicroWorkloads micro(reg);
+    Heap src(reg);
+    Addr root = micro.build(src, GetParam(), 1024, 5);
+
+    CerealSerializer ser;
+    ser.registerAll(reg);
+    auto stream = ser.serializeToStream(src, root);
+
+    EventQueue eq;
+    Dram dram("dram", eq);
+    Mai mai(dram, 64);
+    AccelConfig cfg;
+    SerializationUnit su(mai, cfg);
+
+    const Tick start = 12345678;
+    auto r = su.serialize(src, root, start, 0x100'0000'0000ULL);
+    EXPECT_GT(r.done, start);
+
+    // A physical lower bound: moving bytesRead+bytesWritten through
+    // DRAM cannot beat the peak-bandwidth time.
+    double min_seconds =
+        static_cast<double>(r.bytesRead + r.bytesWritten) /
+        dram.config().peakBandwidth();
+    EXPECT_GE(ticksToSeconds(r.done - start), min_seconds * 0.9);
+
+    EventQueue eq2;
+    Dram dram2("dram2", eq2);
+    Mai mai2(dram2, 64);
+    DeserializationUnit du(mai2, cfg);
+    auto d = du.deserialize(stream, 0x100'0000'0000ULL,
+                            0x9'0000'0000ULL, start);
+    double d_min =
+        static_cast<double>(d.bytesRead + d.bytesWritten) /
+        dram2.config().peakBandwidth();
+    EXPECT_GE(ticksToSeconds(d.done - start), d_min * 0.9);
+}
+
+TEST_P(Consistency, DeterministicTiming)
+{
+    KlassRegistry reg;
+    MicroWorkloads micro(reg);
+    Heap src(reg);
+    Addr root = micro.build(src, GetParam(), 1024, 5);
+
+    auto run = [&]() {
+        EventQueue eq;
+        Dram dram("dram", eq);
+        Mai mai(dram, 64);
+        SerializationUnit su(mai, AccelConfig());
+        return su.serialize(src, root, 0, 0x100'0000'0000ULL).done;
+    };
+    EXPECT_EQ(run(), run());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllShapes, Consistency,
+    ::testing::ValuesIn(workloads::allMicroBenches()),
+    [](const auto &info) {
+        std::string n = workloads::microBenchName(info.param);
+        for (auto &c : n) {
+            if (c == '-') {
+                c = '_';
+            }
+        }
+        return n;
+    });
+
+TEST(ConsistencyExtra, JsbsAndSparkShapes)
+{
+    KlassRegistry reg;
+    workloads::JsbsWorkload jsbs(reg);
+    workloads::SparkWorkloads spark(reg);
+
+    Addr base = 0x1'0000'0000ULL;
+    std::vector<Addr> roots;
+    {
+        Heap h(reg, base);
+        roots.clear();
+        Addr mc = jsbs.buildMediaContent(h, 1);
+        CerealSerializer ser;
+        ser.registerAll(reg);
+        auto stream = ser.serializeToStream(h, mc);
+        EventQueue eq;
+        Dram dram("d", eq);
+        Mai mai(dram, 64);
+        SerializationUnit su(mai, AccelConfig());
+        auto r = su.serialize(h, mc, 0, 0x100'0000'0000ULL);
+        EXPECT_EQ(r.objects, stream.objectCount);
+        EXPECT_EQ(r.refs, stream.refEntries + 1);
+    }
+    for (const auto &spec : workloads::sparkApps()) {
+        Heap h(reg, base += 0x10'0000'0000ULL);
+        Addr root = spark.build(h, spec.name, 512, 2);
+        CerealSerializer ser;
+        ser.registerAll(reg);
+        auto stream = ser.serializeToStream(h, root);
+        EventQueue eq;
+        Dram dram("d", eq);
+        Mai mai(dram, 64);
+        SerializationUnit su(mai, AccelConfig());
+        auto r = su.serialize(h, root, 0, 0x100'0000'0000ULL);
+        EXPECT_EQ(r.objects, stream.objectCount) << spec.name;
+        EXPECT_EQ(r.refs, stream.refEntries + 1) << spec.name;
+    }
+}
+
+} // namespace
+} // namespace cereal

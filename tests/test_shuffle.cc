@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Tests for the shuffle substrate: LZ codec correctness (property
+ * round trips on random, repetitive, incompressible and real
+ * serializer-stream inputs), compression behaviour, and shuffle-stage
+ * timing sanity.
+ */
+
+#include <gtest/gtest.h>
+
+#include "serde/java_serde.hh"
+#include "serde/kryo_serde.hh"
+#include "shuffle/shuffle.hh"
+#include "sim/rng.hh"
+#include "workloads/micro.hh"
+
+namespace cereal {
+namespace {
+
+using workloads::MicroWorkloads;
+
+TEST(LzCodec, EmptyInput)
+{
+    LzCodec lz;
+    auto c = lz.compress({});
+    EXPECT_EQ(lz.decompress(c).size(), 0u);
+}
+
+TEST(LzCodec, TinyInputs)
+{
+    LzCodec lz;
+    for (std::size_t n = 1; n <= 8; ++n) {
+        std::vector<std::uint8_t> in(n, static_cast<std::uint8_t>(n));
+        EXPECT_EQ(lz.decompress(lz.compress(in)), in) << n;
+    }
+}
+
+TEST(LzCodec, RepetitiveDataCompressesWell)
+{
+    LzCodec lz;
+    std::vector<std::uint8_t> in;
+    for (int i = 0; i < 1000; ++i) {
+        const char *s = "abcdefgh";
+        in.insert(in.end(), s, s + 8);
+    }
+    auto c = lz.compress(in);
+    EXPECT_LT(c.size(), in.size() / 10);
+    EXPECT_EQ(lz.decompress(c), in);
+}
+
+TEST(LzCodec, IncompressibleDataSurvives)
+{
+    LzCodec lz;
+    Rng rng(1);
+    std::vector<std::uint8_t> in(10000);
+    for (auto &b : in) {
+        b = static_cast<std::uint8_t>(rng.next());
+    }
+    auto c = lz.compress(in);
+    // Random bytes: slight expansion allowed (run headers).
+    EXPECT_LT(c.size(), in.size() * 11 / 10 + 16);
+    EXPECT_EQ(lz.decompress(c), in);
+}
+
+TEST(LzCodec, OverlappingBackReferences)
+{
+    LzCodec lz;
+    // 'aaaa...' forces offset-1 overlapping copies.
+    std::vector<std::uint8_t> in(5000, 'a');
+    auto c = lz.compress(in);
+    EXPECT_LT(c.size(), 200u);
+    EXPECT_EQ(lz.decompress(c), in);
+}
+
+TEST(LzCodec, RandomPropertyRoundTrip)
+{
+    LzCodec lz;
+    Rng rng(42);
+    for (int trial = 0; trial < 40; ++trial) {
+        std::vector<std::uint8_t> in(rng.below(20000));
+        // Mixed entropy: runs + random sections.
+        std::size_t i = 0;
+        while (i < in.size()) {
+            if (rng.chance(0.5)) {
+                std::uint8_t v = static_cast<std::uint8_t>(rng.next());
+                std::size_t run = std::min(in.size() - i,
+                                           1 + rng.below(200));
+                for (std::size_t k = 0; k < run; ++k) {
+                    in[i++] = v;
+                }
+            } else {
+                in[i++] = static_cast<std::uint8_t>(rng.next());
+            }
+        }
+        ASSERT_EQ(lz.decompress(lz.compress(in)), in) << trial;
+    }
+}
+
+TEST(LzCodec, SerializerStreamsRoundTrip)
+{
+    KlassRegistry reg;
+    MicroWorkloads micro(reg);
+    Heap heap(reg);
+    Rng rng(7);
+    Addr root = micro.buildTree(heap, 2, 511, rng);
+
+    LzCodec lz;
+    JavaSerializer java;
+    auto js = java.serialize(heap, root);
+    EXPECT_EQ(lz.decompress(lz.compress(js)), js);
+    KryoSerializer kryo;
+    kryo.registerAll(reg);
+    auto ks = kryo.serialize(heap, root);
+    EXPECT_EQ(lz.decompress(lz.compress(ks)), ks);
+    // Java streams are string-laden -> compressible.
+    EXPECT_LT(lz.compress(js).size(), js.size());
+}
+
+TEST(LzCodec, NarratesWorkToSink)
+{
+    LzCodec lz;
+    std::vector<std::uint8_t> in(4096, 'x');
+    CountingSink sink;
+    auto c = lz.compress(in, &sink);
+    EXPECT_GT(sink.computeOps, in.size());
+    EXPECT_GT(sink.loads, 0u);
+    EXPECT_GT(sink.stores, 0u);
+
+    CountingSink dsink;
+    lz.decompress(c, &dsink);
+    EXPECT_GT(dsink.computeOps, 0u);
+}
+
+TEST(ShuffleStage, SoftwarePathsTakeTime)
+{
+    ShuffleStage stage;
+    std::vector<std::uint8_t> stream(100000, 'y');
+    auto w = stage.softwareWrite(stream);
+    auto r = stage.softwareRead(stream);
+    EXPECT_GT(w.seconds, 0.0);
+    EXPECT_GT(r.seconds, 0.0);
+    EXPECT_LT(w.wireBytes, stream.size()); // compressible
+    EXPECT_EQ(w.wireBytes, r.wireBytes);
+}
+
+TEST(ShuffleStage, CerealHandoffIsCheaper)
+{
+    ShuffleStage stage;
+    // Same byte volume, mixed-entropy content.
+    Rng rng(3);
+    std::vector<std::uint8_t> stream(200000);
+    for (auto &b : stream) {
+        b = static_cast<std::uint8_t>(rng.below(32));
+    }
+    auto sw = stage.softwareWrite(stream);
+    auto hw = stage.cerealHandoff(stream.size());
+    EXPECT_LT(hw.seconds, sw.seconds / 3);
+}
+
+TEST(ShuffleStage, CostScalesWithBytes)
+{
+    ShuffleStage stage;
+    std::vector<std::uint8_t> small(10000, 'z');
+    std::vector<std::uint8_t> big(100000, 'z');
+    EXPECT_LT(stage.softwareWrite(small).seconds,
+              stage.softwareWrite(big).seconds);
+    EXPECT_LT(stage.cerealHandoff(10000).seconds,
+              stage.cerealHandoff(100000).seconds);
+}
+
+} // namespace
+} // namespace cereal

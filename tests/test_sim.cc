@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Unit tests for the simulation kernel: event queue ordering, clock
+ * domains, deterministic RNG, and the stats package.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace cereal {
+namespace {
+
+TEST(EventQueue, FiresInTickOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.runAll();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+    EXPECT_EQ(eq.executedCount(), 3u);
+}
+
+TEST(EventQueue, TiesBreakInScheduleOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i) {
+        eq.schedule(100, [&order, i] { order.push_back(i); });
+    }
+    eq.runAll();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, EventsCanScheduleEvents)
+{
+    EventQueue eq;
+    int fired = 0;
+    std::function<void()> chain = [&] {
+        ++fired;
+        if (fired < 10) {
+            eq.scheduleIn(5, chain);
+        }
+    };
+    eq.schedule(0, chain);
+    eq.runAll();
+    EXPECT_EQ(fired, 10);
+    EXPECT_EQ(eq.now(), 45u);
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] { ++fired; });
+    eq.schedule(20, [&] { ++fired; });
+    eq.schedule(30, [&] { ++fired; });
+    eq.runUntil(20);
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(eq.now(), 20u);
+    EXPECT_EQ(eq.pending(), 1u);
+    eq.runAll();
+    EXPECT_EQ(fired, 3);
+}
+
+TEST(EventQueue, SchedulingInPastPanics)
+{
+    EventQueue eq;
+    eq.schedule(100, [] {});
+    eq.runAll();
+    EXPECT_DEATH(eq.schedule(50, [] {}), "past");
+}
+
+TEST(ClockDomain, Conversions)
+{
+    // 1 GHz -> 1000 ps period.
+    ClockDomain cd(1000);
+    EXPECT_EQ(cd.cyclesToTicks(5), 5000u);
+    EXPECT_EQ(cd.ticksToCycles(5000), 5u);
+    EXPECT_EQ(cd.ticksToCycles(5001), 6u);
+    EXPECT_EQ(cd.clockEdge(999), 1000u);
+    EXPECT_EQ(cd.clockEdge(1000), 1000u);
+}
+
+TEST(Types, PeriodFromMHz)
+{
+    // 3600 MHz -> ~277 ps.
+    Tick p = periodFromMHz(3600);
+    EXPECT_NEAR(static_cast<double>(p), 277.8, 1.0);
+    EXPECT_EQ(nsToTicks(40), 40000u);
+}
+
+TEST(Types, Rounding)
+{
+    EXPECT_EQ(roundUp(13, 8), 16u);
+    EXPECT_EQ(roundUp(16, 8), 16u);
+    EXPECT_EQ(roundDown(13, 8), 8u);
+    EXPECT_TRUE(isPowerOf2(64));
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_FALSE(isPowerOf2(12));
+    EXPECT_EQ(floorLog2(64), 6u);
+}
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i) {
+        ASSERT_EQ(a.next(), b.next());
+    }
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next() == b.next()) {
+            ++same;
+        }
+    }
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i) {
+        EXPECT_LT(r.below(17), 17u);
+    }
+    EXPECT_EQ(r.below(1), 0u);
+    EXPECT_EQ(r.below(0), 0u);
+}
+
+TEST(Rng, UniformIsRoughlyUniform)
+{
+    Rng r(13);
+    double sum = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Stats, ScalarArithmetic)
+{
+    stats::Scalar s;
+    s += 5;
+    ++s;
+    s -= 2;
+    EXPECT_DOUBLE_EQ(s.value(), 4.0);
+    s.reset();
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+}
+
+TEST(Stats, AverageTracksMinMaxMean)
+{
+    stats::Average a;
+    a.sample(10);
+    a.sample(20);
+    a.sample(30);
+    EXPECT_DOUBLE_EQ(a.mean(), 20.0);
+    EXPECT_DOUBLE_EQ(a.min(), 10.0);
+    EXPECT_DOUBLE_EQ(a.max(), 30.0);
+    EXPECT_EQ(a.count(), 3u);
+}
+
+TEST(Stats, HistogramBucketsAndOverflow)
+{
+    stats::Histogram h(4, 10.0);
+    h.sample(5);
+    h.sample(15);
+    h.sample(15);
+    h.sample(39);
+    h.sample(100);
+    EXPECT_EQ(h.buckets()[0], 1u);
+    EXPECT_EQ(h.buckets()[1], 2u);
+    EXPECT_EQ(h.buckets()[3], 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.count(), 5u);
+}
+
+TEST(Stats, GroupDumpContainsNames)
+{
+    stats::StatGroup g("dram");
+    stats::Scalar reads;
+    reads += 3;
+    g.add("reads", "read count", reads);
+    std::ostringstream os;
+    g.dump(os);
+    EXPECT_NE(os.str().find("dram.reads"), std::string::npos);
+    EXPECT_NE(os.str().find("read count"), std::string::npos);
+}
+
+} // namespace
+} // namespace cereal

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Unit tests for graph traversal and the graph-isomorphism oracle.
+ */
+
+#include <gtest/gtest.h>
+
+#include "heap/object.hh"
+#include "heap/walker.hh"
+#include "workloads/micro.hh"
+
+namespace cereal {
+namespace {
+
+using workloads::MicroWorkloads;
+
+class WalkerTest : public ::testing::Test
+{
+  protected:
+    WalkerTest() : micro(reg), heap(reg) {}
+
+    KlassRegistry reg;
+    MicroWorkloads micro;
+    Heap heap;
+};
+
+TEST_F(WalkerTest, ListReachableCount)
+{
+    Rng rng(1);
+    Addr head = micro.buildList(heap, 100, rng);
+    GraphWalker w(heap);
+    EXPECT_EQ(w.reachable(head).size(), 100u);
+}
+
+TEST_F(WalkerTest, TreeReachableCount)
+{
+    Rng rng(1);
+    Addr root = micro.buildTree(heap, 2, 1023, rng);
+    GraphWalker w(heap);
+    auto gs = w.stats(root);
+    EXPECT_EQ(gs.objectCount, 1023u);
+    EXPECT_EQ(gs.maxDepth, 10u); // complete binary tree of 1023 nodes
+    EXPECT_EQ(gs.referenceEdges, 1022u);
+}
+
+TEST_F(WalkerTest, SharedObjectVisitedOnce)
+{
+    KlassId pair = reg.add("Pair", {{"a", FieldType::Reference},
+                                    {"b", FieldType::Reference}});
+    Addr shared = heap.allocateInstance(pair);
+    Addr root = heap.allocateInstance(pair);
+    ObjectView rv(heap, root);
+    rv.setRef(0, shared);
+    rv.setRef(1, shared);
+    GraphWalker w(heap);
+    EXPECT_EQ(w.reachable(root).size(), 2u);
+    auto gs = w.stats(root);
+    EXPECT_EQ(gs.referenceEdges, 2u);
+    EXPECT_EQ(gs.nullReferences, 2u); // shared's own two null refs
+}
+
+TEST_F(WalkerTest, CyclesTerminate)
+{
+    Rng rng(1);
+    Addr head = micro.buildList(heap, 10, rng);
+    // Close the loop: tail->next = head.
+    auto nodes = GraphWalker(heap).reachable(head);
+    ObjectView tail(heap, nodes.back());
+    tail.setRef(1, head);
+    EXPECT_EQ(GraphWalker(heap).reachable(head).size(), 10u);
+}
+
+TEST_F(WalkerTest, NullRootIsEmpty)
+{
+    GraphWalker w(heap);
+    EXPECT_TRUE(w.reachable(0).empty());
+    EXPECT_EQ(w.stats(0).objectCount, 0u);
+}
+
+TEST_F(WalkerTest, DfsPreorderVisitsFirstChildFirst)
+{
+    Rng rng(1);
+    Addr root = micro.buildTree(heap, 2, 7, rng);
+    GraphWalker w(heap);
+    auto order = w.reachable(root);
+    ASSERT_EQ(order.size(), 7u);
+    ObjectView rv(heap, root);
+    // Preorder: root, left subtree fully, then right subtree.
+    EXPECT_EQ(order[0], root);
+    EXPECT_EQ(order[1], rv.getRef(1));
+    Addr left = rv.getRef(1);
+    EXPECT_EQ(order[2], ObjectView(heap, left).getRef(1));
+}
+
+TEST_F(WalkerTest, DeepListDoesNotOverflowStack)
+{
+    Rng rng(1);
+    Addr head = micro.buildList(heap, 300000, rng);
+    EXPECT_EQ(GraphWalker(heap).reachable(head).size(), 300000u);
+}
+
+class GraphEqualsTest : public ::testing::Test
+{
+  protected:
+    GraphEqualsTest() : micro(reg), a(reg), b(reg, 0x9'0000'0000ULL) {}
+
+    KlassRegistry reg;
+    MicroWorkloads micro;
+    Heap a, b;
+};
+
+TEST_F(GraphEqualsTest, IdenticalListsEqual)
+{
+    Rng r1(5), r2(5);
+    Addr ra = micro.buildList(a, 50, r1);
+    Addr rb = micro.buildList(b, 50, r2);
+    std::string why;
+    EXPECT_TRUE(graphEquals(a, ra, b, rb, &why)) << why;
+}
+
+TEST_F(GraphEqualsTest, ValueMismatchDetected)
+{
+    Rng r1(5), r2(5);
+    Addr ra = micro.buildList(a, 50, r1);
+    Addr rb = micro.buildList(b, 50, r2);
+    auto nodes = GraphWalker(b).reachable(rb);
+    ObjectView(b, nodes[25]).setLong(0, 999999);
+    std::string why;
+    EXPECT_FALSE(graphEquals(a, ra, b, rb, &why));
+    EXPECT_NE(why.find("value"), std::string::npos);
+}
+
+TEST_F(GraphEqualsTest, LengthMismatchDetected)
+{
+    Rng r1(5), r2(5);
+    Addr ra = micro.buildList(a, 50, r1);
+    Addr rb = micro.buildList(b, 49, r2);
+    EXPECT_FALSE(graphEquals(a, ra, b, rb));
+}
+
+TEST_F(GraphEqualsTest, ClassMismatchDetected)
+{
+    Rng r(5);
+    Addr ra = micro.buildList(a, 1, r);
+    Addr rb = b.allocateInstance(micro.graphNode());
+    std::string why;
+    EXPECT_FALSE(graphEquals(a, ra, b, rb, &why));
+    EXPECT_NE(why.find("class mismatch"), std::string::npos);
+}
+
+TEST_F(GraphEqualsTest, AliasingStructureMatters)
+{
+    KlassId pair = reg.add("Pair2", {{"x", FieldType::Reference},
+                                     {"y", FieldType::Reference}});
+    KlassId leafk = reg.add("Leaf", {{"v", FieldType::Long}});
+
+    // Graph A: both fields point at the SAME leaf.
+    Addr leaf_a = a.allocateInstance(leafk);
+    Addr root_a = a.allocateInstance(pair);
+    ObjectView(a, root_a).setRef(0, leaf_a);
+    ObjectView(a, root_a).setRef(1, leaf_a);
+
+    // Graph B: two distinct leaves with equal values.
+    Addr leaf_b1 = b.allocateInstance(leafk);
+    Addr leaf_b2 = b.allocateInstance(leafk);
+    Addr root_b = b.allocateInstance(pair);
+    ObjectView(b, root_b).setRef(0, leaf_b1);
+    ObjectView(b, root_b).setRef(1, leaf_b2);
+
+    std::string why;
+    EXPECT_FALSE(graphEquals(a, root_a, b, root_b, &why));
+    EXPECT_NE(why.find("sharing"), std::string::npos);
+}
+
+TEST_F(GraphEqualsTest, CyclicGraphsCompare)
+{
+    Rng r1(5), r2(5);
+    Addr ra = micro.buildList(a, 10, r1);
+    Addr rb = micro.buildList(b, 10, r2);
+    auto na = GraphWalker(a).reachable(ra);
+    auto nb = GraphWalker(b).reachable(rb);
+    ObjectView(a, na.back()).setRef(1, ra);
+    ObjectView(b, nb.back()).setRef(1, rb);
+    EXPECT_TRUE(graphEquals(a, ra, b, rb));
+
+    // Break the cycle in B only.
+    ObjectView(b, nb.back()).setRef(1, nb[5]);
+    EXPECT_FALSE(graphEquals(a, ra, b, rb));
+}
+
+TEST_F(GraphEqualsTest, RandomGraphIsomorphicToItself)
+{
+    Rng r1(7), r2(7);
+    Addr ra = micro.buildGraph(a, 64, 8, r1);
+    Addr rb = micro.buildGraph(b, 64, 8, r2);
+    std::string why;
+    EXPECT_TRUE(graphEquals(a, ra, b, rb, &why)) << why;
+}
+
+TEST_F(GraphEqualsTest, NullVsNonNullDetected)
+{
+    Rng r1(5), r2(5);
+    Addr ra = micro.buildList(a, 2, r1);
+    Addr rb = micro.buildList(b, 2, r2);
+    auto nb = GraphWalker(b).reachable(rb);
+    ObjectView(b, nb[1]).setRef(1, rb); // tail->next = head in B only
+    EXPECT_FALSE(graphEquals(a, ra, b, rb));
+}
+
+} // namespace
+} // namespace cereal

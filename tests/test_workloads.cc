@@ -1,0 +1,295 @@
+/**
+ * @file
+ * Tests for the workload models: microbenchmark shapes (Table II),
+ * the JSBS MediaContent graph and library table, the Spark application
+ * specs (Figure 2 / Table III) and their object-graph builders, and
+ * the phase-scaling math behind Figures 2 and 14.
+ */
+
+#include <gtest/gtest.h>
+
+#include "heap/object.hh"
+#include "heap/walker.hh"
+#include "workloads/jsbs.hh"
+#include "workloads/micro.hh"
+#include "workloads/spark.hh"
+
+namespace cereal {
+namespace {
+
+using namespace workloads;
+
+class MicroTest : public ::testing::Test
+{
+  protected:
+    MicroTest() : micro(reg), heap(reg) {}
+
+    KlassRegistry reg;
+    MicroWorkloads micro;
+    Heap heap;
+};
+
+TEST_F(MicroTest, PaperNodeCountsMatchTableII)
+{
+    EXPECT_EQ(microBenchPaperNodes(MicroBench::TreeNarrow), 2'097'150u);
+    EXPECT_EQ(microBenchPaperNodes(MicroBench::TreeWide), 19'173'960u);
+    EXPECT_EQ(microBenchPaperNodes(MicroBench::ListSmall), 524'288u);
+    EXPECT_EQ(microBenchPaperNodes(MicroBench::ListLarge), 2'097'152u);
+    EXPECT_EQ(microBenchPaperNodes(MicroBench::GraphSparse), 4'096u);
+}
+
+TEST_F(MicroTest, TreeHasExactNodeCount)
+{
+    Rng rng(1);
+    Addr root = micro.buildTree(heap, 2, 1000, rng);
+    EXPECT_EQ(GraphWalker(heap).stats(root).objectCount, 1000u);
+}
+
+TEST_F(MicroTest, WideTreeFanout)
+{
+    Rng rng(1);
+    Addr root = micro.buildTree(heap, 8, 9, rng);
+    ObjectView rv(heap, root);
+    // Root should have all 8 children populated.
+    for (unsigned c = 1; c <= 8; ++c) {
+        EXPECT_NE(rv.getRef(c), 0u) << "child " << c;
+    }
+}
+
+TEST_F(MicroTest, ListIsAChain)
+{
+    Rng rng(1);
+    Addr head = micro.buildList(heap, 64, rng);
+    auto gs = GraphWalker(heap).stats(head);
+    EXPECT_EQ(gs.objectCount, 64u);
+    EXPECT_EQ(gs.maxDepth, 64u);
+    EXPECT_EQ(gs.referenceEdges, 63u);
+}
+
+TEST_F(MicroTest, GraphHasRequestedDegree)
+{
+    Rng rng(1);
+    Addr root = micro.buildGraph(heap, 32, 5, rng);
+    // Root array + 32 nodes + 32 edge arrays.
+    auto gs = GraphWalker(heap).stats(root);
+    EXPECT_EQ(gs.objectCount, 1 + 32 + 32u);
+    // Each node's neighbor array has 5 entries.
+    ObjectView rv(heap, root);
+    ObjectView n0(heap, rv.getRefElem(0));
+    ObjectView adj(heap, n0.getRef(1));
+    EXPECT_EQ(adj.length(), 5u);
+}
+
+TEST_F(MicroTest, BuildIsDeterministic)
+{
+    Heap h1(reg, 0x4'0000'0000ULL);
+    Heap h2(reg, 0x8'0000'0000ULL);
+    Addr r1 = micro.build(h1, MicroBench::GraphSparse, 64, 9);
+    Addr r2 = micro.build(h2, MicroBench::GraphSparse, 64, 9);
+    EXPECT_TRUE(graphEquals(h1, r1, h2, r2));
+}
+
+TEST_F(MicroTest, DifferentSeedsDiffer)
+{
+    Heap h1(reg, 0x4'0000'0000ULL);
+    Heap h2(reg, 0x8'0000'0000ULL);
+    Addr r1 = micro.build(h1, MicroBench::ListSmall, 512, 1);
+    Addr r2 = micro.build(h2, MicroBench::ListSmall, 512, 2);
+    EXPECT_FALSE(graphEquals(h1, r1, h2, r2));
+}
+
+TEST_F(MicroTest, ScaleDivisorShrinksGraphs)
+{
+    Heap h1(reg, 0x4'0000'0000ULL);
+    Heap h2(reg, 0x8'0000'0000ULL);
+    Addr r1 = micro.build(h1, MicroBench::TreeNarrow, 1024, 1);
+    Addr r2 = micro.build(h2, MicroBench::TreeNarrow, 2048, 1);
+    EXPECT_GT(GraphWalker(h1).stats(r1).objectCount,
+              GraphWalker(h2).stats(r2).objectCount);
+}
+
+class JsbsTest : public ::testing::Test
+{
+  protected:
+    JsbsTest() : jsbs(reg), heap(reg) {}
+
+    KlassRegistry reg;
+    JsbsWorkload jsbs;
+    Heap heap;
+};
+
+TEST_F(JsbsTest, MediaContentShape)
+{
+    Addr mc = jsbs.buildMediaContent(heap);
+    auto gs = GraphWalker(heap).stats(mc);
+    // MediaContent + Media + persons array + 2 names + uri + title +
+    // format + images array + 2 images + their strings.
+    EXPECT_GT(gs.objectCount, 12u);
+    EXPECT_LT(gs.objectCount, 25u);
+    EXPECT_GT(gs.arrayCount, 6u); // strings are char[] arrays
+    // One null: the small image's title (and media copyright).
+    EXPECT_GE(gs.nullReferences, 2u);
+}
+
+TEST_F(JsbsTest, BatchContainsNIndependentGraphs)
+{
+    Addr batch = jsbs.buildBatch(heap, 5, 1);
+    ObjectView bv(heap, batch);
+    EXPECT_EQ(bv.length(), 5u);
+    for (int i = 0; i < 5; ++i) {
+        EXPECT_NE(bv.getRefElem(i), 0u);
+    }
+}
+
+TEST_F(JsbsTest, LibraryTableHas88Entries)
+{
+    EXPECT_EQ(jsbsLibraries().size(), 88u);
+}
+
+TEST_F(JsbsTest, AnchorsPresentAndMeasured)
+{
+    int measured = 0;
+    bool has_java = false, has_kryo = false, has_km = false;
+    for (const auto &l : jsbsLibraries()) {
+        if (l.measured) {
+            ++measured;
+        }
+        has_java |= (l.name == "java-built-in");
+        has_kryo |= (l.name == "kryo");
+        has_km |= (l.name == "kryo-manual");
+    }
+    EXPECT_GE(measured, 2);
+    EXPECT_TRUE(has_java);
+    EXPECT_TRUE(has_kryo);
+    EXPECT_TRUE(has_km);
+}
+
+TEST_F(JsbsTest, ProfileFactorsSane)
+{
+    for (const auto &l : jsbsLibraries()) {
+        if (l.measured) {
+            continue;
+        }
+        EXPECT_GT(l.serFactor, 0.0) << l.name;
+        EXPECT_LT(l.serFactor, 10.0) << l.name;
+        EXPECT_GT(l.deserFactor, 0.0) << l.name;
+        EXPECT_GT(l.sizeFactor, 0.1) << l.name;
+    }
+}
+
+class SparkTest : public ::testing::Test
+{
+  protected:
+    SparkTest() : spark(reg), heap(reg) {}
+
+    KlassRegistry reg;
+    SparkWorkloads spark;
+    Heap heap;
+};
+
+TEST_F(SparkTest, SixAppsMatchTableIII)
+{
+    const auto &apps = sparkApps();
+    ASSERT_EQ(apps.size(), 6u);
+    EXPECT_EQ(apps[0].name, "NWeight");
+    EXPECT_EQ(apps[0].inputMB, 156u);
+    EXPECT_EQ(apps[1].name, "SVM");
+    EXPECT_EQ(apps[1].inputMB, 1740u);
+    EXPECT_EQ(apps[4].name, "Terasort");
+    EXPECT_EQ(apps[4].inputMB, 3072u);
+}
+
+TEST_F(SparkTest, PhasesSumToOne)
+{
+    for (const auto &app : sparkApps()) {
+        const auto &p = app.javaPhases;
+        EXPECT_NEAR(p.compute + p.gc + p.io + p.sd, 1.0, 1e-9)
+            << app.name;
+    }
+}
+
+TEST_F(SparkTest, SdShareMatchesFigure2Aggregates)
+{
+    double sum = 0, mx = 0;
+    for (const auto &app : sparkApps()) {
+        sum += app.javaPhases.sd;
+        mx = std::max(mx, app.javaPhases.sd);
+    }
+    EXPECT_NEAR(sum / 6, 0.395, 0.05); // paper: 39.5%
+    EXPECT_NEAR(mx, 0.909, 1e-6);      // paper: SVM 90.9%
+}
+
+TEST_F(SparkTest, ScalePhasesPreservesSumAndShrinksSd)
+{
+    PhaseBreakdown p{0.5, 0.1, 0.1, 0.3};
+    auto q = scalePhases(p, 3.0);
+    EXPECT_NEAR(q.compute + q.gc + q.io + q.sd, 1.0, 1e-9);
+    EXPECT_LT(q.sd, p.sd);
+    EXPECT_GT(q.compute, p.compute); // share grows as total shrinks
+}
+
+TEST_F(SparkTest, ProgramSpeedupAmdahl)
+{
+    PhaseBreakdown p{0.0, 0.0, 0.0, 1.0};
+    EXPECT_NEAR(programSpeedup(p, 4.0), 4.0, 1e-9);
+    PhaseBreakdown half{0.5, 0.0, 0.0, 0.5};
+    // Infinite S/D speedup caps at 2x.
+    EXPECT_NEAR(programSpeedup(half, 1e12), 2.0, 1e-6);
+    // No speedup -> no change.
+    EXPECT_NEAR(programSpeedup(half, 1.0), 1.0, 1e-9);
+}
+
+TEST_F(SparkTest, LabeledPointsShape)
+{
+    Addr batch = spark.buildLabeledPoints(heap, 10, 4, 1);
+    auto gs = GraphWalker(heap).stats(batch);
+    // batch array + 10 x (point + vector + double[]).
+    EXPECT_EQ(gs.objectCount, 1 + 30u);
+    ObjectView bv(heap, batch);
+    ObjectView lp(heap, bv.getRefElem(0));
+    double label = lp.getDouble(0);
+    EXPECT_TRUE(label == 1.0 || label == -1.0);
+    ObjectView vec(heap, lp.getRef(1));
+    ObjectView values(heap, vec.getRef(0));
+    EXPECT_EQ(values.length(), 4u);
+}
+
+TEST_F(SparkTest, TerasortRecordsAre100Bytes)
+{
+    Addr batch = spark.buildTerasortRecords(heap, 3, 1);
+    ObjectView bv(heap, batch);
+    ObjectView rec(heap, bv.getRefElem(0));
+    EXPECT_EQ(ObjectView(heap, rec.getRef(0)).length(), 10u);
+    EXPECT_EQ(ObjectView(heap, rec.getRef(1)).length(), 90u);
+}
+
+TEST_F(SparkTest, RatingsInRange)
+{
+    Addr batch = spark.buildRatings(heap, 50, 1);
+    ObjectView bv(heap, batch);
+    for (int i = 0; i < 50; ++i) {
+        ObjectView r(heap, bv.getRefElem(i));
+        EXPECT_GE(r.getDouble(2), 1.0);
+        EXPECT_LE(r.getDouble(2), 5.0);
+    }
+}
+
+TEST_F(SparkTest, EveryAppBuilds)
+{
+    Addr base = 0x4'0000'0000ULL;
+    for (const auto &app : sparkApps()) {
+        Heap h(reg, base);
+        base += 0x10'0000'0000ULL;
+        Addr root = spark.build(h, app.name, 256, 1);
+        EXPECT_GT(GraphWalker(h).stats(root).objectCount, 10u)
+            << app.name;
+    }
+}
+
+TEST_F(SparkTest, UnknownAppIsFatal)
+{
+    EXPECT_DEATH(spark.build(heap, "NoSuchApp", 1, 1), "unknown");
+}
+
+} // namespace
+} // namespace cereal
