@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_abl_mai"
+  "../bench/bench_abl_mai.pdb"
+  "CMakeFiles/bench_abl_mai.dir/bench_abl_mai.cc.o"
+  "CMakeFiles/bench_abl_mai.dir/bench_abl_mai.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_mai.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

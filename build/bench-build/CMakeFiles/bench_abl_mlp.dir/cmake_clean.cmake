@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_abl_mlp"
+  "../bench/bench_abl_mlp.pdb"
+  "CMakeFiles/bench_abl_mlp.dir/bench_abl_mlp.cc.o"
+  "CMakeFiles/bench_abl_mlp.dir/bench_abl_mlp.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_mlp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

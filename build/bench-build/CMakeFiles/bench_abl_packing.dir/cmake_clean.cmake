@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_abl_packing"
+  "../bench/bench_abl_packing.pdb"
+  "CMakeFiles/bench_abl_packing.dir/bench_abl_packing.cc.o"
+  "CMakeFiles/bench_abl_packing.dir/bench_abl_packing.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_packing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_abl_reconstructors"
+  "../bench/bench_abl_reconstructors.pdb"
+  "CMakeFiles/bench_abl_reconstructors.dir/bench_abl_reconstructors.cc.o"
+  "CMakeFiles/bench_abl_reconstructors.dir/bench_abl_reconstructors.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_reconstructors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_abl_reconstructors.
+# This may be replaced when dependencies are built.

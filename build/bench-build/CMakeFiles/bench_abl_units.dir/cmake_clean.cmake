@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_abl_units"
+  "../bench/bench_abl_units.pdb"
+  "CMakeFiles/bench_abl_units.dir/bench_abl_units.cc.o"
+  "CMakeFiles/bench_abl_units.dir/bench_abl_units.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_units.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig03_sd_analysis"
+  "../bench/bench_fig03_sd_analysis.pdb"
+  "CMakeFiles/bench_fig03_sd_analysis.dir/bench_fig03_sd_analysis.cc.o"
+  "CMakeFiles/bench_fig03_sd_analysis.dir/bench_fig03_sd_analysis.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_sd_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

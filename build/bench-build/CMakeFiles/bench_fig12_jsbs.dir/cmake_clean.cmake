@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_jsbs"
+  "../bench/bench_fig12_jsbs.pdb"
+  "CMakeFiles/bench_fig12_jsbs.dir/bench_fig12_jsbs.cc.o"
+  "CMakeFiles/bench_fig12_jsbs.dir/bench_fig12_jsbs.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_jsbs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

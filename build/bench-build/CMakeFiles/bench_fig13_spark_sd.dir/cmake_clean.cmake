@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig13_spark_sd"
+  "../bench/bench_fig13_spark_sd.pdb"
+  "CMakeFiles/bench_fig13_spark_sd.dir/bench_fig13_spark_sd.cc.o"
+  "CMakeFiles/bench_fig13_spark_sd.dir/bench_fig13_spark_sd.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_spark_sd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig13_spark_sd.
+# This may be replaced when dependencies are built.

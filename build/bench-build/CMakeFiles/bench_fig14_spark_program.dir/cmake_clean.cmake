@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig14_spark_program"
+  "../bench/bench_fig14_spark_program.pdb"
+  "CMakeFiles/bench_fig14_spark_program.dir/bench_fig14_spark_program.cc.o"
+  "CMakeFiles/bench_fig14_spark_program.dir/bench_fig14_spark_program.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_spark_program.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig14_spark_program.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig15_spark_bandwidth"
+  "../bench/bench_fig15_spark_bandwidth.pdb"
+  "CMakeFiles/bench_fig15_spark_bandwidth.dir/bench_fig15_spark_bandwidth.cc.o"
+  "CMakeFiles/bench_fig15_spark_bandwidth.dir/bench_fig15_spark_bandwidth.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_spark_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

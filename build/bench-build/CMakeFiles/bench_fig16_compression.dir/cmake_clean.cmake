@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig16_compression"
+  "../bench/bench_fig16_compression.pdb"
+  "CMakeFiles/bench_fig16_compression.dir/bench_fig16_compression.cc.o"
+  "CMakeFiles/bench_fig16_compression.dir/bench_fig16_compression.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tab04_sizes"
+  "../bench/bench_tab04_sizes.pdb"
+  "CMakeFiles/bench_tab04_sizes.dir/bench_tab04_sizes.cc.o"
+  "CMakeFiles/bench_tab04_sizes.dir/bench_tab04_sizes.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab04_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

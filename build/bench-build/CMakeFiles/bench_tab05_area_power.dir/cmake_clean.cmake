@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tab05_area_power"
+  "../bench/bench_tab05_area_power.pdb"
+  "CMakeFiles/bench_tab05_area_power.dir/bench_tab05_area_power.cc.o"
+  "CMakeFiles/bench_tab05_area_power.dir/bench_tab05_area_power.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab05_area_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpc_pipeline.dir/rpc_pipeline.cpp.o"
+  "CMakeFiles/rpc_pipeline.dir/rpc_pipeline.cpp.o.d"
+  "rpc_pipeline"
+  "rpc_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpc_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spark_shuffle.dir/spark_shuffle.cpp.o"
+  "CMakeFiles/spark_shuffle.dir/spark_shuffle.cpp.o.d"
+  "spark_shuffle"
+  "spark_shuffle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spark_shuffle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

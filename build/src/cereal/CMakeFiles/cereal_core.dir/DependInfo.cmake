@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cereal/accel/device.cc" "src/cereal/CMakeFiles/cereal_core.dir/accel/device.cc.o" "gcc" "src/cereal/CMakeFiles/cereal_core.dir/accel/device.cc.o.d"
+  "/root/repo/src/cereal/accel/du.cc" "src/cereal/CMakeFiles/cereal_core.dir/accel/du.cc.o" "gcc" "src/cereal/CMakeFiles/cereal_core.dir/accel/du.cc.o.d"
+  "/root/repo/src/cereal/accel/mai.cc" "src/cereal/CMakeFiles/cereal_core.dir/accel/mai.cc.o" "gcc" "src/cereal/CMakeFiles/cereal_core.dir/accel/mai.cc.o.d"
+  "/root/repo/src/cereal/accel/su.cc" "src/cereal/CMakeFiles/cereal_core.dir/accel/su.cc.o" "gcc" "src/cereal/CMakeFiles/cereal_core.dir/accel/su.cc.o.d"
+  "/root/repo/src/cereal/api.cc" "src/cereal/CMakeFiles/cereal_core.dir/api.cc.o" "gcc" "src/cereal/CMakeFiles/cereal_core.dir/api.cc.o.d"
+  "/root/repo/src/cereal/area_power.cc" "src/cereal/CMakeFiles/cereal_core.dir/area_power.cc.o" "gcc" "src/cereal/CMakeFiles/cereal_core.dir/area_power.cc.o.d"
+  "/root/repo/src/cereal/cereal_serializer.cc" "src/cereal/CMakeFiles/cereal_core.dir/cereal_serializer.cc.o" "gcc" "src/cereal/CMakeFiles/cereal_core.dir/cereal_serializer.cc.o.d"
+  "/root/repo/src/cereal/format.cc" "src/cereal/CMakeFiles/cereal_core.dir/format.cc.o" "gcc" "src/cereal/CMakeFiles/cereal_core.dir/format.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/heap/CMakeFiles/cereal_heap.dir/DependInfo.cmake"
+  "/root/repo/build/src/serde/CMakeFiles/cereal_serde.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/cereal_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/cereal_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cereal_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

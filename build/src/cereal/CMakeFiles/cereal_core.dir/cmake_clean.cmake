@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cereal_core.dir/accel/device.cc.o"
+  "CMakeFiles/cereal_core.dir/accel/device.cc.o.d"
+  "CMakeFiles/cereal_core.dir/accel/du.cc.o"
+  "CMakeFiles/cereal_core.dir/accel/du.cc.o.d"
+  "CMakeFiles/cereal_core.dir/accel/mai.cc.o"
+  "CMakeFiles/cereal_core.dir/accel/mai.cc.o.d"
+  "CMakeFiles/cereal_core.dir/accel/su.cc.o"
+  "CMakeFiles/cereal_core.dir/accel/su.cc.o.d"
+  "CMakeFiles/cereal_core.dir/api.cc.o"
+  "CMakeFiles/cereal_core.dir/api.cc.o.d"
+  "CMakeFiles/cereal_core.dir/area_power.cc.o"
+  "CMakeFiles/cereal_core.dir/area_power.cc.o.d"
+  "CMakeFiles/cereal_core.dir/cereal_serializer.cc.o"
+  "CMakeFiles/cereal_core.dir/cereal_serializer.cc.o.d"
+  "CMakeFiles/cereal_core.dir/format.cc.o"
+  "CMakeFiles/cereal_core.dir/format.cc.o.d"
+  "libcereal_core.a"
+  "libcereal_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cereal_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

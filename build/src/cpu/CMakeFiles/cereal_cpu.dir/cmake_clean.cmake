@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cereal_cpu.dir/core_model.cc.o"
+  "CMakeFiles/cereal_cpu.dir/core_model.cc.o.d"
+  "libcereal_cpu.a"
+  "libcereal_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cereal_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

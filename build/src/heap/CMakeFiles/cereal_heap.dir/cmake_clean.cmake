@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cereal_heap.dir/heap.cc.o"
+  "CMakeFiles/cereal_heap.dir/heap.cc.o.d"
+  "CMakeFiles/cereal_heap.dir/klass.cc.o"
+  "CMakeFiles/cereal_heap.dir/klass.cc.o.d"
+  "CMakeFiles/cereal_heap.dir/walker.cc.o"
+  "CMakeFiles/cereal_heap.dir/walker.cc.o.d"
+  "libcereal_heap.a"
+  "libcereal_heap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cereal_heap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

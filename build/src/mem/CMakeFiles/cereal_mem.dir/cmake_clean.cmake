@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cereal_mem.dir/cache.cc.o"
+  "CMakeFiles/cereal_mem.dir/cache.cc.o.d"
+  "CMakeFiles/cereal_mem.dir/dram.cc.o"
+  "CMakeFiles/cereal_mem.dir/dram.cc.o.d"
+  "libcereal_mem.a"
+  "libcereal_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cereal_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

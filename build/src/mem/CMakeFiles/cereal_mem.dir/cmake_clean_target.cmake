@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcereal_mem.a"
+)

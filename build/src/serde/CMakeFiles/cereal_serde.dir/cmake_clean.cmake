@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cereal_serde.dir/java_serde.cc.o"
+  "CMakeFiles/cereal_serde.dir/java_serde.cc.o.d"
+  "CMakeFiles/cereal_serde.dir/kryo_serde.cc.o"
+  "CMakeFiles/cereal_serde.dir/kryo_serde.cc.o.d"
+  "CMakeFiles/cereal_serde.dir/skyway_serde.cc.o"
+  "CMakeFiles/cereal_serde.dir/skyway_serde.cc.o.d"
+  "libcereal_serde.a"
+  "libcereal_serde.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cereal_serde.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cereal_shuffle.dir/lz.cc.o"
+  "CMakeFiles/cereal_shuffle.dir/lz.cc.o.d"
+  "CMakeFiles/cereal_shuffle.dir/shuffle.cc.o"
+  "CMakeFiles/cereal_shuffle.dir/shuffle.cc.o.d"
+  "libcereal_shuffle.a"
+  "libcereal_shuffle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cereal_shuffle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for cereal_shuffle.
+# This may be replaced when dependencies are built.

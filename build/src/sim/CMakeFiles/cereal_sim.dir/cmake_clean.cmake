@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cereal_sim.dir/logging.cc.o"
+  "CMakeFiles/cereal_sim.dir/logging.cc.o.d"
+  "CMakeFiles/cereal_sim.dir/stats.cc.o"
+  "CMakeFiles/cereal_sim.dir/stats.cc.o.d"
+  "libcereal_sim.a"
+  "libcereal_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cereal_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cereal_workloads.dir/harness.cc.o"
+  "CMakeFiles/cereal_workloads.dir/harness.cc.o.d"
+  "CMakeFiles/cereal_workloads.dir/jsbs.cc.o"
+  "CMakeFiles/cereal_workloads.dir/jsbs.cc.o.d"
+  "CMakeFiles/cereal_workloads.dir/micro.cc.o"
+  "CMakeFiles/cereal_workloads.dir/micro.cc.o.d"
+  "CMakeFiles/cereal_workloads.dir/spark.cc.o"
+  "CMakeFiles/cereal_workloads.dir/spark.cc.o.d"
+  "libcereal_workloads.a"
+  "libcereal_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cereal_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cereal_format.dir/test_cereal_format.cc.o"
+  "CMakeFiles/test_cereal_format.dir/test_cereal_format.cc.o.d"
+  "test_cereal_format"
+  "test_cereal_format.pdb"
+  "test_cereal_format[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cereal_format.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model_consistency.dir/test_model_consistency.cc.o"
+  "CMakeFiles/test_model_consistency.dir/test_model_consistency.cc.o.d"
+  "test_model_consistency"
+  "test_model_consistency.pdb"
+  "test_model_consistency[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model_consistency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_serde_roundtrip.dir/test_serde_roundtrip.cc.o"
+  "CMakeFiles/test_serde_roundtrip.dir/test_serde_roundtrip.cc.o.d"
+  "test_serde_roundtrip"
+  "test_serde_roundtrip.pdb"
+  "test_serde_roundtrip[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_serde_roundtrip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
