@@ -17,40 +17,66 @@ using namespace cereal::workloads;
 int
 main(int argc, char **argv)
 {
-    const std::uint64_t scale = bench::scaleFromArgs(argc, argv, 64);
+    auto opts = bench::parseArgs(argc, argv, 64, "abl_mai");
     bench::banner("Ablation: MAI outstanding-entry sweep",
                   "the 64-entry MAI is the accelerator's MLP source; "
                   "small tables re-create the CPU's bottleneck");
 
-    KlassRegistry reg;
-    MicroWorkloads micro(reg);
-    Heap src(reg);
-    Addr root = micro.build(src, MicroBench::TreeWide, scale, 42);
-    CerealSerializer ser;
-    ser.registerAll(reg);
-    auto stream = ser.serializeToStream(src, root);
+    const std::vector<unsigned> entries = {4, 8, 16, 32, 64, 128, 256};
+    struct Row
+    {
+        double serMs, deserMs;
+    };
+    std::vector<Row> rows(entries.size());
+    runner::SweepRunner sweep("abl_mai");
+
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        const unsigned e = entries[i];
+        const std::uint64_t scale = opts.scale;
+        sweep.add(strfmt("entries-%u", e),
+                  [&rows, i, e, scale](json::Writer &w) {
+                      KlassRegistry reg;
+                      MicroWorkloads micro(reg);
+                      Heap src(reg, 0x1'0000'0000ULL);
+                      Addr root =
+                          micro.build(src, MicroBench::TreeWide, scale, 42);
+                      CerealSerializer ser;
+                      ser.registerAll(reg);
+                      auto stream = ser.serializeToStream(src, root);
+
+                      AccelConfig cfg;
+                      cfg.maiEntries = e;
+                      // Serialize.
+                      EventQueue eq1;
+                      Dram d1("d1", eq1);
+                      CerealDevice dev1(d1, cfg);
+                      auto ts = dev1.serialize(src, root, 0);
+                      // Deserialize.
+                      EventQueue eq2;
+                      Dram d2("d2", eq2);
+                      CerealDevice dev2(d2, cfg);
+                      Heap dst(reg, 0x9'0000'0000ULL);
+                      CerealSerializer de;
+                      de.registerAll(reg);
+                      Addr base = de.deserializeStream(stream, dst);
+                      auto td = dev2.deserialize(stream, base, 0);
+
+                      rows[i] = {ts.latencySeconds * 1e3,
+                                 td.latencySeconds * 1e3};
+                      w.kv("mai_entries", e);
+                      w.kv("ser_seconds", ts.latencySeconds);
+                      w.kv("deser_seconds", td.latencySeconds);
+                  });
+    }
+
+    sweep.run(opts.threads);
 
     std::printf("%-8s | %10s | %10s\n", "entries", "ser(ms)",
                 "deser(ms)");
-    for (unsigned e : {4u, 8u, 16u, 32u, 64u, 128u, 256u}) {
-        AccelConfig cfg;
-        cfg.maiEntries = e;
-        // Serialize.
-        EventQueue eq1;
-        Dram d1("d1", eq1);
-        CerealDevice dev1(d1, cfg);
-        auto ts = dev1.serialize(src, root, 0);
-        // Deserialize.
-        EventQueue eq2;
-        Dram d2("d2", eq2);
-        CerealDevice dev2(d2, cfg);
-        Heap dst(reg, 0x9'0000'0000ULL);
-        CerealSerializer de;
-        de.registerAll(reg);
-        Addr base = de.deserializeStream(stream, dst);
-        auto td = dev2.deserialize(stream, base, 0);
-        std::printf("%-8u | %10.3f | %10.3f\n", e,
-                    ts.latencySeconds * 1e3, td.latencySeconds * 1e3);
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        std::printf("%-8u | %10.3f | %10.3f\n", entries[i],
+                    rows[i].serMs, rows[i].deserMs);
     }
+    bench::writeBenchJson(sweep, opts);
     return 0;
 }

@@ -20,29 +20,48 @@ using namespace cereal::workloads;
 int
 main(int argc, char **argv)
 {
-    const std::uint64_t scale = bench::scaleFromArgs(argc, argv, 64);
+    auto opts = bench::parseArgs(argc, argv, 64, "abl_mlp");
     bench::banner("Ablation: CPU miss-window (MLP) sweep under Kryo",
                   "bounded MLP is the structural CPU limit; gains "
                   "saturate well below accelerator bandwidth");
 
-    KlassRegistry reg;
-    MicroWorkloads micro(reg);
-    Heap src(reg);
-    Addr root = micro.build(src, MicroBench::TreeWide, scale, 42);
+    const std::vector<unsigned> windows = {1, 2, 4, 10, 16, 32, 64};
+    std::vector<SdMeasurement> rows(windows.size());
+    runner::SweepRunner sweep("abl_mlp");
+
+    for (std::size_t i = 0; i < windows.size(); ++i) {
+        const unsigned w_entries = windows[i];
+        const std::uint64_t scale = opts.scale;
+        sweep.add(strfmt("window-%u", w_entries),
+                  [&rows, i, w_entries, scale](json::Writer &w) {
+                      KlassRegistry reg;
+                      MicroWorkloads micro(reg);
+                      Heap src(reg, 0x1'0000'0000ULL);
+                      Addr root =
+                          micro.build(src, MicroBench::TreeWide, scale, 42);
+                      CoreConfig cfg;
+                      cfg.missWindow = w_entries;
+                      KryoSerializer kryo;
+                      kryo.registerAll(reg);
+                      rows[i] = measureSoftware(kryo, src, root, cfg);
+                      w.kv("miss_window", w_entries);
+                      rows[i].writeJson(w, "kryo");
+                  });
+    }
+
+    sweep.run(opts.threads);
 
     std::printf("%-8s | %10s %8s | %10s %8s\n", "window", "ser(ms)",
                 "bw%", "deser(ms)", "bw%");
-    for (unsigned w : {1u, 2u, 4u, 10u, 16u, 32u, 64u}) {
-        CoreConfig cfg;
-        cfg.missWindow = w;
-        KryoSerializer kryo;
-        kryo.registerAll(reg);
-        auto m = measureSoftware(kryo, src, root, cfg);
-        std::printf("%-8u | %10.3f %7.2f%% | %10.3f %7.2f%%\n", w,
-                    m.serSeconds * 1e3, m.serBandwidth * 100,
-                    m.deserSeconds * 1e3, m.deserBandwidth * 100);
+    for (std::size_t i = 0; i < windows.size(); ++i) {
+        const auto &m = rows[i];
+        std::printf("%-8u | %10.3f %7.2f%% | %10.3f %7.2f%%\n",
+                    windows[i], m.serSeconds * 1e3,
+                    m.serBandwidth * 100, m.deserSeconds * 1e3,
+                    m.deserBandwidth * 100);
     }
     std::printf("(Table I CPU sustains ~10; Cereal's MAI sustains "
                 "64)\n");
+    bench::writeBenchJson(sweep, opts);
     return 0;
 }

@@ -6,6 +6,7 @@
  */
 
 #include <cstdio>
+#include <functional>
 
 #include "bench/bench_util.hh"
 #include "cereal/cereal_serializer.hh"
@@ -18,17 +19,29 @@ using namespace cereal::workloads;
 
 namespace {
 
-void
-row(const char *name, const CerealStream &s)
+/** One workload row: packed vs baseline stream footprint. */
+struct Row
 {
-    const double packed = static_cast<double>(s.serializedBytes());
-    const double baseline = static_cast<double>(s.baselineBytes());
-    const double ref_share =
+    double baselineBytes = 0;
+    double packedBytes = 0;
+    double refSharePct = 0;
+
+    double savedPct() const
+    {
+        return (baselineBytes - packedBytes) / baselineBytes * 100;
+    }
+};
+
+Row
+measure(const CerealStream &s)
+{
+    Row r;
+    r.packedBytes = static_cast<double>(s.serializedBytes());
+    r.baselineBytes = static_cast<double>(s.baselineBytes());
+    r.refSharePct =
         static_cast<double>(s.refBuckets.size() + s.refEndMap.size()) /
-        packed * 100;
-    std::printf("%-14s | %10.1f %10.1f | %8.1f%% | %7.1f%%\n", name,
-                baseline / 1024, packed / 1024,
-                (baseline - packed) / baseline * 100, ref_share);
+        r.packedBytes * 100;
+    return r;
 }
 
 } // namespace
@@ -36,43 +49,71 @@ row(const char *name, const CerealStream &s)
 int
 main(int argc, char **argv)
 {
-    const std::uint64_t scale = bench::scaleFromArgs(argc, argv, 64);
+    auto opts = bench::parseArgs(argc, argv, 64, "abl_packing");
     bench::banner("Ablation: object packing on vs off",
                   "packing compresses reference offsets + bitmaps; "
                   "value-heavy workloads see little change, "
                   "reference-heavy ones shrink dramatically");
 
+    // 13 points: 6 micro benches, the JSBS media graph, 6 Spark apps.
+    // Each builds its graph in a private registry/heap.
+    struct PointSpec
+    {
+        std::string name;
+        std::function<Addr(KlassRegistry &, Heap &, std::uint64_t)> build;
+    };
+    std::vector<PointSpec> specs;
+    for (auto mb : allMicroBenches()) {
+        specs.push_back({microBenchName(mb),
+                         [mb](KlassRegistry &reg, Heap &src,
+                              std::uint64_t scale) {
+                             MicroWorkloads micro(reg);
+                             return micro.build(src, mb, scale, 42);
+                         }});
+    }
+    specs.push_back({"jsbs-media",
+                     [](KlassRegistry &reg, Heap &src, std::uint64_t) {
+                         JsbsWorkload jsbs(reg);
+                         return jsbs.buildMediaContent(src, 1);
+                     }});
+    for (const auto &app : sparkApps()) {
+        specs.push_back({app.name,
+                         [name = app.name](KlassRegistry &reg, Heap &src,
+                                           std::uint64_t scale) {
+                             SparkWorkloads spark(reg);
+                             return spark.build(src, name, scale, 42);
+                         }});
+    }
+
+    std::vector<Row> rows(specs.size());
+    runner::SweepRunner sweep("abl_packing");
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        const auto &spec = specs[i];
+        const std::uint64_t scale = opts.scale;
+        sweep.add(spec.name, [&rows, i, &spec, scale](json::Writer &w) {
+            KlassRegistry reg;
+            Heap src(reg, 0x1'0000'0000ULL);
+            Addr root = spec.build(reg, src, scale);
+            CerealSerializer ser;
+            ser.registerAll(reg);
+            rows[i] = measure(ser.serializeToStream(src, root));
+            w.kv("baseline_bytes", rows[i].baselineBytes);
+            w.kv("packed_bytes", rows[i].packedBytes);
+            w.kv("saved_pct", rows[i].savedPct());
+            w.kv("ref_share_pct", rows[i].refSharePct);
+        });
+    }
+
+    sweep.run(opts.threads);
+
     std::printf("%-14s | %10s %10s | %9s | %8s\n", "workload",
                 "base(KB)", "packed(KB)", "saved", "ref-share");
-
-    KlassRegistry reg;
-    MicroWorkloads micro(reg);
-    JsbsWorkload jsbs(reg);
-    SparkWorkloads spark(reg);
-    CerealSerializer ser;
-    ser.registerAll(reg);
-
-    Addr base = 0x1'0000'0000ULL;
-    auto fresh = [&]() {
-        Addr b = base;
-        base += 0x10'0000'0000ULL;
-        return b;
-    };
-
-    for (auto mb : allMicroBenches()) {
-        Heap src(reg, fresh());
-        Addr root = micro.build(src, mb, scale, 42);
-        row(microBenchName(mb), ser.serializeToStream(src, root));
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        const Row &r = rows[i];
+        std::printf("%-14s | %10.1f %10.1f | %8.1f%% | %7.1f%%\n",
+                    specs[i].name.c_str(), r.baselineBytes / 1024,
+                    r.packedBytes / 1024, r.savedPct(), r.refSharePct);
     }
-    {
-        Heap src(reg, fresh());
-        row("jsbs-media", ser.serializeToStream(
-                              src, jsbs.buildMediaContent(src, 1)));
-    }
-    for (const auto &spec : sparkApps()) {
-        Heap src(reg, fresh());
-        Addr root = spark.build(src, spec.name, scale, 42);
-        row(spec.name.c_str(), ser.serializeToStream(src, root));
-    }
+    bench::writeBenchJson(sweep, opts);
     return 0;
 }

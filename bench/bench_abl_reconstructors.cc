@@ -4,6 +4,7 @@
  * per-DU block-reconstructor count sweeps 1..8 (the paper ships 4).
  */
 
+#include <array>
 #include <cstdio>
 
 #include "bench/bench_util.hh"
@@ -13,46 +14,77 @@
 using namespace cereal;
 using namespace cereal::workloads;
 
+namespace {
+
+constexpr std::array<unsigned, 4> kReconCounts = {1, 2, 4, 8};
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
-    const std::uint64_t scale = bench::scaleFromArgs(argc, argv, 64);
+    auto opts = bench::parseArgs(argc, argv, 64, "abl_reconstructors");
     bench::banner("Ablation: block reconstructors per DU",
                   "the decoupled format lets several 64 B blocks "
                   "rebuild in parallel (Section V-C)");
 
-    KlassRegistry reg;
-    MicroWorkloads micro(reg);
+    const auto benches = allMicroBenches();
+    // rows[workload][recon-config] = deserialize latency (seconds).
+    std::vector<std::array<double, kReconCounts.size()>> rows(
+        benches.size());
+    runner::SweepRunner sweep("abl_reconstructors");
+
+    for (std::size_t i = 0; i < benches.size(); ++i) {
+        const auto mb = benches[i];
+        const std::uint64_t scale = opts.scale;
+        sweep.add(microBenchName(mb),
+                  [&rows, i, mb, scale](json::Writer &w) {
+                      KlassRegistry reg;
+                      MicroWorkloads micro(reg);
+                      Heap src(reg, 0x1'0000'0000ULL);
+                      Addr root = micro.build(src, mb, scale, 42);
+                      CerealSerializer ser;
+                      ser.registerAll(reg);
+                      auto stream = ser.serializeToStream(src, root);
+
+                      w.key("reconstructors");
+                      w.beginArray();
+                      for (std::size_t j = 0; j < kReconCounts.size();
+                           ++j) {
+                          AccelConfig cfg;
+                          cfg.blockReconstructors = kReconCounts[j];
+                          EventQueue eq;
+                          Dram dram("dram", eq);
+                          CerealDevice dev(dram, cfg);
+                          Heap dst(reg, 0x9'0000'0000ULL);
+                          CerealSerializer de;
+                          de.registerAll(reg);
+                          Addr base = de.deserializeStream(stream, dst);
+                          auto t = dev.deserialize(stream, base, 0);
+                          rows[i][j] = t.latencySeconds;
+                          w.beginObject();
+                          w.kv("count", kReconCounts[j]);
+                          w.kv("deser_seconds", t.latencySeconds);
+                          w.endObject();
+                      }
+                      w.endArray();
+                  });
+    }
+
+    sweep.run(opts.threads);
 
     std::printf("%-13s |", "workload");
-    for (unsigned r : {1u, 2u, 4u, 8u}) {
+    for (unsigned r : kReconCounts) {
         std::printf(" %5u-br", r);
     }
     std::printf("   (ms per deserialize; lower is better)\n");
-
-    for (auto mb : allMicroBenches()) {
-        Heap src(reg, 0x1'0000'0000ULL +
-                          0x10'0000'0000ULL * static_cast<Addr>(mb));
-        Addr root = micro.build(src, mb, scale, 42);
-        CerealSerializer ser;
-        ser.registerAll(reg);
-        auto stream = ser.serializeToStream(src, root);
-
-        std::printf("%-13s |", microBenchName(mb));
-        for (unsigned recon : {1u, 2u, 4u, 8u}) {
-            AccelConfig cfg;
-            cfg.blockReconstructors = recon;
-            EventQueue eq;
-            Dram dram("dram", eq);
-            CerealDevice dev(dram, cfg);
-            Heap dst(reg, 0x9'0000'0000ULL);
-            CerealSerializer de;
-            de.registerAll(reg);
-            Addr base = de.deserializeStream(stream, dst);
-            auto t = dev.deserialize(stream, base, 0);
-            std::printf(" %8.3f", t.latencySeconds * 1e3);
+    for (std::size_t i = 0; i < benches.size(); ++i) {
+        std::printf("%-13s |", microBenchName(benches[i]));
+        for (double s : rows[i]) {
+            std::printf(" %8.3f", s * 1e3);
         }
         std::printf("\n");
     }
+    bench::writeBenchJson(sweep, opts);
     return 0;
 }

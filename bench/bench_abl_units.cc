@@ -2,9 +2,10 @@
  * @file
  * Ablation: operation-level parallelism — throughput of a batch of
  * concurrent S/D commands as the number of SUs/DUs scales from 1 to
- * 16 (Table I ships 8+8).
+ * 32 (Table I ships 8+8).
  */
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 
@@ -15,73 +16,117 @@
 using namespace cereal;
 using namespace cereal::workloads;
 
+namespace {
+
+/** Single-operation latency/traffic measured by the one sweep point. */
+struct OpProfile
+{
+    double serLat = 0, deLat = 0;
+    double serBytes = 0, deBytes = 0;
+    double peakBw = 0;
+};
+
+constexpr int kOps = 32;
+
+/**
+ * Schedule the batch greedily over the unit pool. The explicit
+ * makespan model (max of unit occupancy and the DRAM bandwidth
+ * ceiling) sidesteps the schedule-synchronous DRAM model's
+ * cross-operation ordering artifact while keeping both physical
+ * limits — unit count and shared bandwidth.
+ */
+double
+makespan(const OpProfile &p, unsigned units, bool ser)
+{
+    double lat = ser ? p.serLat : p.deLat;
+    double bytes = ser ? p.serBytes : p.deBytes;
+    double unit_bound =
+        std::ceil(static_cast<double>(kOps) / units) * lat;
+    double bw_bound = kOps * bytes / p.peakBw;
+    return std::max(unit_bound, bw_bound);
+}
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
-    const std::uint64_t scale = bench::scaleFromArgs(argc, argv, 256);
+    auto opts = bench::parseArgs(argc, argv, 256, "abl_units");
     bench::banner("Ablation: SU/DU count sweep (operation-level "
                   "parallelism)",
                   "multiple units overlap independent S/D operations; "
                   "returns diminish once DRAM saturates");
 
-    KlassRegistry reg;
-    MicroWorkloads micro(reg);
-    Heap src(reg);
-    const int kOps = 32;
-    std::vector<Addr> roots;
-    for (int i = 0; i < kOps; ++i) {
-        roots.push_back(
-            micro.build(src, MicroBench::TreeNarrow, scale, 42 + i));
-    }
+    const std::vector<unsigned> unit_counts = {1, 2, 4, 8, 16, 32};
+    OpProfile prof;
+    runner::SweepRunner sweep("abl_units");
 
-    // Measure single-op latency and memory traffic per direction, then
-    // schedule the batch greedily over the unit pool. The explicit
-    // makespan model (max of unit occupancy and the DRAM bandwidth
-    // ceiling) sidesteps the schedule-synchronous DRAM model's
-    // cross-operation ordering artifact while keeping both physical
-    // limits — unit count and shared bandwidth.
-    double ser_lat, de_lat;
-    double ser_bytes, de_bytes;
-    double peak_bw;
-    {
+    // One measured point: single-op latency and memory traffic per
+    // direction, in its own sim context. The unit sweep itself is
+    // analytic and lands in the summary.
+    const std::uint64_t scale = opts.scale;
+    sweep.add("single-op", [&prof, scale](json::Writer &w) {
+        KlassRegistry reg;
+        MicroWorkloads micro(reg);
+        Heap src(reg);
+        Addr root = micro.build(src, MicroBench::TreeNarrow, scale, 42);
         EventQueue eq;
         Dram dram("dram", eq);
-        peak_bw = dram.config().peakBandwidth();
+        prof.peakBw = dram.config().peakBandwidth();
         CerealContext ctx(dram, AccelConfig());
         ctx.registerAll(reg);
-        auto ts = ctx.device().serialize(src, roots[0], 0);
-        ser_lat = ts.latencySeconds;
-        ser_bytes = static_cast<double>(ts.bytes);
-        auto stream = ctx.serializer().serializeToStream(src, roots[0]);
+        auto ts = ctx.device().serialize(src, root, 0);
+        prof.serLat = ts.latencySeconds;
+        prof.serBytes = static_cast<double>(ts.bytes);
+        auto stream = ctx.serializer().serializeToStream(src, root);
         Heap dst(reg, 0x9'0000'0000ULL);
         Addr base = ctx.serializer().deserializeStream(stream, dst);
         auto td = ctx.device().deserialize(stream, base, ts.done);
-        de_lat = td.latencySeconds;
-        de_bytes = static_cast<double>(td.bytes);
-    }
+        prof.deLat = td.latencySeconds;
+        prof.deBytes = static_cast<double>(td.bytes);
+        w.kv("ops", kOps);
+        w.kv("ser_op_seconds", prof.serLat);
+        w.kv("deser_op_seconds", prof.deLat);
+        w.kv("ser_op_bytes", prof.serBytes);
+        w.kv("deser_op_bytes", prof.deBytes);
+        w.kv("peak_bandwidth", prof.peakBw);
+    });
+
+    sweep.setSummary([&](json::Writer &w) {
+        const double base_ser = makespan(prof, 1, true);
+        const double base_de = makespan(prof, 1, false);
+        w.key("units");
+        w.beginArray();
+        for (unsigned units : unit_counts) {
+            double ser_s = makespan(prof, units, true);
+            double de_s = makespan(prof, units, false);
+            w.beginObject();
+            w.kv("units", units);
+            w.kv("ser_makespan_seconds", ser_s);
+            w.kv("deser_makespan_seconds", de_s);
+            w.kv("ser_speedup", base_ser / ser_s);
+            w.kv("deser_speedup", base_de / de_s);
+            w.endObject();
+        }
+        w.endArray();
+    });
+
+    sweep.run(opts.threads);
 
     std::printf("%-6s | %14s %10s | %14s %10s\n", "units",
                 "ser-makespan", "ser-x", "deser-makespan", "deser-x");
-    double base_ser = 0, base_de = 0;
-    for (unsigned units : {1u, 2u, 4u, 8u, 16u, 32u}) {
-        auto makespan = [&](double lat, double bytes) {
-            double unit_bound =
-                std::ceil(static_cast<double>(kOps) / units) * lat;
-            double bw_bound = kOps * bytes / peak_bw;
-            return std::max(unit_bound, bw_bound);
-        };
-        double ser_ms = makespan(ser_lat, ser_bytes) * 1e3;
-        double de_ms = makespan(de_lat, de_bytes) * 1e3;
-        if (units == 1) {
-            base_ser = ser_ms;
-            base_de = de_ms;
-        }
+    const double base_ser = makespan(prof, 1, true) * 1e3;
+    const double base_de = makespan(prof, 1, false) * 1e3;
+    for (unsigned units : unit_counts) {
+        double ser_ms = makespan(prof, units, true) * 1e3;
+        double de_ms = makespan(prof, units, false) * 1e3;
         std::printf("%-6u | %11.3f ms %9.2fx | %11.3f ms %9.2fx\n",
                     units, ser_ms, base_ser / ser_ms, de_ms,
                     base_de / de_ms);
     }
     std::printf("(speedup saturates when the batch hits the %.1f GB/s "
                 "DRAM ceiling)\n",
-                peak_bw / 1e9);
+                prof.peakBw / 1e9);
+    bench::writeBenchJson(sweep, opts);
     return 0;
 }

@@ -12,6 +12,7 @@
  * 90.9% for SVM) and 28.3% under Kryo (up to 83.4%).
  */
 
+#include <algorithm>
 #include <cstdio>
 
 #include "bench/spark_common.hh"
@@ -22,12 +23,31 @@ using namespace cereal::workloads;
 int
 main(int argc, char **argv)
 {
-    const std::uint64_t scale = bench::scaleFromArgs(argc, argv, 8);
+    auto opts = bench::parseArgs(argc, argv, 8, "fig02_breakdown");
     bench::banner("Figure 2: Spark runtime breakdown by serializer",
                   "S/D share avg 39.5% (Java, max 90.9%) and 28.3% "
                   "(Kryo, max 83.4%)");
 
-    auto rows = bench::measureSparkApps(scale);
+    std::vector<bench::SparkRow> rows;
+    runner::SweepRunner sweep("fig02_breakdown");
+    bench::addSparkPoints(sweep, opts.scale, rows);
+
+    sweep.setSummary([&rows](json::Writer &w) {
+        double java_sd_avg = 0, kryo_sd_avg = 0, kryo_sd_max = 0;
+        for (const auto &r : rows) {
+            java_sd_avg += r.spec.javaPhases.sd;
+            auto p = scalePhases(r.spec.javaPhases, r.kryoSdSpeedup());
+            kryo_sd_avg += p.sd;
+            kryo_sd_max = std::max(kryo_sd_max, p.sd);
+        }
+        java_sd_avg /= static_cast<double>(rows.size());
+        kryo_sd_avg /= static_cast<double>(rows.size());
+        w.kv("java_sd_share_avg", java_sd_avg);
+        w.kv("kryo_sd_share_avg", kryo_sd_avg);
+        w.kv("kryo_sd_share_max", kryo_sd_max);
+    });
+
+    sweep.run(opts.threads);
 
     std::printf("(a) Java S/D\n");
     std::printf("%-10s | %8s %6s %6s %6s\n", "app", "compute", "gc",
@@ -62,5 +82,6 @@ main(int argc, char **argv)
     std::printf("\nS/D share: java avg %.1f%% (paper 39.5%%), kryo avg "
                 "%.1f%% max %.1f%% (paper 28.3%% / 83.4%%)\n",
                 java_sd_avg * 100, kryo_sd_avg * 100, kryo_sd_max * 100);
+    bench::writeBenchJson(sweep, opts);
     return 0;
 }

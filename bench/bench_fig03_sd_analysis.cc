@@ -20,73 +20,107 @@
 using namespace cereal;
 using namespace cereal::workloads;
 
+namespace {
+
+struct Row
+{
+    double ipcJ, ipcK, llcJ, llcK, bwJ, bwK, spd;
+};
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
-    const std::uint64_t scale = bench::scaleFromArgs(argc, argv);
+    auto opts = bench::parseArgs(argc, argv, 64, "fig03_sd_analysis");
     bench::banner("Figure 3: S/D process analysis (Java S/D vs Kryo)",
                   "IPC ~1.0; high LLC miss rate; <5% DRAM bandwidth; "
                   "modest Kryo speedup");
 
+    const auto &benches = allMicroBenches();
+    std::vector<Row> rows(benches.size());
+    runner::SweepRunner sweep("fig03_sd_analysis");
+
+    for (std::size_t i = 0; i < benches.size(); ++i) {
+        const MicroBench mb = benches[i];
+        const std::uint64_t scale = opts.scale;
+        sweep.add(microBenchName(mb), [&rows, i, mb,
+                                       scale](json::Writer &w) {
+            KlassRegistry reg;
+            MicroWorkloads micro(reg);
+            Heap src(reg, 0x1'0000'0000ULL);
+            Addr root = micro.build(src, mb, scale, 42);
+            JavaSerializer java;
+            KryoSerializer kryo;
+            kryo.registerAll(reg);
+            auto mj = measureSoftware(java, src, root);
+            auto mk = measureSoftware(kryo, src, root);
+
+            // Weighted over both directions, as the figure reports the
+            // S/D process as a whole.
+            auto combine = [](double ser, double de, double ws,
+                              double wd) {
+                return (ser * ws + de * wd) / (ws + wd);
+            };
+            rows[i] = {combine(mj.serIpc, mj.deserIpc, mj.serSeconds,
+                               mj.deserSeconds),
+                       combine(mk.serIpc, mk.deserIpc, mk.serSeconds,
+                               mk.deserSeconds),
+                       combine(mj.serLlcMissRate, mj.deserLlcMissRate,
+                               mj.serSeconds, mj.deserSeconds),
+                       combine(mk.serLlcMissRate, mk.deserLlcMissRate,
+                               mk.serSeconds, mk.deserSeconds),
+                       combine(mj.serBandwidth, mj.deserBandwidth,
+                               mj.serSeconds, mj.deserSeconds),
+                       combine(mk.serBandwidth, mk.deserBandwidth,
+                               mk.serSeconds, mk.deserSeconds),
+                       (mj.serSeconds + mj.deserSeconds) /
+                           (mk.serSeconds + mk.deserSeconds)};
+
+            mj.writeJson(w, "java");
+            mk.writeJson(w, "kryo");
+            w.kv("ipc_java", rows[i].ipcJ);
+            w.kv("ipc_kryo", rows[i].ipcK);
+            w.kv("llc_miss_rate_java", rows[i].llcJ);
+            w.kv("llc_miss_rate_kryo", rows[i].llcK);
+            w.kv("bandwidth_java", rows[i].bwJ);
+            w.kv("bandwidth_kryo", rows[i].bwK);
+            w.kv("kryo_speedup", rows[i].spd);
+        });
+    }
+
+    auto avg_of = [&rows](double Row::*m) {
+        double s = 0;
+        for (const auto &r : rows) {
+            s += r.*m;
+        }
+        return s / static_cast<double>(rows.size());
+    };
+    sweep.setSummary([&](json::Writer &w) {
+        w.kv("ipc_java_avg", avg_of(&Row::ipcJ));
+        w.kv("ipc_kryo_avg", avg_of(&Row::ipcK));
+        w.kv("bandwidth_java_avg", avg_of(&Row::bwJ));
+        w.kv("bandwidth_kryo_avg", avg_of(&Row::bwK));
+        w.kv("kryo_speedup_avg", avg_of(&Row::spd));
+    });
+
+    sweep.run(opts.threads);
+
     std::printf("%-13s | %5s %5s | %6s %6s | %6s %6s | %7s\n", "workload",
                 "ipcJ", "ipcK", "llcJ", "llcK", "bwJ%", "bwK%",
                 "kryoSpd");
-
-    std::vector<double> ipcj, ipck, bwj, bwk;
-    KlassRegistry reg;
-    MicroWorkloads micro(reg);
-
-    for (auto mb : allMicroBenches()) {
-        Heap src(reg, 0x1'0000'0000ULL +
-                          0x10'0000'0000ULL * static_cast<Addr>(mb));
-        Addr root = micro.build(src, mb, scale, 42);
-        JavaSerializer java;
-        KryoSerializer kryo;
-        kryo.registerAll(reg);
-        auto mj = measureSoftware(java, src, root);
-        auto mk = measureSoftware(kryo, src, root);
-
-        // Weighted over both directions, as the figure reports the S/D
-        // process as a whole.
-        auto combine = [](double ser, double de, double ws, double wd) {
-            return (ser * ws + de * wd) / (ws + wd);
-        };
-        double ipc_j = combine(mj.serIpc, mj.deserIpc, mj.serSeconds,
-                               mj.deserSeconds);
-        double ipc_k = combine(mk.serIpc, mk.deserIpc, mk.serSeconds,
-                               mk.deserSeconds);
-        double llc_j = combine(mj.serLlcMissRate, mj.deserLlcMissRate,
-                               mj.serSeconds, mj.deserSeconds);
-        double llc_k = combine(mk.serLlcMissRate, mk.deserLlcMissRate,
-                               mk.serSeconds, mk.deserSeconds);
-        double bw_j = combine(mj.serBandwidth, mj.deserBandwidth,
-                              mj.serSeconds, mj.deserSeconds);
-        double bw_k = combine(mk.serBandwidth, mk.deserBandwidth,
-                              mk.serSeconds, mk.deserSeconds);
-        double spd = (mj.serSeconds + mj.deserSeconds) /
-                     (mk.serSeconds + mk.deserSeconds);
-
-        ipcj.push_back(ipc_j);
-        ipck.push_back(ipc_k);
-        bwj.push_back(bw_j);
-        bwk.push_back(bw_k);
+    for (std::size_t i = 0; i < benches.size(); ++i) {
+        const Row &r = rows[i];
         std::printf("%-13s | %5.2f %5.2f | %6.2f %6.2f | %6.2f %6.2f | "
                     "%7.2f\n",
-                    microBenchName(mb), ipc_j, ipc_k, llc_j, llc_k,
-                    bw_j * 100, bw_k * 100, spd);
+                    microBenchName(benches[i]), r.ipcJ, r.ipcK, r.llcJ,
+                    r.llcK, r.bwJ * 100, r.bwK * 100, r.spd);
     }
-
-    auto avg = [](const std::vector<double> &x) {
-        double s = 0;
-        for (double v : x) {
-            s += v;
-        }
-        return s / static_cast<double>(x.size());
-    };
     std::printf("%-13s | %5.2f %5.2f |  (avg) | %6.2f %6.2f |\n",
-                "average", avg(ipcj), avg(ipck), avg(bwj) * 100,
-                avg(bwk) * 100);
+                "average", avg_of(&Row::ipcJ), avg_of(&Row::ipcK),
+                avg_of(&Row::bwJ) * 100, avg_of(&Row::bwK) * 100);
     std::printf("(paper)       |  1.01  0.96 |  high  | "
                 "~2.7-3.5 ~4.1-4.5 |\n");
+    bench::writeBenchJson(sweep, opts);
     return 0;
 }

@@ -21,67 +21,104 @@
 using namespace cereal;
 using namespace cereal::workloads;
 
+namespace {
+
+struct Row
+{
+    double ks, kd, vs, vd, cs, cd;
+};
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
-    const std::uint64_t scale = bench::scaleFromArgs(argc, argv);
+    auto opts = bench::parseArgs(argc, argv, 64, "fig10_micro_speedup");
     bench::banner(
         "Figure 10: microbenchmark S/D speedup over Java S/D (log scale)",
         "Kryo 2.30x/52.3x, Cereal 26.5x/364.5x (ser/deser averages)");
 
+    const auto &benches = allMicroBenches();
+    std::vector<Row> rows(benches.size());
+    runner::SweepRunner sweep("fig10_micro_speedup");
+
+    for (std::size_t i = 0; i < benches.size(); ++i) {
+        const MicroBench mb = benches[i];
+        const std::uint64_t scale = opts.scale;
+        sweep.add(microBenchName(mb), [&rows, i, mb,
+                                       scale](json::Writer &w) {
+            KlassRegistry reg;
+            MicroWorkloads micro(reg);
+            Heap src(reg, 0x1'0000'0000ULL);
+            Addr root = micro.build(src, mb, scale, 42);
+
+            JavaSerializer java;
+            KryoSerializer kryo;
+            kryo.registerAll(reg);
+            auto mj = measureSoftware(java, src, root);
+            auto mk = measureSoftware(kryo, src, root);
+
+            AccelConfig vanilla;
+            vanilla.pipelined = false;
+            auto mv = measureCereal(src, root, vanilla);
+            auto mc = measureCereal(src, root);
+
+            rows[i] = {mj.serSeconds / mk.serSeconds,
+                       mj.deserSeconds / mk.deserSeconds,
+                       mj.serSeconds / mv.serSeconds,
+                       mj.deserSeconds / mv.deserSeconds,
+                       mj.serSeconds / mc.serSeconds,
+                       mj.deserSeconds / mc.deserSeconds};
+
+            mj.writeJson(w, "java");
+            mk.writeJson(w, "kryo");
+            mv.writeJson(w, "cereal_vanilla");
+            mc.writeJson(w, "cereal");
+            w.kv("kryo_ser_speedup", rows[i].ks);
+            w.kv("kryo_deser_speedup", rows[i].kd);
+            w.kv("vanilla_ser_speedup", rows[i].vs);
+            w.kv("vanilla_deser_speedup", rows[i].vd);
+            w.kv("cereal_ser_speedup", rows[i].cs);
+            w.kv("cereal_deser_speedup", rows[i].cd);
+        });
+    }
+
+    auto avg_of = [&rows](double Row::*m) {
+        double s = 0;
+        for (const auto &r : rows) {
+            s += r.*m;
+        }
+        return s / static_cast<double>(rows.size());
+    };
+    sweep.setSummary([&](json::Writer &w) {
+        w.kv("kryo_ser_speedup_avg", avg_of(&Row::ks));
+        w.kv("kryo_deser_speedup_avg", avg_of(&Row::kd));
+        w.kv("vanilla_ser_speedup_avg", avg_of(&Row::vs));
+        w.kv("vanilla_deser_speedup_avg", avg_of(&Row::vd));
+        w.kv("cereal_ser_speedup_avg", avg_of(&Row::cs));
+        w.kv("cereal_deser_speedup_avg", avg_of(&Row::cd));
+    });
+
+    sweep.run(opts.threads);
+
     std::printf("%-13s %10s %10s | %10s %10s | %10s %10s\n", "workload",
                 "kryo-ser", "kryo-de", "vanil-ser", "vanil-de",
                 "cereal-ser", "cereal-de");
-
-    std::vector<double> ks, kd, vs, vd, cs, cd;
-    KlassRegistry reg;
-    MicroWorkloads micro(reg);
-
-    for (auto mb : allMicroBenches()) {
-        Heap src(reg, 0x1'0000'0000ULL +
-                          0x10'0000'0000ULL * static_cast<Addr>(mb));
-        Addr root = micro.build(src, mb, scale, 42);
-
-        JavaSerializer java;
-        KryoSerializer kryo;
-        kryo.registerAll(reg);
-        auto mj = measureSoftware(java, src, root);
-        auto mk = measureSoftware(kryo, src, root);
-
-        AccelConfig vanilla;
-        vanilla.pipelined = false;
-        auto mv = measureCereal(src, root, vanilla);
-        auto mc = measureCereal(src, root);
-
-        double k_s = mj.serSeconds / mk.serSeconds;
-        double k_d = mj.deserSeconds / mk.deserSeconds;
-        double v_s = mj.serSeconds / mv.serSeconds;
-        double v_d = mj.deserSeconds / mv.deserSeconds;
-        double c_s = mj.serSeconds / mc.serSeconds;
-        double c_d = mj.deserSeconds / mc.deserSeconds;
-        ks.push_back(k_s);
-        kd.push_back(k_d);
-        vs.push_back(v_s);
-        vd.push_back(v_d);
-        cs.push_back(c_s);
-        cd.push_back(c_d);
+    for (std::size_t i = 0; i < benches.size(); ++i) {
+        const Row &r = rows[i];
         std::printf("%-13s %10.2f %10.2f | %10.2f %10.2f | %10.2f %10.2f\n",
-                    microBenchName(mb), k_s, k_d, v_s, v_d, c_s, c_d);
+                    microBenchName(benches[i]), r.ks, r.kd, r.vs, r.vd,
+                    r.cs, r.cd);
     }
-
-    auto avg = [](const std::vector<double> &x) {
-        double s = 0;
-        for (double v : x) {
-            s += v;
-        }
-        return s / static_cast<double>(x.size());
-    };
     std::printf("%-13s %10.2f %10.2f | %10.2f %10.2f | %10.2f %10.2f\n",
-                "average", avg(ks), avg(kd), avg(vs), avg(vd), avg(cs),
-                avg(cd));
+                "average", avg_of(&Row::ks), avg_of(&Row::kd),
+                avg_of(&Row::vs), avg_of(&Row::vd), avg_of(&Row::cs),
+                avg_of(&Row::cd));
     std::printf("(paper avgs)  %10s %10s | %10s %10s | %10s %10s\n",
                 "2.30", "52.3", "-", "-", "26.5", "364.5");
     std::printf("scale divisor: %llu (paper-size graphs / %llu)\n",
-                (unsigned long long)scale, (unsigned long long)scale);
+                (unsigned long long)opts.scale,
+                (unsigned long long)opts.scale);
+    bench::writeBenchJson(sweep, opts);
     return 0;
 }

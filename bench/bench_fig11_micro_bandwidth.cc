@@ -8,6 +8,7 @@
  * Cereal 31.1% average (up to 83.3%).
  */
 
+#include <algorithm>
 #include <cstdio>
 
 #include "bench/bench_util.hh"
@@ -19,66 +20,96 @@
 using namespace cereal;
 using namespace cereal::workloads;
 
+namespace {
+
+struct Row
+{
+    double sj, sk, sc, dj, dk, dc;
+};
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
-    const std::uint64_t scale = bench::scaleFromArgs(argc, argv);
+    auto opts = bench::parseArgs(argc, argv, 64, "fig11_micro_bandwidth");
     bench::banner("Figure 11: DRAM bandwidth utilisation (%) on "
                   "microbenchmarks",
                   "ser avg: Java 2.71 / Kryo 4.12 / Cereal 20.9 (max "
                   "74.5); deser avg: 3.48 / 4.50 / 31.1 (max 83.3)");
 
-    std::printf("%-13s | %7s %7s %7s | %7s %7s %7s\n", "workload",
-                "serJ%", "serK%", "serC%", "deJ%", "deK%", "deC%");
+    const auto &benches = allMicroBenches();
+    std::vector<Row> rows(benches.size());
+    runner::SweepRunner sweep("fig11_micro_bandwidth");
 
-    std::vector<double> sj, sk, sc, dj, dk, dc;
-    KlassRegistry reg;
-    MicroWorkloads micro(reg);
+    for (std::size_t i = 0; i < benches.size(); ++i) {
+        const MicroBench mb = benches[i];
+        const std::uint64_t scale = opts.scale;
+        sweep.add(microBenchName(mb), [&rows, i, mb,
+                                       scale](json::Writer &w) {
+            KlassRegistry reg;
+            MicroWorkloads micro(reg);
+            Heap src(reg, 0x1'0000'0000ULL);
+            Addr root = micro.build(src, mb, scale, 42);
+            JavaSerializer java;
+            KryoSerializer kryo;
+            kryo.registerAll(reg);
+            auto mj = measureSoftware(java, src, root);
+            auto mk = measureSoftware(kryo, src, root);
+            auto mc = measureCereal(src, root);
 
-    for (auto mb : allMicroBenches()) {
-        Heap src(reg, 0x1'0000'0000ULL +
-                          0x10'0000'0000ULL * static_cast<Addr>(mb));
-        Addr root = micro.build(src, mb, scale, 42);
-        JavaSerializer java;
-        KryoSerializer kryo;
-        kryo.registerAll(reg);
-        auto mj = measureSoftware(java, src, root);
-        auto mk = measureSoftware(kryo, src, root);
-        auto mc = measureCereal(src, root);
-
-        sj.push_back(mj.serBandwidth);
-        sk.push_back(mk.serBandwidth);
-        sc.push_back(mc.serBandwidth);
-        dj.push_back(mj.deserBandwidth);
-        dk.push_back(mk.deserBandwidth);
-        dc.push_back(mc.deserBandwidth);
-        std::printf("%-13s | %7.2f %7.2f %7.2f | %7.2f %7.2f %7.2f\n",
-                    microBenchName(mb), mj.serBandwidth * 100,
-                    mk.serBandwidth * 100, mc.serBandwidth * 100,
-                    mj.deserBandwidth * 100, mk.deserBandwidth * 100,
-                    mc.deserBandwidth * 100);
+            rows[i] = {mj.serBandwidth,   mk.serBandwidth,
+                       mc.serBandwidth,   mj.deserBandwidth,
+                       mk.deserBandwidth, mc.deserBandwidth};
+            mj.writeJson(w, "java");
+            mk.writeJson(w, "kryo");
+            mc.writeJson(w, "cereal");
+        });
     }
 
-    auto avg = [](const std::vector<double> &x) {
+    auto avg_of = [&rows](double Row::*m) {
         double s = 0;
-        for (double v : x) {
-            s += v;
+        for (const auto &r : rows) {
+            s += r.*m;
         }
-        return 100 * s / static_cast<double>(x.size());
+        return 100 * s / static_cast<double>(rows.size());
     };
-    auto mx = [](const std::vector<double> &x) {
-        double m = 0;
-        for (double v : x) {
-            m = std::max(m, v);
+    auto max_of = [&rows](double Row::*m) {
+        double v = 0;
+        for (const auto &r : rows) {
+            v = std::max(v, r.*m);
         }
-        return 100 * m;
+        return 100 * v;
     };
+    sweep.setSummary([&](json::Writer &w) {
+        w.kv("ser_bandwidth_java_avg_pct", avg_of(&Row::sj));
+        w.kv("ser_bandwidth_kryo_avg_pct", avg_of(&Row::sk));
+        w.kv("ser_bandwidth_cereal_avg_pct", avg_of(&Row::sc));
+        w.kv("ser_bandwidth_cereal_max_pct", max_of(&Row::sc));
+        w.kv("deser_bandwidth_java_avg_pct", avg_of(&Row::dj));
+        w.kv("deser_bandwidth_kryo_avg_pct", avg_of(&Row::dk));
+        w.kv("deser_bandwidth_cereal_avg_pct", avg_of(&Row::dc));
+        w.kv("deser_bandwidth_cereal_max_pct", max_of(&Row::dc));
+    });
+
+    sweep.run(opts.threads);
+
+    std::printf("%-13s | %7s %7s %7s | %7s %7s %7s\n", "workload",
+                "serJ%", "serK%", "serC%", "deJ%", "deK%", "deC%");
+    for (std::size_t i = 0; i < benches.size(); ++i) {
+        const Row &r = rows[i];
+        std::printf("%-13s | %7.2f %7.2f %7.2f | %7.2f %7.2f %7.2f\n",
+                    microBenchName(benches[i]), r.sj * 100, r.sk * 100,
+                    r.sc * 100, r.dj * 100, r.dk * 100, r.dc * 100);
+    }
     std::printf("%-13s | %7.2f %7.2f %7.2f | %7.2f %7.2f %7.2f\n",
-                "average", avg(sj), avg(sk), avg(sc), avg(dj), avg(dk),
-                avg(dc));
+                "average", avg_of(&Row::sj), avg_of(&Row::sk),
+                avg_of(&Row::sc), avg_of(&Row::dj), avg_of(&Row::dk),
+                avg_of(&Row::dc));
     std::printf("%-13s | %7s %7s %7.2f | %7s %7s %7.2f\n", "max", "",
-                "", mx(sc), "", "", mx(dc));
+                "", max_of(&Row::sc), "", "", max_of(&Row::dc));
     std::printf("(paper avg)   |    2.71    4.12   20.90 |    3.48    "
                 "4.50   31.10\n");
+    bench::writeBenchJson(sweep, opts);
     return 0;
 }

@@ -32,35 +32,50 @@ using namespace cereal::workloads;
 int
 main(int argc, char **argv)
 {
-    const std::uint64_t reps =
-        bench::scaleFromArgs(argc, argv, 1000);
+    auto opts = bench::parseArgs(argc, argv, 1000, "fig12_jsbs");
     bench::banner("Figure 12: JSBS comparison (88 S/D libraries)",
                   "Cereal 43.4x suite average; 15.1x over the fastest "
                   "(kryo-manual); size 46% below average");
 
-    KlassRegistry reg;
-    JsbsWorkload jsbs(reg);
-    Heap src(reg);
-    Addr mc = jsbs.buildMediaContent(src, 1);
+    // Three measured anchors, each in its own sim context; the 88
+    // library rows are calibrated from the java-built-in anchor
+    // post-run.
+    SdMeasurement mj, mk;
+    double cereal_total = 0;
+    std::uint64_t cereal_size = 0;
 
-    // Measured anchors.
-    JavaSerializer java;
-    KryoSerializer kryo;
-    kryo.registerAll(reg);
-    auto mj = measureSoftware(java, src, mc);
-    auto mk = measureSoftware(kryo, src, mc);
-    const double java_total = mj.serSeconds + mj.deserSeconds;
-    const double kryo_total = mk.serSeconds + mk.deserSeconds;
-
-    // Cereal: the suite's `reps` S/D repetitions are independent
-    // commands spread over the 8 SUs and 8 DUs (operation-level
-    // parallelism, Section V-D). One command occupies only a few
-    // percent of DRAM bandwidth, so steady-state per-op time is the
-    // single-op unit latency divided by the pool size — the ser and
-    // deser pools run concurrently, so the slower pool sets the pace.
-    double cereal_total;
-    std::uint64_t cereal_size;
-    {
+    runner::SweepRunner sweep("fig12_jsbs");
+    sweep.add("java-built-in", [&mj](json::Writer &w) {
+        KlassRegistry reg;
+        JsbsWorkload jsbs(reg);
+        Heap src(reg, 0x1'0000'0000ULL);
+        Addr mc = jsbs.buildMediaContent(src, 1);
+        JavaSerializer java;
+        mj = measureSoftware(java, src, mc);
+        mj.writeJson(w, "measurement");
+    });
+    sweep.add("kryo", [&mk](json::Writer &w) {
+        KlassRegistry reg;
+        JsbsWorkload jsbs(reg);
+        Heap src(reg, 0x1'0000'0000ULL);
+        Addr mc = jsbs.buildMediaContent(src, 1);
+        KryoSerializer kryo;
+        kryo.registerAll(reg);
+        mk = measureSoftware(kryo, src, mc);
+        mk.writeJson(w, "measurement");
+    });
+    sweep.add("cereal", [&cereal_total, &cereal_size](json::Writer &w) {
+        // Cereal: the suite's S/D repetitions are independent commands
+        // spread over the 8 SUs and 8 DUs (operation-level
+        // parallelism, Section V-D). One command occupies only a few
+        // percent of DRAM bandwidth, so steady-state per-op time is
+        // the single-op unit latency divided by the pool size — the
+        // ser and deser pools run concurrently, so the slower pool
+        // sets the pace.
+        KlassRegistry reg;
+        JsbsWorkload jsbs(reg);
+        Heap src(reg, 0x1'0000'0000ULL);
+        Addr mc = jsbs.buildMediaContent(src, 1);
         EventQueue eq;
         Dram dram("dram", eq);
         CerealContext ctx(dram);
@@ -75,21 +90,72 @@ main(int argc, char **argv)
         auto de_op = ctx.device().deserialize(stream, base, ser_op.done);
         double de_lat = de_op.latencySeconds;
         const auto &cfg = ctx.device().config();
-        cereal_total = std::max(ser_lat / cfg.numSU,
-                                de_lat / cfg.numDU);
-        (void)reps;
-    }
+        cereal_total =
+            std::max(ser_lat / cfg.numSU, de_lat / cfg.numDU);
+        w.kv("per_op_seconds", cereal_total);
+        w.kv("stream_bytes", cereal_size);
+        w.kv("ser_unit_latency_seconds", ser_lat);
+        w.kv("deser_unit_latency_seconds", de_lat);
+    });
+
+    sweep.setSummary([&](json::Writer &w) {
+        const double java_total = mj.serSeconds + mj.deserSeconds;
+        const double kryo_total = mk.serSeconds + mk.deserSeconds;
+        double avg_spd = 0, avg_size = 0, fastest = 1e30;
+        std::string fastest_name;
+        w.key("libraries");
+        w.beginArray();
+        for (const auto &lib : jsbsLibraries()) {
+            double total, size;
+            if (lib.name == "java-built-in") {
+                total = java_total;
+                size = static_cast<double>(mj.streamBytes);
+            } else if (lib.name == "kryo") {
+                total = kryo_total;
+                size = static_cast<double>(mk.streamBytes);
+            } else {
+                total = lib.serFactor * mj.serSeconds +
+                        lib.deserFactor * mj.deserSeconds;
+                size = lib.sizeFactor *
+                       static_cast<double>(mj.streamBytes);
+            }
+            avg_spd += total / cereal_total;
+            avg_size += size;
+            if (total < fastest) {
+                fastest = total;
+                fastest_name = lib.name;
+            }
+            w.beginObject();
+            w.kv("name", lib.name);
+            w.kv("total_seconds", total);
+            w.kv("size_bytes", size);
+            w.kv("cereal_speedup", total / cereal_total);
+            w.kv("measured", lib.measured);
+            w.endObject();
+        }
+        w.endArray();
+        const double n =
+            static_cast<double>(jsbsLibraries().size());
+        avg_spd /= n;
+        avg_size /= n;
+        w.kv("cereal_speedup_vs_average", avg_spd);
+        w.kv("cereal_speedup_vs_fastest", fastest / cereal_total);
+        w.kv("fastest_library", fastest_name);
+        w.kv("cereal_size_vs_average_pct",
+             (static_cast<double>(cereal_size) - avg_size) / avg_size *
+                 100);
+    });
+
+    sweep.run(opts.threads);
 
     std::printf("%-28s %12s %12s %10s\n", "library", "total(us)",
                 "size(B)", "cereal-x");
-    std::vector<double> speedups;
-    std::vector<double> sizes;
-    double fastest = 1e30;
+    const double java_total = mj.serSeconds + mj.deserSeconds;
+    const double kryo_total = mk.serSeconds + mk.deserSeconds;
+    double avg_spd = 0, avg_size = 0, fastest = 1e30;
     std::string fastest_name;
-
     for (const auto &lib : jsbsLibraries()) {
-        double total;
-        double size;
+        double total, size;
         if (lib.name == "java-built-in") {
             total = java_total;
             size = static_cast<double>(mj.streamBytes);
@@ -102,8 +168,8 @@ main(int argc, char **argv)
             size = lib.sizeFactor * static_cast<double>(mj.streamBytes);
         }
         double spd = total / cereal_total;
-        speedups.push_back(spd);
-        sizes.push_back(size);
+        avg_spd += spd;
+        avg_size += size;
         if (total < fastest) {
             fastest = total;
             fastest_name = lib.name;
@@ -112,15 +178,8 @@ main(int argc, char **argv)
                     total * 1e6, size, spd,
                     lib.measured ? "  [measured]" : "");
     }
-
-    double avg_spd = 0;
-    double avg_size = 0;
-    for (std::size_t i = 0; i < speedups.size(); ++i) {
-        avg_spd += speedups[i];
-        avg_size += sizes[i];
-    }
-    avg_spd /= static_cast<double>(speedups.size());
-    avg_size /= static_cast<double>(sizes.size());
+    avg_spd /= static_cast<double>(jsbsLibraries().size());
+    avg_size /= static_cast<double>(jsbsLibraries().size());
 
     std::printf("--------------------------------------------------------\n");
     std::printf("libraries: %zu   cereal total: %.3f us   size: %llu B\n",
@@ -134,5 +193,6 @@ main(int argc, char **argv)
     std::printf("cereal size vs average:     %+.0f%%  (paper: -46%%)\n",
                 (static_cast<double>(cereal_size) - avg_size) /
                     avg_size * 100);
+    bench::writeBenchJson(sweep, opts);
     return 0;
 }

@@ -16,36 +16,48 @@ using namespace cereal::workloads;
 int
 main(int argc, char **argv)
 {
-    const std::uint64_t scale = bench::scaleFromArgs(argc, argv, 8);
+    auto opts = bench::parseArgs(argc, argv, 8, "fig13_spark_sd");
     bench::banner("Figure 13: Spark S/D speedups",
                   "Kryo 1.67x vs Java; Cereal 7.97x vs Java, 4.81x vs "
                   "Kryo (averages)");
 
-    auto rows = bench::measureSparkApps(scale);
+    std::vector<bench::SparkRow> rows;
+    runner::SweepRunner sweep("fig13_spark_sd");
+    bench::addSparkPoints(sweep, opts.scale, rows);
+
+    auto avg = [&rows](double (bench::SparkRow::*m)() const) {
+        double s = 0;
+        for (const auto &r : rows) {
+            s += (r.*m)();
+        }
+        return s / static_cast<double>(rows.size());
+    };
+    sweep.setSummary([&](json::Writer &w) {
+        w.kv("kryo_sd_speedup_avg", avg(&bench::SparkRow::kryoSdSpeedup));
+        w.kv("cereal_sd_speedup_avg",
+             avg(&bench::SparkRow::cerealSdSpeedup));
+        w.kv("cereal_over_kryo_avg",
+             avg(&bench::SparkRow::cerealOverKryo));
+    });
+
+    sweep.run(opts.threads);
 
     std::printf("%-10s | %10s %12s %12s | %10s %10s %10s\n", "app",
                 "kryo/java", "cereal/java", "cereal/kryo", "sdJ(ms)",
                 "sdK(ms)", "sdC(ms)");
-    std::vector<double> kj, cj, ck;
     for (const auto &r : rows) {
-        kj.push_back(r.kryoSdSpeedup());
-        cj.push_back(r.cerealSdSpeedup());
-        ck.push_back(r.cerealOverKryo());
         std::printf("%-10s | %10.2f %12.2f %12.2f | %10.3f %10.3f "
                     "%10.3f\n",
-                    r.spec.name.c_str(), kj.back(), cj.back(),
-                    ck.back(), r.javaSd() * 1e3, r.kryoSd() * 1e3,
+                    r.spec.name.c_str(), r.kryoSdSpeedup(),
+                    r.cerealSdSpeedup(), r.cerealOverKryo(),
+                    r.javaSd() * 1e3, r.kryoSd() * 1e3,
                     r.cerealSd() * 1e3);
     }
-    auto avg = [](const std::vector<double> &x) {
-        double s = 0;
-        for (double v : x) {
-            s += v;
-        }
-        return s / static_cast<double>(x.size());
-    };
-    std::printf("%-10s | %10.2f %12.2f %12.2f |\n", "average", avg(kj),
-                avg(cj), avg(ck));
+    std::printf("%-10s | %10.2f %12.2f %12.2f |\n", "average",
+                avg(&bench::SparkRow::kryoSdSpeedup),
+                avg(&bench::SparkRow::cerealSdSpeedup),
+                avg(&bench::SparkRow::cerealOverKryo));
     std::printf("(paper)    |       1.67         7.97         4.81 |\n");
+    bench::writeBenchJson(sweep, opts);
     return 0;
 }

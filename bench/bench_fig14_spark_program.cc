@@ -7,6 +7,7 @@
  * Kryo (up to 4.53x).
  */
 
+#include <algorithm>
 #include <cstdio>
 
 #include "bench/spark_common.hh"
@@ -17,49 +18,60 @@ using namespace cereal::workloads;
 int
 main(int argc, char **argv)
 {
-    const std::uint64_t scale = bench::scaleFromArgs(argc, argv, 8);
+    auto opts = bench::parseArgs(argc, argv, 8, "fig14_spark_program");
     bench::banner("Figure 14: Spark whole-program speedups with Cereal",
                   "1.81x avg / 4.66x max over Java S/D; 1.69x avg / "
                   "4.53x max over Kryo");
 
-    auto rows = bench::measureSparkApps(scale);
+    std::vector<bench::SparkRow> rows;
+    runner::SweepRunner sweep("fig14_spark_program");
+    bench::addSparkPoints(sweep, opts.scale, rows);
+
+    // Program with Java serializer -> program with Cereal; program
+    // with Kryo: derive the Kryo-config phase breakdown, then
+    // accelerate its S/D phase by cereal/kryo.
+    auto vs_java = [](const bench::SparkRow &r) {
+        return programSpeedup(r.spec.javaPhases, r.cerealSdSpeedup());
+    };
+    auto vs_kryo = [](const bench::SparkRow &r) {
+        auto kryo_phases =
+            scalePhases(r.spec.javaPhases, r.kryoSdSpeedup());
+        return programSpeedup(kryo_phases, r.cerealOverKryo());
+    };
+    auto stats = [&rows](auto fn) {
+        double sum = 0, mx = 0;
+        for (const auto &r : rows) {
+            double v = fn(r);
+            sum += v;
+            mx = std::max(mx, v);
+        }
+        return std::pair<double, double>(
+            sum / static_cast<double>(rows.size()), mx);
+    };
+
+    sweep.setSummary([&](json::Writer &w) {
+        auto [ja, jm] = stats(vs_java);
+        auto [ka, km] = stats(vs_kryo);
+        w.kv("program_speedup_vs_java_avg", ja);
+        w.kv("program_speedup_vs_java_max", jm);
+        w.kv("program_speedup_vs_kryo_avg", ka);
+        w.kv("program_speedup_vs_kryo_max", km);
+    });
+
+    sweep.run(opts.threads);
 
     std::printf("%-10s | %14s %14s\n", "app", "vs java-config",
                 "vs kryo-config");
-    std::vector<double> vj, vk;
     for (const auto &r : rows) {
-        // Program with Java serializer -> program with Cereal.
-        double s_vs_java =
-            programSpeedup(r.spec.javaPhases, r.cerealSdSpeedup());
-        // Program with Kryo: first derive the Kryo-config phase
-        // breakdown, then accelerate its S/D phase by cereal/kryo.
-        auto kryo_phases =
-            scalePhases(r.spec.javaPhases, r.kryoSdSpeedup());
-        double s_vs_kryo =
-            programSpeedup(kryo_phases, r.cerealOverKryo());
-        vj.push_back(s_vs_java);
-        vk.push_back(s_vs_kryo);
         std::printf("%-10s | %13.2fx %13.2fx\n", r.spec.name.c_str(),
-                    s_vs_java, s_vs_kryo);
+                    vs_java(r), vs_kryo(r));
     }
-    auto avg = [](const std::vector<double> &x) {
-        double s = 0;
-        for (double v : x) {
-            s += v;
-        }
-        return s / static_cast<double>(x.size());
-    };
-    auto mx = [](const std::vector<double> &x) {
-        double m = 0;
-        for (double v : x) {
-            m = std::max(m, v);
-        }
-        return m;
-    };
-    std::printf("%-10s | %13.2fx %13.2fx\n", "average", avg(vj),
-                avg(vk));
-    std::printf("%-10s | %13.2fx %13.2fx\n", "max", mx(vj), mx(vk));
+    auto [ja, jm] = stats(vs_java);
+    auto [ka, km] = stats(vs_kryo);
+    std::printf("%-10s | %13.2fx %13.2fx\n", "average", ja, ka);
+    std::printf("%-10s | %13.2fx %13.2fx\n", "max", jm, km);
     std::printf("(paper)    |          1.81x          1.69x  (max "
                 "4.66x / 4.53x)\n");
+    bench::writeBenchJson(sweep, opts);
     return 0;
 }

@@ -15,12 +15,28 @@ using namespace cereal::workloads;
 int
 main(int argc, char **argv)
 {
-    const std::uint64_t scale = bench::scaleFromArgs(argc, argv, 8);
+    auto opts = bench::parseArgs(argc, argv, 8, "fig15_spark_bandwidth");
     bench::banner("Figure 15: DRAM bandwidth utilisation (%) on Spark "
                   "applications",
                   "Cereal >> software; deserialization > serialization");
 
-    auto rows = bench::measureSparkApps(scale);
+    std::vector<bench::SparkRow> rows;
+    runner::SweepRunner sweep("fig15_spark_bandwidth");
+    bench::addSparkPoints(sweep, opts.scale, rows);
+
+    sweep.setSummary([&rows](json::Writer &w) {
+        double sc = 0, dc = 0;
+        for (const auto &r : rows) {
+            sc += r.cereal.serBandwidth;
+            dc += r.cereal.deserBandwidth;
+        }
+        w.kv("cereal_ser_bandwidth_avg",
+             sc / static_cast<double>(rows.size()));
+        w.kv("cereal_deser_bandwidth_avg",
+             dc / static_cast<double>(rows.size()));
+    });
+
+    sweep.run(opts.threads);
 
     std::printf("%-10s | %6s %6s %6s | %6s %6s %6s\n", "app", "serJ%",
                 "serK%", "serC%", "deJ%", "deK%", "deC%");
@@ -39,5 +55,6 @@ main(int argc, char **argv)
     std::printf("cereal averages: ser %.1f%%, deser %.1f%% "
                 "(deser > ser, both >> software, as in the paper)\n",
                 sc / rows.size() * 100, dc / rows.size() * 100);
+    bench::writeBenchJson(sweep, opts);
     return 0;
 }

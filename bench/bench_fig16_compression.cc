@@ -18,51 +18,87 @@
 using namespace cereal;
 using namespace cereal::workloads;
 
+namespace {
+
+struct Row
+{
+    double unpacked, packed, stripped;
+};
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
-    const std::uint64_t scale = bench::scaleFromArgs(argc, argv, 8);
+    auto opts = bench::parseArgs(argc, argv, 8, "fig16_compression");
     bench::banner("Figure 16: Cereal object-packing compression on "
                   "Spark applications",
                   "packing avg 28.3% reduction; strongest on NWeight, "
                   "weak on SVM/Bayes/LR");
 
-    KlassRegistry reg;
-    SparkWorkloads spark(reg);
+    const auto &apps = sparkApps();
+    std::vector<Row> rows(apps.size());
+    runner::SweepRunner sweep("fig16_compression");
+
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+        const auto &spec = apps[i];
+        const std::uint64_t scale = opts.scale;
+        sweep.add(spec.name, [&rows, i, spec, scale](json::Writer &w) {
+            KlassRegistry reg;
+            SparkWorkloads spark(reg);
+            Heap src(reg, 0x1'0000'0000ULL);
+            Addr root = spark.build(src, spec.name, scale, 42);
+
+            CerealSerializer plain;
+            plain.registerAll(reg);
+            CerealSerializer strip(CerealOptions{/*headerStrip=*/true});
+            strip.registerAll(reg);
+
+            auto s = plain.serializeToStream(src, root);
+            auto st = strip.serializeToStream(src, root);
+            rows[i] = {static_cast<double>(s.baselineBytes()),
+                       static_cast<double>(s.serializedBytes()),
+                       static_cast<double>(st.serializedBytes())};
+            w.kv("unpacked_bytes", s.baselineBytes());
+            w.kv("packed_bytes", s.serializedBytes());
+            w.kv("stripped_bytes", st.serializedBytes());
+            w.kv("packing_reduction_pct",
+                 (rows[i].unpacked - rows[i].packed) / rows[i].unpacked *
+                     100);
+            w.kv("strip_reduction_pct",
+                 (rows[i].packed - rows[i].stripped) / rows[i].unpacked *
+                     100);
+        });
+    }
+
+    sweep.setSummary([&rows](json::Writer &w) {
+        double avg_packing = 0;
+        for (const auto &r : rows) {
+            avg_packing += (r.unpacked - r.packed) / r.unpacked * 100;
+        }
+        w.kv("packing_reduction_avg_pct",
+             avg_packing / static_cast<double>(rows.size()));
+    });
+
+    sweep.run(opts.threads);
 
     std::printf("%-10s | %12s %12s %12s | %9s %9s\n", "app",
                 "unpacked(KB)", "packed(KB)", "+strip(KB)", "packing%",
                 "strip%");
     double avg_packing = 0;
-    Addr base = 0x1'0000'0000ULL;
-    for (const auto &spec : sparkApps()) {
-        Heap src(reg, base);
-        base += 0x10'0000'0000ULL;
-        Addr root = spark.build(src, spec.name, scale, 42);
-
-        CerealSerializer plain;
-        plain.registerAll(reg);
-        CerealSerializer strip(CerealOptions{/*headerStrip=*/true});
-        strip.registerAll(reg);
-
-        auto s = plain.serializeToStream(src, root);
-        auto st = strip.serializeToStream(src, root);
-
-        const double unpacked =
-            static_cast<double>(s.baselineBytes());
-        const double packed =
-            static_cast<double>(s.serializedBytes());
-        const double stripped =
-            static_cast<double>(st.serializedBytes());
-        const double packing = (unpacked - packed) / unpacked * 100;
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+        const Row &r = rows[i];
+        const double packing = (r.unpacked - r.packed) / r.unpacked * 100;
         const double strip_more =
-            (packed - stripped) / unpacked * 100;
+            (r.packed - r.stripped) / r.unpacked * 100;
         avg_packing += packing;
         std::printf("%-10s | %12.1f %12.1f %12.1f | %8.1f%% %8.1f%%\n",
-                    spec.name.c_str(), unpacked / 1024, packed / 1024,
-                    stripped / 1024, packing, strip_more);
+                    apps[i].name.c_str(), r.unpacked / 1024,
+                    r.packed / 1024, r.stripped / 1024, packing,
+                    strip_more);
     }
     std::printf("average packing reduction: %.1f%% (paper: 28.3%%)\n",
-                avg_packing / sparkApps().size());
+                avg_packing / apps.size());
+    bench::writeBenchJson(sweep, opts);
     return 0;
 }

@@ -21,25 +21,23 @@ using namespace cereal::workloads;
 int
 main(int argc, char **argv)
 {
-    const std::uint64_t scale = bench::scaleFromArgs(argc, argv, 8);
+    auto opts = bench::parseArgs(argc, argv, 8, "fig17_energy");
     bench::banner("Figure 17: normalized S/D energy on Spark "
                   "applications",
                   "Cereal saves 227.75x vs Java and 136.28x vs Kryo "
                   "overall (geomean ser 313.6x/225.5x, deser "
                   "165.4x/82.3x)");
 
-    auto rows = bench::measureSparkApps(scale);
+    std::vector<bench::SparkRow> rows;
+    runner::SweepRunner sweep("fig17_energy");
+    bench::addSparkPoints(sweep, opts.scale, rows);
 
     // Accounting (documented in EXPERIMENTS.md): software S/D burns the
-    // host TDP for the Spark-level S/D duration (codec + stream
-    // handling). Cereal burns one core's TDP share for the driver's
-    // stream handoff plus the Table V direction power for the
-    // accelerator's busy time.
+    // host TDP for the Spark-level S/D duration (codec + measured
+    // shuffle stage). Cereal burns one core's TDP share for the
+    // driver's measured handoff time plus the Table V direction power
+    // for the accelerator's busy time.
     AreaPowerModel power;
-    // Software burns the host TDP for the Spark-level S/D duration
-    // (codec + measured shuffle stage). Cereal burns one core's TDP
-    // share for the driver's measured handoff time plus the Table V
-    // direction power for the accelerator's busy time.
     constexpr double kCoreShareW = AreaPowerModel::kHostTdpWatts / 8;
     auto sw_energy = [](double codec_s, double shuffle_s) {
         return AreaPowerModel::kHostTdpWatts * (codec_s + shuffle_s);
@@ -50,27 +48,68 @@ main(int argc, char **argv)
                           1e-3;
         return kCoreShareW * driver_s + device_w * accel_s;
     };
-
-    std::printf("%-10s | %12s %12s | %12s %12s\n", "app",
-                "J/C ser", "J/C deser", "K/C ser", "K/C deser");
-    std::vector<double> js, jd, ks, kd;
-    for (const auto &r : rows) {
+    struct Ratios
+    {
+        double js, jd, ks, kd;
+    };
+    auto ratios = [&](const bench::SparkRow &r) {
         // Shuffle/driver time split evenly between directions.
         double c_ser = cereal_energy(r.cereal.serSeconds,
                                      r.cerealShuffle / 2, true);
         double c_de = cereal_energy(r.cereal.deserSeconds,
                                     r.cerealShuffle / 2, false);
-        js.push_back(
-            sw_energy(r.java.serSeconds, r.javaShuffle / 2) / c_ser);
-        jd.push_back(
-            sw_energy(r.java.deserSeconds, r.javaShuffle / 2) / c_de);
-        ks.push_back(
-            sw_energy(r.kryo.serSeconds, r.kryoShuffle / 2) / c_ser);
-        kd.push_back(
-            sw_energy(r.kryo.deserSeconds, r.kryoShuffle / 2) / c_de);
+        return Ratios{
+            sw_energy(r.java.serSeconds, r.javaShuffle / 2) / c_ser,
+            sw_energy(r.java.deserSeconds, r.javaShuffle / 2) / c_de,
+            sw_energy(r.kryo.serSeconds, r.kryoShuffle / 2) / c_ser,
+            sw_energy(r.kryo.deserSeconds, r.kryoShuffle / 2) / c_de};
+    };
+    auto totals = [&]() {
+        double j = 0, k = 0, c = 0;
+        for (const auto &r : rows) {
+            j += sw_energy(r.java.serSeconds + r.java.deserSeconds,
+                           r.javaShuffle);
+            k += sw_energy(r.kryo.serSeconds + r.kryo.deserSeconds,
+                           r.kryoShuffle);
+            c += cereal_energy(r.cereal.serSeconds, r.cerealShuffle / 2,
+                               true) +
+                 cereal_energy(r.cereal.deserSeconds,
+                               r.cerealShuffle / 2, false);
+        }
+        return std::pair<double, double>(j / c, k / c);
+    };
+
+    sweep.setSummary([&](json::Writer &w) {
+        std::vector<double> js, jd, ks, kd;
+        for (const auto &r : rows) {
+            auto x = ratios(r);
+            js.push_back(x.js);
+            jd.push_back(x.jd);
+            ks.push_back(x.ks);
+            kd.push_back(x.kd);
+        }
+        w.kv("java_over_cereal_ser_geomean", geomean(js));
+        w.kv("java_over_cereal_deser_geomean", geomean(jd));
+        w.kv("kryo_over_cereal_ser_geomean", geomean(ks));
+        w.kv("kryo_over_cereal_deser_geomean", geomean(kd));
+        auto [vs_java, vs_kryo] = totals();
+        w.kv("overall_saving_vs_java", vs_java);
+        w.kv("overall_saving_vs_kryo", vs_kryo);
+    });
+
+    sweep.run(opts.threads);
+
+    std::printf("%-10s | %12s %12s | %12s %12s\n", "app",
+                "J/C ser", "J/C deser", "K/C ser", "K/C deser");
+    std::vector<double> js, jd, ks, kd;
+    for (const auto &r : rows) {
+        auto x = ratios(r);
+        js.push_back(x.js);
+        jd.push_back(x.jd);
+        ks.push_back(x.ks);
+        kd.push_back(x.kd);
         std::printf("%-10s | %11.1fx %11.1fx | %11.1fx %11.1fx\n",
-                    r.spec.name.c_str(), js.back(), jd.back(),
-                    ks.back(), kd.back());
+                    r.spec.name.c_str(), x.js, x.jd, x.ks, x.kd);
     }
     std::printf("%-10s | %11.1fx %11.1fx | %11.1fx %11.1fx\n",
                 "geomean", geomean(js), geomean(jd), geomean(ks),
@@ -78,20 +117,10 @@ main(int argc, char **argv)
     std::printf("(paper)    |      313.6x       165.4x |      225.5x  "
                 "      82.3x\n");
 
-    // Overall S/D energy ratio (ser+deser together).
-    double j_total = 0, k_total = 0, c_total = 0;
-    for (const auto &r : rows) {
-        j_total += sw_energy(r.java.serSeconds + r.java.deserSeconds,
-                             r.javaShuffle);
-        k_total += sw_energy(r.kryo.serSeconds + r.kryo.deserSeconds,
-                             r.kryoShuffle);
-        c_total += cereal_energy(r.cereal.serSeconds,
-                                 r.cerealShuffle / 2, true) +
-                   cereal_energy(r.cereal.deserSeconds,
-                                 r.cerealShuffle / 2, false);
-    }
+    auto [vs_java, vs_kryo] = totals();
     std::printf("overall S/D energy saving: %.1fx vs Java (paper "
                 "227.75x), %.1fx vs Kryo (paper 136.28x)\n",
-                j_total / c_total, k_total / c_total);
+                vs_java, vs_kryo);
+    bench::writeBenchJson(sweep, opts);
     return 0;
 }

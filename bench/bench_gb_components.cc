@@ -8,6 +8,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.hh"
 #include "cereal/cereal_serializer.hh"
 #include "cereal/format.hh"
 #include "heap/walker.hh"
@@ -161,6 +162,90 @@ BM_GraphWalk(benchmark::State &state)
 }
 BENCHMARK(BM_GraphWalk)->Arg(1023)->Arg(16383);
 
+/**
+ * Deterministic sweep for the --json document: wall-clock timings vary
+ * run to run, so the machine-readable output reports the simulator's
+ * deterministic work metrics (stream bytes, bucket counts) for the
+ * same components google-benchmark times.
+ */
+void
+addComponentPoints(runner::SweepRunner &sweep, std::uint64_t nodes)
+{
+    sweep.add("packer", [](json::Writer &w) {
+        Rng rng(1);
+        ObjectPacker p;
+        for (int i = 0; i < 4096; ++i) {
+            p.packValue(rng.below(1 << 20));
+        }
+        w.kv("values", 4096);
+        w.kv("bucket_bytes", static_cast<std::uint64_t>(p.buckets().size()));
+        w.kv("end_map_bytes", static_cast<std::uint64_t>(p.endMap().size()));
+    });
+    struct Ser
+    {
+        const char *name;
+        std::function<std::vector<std::uint8_t>(Heap &, Addr,
+                                                KlassRegistry &)> run;
+    };
+    const std::vector<Ser> sers = {
+        {"java",
+         [](Heap &h, Addr r, KlassRegistry &) {
+             JavaSerializer s;
+             return s.serialize(h, r);
+         }},
+        {"kryo",
+         [](Heap &h, Addr r, KlassRegistry &reg) {
+             KryoSerializer s;
+             s.registerAll(reg);
+             return s.serialize(h, r);
+         }},
+        {"skyway",
+         [](Heap &h, Addr r, KlassRegistry &) {
+             SkywaySerializer s;
+             return s.serialize(h, r);
+         }},
+        {"cereal",
+         [](Heap &h, Addr r, KlassRegistry &reg) {
+             CerealSerializer s;
+             s.registerAll(reg);
+             return s.serialize(h, r);
+         }},
+    };
+    for (const auto &ser : sers) {
+        sweep.add(std::string("serialize-") + ser.name,
+                  [run = ser.run, nodes](json::Writer &w) {
+                      Graph g(nodes);
+                      auto bytes = run(g.heap, g.root, g.reg);
+                      GraphWalker walker(g.heap);
+                      auto gs = walker.stats(g.root);
+                      w.kv("nodes", nodes);
+                      w.kv("objects", gs.objectCount);
+                      w.kv("stream_bytes",
+                           static_cast<std::uint64_t>(bytes.size()));
+                  });
+    }
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // Strip the repo-common flags first; whatever remains goes to
+    // google-benchmark's own parser.
+    auto opts = cereal::bench::parseArgs(argc, argv, 1023,
+                                         "gb_components");
+    if (!opts.jsonPath.empty() || opts.threads > 1) {
+        runner::SweepRunner sweep("gb_components");
+        addComponentPoints(sweep, opts.scale);
+        sweep.run(opts.threads);
+        cereal::bench::writeBenchJson(sweep, opts);
+    }
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+        return 1;
+    }
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

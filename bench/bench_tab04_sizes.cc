@@ -20,46 +20,75 @@
 using namespace cereal;
 using namespace cereal::workloads;
 
+namespace {
+
+struct Row
+{
+    std::uint64_t java, kryo, crl;
+};
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
-    const std::uint64_t scale = bench::scaleFromArgs(argc, argv);
+    auto opts = bench::parseArgs(argc, argv, 64, "tab04_sizes");
     bench::banner("Table IV: serialized sizes across microbenchmarks",
                   "paper (MB): tree-narrow 23.0/12.0/16.1, tree-wide "
                   "148.6/48.0/80.0, list-small 8.0/2.5/16.0, list-large "
                   "59.4/10.0/47.8, graph-sparse 22.1/10.8/2.4, "
                   "graph-dense 115.5/51.1/2.4");
 
+    const auto &benches = allMicroBenches();
+    std::vector<Row> rows(benches.size());
+    runner::SweepRunner sweep("tab04_sizes");
+
+    for (std::size_t i = 0; i < benches.size(); ++i) {
+        const MicroBench mb = benches[i];
+        const std::uint64_t scale = opts.scale;
+        sweep.add(microBenchName(mb), [&rows, i, mb,
+                                       scale](json::Writer &w) {
+            KlassRegistry reg;
+            MicroWorkloads micro(reg);
+            Heap src(reg, 0x1'0000'0000ULL);
+            Addr root = micro.build(src, mb, scale, 42);
+            JavaSerializer java;
+            KryoSerializer kryo;
+            kryo.registerAll(reg);
+            CerealSerializer crl;
+            crl.registerAll(reg);
+
+            rows[i] = {java.serialize(src, root).size(),
+                       kryo.serialize(src, root).size(),
+                       crl.serializeToStream(src, root).serializedBytes()};
+            w.kv("java_bytes", rows[i].java);
+            w.kv("kryo_bytes", rows[i].kryo);
+            w.kv("cereal_bytes", rows[i].crl);
+            w.kv("cereal_over_java_ratio",
+                 static_cast<double>(rows[i].crl) /
+                     static_cast<double>(rows[i].java));
+        });
+    }
+
+    sweep.run(opts.threads);
+
     std::printf("%-13s | %10s %10s %10s | %8s\n", "workload",
                 "java(MB)", "kryo(MB)", "cereal(MB)",
                 "C/J ratio");
-
-    KlassRegistry reg;
-    MicroWorkloads micro(reg);
-
-    for (auto mb : allMicroBenches()) {
-        Heap src(reg, 0x1'0000'0000ULL +
-                          0x10'0000'0000ULL * static_cast<Addr>(mb));
-        Addr root = micro.build(src, mb, scale, 42);
-        JavaSerializer java;
-        KryoSerializer kryo;
-        kryo.registerAll(reg);
-        CerealSerializer crl;
-        crl.registerAll(reg);
-
-        auto j = java.serialize(src, root).size();
-        auto k = kryo.serialize(src, root).size();
-        auto c = crl.serializeToStream(src, root).serializedBytes();
-
+    for (std::size_t i = 0; i < benches.size(); ++i) {
+        const Row &r = rows[i];
         // Scale measured bytes back up to paper-size graphs for the
         // apples-to-apples column (sizes scale linearly in objects).
-        const double f = static_cast<double>(scale) / 1e6;
+        const double f = static_cast<double>(opts.scale) / 1e6;
         std::printf("%-13s | %10.1f %10.1f %10.1f | %8.2f\n",
-                    microBenchName(mb), j * f, k * f, c * f,
-                    static_cast<double>(c) / static_cast<double>(j));
+                    microBenchName(benches[i]), r.java * f, r.kryo * f,
+                    r.crl * f,
+                    static_cast<double>(r.crl) /
+                        static_cast<double>(r.java));
     }
     std::printf("scale divisor: %llu; MB columns are extrapolated to "
                 "paper-scale graphs\n",
-                (unsigned long long)scale);
+                (unsigned long long)opts.scale);
+    bench::writeBenchJson(sweep, opts);
     return 0;
 }

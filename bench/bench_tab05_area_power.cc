@@ -34,14 +34,51 @@ printGroup(const char *title, const std::vector<ModuleSpec> &mods)
                 area, power);
 }
 
+void
+jsonGroup(json::Writer &w, const char *key,
+          const std::vector<ModuleSpec> &mods)
+{
+    w.key(key);
+    w.beginArray();
+    for (const auto &m : mods) {
+        w.beginObject();
+        w.kv("name", m.name);
+        w.kv("area_mm2", m.areaMm2);
+        w.kv("power_mw", m.powerMw);
+        w.kv("count", m.count);
+        w.kv("total_area_mm2", m.totalArea());
+        w.kv("total_power_mw", m.totalPower());
+        w.endObject();
+    }
+    w.endArray();
+}
+
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto opts = bench::parseArgs(argc, argv, 1, "tab05_area_power");
     bench::banner("Table V: area/power breakdown of Cereal (40 nm)",
                   "total 3.857 mm^2 / 1231.6 mW; 612.5x less area and "
                   "113.7x less power than the host CPU");
+
+    // A single analytic point: the module table is rebuilt from the
+    // synthesis constants, no timing simulation involved.
+    runner::SweepRunner sweep("tab05_area_power");
+    sweep.add("cereal", [](json::Writer &w) {
+        AreaPowerModel m;
+        jsonGroup(w, "serializer_modules", m.serializerModules());
+        jsonGroup(w, "deserializer_modules", m.deserializerModules());
+        jsonGroup(w, "system_modules", m.systemModules());
+        w.kv("total_area_mm2", m.totalAreaMm2());
+        w.kv("total_power_mw", m.totalPowerMw());
+        w.kv("host_area_ratio",
+             AreaPowerModel::kHostDieAreaMm2 / m.totalAreaMm2());
+        w.kv("host_power_ratio",
+             AreaPowerModel::kHostTdpWatts / (m.totalPowerMw() * 1e-3));
+    });
+    sweep.run(opts.threads);
 
     AreaPowerModel m;
     printGroup("Serializer (per-unit modules):", m.serializerModules());
@@ -58,5 +95,6 @@ main()
     std::printf("host-CPU power ratio: %.1fx lower (paper 113.7x)\n",
                 AreaPowerModel::kHostTdpWatts /
                     (m.totalPowerMw() * 1e-3));
+    bench::writeBenchJson(sweep, opts);
     return 0;
 }

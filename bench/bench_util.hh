@@ -1,23 +1,52 @@
 /**
  * @file
- * Shared helpers for the figure/table reproduction binaries.
+ * Shared entry point for the figure/table reproduction binaries.
  *
  * Every bench prints a self-describing table: a title line naming the
  * paper figure/table it regenerates, column headers, and the same rows
  * or series the paper reports, followed by the paper's headline
  * numbers for eyeball comparison.
+ *
+ * Every bench also registers its sweep points with a
+ * runner::SweepRunner and accepts a common command line:
+ *
+ *   bench_<name> [scale] [--threads N] [--json [path]]
+ *
+ * --threads N runs the independent sweep points on a work-stealing
+ * pool; output (stdout tables and JSON) is bit-identical to a serial
+ * run because every point builds its own simulation context from
+ * explicit seeds and results land in registration-order slots.
+ * --json writes the schema-stable BENCH_<name>.json document (default
+ * path BENCH_<name>.json in the working directory) — the repo's
+ * machine-readable perf trajectory.
  */
 
 #ifndef CEREAL_BENCH_BENCH_UTIL_HH
 #define CEREAL_BENCH_BENCH_UTIL_HH
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
+#include "runner/sweep_runner.hh"
+#include "sim/logging.hh"
+
 namespace cereal {
 namespace bench {
+
+/** Parsed common command line of a bench binary. */
+struct BenchOptions
+{
+    /** Scale divisor: paper-size graphs / scale (bench-specific default). */
+    std::uint64_t scale = 64;
+    /** Sweep-point worker threads (1 = serial reference behaviour). */
+    unsigned threads = 1;
+    /** Destination for the JSON document; empty = don't write. */
+    std::string jsonPath;
+};
 
 /** Print the bench banner. */
 inline void
@@ -29,14 +58,87 @@ banner(const char *experiment, const char *claim)
     std::printf("==============================================================\n");
 }
 
-/** Scale divisor: benches accept one optional argv (default 64). */
-inline std::uint64_t
-scaleFromArgs(int argc, char **argv, std::uint64_t def = 64)
+/**
+ * Parse (and remove from @p argv) the common bench options, so
+ * remaining arguments can be handed to another parser (the
+ * google-benchmark bench does this). A bare integer positional sets
+ * the scale divisor.
+ */
+inline BenchOptions
+parseArgs(int &argc, char **argv, std::uint64_t default_scale = 64,
+          const char *bench_name = nullptr)
 {
-    if (argc > 1) {
-        return std::strtoull(argv[1], nullptr, 10);
+    BenchOptions opts;
+    opts.scale = default_scale;
+
+    auto is_integer = [](const char *s) {
+        if (*s == '\0') {
+            return false;
+        }
+        for (; *s; ++s) {
+            if (!std::isdigit(static_cast<unsigned char>(*s))) {
+                return false;
+            }
+        }
+        return true;
+    };
+
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--threads") == 0) {
+            fatal_if(i + 1 >= argc || !is_integer(argv[i + 1]),
+                     "--threads needs a positive integer");
+            opts.threads =
+                static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+            fatal_if(opts.threads == 0, "--threads must be >= 1");
+        } else if (std::strcmp(arg, "--json") == 0) {
+            if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0 &&
+                !is_integer(argv[i + 1])) {
+                opts.jsonPath = argv[++i];
+            } else {
+                fatal_if(bench_name == nullptr,
+                         "--json with no path needs a bench name default");
+                opts.jsonPath = std::string("BENCH_") + bench_name + ".json";
+            }
+        } else if (std::strcmp(arg, "--help") == 0) {
+            std::printf("usage: %s [scale] [--threads N] [--json [path]]\n",
+                        argv[0]);
+            std::exit(0);
+        } else if (is_integer(arg)) {
+            opts.scale = std::strtoull(arg, nullptr, 10);
+            fatal_if(opts.scale == 0, "scale divisor must be >= 1");
+        } else {
+            // Unrecognized: keep for a downstream parser.
+            argv[out++] = argv[i];
+            continue;
+        }
     }
-    return def;
+    argc = out;
+    argv[argc] = nullptr;
+    return opts;
+}
+
+/**
+ * Write the BENCH_<name>.json document when --json was given; the
+ * "config" header carries the scale divisor (plus any @p extra pairs)
+ * but never the thread count — N-thread output must be byte-identical
+ * to serial output.
+ */
+inline void
+writeBenchJson(const runner::SweepRunner &sweep, const BenchOptions &opts,
+               std::vector<runner::ConfigKv> extra = {})
+{
+    if (opts.jsonPath.empty()) {
+        return;
+    }
+    std::vector<runner::ConfigKv> config;
+    config.push_back({"scale", opts.scale});
+    for (auto &kv : extra) {
+        config.push_back(std::move(kv));
+    }
+    auto path = sweep.writeJsonFile(opts.jsonPath, config);
+    std::printf("json: %s\n", path.c_str());
 }
 
 } // namespace bench

@@ -1,0 +1,34 @@
+# Runs a bench binary twice -- serial and with 8 worker threads -- and
+# fails unless the two JSON documents are byte-identical. Invoked by
+# ctest (see add_test in CMakeLists.txt) with:
+#   -DBENCH=<path to bench binary> -DWORKDIR=<scratch dir> -DNAME=<id>
+# A large scale divisor keeps the runtime in seconds while still
+# executing every sweep point.
+
+set(scale 256)
+set(json1 ${WORKDIR}/${NAME}_t1.json)
+set(json8 ${WORKDIR}/${NAME}_t8.json)
+
+foreach(cfg "1;${json1}" "8;${json8}")
+  list(GET cfg 0 threads)
+  list(GET cfg 1 out)
+  execute_process(
+    COMMAND ${BENCH} ${scale} --threads ${threads} --json ${out}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE stdout
+    ERROR_VARIABLE stderr)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+            "${BENCH} --threads ${threads} failed (rc=${rc}):\n"
+            "${stdout}\n${stderr}")
+  endif()
+endforeach()
+
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                        ${json1} ${json8}
+                RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+  message(FATAL_ERROR
+          "JSON output differs between --threads 1 and --threads 8: "
+          "${json1} vs ${json8}")
+endif()

@@ -4,6 +4,11 @@
  * Figure 13-17 benches: runs Java S/D, Kryo, and Cereal over each
  * app's representative shuffle batch and derives Spark-level S/D
  * times (codec + stream handling; see bench_util.hh).
+ *
+ * Each application is measured in a fully isolated simulation context
+ * (its own klass registry, workload builder, heap, shuffle stage and
+ * per-measurement DDR4/core instances), so the six apps are
+ * independent sweep points for the parallel runner.
  */
 
 #ifndef CEREAL_BENCH_SPARK_COMMON_HH
@@ -60,44 +65,81 @@ struct SparkRow
     }
 };
 
-/** Measure all six applications at the given scale divisor. */
+/** Measure one application in its own simulation context. */
+inline SparkRow
+measureSparkApp(const workloads::SparkAppSpec &spec, std::uint64_t scale)
+{
+    KlassRegistry reg;
+    workloads::SparkWorkloads spark(reg);
+    ShuffleStage shuffle;
+    Heap src(reg, 0x1'0000'0000ULL);
+    Addr root = spark.build(src, spec.name, scale, 42);
+
+    JavaSerializer java;
+    KryoSerializer kryo;
+    kryo.registerAll(reg);
+
+    SparkRow row{spec,
+                 workloads::measureSoftware(java, src, root),
+                 workloads::measureSoftware(kryo, src, root),
+                 workloads::measureCereal(src, root),
+                 0,
+                 0,
+                 0};
+
+    // Shuffle stage: software compresses + copies; Cereal's driver
+    // hands the packed stream off with a bulk copy.
+    auto java_stream = java.serialize(src, root);
+    row.javaShuffle = shuffle.softwareWrite(java_stream).seconds +
+                      shuffle.softwareRead(java_stream).seconds;
+    auto kryo_stream = kryo.serialize(src, root);
+    row.kryoShuffle = shuffle.softwareWrite(kryo_stream).seconds +
+                      shuffle.softwareRead(kryo_stream).seconds;
+    row.cerealShuffle =
+        2 * shuffle.cerealHandoff(row.cereal.streamBytes).seconds;
+    return row;
+}
+
+/**
+ * Register one sweep point per Spark application. @p rows is resized
+ * to the app count; rows[i] is valid once sweep.run() returns. Every
+ * point also emits the three SdMeasurements, shuffle times and derived
+ * speedups into the JSON document.
+ */
+inline void
+addSparkPoints(runner::SweepRunner &sweep, std::uint64_t scale,
+               std::vector<SparkRow> &rows)
+{
+    const auto &apps = workloads::sparkApps();
+    rows.resize(apps.size());
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+        const auto &spec = apps[i];
+        sweep.add(spec.name, [&rows, i, spec, scale](json::Writer &w) {
+            rows[i] = measureSparkApp(spec, scale);
+            const SparkRow &r = rows[i];
+            r.java.writeJson(w, "java");
+            r.kryo.writeJson(w, "kryo");
+            r.cereal.writeJson(w, "cereal");
+            w.kv("java_shuffle_seconds", r.javaShuffle);
+            w.kv("kryo_shuffle_seconds", r.kryoShuffle);
+            w.kv("cereal_shuffle_seconds", r.cerealShuffle);
+            w.kv("java_sd_seconds", r.javaSd());
+            w.kv("kryo_sd_seconds", r.kryoSd());
+            w.kv("cereal_sd_seconds", r.cerealSd());
+            w.kv("kryo_sd_speedup", r.kryoSdSpeedup());
+            w.kv("cereal_sd_speedup", r.cerealSdSpeedup());
+            w.kv("cereal_over_kryo", r.cerealOverKryo());
+        });
+    }
+}
+
+/** Serial convenience: measure all apps at @p scale. */
 inline std::vector<SparkRow>
 measureSparkApps(std::uint64_t scale)
 {
     std::vector<SparkRow> rows;
-    KlassRegistry reg;
-    workloads::SparkWorkloads spark(reg);
-    ShuffleStage shuffle;
-    Addr base = 0x1'0000'0000ULL;
     for (const auto &spec : workloads::sparkApps()) {
-        Heap src(reg, base);
-        base += 0x10'0000'0000ULL;
-        Addr root = spark.build(src, spec.name, scale, 42);
-
-        JavaSerializer java;
-        KryoSerializer kryo;
-        kryo.registerAll(reg);
-
-        SparkRow row{spec,
-                     workloads::measureSoftware(java, src, root),
-                     workloads::measureSoftware(kryo, src, root),
-                     workloads::measureCereal(src, root),
-                     0,
-                     0,
-                     0};
-
-        // Shuffle stage: software compresses + copies; Cereal's driver
-        // hands the packed stream off with a bulk copy.
-        auto java_stream = java.serialize(src, root);
-        row.javaShuffle = shuffle.softwareWrite(java_stream).seconds +
-                          shuffle.softwareRead(java_stream).seconds;
-        auto kryo_stream = kryo.serialize(src, root);
-        row.kryoShuffle = shuffle.softwareWrite(kryo_stream).seconds +
-                          shuffle.softwareRead(kryo_stream).seconds;
-        row.cerealShuffle =
-            2 * shuffle.cerealHandoff(row.cereal.streamBytes).seconds;
-
-        rows.push_back(std::move(row));
+        rows.push_back(measureSparkApp(spec, scale));
     }
     return rows;
 }

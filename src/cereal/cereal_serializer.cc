@@ -1,5 +1,6 @@
 #include "cereal/cereal_serializer.hh"
 
+#include <atomic>
 #include <deque>
 
 #include "heap/object.hh"
@@ -10,8 +11,12 @@ namespace cereal {
 std::uint8_t
 CerealSerializer::nextUnitId()
 {
-    static std::uint8_t next = 0;
-    return ++next; // wraps at 255; IDs only need to differ pairwise
+    // Atomic: serializers are constructed concurrently from sweep
+    // points. The ID never reaches the serialized bytes (it only
+    // disambiguates visited-marks within one heap), so the allocation
+    // order being nondeterministic under threads is harmless.
+    static std::atomic<std::uint8_t> next{0};
+    return static_cast<std::uint8_t>(next.fetch_add(1) + 1);
 }
 
 void

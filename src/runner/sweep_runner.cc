@@ -1,0 +1,115 @@
+#include "runner/sweep_runner.hh"
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "runner/thread_pool.hh"
+#include "sim/logging.hh"
+
+namespace cereal {
+namespace runner {
+
+namespace {
+
+/** Depth of a point fragment inside the final document. */
+constexpr std::size_t kPointDepth = 2;
+
+} // namespace
+
+void
+SweepRunner::run(unsigned threads)
+{
+    panic_if(ran_, "SweepRunner::run() called twice");
+    ran_ = true;
+    pointJson_.resize(points_.size());
+
+    auto run_point = [this](std::size_t i) {
+        std::ostringstream ss;
+        json::Writer w(ss, 2, kPointDepth);
+        w.beginObject();
+        w.kv("name", points_[i].name);
+        points_[i].fn(w);
+        w.endObject();
+        panic_if(!w.balanced(),
+                 "sweep point '%s' left the JSON writer unbalanced",
+                 points_[i].name.c_str());
+        pointJson_[i] = ss.str();
+    };
+
+    if (threads <= 1 || points_.size() <= 1) {
+        for (std::size_t i = 0; i < points_.size(); ++i) {
+            run_point(i);
+        }
+        return;
+    }
+
+    ThreadPool pool(threads);
+    for (std::size_t i = 0; i < points_.size(); ++i) {
+        pool.submit([&run_point, i] { run_point(i); });
+    }
+    pool.wait();
+}
+
+const std::string &
+SweepRunner::pointJson(std::size_t i) const
+{
+    panic_if(!ran_, "pointJson() before run()");
+    panic_if(i >= pointJson_.size(), "pointJson(%zu): only %zu points",
+             i, pointJson_.size());
+    return pointJson_[i];
+}
+
+void
+SweepRunner::writeJson(std::ostream &os,
+                       const std::vector<ConfigKv> &config) const
+{
+    panic_if(!ran_, "writeJson() before run()");
+    json::Writer w(os, 2);
+    w.beginObject();
+    w.kv("schema", "cereal-bench-v1");
+    w.kv("bench", benchName_);
+    w.key("config");
+    w.beginObject();
+    for (const auto &kv : config) {
+        w.kv(kv.key, kv.value);
+    }
+    w.endObject();
+    w.key("points");
+    w.beginArray();
+    for (const auto &frag : pointJson_) {
+        w.raw(frag);
+    }
+    w.endArray();
+    if (summary_) {
+        w.key("summary");
+        w.beginObject();
+        summary_(w);
+        w.endObject();
+    }
+    w.endObject();
+    panic_if(!w.balanced(), "summary writer left document unbalanced");
+    os << "\n";
+}
+
+std::string
+SweepRunner::writeJsonFile(const std::string &path,
+                           const std::vector<ConfigKv> &config) const
+{
+    if (path.empty()) {
+        return "";
+    }
+    if (path == "-") {
+        writeJson(std::cout, config);
+        return path;
+    }
+    std::ofstream os(path, std::ios::binary);
+    fatal_if(!os, "cannot open %s for writing", path.c_str());
+    writeJson(os, config);
+    os.flush();
+    fatal_if(!os, "write to %s failed", path.c_str());
+    return path;
+}
+
+} // namespace runner
+} // namespace cereal

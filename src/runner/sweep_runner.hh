@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Parallel experiment-sweep execution with deterministic output.
+ *
+ * A SweepRunner holds an ordered list of named experiment points. Each
+ * point is a closure that builds its *own* simulation context (klass
+ * registry, heap, DDR4, cores, accelerator — nothing shared) from
+ * explicit seeds, so points are independent and can execute on any
+ * thread in any order. Results — both the numbers a bench prints and
+ * the JSON fragment a point emits — land in slots indexed by
+ * registration order, so an N-thread run is bit-identical to a serial
+ * run (tested in test_runner.cc and by the bench-level ctest
+ * comparisons).
+ *
+ * writeJson() renders the stable `BENCH_<name>.json` document:
+ *
+ *   {
+ *     "schema": "cereal-bench-v1",
+ *     "bench": "<name>",
+ *     "config": { ...header kv... },
+ *     "points": [ {"name": ..., <point fields>}, ... ],
+ *     "summary": { ...optional cross-point aggregates... }
+ *   }
+ *
+ * Deliberately absent: thread count, timestamps, host info — anything
+ * that would make equal experiments produce unequal bytes.
+ */
+
+#ifndef CEREAL_RUNNER_SWEEP_RUNNER_HH
+#define CEREAL_RUNNER_SWEEP_RUNNER_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/json.hh"
+
+namespace cereal {
+namespace runner {
+
+/** One member of the top-level "config" object. */
+struct ConfigKv
+{
+    std::string key;
+    std::uint64_t value;
+};
+
+class SweepRunner
+{
+  public:
+    /**
+     * A point writes its JSON fields into an already-open object (the
+     * runner supplies the "name" member; the point must leave the
+     * writer balanced at the same depth it got it).
+     */
+    using PointFn = std::function<void(json::Writer &)>;
+
+    explicit SweepRunner(std::string bench_name)
+        : benchName_(std::move(bench_name))
+    {
+    }
+
+    /** Register one point; executes in registration order slots. */
+    void
+    add(std::string point_name, PointFn fn)
+    {
+        points_.push_back({std::move(point_name), std::move(fn)});
+    }
+
+    std::size_t numPoints() const { return points_.size(); }
+    const std::string &benchName() const { return benchName_; }
+
+    /**
+     * Execute every point. @p threads <= 1 runs serially on the
+     * calling thread (the reference behaviour); otherwise a
+     * work-stealing pool of @p threads workers runs the points
+     * concurrently. A point that panics/throws aborts the run with the
+     * point's name attached.
+     *
+     * May be called once per runner instance.
+     */
+    void run(unsigned threads);
+
+    /**
+     * Install a closure that writes cross-point aggregate members into
+     * the top-level "summary" object. Runs after all points, on the
+     * calling thread.
+     */
+    void
+    setSummary(PointFn fn)
+    {
+        summary_ = std::move(fn);
+    }
+
+    /** Rendered JSON fragment of point @p i (run() must be done). */
+    const std::string &pointJson(std::size_t i) const;
+
+    /** Render the whole document to @p os. */
+    void writeJson(std::ostream &os,
+                   const std::vector<ConfigKv> &config = {}) const;
+
+    /**
+     * Write `BENCH_<bench>.json` to @p path ("" -> no-op, "-" ->
+     * stdout). Returns the resolved path actually written.
+     */
+    std::string writeJsonFile(const std::string &path,
+                              const std::vector<ConfigKv> &config = {}) const;
+
+  private:
+    struct Point
+    {
+        std::string name;
+        PointFn fn;
+    };
+
+    std::string benchName_;
+    std::vector<Point> points_;
+    std::vector<std::string> pointJson_;
+    PointFn summary_;
+    bool ran_ = false;
+};
+
+} // namespace runner
+} // namespace cereal
+
+#endif // CEREAL_RUNNER_SWEEP_RUNNER_HH

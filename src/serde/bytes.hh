@@ -183,6 +183,9 @@ class ByteReader
         panic_if(pos_ + n > buf_->size(),
                  "stream underflow at %zu (+%zu of %zu)", pos_, n,
                  buf_->size());
+        if (n == 0) {
+            return; // zero-length reads may pass dst == nullptr
+        }
         if (sink_) {
             sink_->load(kStreamBase + pos_,
                         static_cast<std::uint32_t>(n));

@@ -1,0 +1,235 @@
+/**
+ * @file
+ * A minimal streaming JSON writer.
+ *
+ * Produces deterministic, schema-stable output: keys are emitted in
+ * call order, doubles use the shortest round-trippable decimal form
+ * (std::to_chars), and strings are escaped per RFC 8259. Equal inputs
+ * yield byte-identical documents, which is what lets the benchmark
+ * runner promise `--threads N` output identical to a serial run and
+ * what makes `BENCH_*.json` files diffable across PRs.
+ */
+
+#ifndef CEREAL_SIM_JSON_HH
+#define CEREAL_SIM_JSON_HH
+
+#include <charconv>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace cereal {
+namespace json {
+
+/** Escape @p s into a double-quoted JSON string literal. */
+inline std::string
+escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    out.push_back('"');
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out.push_back(static_cast<char>(c));
+            }
+        }
+    }
+    out.push_back('"');
+    return out;
+}
+
+/** Shortest round-trippable decimal form of @p v (NaN/Inf -> null). */
+inline std::string
+formatDouble(double v)
+{
+    if (!std::isfinite(v)) {
+        return "null";
+    }
+    char buf[64];
+    auto res = std::to_chars(buf, buf + sizeof(buf), v);
+    return std::string(buf, res.ptr);
+}
+
+/**
+ * Streaming writer with nesting/comma bookkeeping.
+ *
+ * Usage: beginObject()/endObject(), beginArray()/endArray(), key()
+ * before each member value inside an object, value() for leaves.
+ * Misuse (value without key inside an object, unbalanced end) panics.
+ */
+class Writer
+{
+  public:
+    /**
+     * @param indent spaces per nesting level (0 = compact)
+     * @param base_depth indentation offset, for rendering a fragment
+     *        that will be spliced into an outer document via raw()
+     */
+    explicit Writer(std::ostream &os, int indent = 2,
+                    std::size_t base_depth = 0)
+        : os_(&os), indent_(indent), baseDepth_(base_depth)
+    {
+    }
+
+    void
+    beginObject()
+    {
+        beforeValue();
+        *os_ << '{';
+        stack_.push_back(Frame::Object);
+        count_.push_back(0);
+    }
+
+    void
+    endObject()
+    {
+        close('}', Frame::Object);
+    }
+
+    void
+    beginArray()
+    {
+        beforeValue();
+        *os_ << '[';
+        stack_.push_back(Frame::Array);
+        count_.push_back(0);
+    }
+
+    void
+    endArray()
+    {
+        close(']', Frame::Array);
+    }
+
+    /** Name the next member of the enclosing object. */
+    void
+    key(const std::string &k)
+    {
+        panic_if(stack_.empty() || stack_.back() != Frame::Object,
+                 "json: key() outside an object");
+        panic_if(keyed_, "json: two keys in a row");
+        if (count_.back() > 0) {
+            *os_ << ',';
+        }
+        ++count_.back();
+        newlineIndent(stack_.size());
+        *os_ << escape(k) << (indent_ > 0 ? ": " : ":");
+        keyed_ = true;
+    }
+
+    void value(double v) { leaf(formatDouble(v)); }
+    void value(std::uint64_t v) { leaf(std::to_string(v)); }
+    void value(std::int64_t v) { leaf(std::to_string(v)); }
+    void value(int v) { leaf(std::to_string(v)); }
+    void value(unsigned v) { leaf(std::to_string(v)); }
+    void value(bool v) { leaf(v ? "true" : "false"); }
+    void value(const std::string &v) { leaf(escape(v)); }
+    void value(const char *v) { leaf(escape(v)); }
+    void null() { leaf("null"); }
+
+    /** key() + value() in one call. */
+    template <typename T>
+    void
+    kv(const std::string &k, const T &v)
+    {
+        key(k);
+        value(v);
+    }
+
+    /** Splice @p raw_json (a complete, pre-rendered value). */
+    void
+    raw(const std::string &raw_json)
+    {
+        leaf(raw_json);
+    }
+
+    /** All begins closed? (callers should check before flushing) */
+    bool balanced() const { return stack_.empty(); }
+
+  private:
+    enum class Frame { Object, Array };
+
+    /** Separator/position bookkeeping before any value or begin. */
+    void
+    beforeValue()
+    {
+        if (stack_.empty()) {
+            return;
+        }
+        if (stack_.back() == Frame::Object) {
+            panic_if(!keyed_, "json: object member without key");
+            keyed_ = false;
+            return;
+        }
+        if (count_.back() > 0) {
+            *os_ << ',';
+        }
+        ++count_.back();
+        newlineIndent(stack_.size());
+    }
+
+    void
+    close(char c, Frame want)
+    {
+        panic_if(stack_.empty() || stack_.back() != want,
+                 "json: mismatched close '%c'", c);
+        panic_if(keyed_, "json: dangling key before close");
+        bool had_members = count_.back() > 0;
+        stack_.pop_back();
+        count_.pop_back();
+        if (had_members) {
+            newlineIndent(stack_.size());
+        }
+        *os_ << c;
+    }
+
+    void
+    leaf(const std::string &text)
+    {
+        beforeValue();
+        *os_ << text;
+    }
+
+    void
+    newlineIndent(std::size_t depth)
+    {
+        if (indent_ <= 0) {
+            return;
+        }
+        *os_ << '\n';
+        const std::size_t total = (baseDepth_ + depth) * indent_;
+        for (std::size_t i = 0; i < total; ++i) {
+            *os_ << ' ';
+        }
+    }
+
+    std::ostream *os_;
+    int indent_;
+    std::size_t baseDepth_ = 0;
+    std::vector<Frame> stack_;
+    std::vector<std::size_t> count_;
+    bool keyed_ = false;
+};
+
+} // namespace json
+} // namespace cereal
+
+#endif // CEREAL_SIM_JSON_HH

@@ -2,6 +2,8 @@
 
 #include <iomanip>
 
+#include "sim/json.hh"
+
 namespace cereal {
 namespace stats {
 
@@ -29,9 +31,67 @@ StatGroup::dump(std::ostream &os) const
                << " overflow=" << h->overflow();
             break;
           }
+          case Kind::Formula: {
+            const auto *f = static_cast<const Formula *>(e.stat);
+            os << std::setw(16) << f->value();
+            break;
+          }
         }
         os << "  # " << e.desc << "\n";
     }
+}
+
+void
+StatGroup::dumpJson(json::Writer &w) const
+{
+    w.key(name_);
+    w.beginObject();
+    for (const auto &e : entries_) {
+        w.key(e.name);
+        w.beginObject();
+        switch (e.kind) {
+          case Kind::Scalar: {
+            const auto *s = static_cast<const Scalar *>(e.stat);
+            w.kv("kind", "scalar");
+            w.kv("value", s->value());
+            break;
+          }
+          case Kind::Average: {
+            const auto *a = static_cast<const Average *>(e.stat);
+            w.kv("kind", "average");
+            w.kv("mean", a->mean());
+            w.kv("min", a->min());
+            w.kv("max", a->max());
+            w.kv("sum", a->sum());
+            w.kv("count", a->count());
+            break;
+          }
+          case Kind::Histogram: {
+            const auto *h = static_cast<const Histogram *>(e.stat);
+            w.kv("kind", "histogram");
+            w.kv("mean", h->mean());
+            w.kv("count", h->count());
+            w.kv("overflow", h->overflow());
+            w.kv("bucket_width", h->bucketWidth());
+            w.key("buckets");
+            w.beginArray();
+            for (auto b : h->buckets()) {
+                w.value(b);
+            }
+            w.endArray();
+            break;
+          }
+          case Kind::Formula: {
+            const auto *f = static_cast<const Formula *>(e.stat);
+            w.kv("kind", "formula");
+            w.kv("value", f->value());
+            break;
+          }
+        }
+        w.kv("desc", e.desc);
+        w.endObject();
+    }
+    w.endObject();
 }
 
 } // namespace stats

@@ -11,9 +11,16 @@
 #define CEREAL_SIM_STATS_HH
 
 #include <cstdint>
+#include <functional>
 #include <ostream>
 #include <string>
 #include <vector>
+
+namespace cereal {
+namespace json {
+class Writer;
+} // namespace json
+} // namespace cereal
 
 namespace cereal {
 namespace stats {
@@ -123,8 +130,27 @@ class Histogram
     Average avg_;
 };
 
+/**
+ * A derived statistic: a closure over other statistics, evaluated
+ * lazily at dump time (ratios, rates, utilisations).
+ */
+class Formula
+{
+  public:
+    Formula() = default;
+
+    /** Install the expression; closed-over stats must outlive it. */
+    explicit Formula(std::function<double()> fn) : fn_(std::move(fn)) {}
+
+    void set(std::function<double()> fn) { fn_ = std::move(fn); }
+    double value() const { return fn_ ? fn_() : 0; }
+
+  private:
+    std::function<double()> fn_;
+};
+
 /** Kind discriminator for registered statistics. */
-enum class Kind { Scalar, Average, Histogram };
+enum class Kind { Scalar, Average, Histogram, Formula };
 
 /** One registration record inside a StatGroup. */
 struct Entry
@@ -168,8 +194,23 @@ class StatGroup
         entries_.push_back({stat_name, desc, Kind::Histogram, &h});
     }
 
+    void
+    add(const std::string &stat_name, const std::string &desc,
+        const Formula &f)
+    {
+        entries_.push_back({stat_name, desc, Kind::Formula, &f});
+    }
+
     /** Render all registered statistics to @p os. */
     void dump(std::ostream &os) const;
+
+    /**
+     * Emit the group as one JSON object member: the group name keys an
+     * object holding one member per statistic. The writer must be
+     * positioned inside an object; output is schema-stable (fixed
+     * member set per kind, registration order).
+     */
+    void dumpJson(json::Writer &w) const;
 
     const std::string &name() const { return name_; }
     const std::vector<Entry> &entries() const { return entries_; }

@@ -103,6 +103,27 @@ measureCereal(Heap &src, Addr root, const AccelConfig &accel_cfg,
     return out;
 }
 
+void
+SdMeasurement::writeJson(json::Writer &w, const std::string &key) const
+{
+    w.key(key);
+    w.beginObject();
+    w.kv("serializer", serializer);
+    w.kv("objects", objects);
+    w.kv("stream_bytes", streamBytes);
+    w.kv("ser_seconds", serSeconds);
+    w.kv("deser_seconds", deserSeconds);
+    w.kv("ser_bandwidth", serBandwidth);
+    w.kv("deser_bandwidth", deserBandwidth);
+    w.kv("ser_ipc", serIpc);
+    w.kv("deser_ipc", deserIpc);
+    w.kv("ser_llc_miss_rate", serLlcMissRate);
+    w.kv("deser_llc_miss_rate", deserLlcMissRate);
+    w.kv("ser_energy_j", serEnergyJ);
+    w.kv("deser_energy_j", deserEnergyJ);
+    w.endObject();
+}
+
 double
 geomean(const std::vector<double> &xs)
 {

@@ -17,6 +17,7 @@
 #include "cereal/api.hh"
 #include "cpu/core_model.hh"
 #include "serde/serializer.hh"
+#include "sim/json.hh"
 
 namespace cereal {
 namespace workloads {
@@ -42,6 +43,13 @@ struct SdMeasurement
     /** Energy per the paper's accounting (TDP or Table V), joules. */
     double serEnergyJ = 0;
     double deserEnergyJ = 0;
+
+    /**
+     * Emit this measurement as one object member named @p key of the
+     * writer's currently-open object. The member set is fixed — part
+     * of the cereal-bench-v1 schema.
+     */
+    void writeJson(json::Writer &w, const std::string &key) const;
 };
 
 /**

@@ -8,7 +8,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "cereal/accel/device.hh"
 #include "cereal/cereal_serializer.hh"
@@ -195,6 +198,83 @@ INSTANTIATE_TEST_SUITE_P(
         return std::get<0>(info.param) + "_seed" +
                std::to_string(std::get<1>(info.param));
     });
+
+/**
+ * Differential suite: the four serializers are independent
+ * implementations of the same contract, so on any input graph their
+ * decoded outputs must be mutually isomorphic. A bug that survives one
+ * serializer's own round-trip (e.g. a symmetric encode/decode mistake)
+ * still fails here unless all four implementations share it.
+ */
+class DifferentialRoundTrip : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(DifferentialRoundTrip, AllSerializersDecodeIsomorphicGraphs)
+{
+    const int seed = GetParam();
+    RandomGraph g(static_cast<std::uint64_t>(seed) * 7919 + 13,
+                  0x1'0000'0000ULL);
+
+    const std::vector<std::string> which = {"java", "kryo", "skyway",
+                                           "cereal"};
+    std::vector<std::unique_ptr<Heap>> heaps;
+    std::vector<Addr> roots;
+    for (std::size_t i = 0; i < which.size(); ++i) {
+        auto ser = makeSerializer(which[i], g.registry);
+        auto stream = ser->serialize(g.heap, g.root, nullptr);
+        heaps.push_back(std::make_unique<Heap>(
+            g.registry, 0x20'0000'0000ULL + 0x10'0000'0000ULL * i));
+        roots.push_back(ser->deserialize(stream, *heaps[i], nullptr));
+    }
+
+    std::string why;
+    for (std::size_t i = 0; i < which.size(); ++i) {
+        // Against the source graph...
+        ASSERT_TRUE(
+            graphEquals(g.heap, g.root, *heaps[i], roots[i], &why))
+            << which[i] << " vs source, seed=" << seed << ": " << why;
+        // ...and pairwise against every other decoder's output.
+        for (std::size_t j = i + 1; j < which.size(); ++j) {
+            ASSERT_TRUE(graphEquals(*heaps[i], roots[i], *heaps[j],
+                                    roots[j], &why))
+                << which[i] << " vs " << which[j] << ", seed=" << seed
+                << ": " << why;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialRoundTrip,
+                         ::testing::Range(0, 12),
+                         [](const auto &info) {
+                             return "seed" + std::to_string(info.param);
+                         });
+
+/**
+ * Cross-decoding must fail loudly, not silently misparse: each format
+ * carries a distinct magic, so feeding one serializer's stream to
+ * another is a detectable error, never a garbage graph.
+ */
+TEST(DifferentialRoundTrip, FormatsCarryDistinctMagics)
+{
+    RandomGraph g(99991, 0x1'0000'0000ULL);
+    std::vector<std::vector<std::uint8_t>> streams;
+    for (const char *which : {"java", "kryo", "skyway", "cereal"}) {
+        auto ser = makeSerializer(which, g.registry);
+        streams.push_back(ser->serialize(g.heap, g.root, nullptr));
+    }
+    for (std::size_t i = 0; i < streams.size(); ++i) {
+        for (std::size_t j = i + 1; j < streams.size(); ++j) {
+            ASSERT_GE(streams[i].size(), 4u);
+            ASSERT_GE(streams[j].size(), 4u);
+            EXPECT_FALSE(std::equal(streams[i].begin(),
+                                    streams[i].begin() + 4,
+                                    streams[j].begin()))
+                << "streams " << i << " and " << j
+                << " share a 4-byte magic";
+        }
+    }
+}
 
 /** The fuzz graphs also exercise the timing models without crashing. */
 TEST(FuzzTiming, AcceleratorHandlesRandomGraphs)

@@ -1,0 +1,299 @@
+/**
+ * @file
+ * Unit tests for the experiment runner subsystem: the work-stealing
+ * thread pool, the deterministic SweepRunner (the same sweep run with
+ * 1 and 8 threads must render byte-identical JSON), the JSON writer's
+ * escaping/formatting, and the stats/harness JSON exporters.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runner/sweep_runner.hh"
+#include "runner/thread_pool.hh"
+#include "sim/json.hh"
+#include "sim/stats.hh"
+#include "workloads/harness.hh"
+
+namespace cereal {
+namespace {
+
+// ---------------------------------------------------------------- pool
+
+TEST(ThreadPool, RunsEverySubmittedTask)
+{
+    runner::ThreadPool pool(4);
+    EXPECT_EQ(pool.numThreads(), 4u);
+    std::atomic<int> hits{0};
+    for (int i = 0; i < 1000; ++i) {
+        pool.submit([&hits] { ++hits; });
+    }
+    pool.wait();
+    EXPECT_EQ(hits.load(), 1000);
+}
+
+TEST(ThreadPool, WaitIsReusable)
+{
+    runner::ThreadPool pool(2);
+    std::atomic<int> hits{0};
+    for (int round = 0; round < 5; ++round) {
+        for (int i = 0; i < 50; ++i) {
+            pool.submit([&hits] { ++hits; });
+        }
+        pool.wait();
+        EXPECT_EQ(hits.load(), (round + 1) * 50);
+    }
+}
+
+TEST(ThreadPool, TasksRunOnWorkerThreadsNotCaller)
+{
+    // The pool promises execution on its workers, not any particular
+    // spread across them (a fast worker may legally steal everything).
+    runner::ThreadPool pool(4);
+    const auto caller = std::this_thread::get_id();
+    std::mutex m;
+    std::set<std::thread::id> seen;
+    for (int i = 0; i < 400; ++i) {
+        pool.submit([&] {
+            std::lock_guard<std::mutex> lk(m);
+            seen.insert(std::this_thread::get_id());
+        });
+    }
+    pool.wait();
+    EXPECT_FALSE(seen.empty());
+    EXPECT_EQ(seen.count(caller), 0u);
+    EXPECT_LE(seen.size(), 4u);
+}
+
+TEST(ThreadPool, DestructorDrainsPendingWork)
+{
+    std::atomic<int> hits{0};
+    {
+        runner::ThreadPool pool(3);
+        for (int i = 0; i < 200; ++i) {
+            pool.submit([&hits] { ++hits; });
+        }
+        // No wait(): the destructor must finish the queue.
+    }
+    EXPECT_EQ(hits.load(), 200);
+}
+
+TEST(ThreadPool, ZeroMeansHardwareConcurrency)
+{
+    runner::ThreadPool pool(0);
+    EXPECT_GE(pool.numThreads(), 1u);
+}
+
+// ---------------------------------------------------------------- json
+
+TEST(Json, EscapeCoversControlAndQuoteCharacters)
+{
+    EXPECT_EQ(json::escape("plain"), "\"plain\"");
+    EXPECT_EQ(json::escape("a\"b"), "\"a\\\"b\"");
+    EXPECT_EQ(json::escape("back\\slash"), "\"back\\\\slash\"");
+    EXPECT_EQ(json::escape("tab\there"), "\"tab\\there\"");
+    EXPECT_EQ(json::escape("nl\n"), "\"nl\\n\"");
+    EXPECT_EQ(json::escape(std::string("nul\x01")), "\"nul\\u0001\"");
+}
+
+TEST(Json, FormatDoubleIsShortestRoundTrip)
+{
+    EXPECT_EQ(json::formatDouble(0.1), "0.1");
+    EXPECT_EQ(json::formatDouble(2), "2");
+    EXPECT_EQ(json::formatDouble(-1.5e300), "-1.5e+300");
+    EXPECT_EQ(json::formatDouble(std::nan("")), "null");
+    EXPECT_EQ(json::formatDouble(INFINITY), "null");
+}
+
+TEST(Json, WriterRendersNestedDocument)
+{
+    std::ostringstream ss;
+    json::Writer w(ss, 0);
+    w.beginObject();
+    w.kv("a", 1);
+    w.key("b");
+    w.beginArray();
+    w.value(1.5);
+    w.value(true);
+    w.null();
+    w.endArray();
+    w.kv("c", "x\"y");
+    w.endObject();
+    EXPECT_TRUE(w.balanced());
+    EXPECT_EQ(ss.str(), "{\"a\":1,\"b\":[1.5,true,null],\"c\":\"x\\\"y\"}");
+}
+
+TEST(Json, WriterTracksBalance)
+{
+    std::ostringstream ss;
+    json::Writer w(ss, 2);
+    w.beginObject();
+    EXPECT_FALSE(w.balanced());
+    w.endObject();
+    EXPECT_TRUE(w.balanced());
+}
+
+// --------------------------------------------------------------- stats
+
+TEST(StatsJson, AllKindsExportFixedSchema)
+{
+    stats::Scalar sc;
+    sc += 3;
+    stats::Average avg;
+    avg.sample(1);
+    avg.sample(3);
+    stats::Histogram h(4, 10.0);
+    h.sample(5);
+    h.sample(45); // overflow
+    stats::Formula f([&] { return sc.value() * 2; });
+
+    stats::StatGroup g("grp");
+    g.add("sc", "a scalar", sc);
+    g.add("avg", "an average", avg);
+    g.add("hist", "a histogram", h);
+    g.add("form", "a formula", f);
+
+    std::ostringstream ss;
+    json::Writer w(ss, 0);
+    w.beginObject();
+    g.dumpJson(w);
+    w.endObject();
+    ASSERT_TRUE(w.balanced());
+
+    const std::string doc = ss.str();
+    EXPECT_NE(doc.find("\"grp\":{"), std::string::npos) << doc;
+    EXPECT_NE(doc.find("\"sc\":{\"kind\":\"scalar\",\"value\":3"),
+              std::string::npos)
+        << doc;
+    EXPECT_NE(doc.find("\"mean\":2"), std::string::npos) << doc;
+    EXPECT_NE(doc.find("\"overflow\":1"), std::string::npos) << doc;
+    EXPECT_NE(doc.find("\"buckets\":[1,0,0,0]"), std::string::npos) << doc;
+    EXPECT_NE(doc.find("\"form\":{\"kind\":\"formula\",\"value\":6"),
+              std::string::npos)
+        << doc;
+}
+
+TEST(StatsJson, SdMeasurementMemberSetIsStable)
+{
+    workloads::SdMeasurement m;
+    m.serializer = "kryo";
+    m.objects = 7;
+    m.streamBytes = 99;
+    m.serSeconds = 0.5;
+
+    std::ostringstream ss;
+    json::Writer w(ss, 0);
+    w.beginObject();
+    m.writeJson(w, "kryo");
+    w.endObject();
+    ASSERT_TRUE(w.balanced());
+
+    const std::string doc = ss.str();
+    for (const char *member :
+         {"serializer", "objects", "stream_bytes", "ser_seconds",
+          "deser_seconds", "ser_bandwidth", "deser_bandwidth", "ser_ipc",
+          "deser_ipc", "ser_llc_miss_rate", "deser_llc_miss_rate",
+          "ser_energy_j", "deser_energy_j"}) {
+        EXPECT_NE(doc.find(std::string("\"") + member + "\":"),
+                  std::string::npos)
+            << "missing member " << member << " in " << doc;
+    }
+}
+
+// -------------------------------------------------------------- runner
+
+/**
+ * A deterministic pseudo-workload: points do unequal amounts of work
+ * (so parallel completion order scrambles) but the value for slot i
+ * depends only on i.
+ */
+std::string
+renderSweep(unsigned threads, std::uint64_t seed)
+{
+    runner::SweepRunner sweep("unit");
+    std::vector<std::uint64_t> results(24, 0);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        sweep.add("pt-" + std::to_string(i),
+                  [&results, i, seed](json::Writer &w) {
+                      std::uint64_t x = seed + i * 2654435761ULL;
+                      // More iterations for earlier points: finish
+                      // order under parallelism inverts registration
+                      // order.
+                      for (std::uint64_t k = 0;
+                           k < 20000 * (results.size() - i); ++k) {
+                          x ^= x << 13;
+                          x ^= x >> 7;
+                          x ^= x << 17;
+                      }
+                      results[i] = x;
+                      w.kv("hash", x);
+                  });
+    }
+    sweep.setSummary([&results](json::Writer &w) {
+        std::uint64_t sum = 0;
+        for (auto v : results) {
+            sum += v;
+        }
+        w.kv("hash_sum", sum);
+    });
+    sweep.run(threads);
+    std::ostringstream ss;
+    sweep.writeJson(ss, {{"seed", seed}});
+    return ss.str();
+}
+
+TEST(SweepRunner, ParallelJsonIsByteIdenticalToSerial)
+{
+    const std::string serial = renderSweep(1, 42);
+    const std::string parallel = renderSweep(8, 42);
+    EXPECT_EQ(serial, parallel);
+}
+
+TEST(SweepRunner, SameSeedTwiceIsByteIdentical)
+{
+    EXPECT_EQ(renderSweep(8, 7), renderSweep(8, 7));
+    EXPECT_NE(renderSweep(1, 7), renderSweep(1, 8));
+}
+
+TEST(SweepRunner, DocumentHasStableShape)
+{
+    runner::SweepRunner sweep("shape");
+    sweep.add("only", [](json::Writer &w) { w.kv("x", 1); });
+    sweep.run(1);
+    std::ostringstream ss;
+    sweep.writeJson(ss, {{"scale", 64}});
+    const std::string doc = ss.str();
+    EXPECT_NE(doc.find("\"schema\": \"cereal-bench-v1\""),
+              std::string::npos)
+        << doc;
+    EXPECT_NE(doc.find("\"bench\": \"shape\""), std::string::npos) << doc;
+    EXPECT_NE(doc.find("\"scale\": 64"), std::string::npos) << doc;
+    EXPECT_NE(doc.find("\"name\": \"only\""), std::string::npos) << doc;
+    // No summary installed: the member must be absent, not empty.
+    EXPECT_EQ(doc.find("\"summary\""), std::string::npos) << doc;
+    EXPECT_EQ(doc.back(), '\n');
+}
+
+TEST(SweepRunner, PointsRunExactlyOnceEach)
+{
+    runner::SweepRunner sweep("once");
+    std::vector<std::atomic<int>> counts(16);
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        sweep.add("p" + std::to_string(i),
+                  [&counts, i](json::Writer &) { ++counts[i]; });
+    }
+    sweep.run(4);
+    for (auto &c : counts) {
+        EXPECT_EQ(c.load(), 1);
+    }
+}
+
+} // namespace
+} // namespace cereal
