@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "serde/decode_error.hh"
 #include "serde/skyway_serde.hh"
 #include "sim/logging.hh"
 
@@ -20,11 +21,16 @@ ObjectOutputStream::append(const std::vector<std::uint8_t> &record)
 std::vector<std::uint8_t>
 ObjectInputStream::nextRecord()
 {
-    panic_if(pos_ + 8 > buf_->size(), "ObjectInputStream underflow");
+    decode_check(buf_->size() - pos_ >= 8, DecodeStatus::Truncated, pos_,
+                 "record length prefix overruns stream");
     std::uint64_t n;
     std::memcpy(&n, buf_->data() + pos_, 8);
     pos_ += 8;
-    panic_if(pos_ + n > buf_->size(), "truncated record");
+    // n came off the wire: compare against the remainder, never add it
+    // to pos_ first (the sum can wrap).
+    decode_check(n <= buf_->size() - pos_, DecodeStatus::Truncated, pos_,
+                 "record body (%llu B) overruns stream",
+                 (unsigned long long)n);
     std::vector<std::uint8_t> rec(buf_->begin() +
                                       static_cast<std::ptrdiff_t>(pos_),
                                   buf_->begin() +
@@ -88,6 +94,17 @@ CerealContext::readObject(ObjectInputStream &ois, Heap &dst, Tick submit)
     out.root = serializer_.deserializeStream(s, dst);
     out.timing = device_.deserialize(s, out.root, submit);
     return out;
+}
+
+DecodeResult<ReadObjectResult>
+CerealContext::tryReadObject(ObjectInputStream &ois, Heap &dst,
+                             Tick submit)
+{
+    try {
+        return readObject(ois, dst, submit);
+    } catch (const DecodeError &e) {
+        return e;
+    }
 }
 
 } // namespace cereal

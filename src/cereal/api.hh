@@ -28,6 +28,7 @@
 #include "cereal/accel/device.hh"
 #include "cereal/cereal_serializer.hh"
 #include "cpu/core_model.hh"
+#include "serde/decode_error.hh"
 
 namespace cereal {
 
@@ -112,9 +113,16 @@ class CerealContext
                                   Addr root, Tick submit = 0,
                                   bool shared_conflict = false);
 
-    /** ReadObject(): reconstruct the next record of @p ois into @p dst. */
+    /**
+     * ReadObject(): reconstruct the next record of @p ois into @p dst.
+     * Throws DecodeError on malformed input; never aborts.
+     */
     ReadObjectResult readObject(ObjectInputStream &ois, Heap &dst,
                                 Tick submit = 0);
+
+    /** Non-throwing readObject for untrusted streams. */
+    DecodeResult<ReadObjectResult>
+    tryReadObject(ObjectInputStream &ois, Heap &dst, Tick submit = 0);
 
     CerealDevice &device() { return device_; }
     CerealSerializer &serializer() { return serializer_; }

@@ -2,8 +2,10 @@
 
 #include <atomic>
 #include <deque>
+#include <unordered_set>
 
 #include "heap/object.hh"
+#include "serde/decode_error.hh"
 #include "sim/logging.hh"
 
 namespace cereal {
@@ -155,59 +157,195 @@ CerealSerializer::serializeToStream(Heap &src, Addr root)
 Addr
 CerealSerializer::deserializeStream(const CerealStream &s, Heap &dst)
 {
+    // Configuration error, not a stream property: no byte stream can
+    // flip the receiver's header geometry, so this stays a panic.
     panic_if(!dst.registry().hasCerealHeaderExt(),
              "Cereal requires the 8 B header extension (Section V-E)");
+
+    // CerealStream::decode() establishes these for wire streams, but
+    // this entry point also accepts hand-built structures; re-checking
+    // keeps the allocation below bounded by the bitmap section size.
+    decode_check(s.objectCount != 0, DecodeStatus::Malformed, 0,
+                 "empty Cereal stream");
+    decode_check(s.bitmapBits <=
+                     std::uint64_t{s.bitmapBuckets.size()} * 8,
+                 DecodeStatus::Malformed, 0,
+                 "bitmap bit count exceeds bucket capacity");
+    decode_check(s.totalGraphBytes == s.bitmapBits * 8,
+                 DecodeStatus::Malformed, 0,
+                 "graph size %u disagrees with bitmap bits %llu",
+                 s.totalGraphBytes, (unsigned long long)s.bitmapBits);
     Addr base = dst.allocateRaw(s.totalGraphBytes);
 
     ObjectUnpacker bitmaps(s.bitmapBuckets, s.bitmapEndMap);
     ObjectUnpacker refs(s.refBuckets, s.refEndMap);
     std::size_t value_at = 0;
 
-    auto next_value = [&]() -> std::uint64_t {
-        panic_if(value_at >= s.valueArray.size(), "value array underflow");
+    auto next_value = [&](Addr where) -> std::uint64_t {
+        decode_check(value_at < s.valueArray.size(),
+                     DecodeStatus::Truncated, where,
+                     "value array underflow");
         return s.valueArray[value_at++];
     };
 
-    const unsigned header_slots = dst.registry().headerSlots();
+    const auto &reg = dst.registry();
+    const unsigned header_slots = reg.headerSlots();
+
+    // Reference tokens are recorded here and resolved after the layout
+    // pass, so each one can be checked against the set of real object
+    // starts instead of trusted to land on one.
+    struct RefPatch
+    {
+        Addr slotAddr;
+        std::uint64_t token;
+        Addr at; // graph-relative offset of the slot, for diagnostics
+    };
+    std::vector<RefPatch> patches;
+    std::unordered_set<Addr> starts;
+    std::uint64_t refs_used = 0;
+
     Addr off = 0;
     for (std::uint32_t i = 0; i < s.objectCount; ++i) {
         const auto bitmap = bitmaps.nextBits();
+        decode_check(bitmap.size() >= header_slots,
+                     DecodeStatus::Malformed, off,
+                     "object bitmap smaller than the %u header slots",
+                     header_slots);
+        decode_check(Addr{bitmap.size()} * 8 <= s.totalGraphBytes - off,
+                     DecodeStatus::Truncated, off,
+                     "object at +%llu overruns declared graph size",
+                     (unsigned long long)off);
+        for (unsigned h = 0; h < header_slots; ++h) {
+            decode_check(!bitmap[h], DecodeStatus::Malformed, off,
+                         "reference bit set on header slot %u", h);
+        }
+
         const Addr obj = base + off;
+        bool is_array = false;
+        FieldType elem = FieldType::Reference;
         for (unsigned slot = 0; slot < bitmap.size(); ++slot) {
             const Addr slot_addr = obj + Addr{slot} * 8;
+            const Addr at = off + Addr{slot} * 8;
             std::uint64_t word;
             if (slot >= header_slots && bitmap[slot]) {
                 std::uint64_t token = refs.nextValue();
-                word = (token == kNullRefToken)
-                           ? 0
-                           : base + decodeRelRef(token);
+                ++refs_used;
+                word = 0; // patched below for non-null tokens
+                if (token != kNullRefToken) {
+                    patches.push_back({slot_addr, token, at});
+                }
             } else if (slot == 0) {
                 // Mark word: from the stream, or regenerated when the
                 // sender stripped headers.
                 word = s.headerStripped
                            ? markword::make(static_cast<std::uint32_t>(
                                  (base + off) * 0x9e3779b1ULL >> 8))
-                           : next_value();
+                           : next_value(at);
             } else if (slot == 1) {
                 // Class ID -> klass pointer via the Class ID Table.
-                auto class_id =
-                    static_cast<std::uint32_t>(next_value());
-                word = dst.registry().metadataAddr(
-                    klassOfClassId(class_id));
+                // Validated as the full 64-bit stream value: a
+                // truncating cast would alias id 2^32 to id 0.
+                std::uint64_t class_id = next_value(at);
+                decode_check(class_id < fromClassId_.size(),
+                             DecodeStatus::BadClass, at,
+                             "class ID %llu not in Class ID Table "
+                             "(%zu registered)",
+                             (unsigned long long)class_id,
+                             fromClassId_.size());
+                KlassId id =
+                    fromClassId_[static_cast<std::uint32_t>(class_id)];
+                const auto &d = reg.klass(id);
+                // The stream bitmap dictated how this object's slots
+                // are interpreted; it must agree with the class layout
+                // or a re-serialization would read past the object.
+                if (d.isArray()) {
+                    is_array = true;
+                    elem = d.elemType();
+                    decode_check(bitmap.size() > reg.arrayLengthSlot(),
+                                 DecodeStatus::Malformed, at,
+                                 "array bitmap missing length slot");
+                    const bool ref_elems =
+                        elem == FieldType::Reference;
+                    for (unsigned e = header_slots; e < bitmap.size();
+                         ++e) {
+                        const bool expect =
+                            ref_elems && e >= reg.arrayDataSlot();
+                        decode_check(bitmap[e] == expect,
+                                     DecodeStatus::Malformed, at,
+                                     "bitmap slot %u disagrees with "
+                                     "'%s' element layout",
+                                     e, d.name().c_str());
+                    }
+                } else {
+                    decode_check(bitmap == reg.layoutBitmap(id),
+                                 DecodeStatus::Malformed, at,
+                                 "bitmap does not match layout of "
+                                 "class '%s'",
+                                 d.name().c_str());
+                }
+                word = reg.metadataAddr(id);
+            } else if (slot == 2) {
+                // Extension slot: whatever the sender had in flight is
+                // stale visited-tracking state here; a cleared slot
+                // keeps later serializations from skipping this object.
+                next_value(at);
+                word = 0;
+            } else if (is_array && slot == reg.arrayLengthSlot()) {
+                // Element count must account for exactly the payload
+                // slots the bitmap declared.
+                std::uint64_t len = next_value(at);
+                const unsigned esz = fieldTypeBytes(elem);
+                const std::uint64_t payload =
+                    bitmap.size() - reg.arrayDataSlot();
+                decode_check(len <= payload * 8 / esz,
+                             DecodeStatus::BadLength, at,
+                             "array length %llu exceeds bitmap size",
+                             (unsigned long long)len);
+                decode_check((len * esz + 7) / 8 == payload,
+                             DecodeStatus::Malformed, at,
+                             "array length %llu disagrees with bitmap "
+                             "size (%llu payload slots)",
+                             (unsigned long long)len,
+                             (unsigned long long)payload);
+                word = len;
             } else {
-                word = next_value();
+                word = next_value(at);
             }
             dst.store64(slot_addr, word);
         }
         dst.noteObject(obj);
+        starts.insert(off);
         off += Addr{bitmap.size()} * 8;
     }
-    panic_if(off != s.totalGraphBytes,
-             "reconstructed %llu bytes, stream declared %u",
-             (unsigned long long)off, s.totalGraphBytes);
-    panic_if(value_at != s.valueArray.size(),
-             "value array not fully consumed");
-    fatal_if(s.objectCount == 0, "empty Cereal stream");
+    decode_check(off == s.totalGraphBytes, DecodeStatus::Malformed, off,
+                 "reconstructed %llu bytes, stream declared %u",
+                 (unsigned long long)off, s.totalGraphBytes);
+    decode_check(value_at == s.valueArray.size(),
+                 DecodeStatus::Malformed, off,
+                 "value array not fully consumed");
+    decode_check(bitmaps.done(), DecodeStatus::Malformed, off,
+                 "trailing bitmap entries");
+    decode_check(refs.done(), DecodeStatus::Malformed, off,
+                 "trailing reference entries");
+    decode_check(refs_used == s.refEntries, DecodeStatus::Malformed, off,
+                 "consumed %llu reference entries, stream declared %llu",
+                 (unsigned long long)refs_used,
+                 (unsigned long long)s.refEntries);
+
+    for (const auto &p : patches) {
+        // token - 1 is a slot index; bound it before decodeRelRef's
+        // * 8 can wrap.
+        decode_check(p.token - 1 < Addr{s.totalGraphBytes} / 8,
+                     DecodeStatus::BadHandle, p.at,
+                     "reference token %llu outside graph",
+                     (unsigned long long)p.token);
+        Addr rel = decodeRelRef(p.token);
+        decode_check(starts.count(rel) != 0, DecodeStatus::BadHandle,
+                     p.at,
+                     "reference target +%llu is not an object start",
+                     (unsigned long long)rel);
+        dst.store64(p.slotAddr, base + rel);
+    }
     return base;
 }
 

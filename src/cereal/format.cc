@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "serde/decode_error.hh"
 #include "sim/logging.hh"
 
 namespace cereal {
@@ -66,19 +67,22 @@ ObjectPacker::packValue(std::uint64_t v)
 bool
 ObjectUnpacker::endsEntry(std::size_t bucket) const
 {
-    panic_if(bucket / 8 >= endMap_->size(), "end map underflow");
+    decode_check(bucket / 8 < endMap_->size(), DecodeStatus::Truncated,
+                 bucket, "end map shorter than bucket array");
     return ((*endMap_)[bucket / 8] >> (bucket % 8)) & 1;
 }
 
 std::vector<bool>
 ObjectUnpacker::nextBits()
 {
-    panic_if(done(), "unpacker exhausted");
+    decode_check(!done(), DecodeStatus::Truncated, pos_,
+                 "unpacker exhausted");
     // Gather this entry's bucket run.
     std::size_t first = pos_;
     while (!endsEntry(pos_)) {
         ++pos_;
-        panic_if(pos_ >= buckets_->size(), "unterminated packed entry");
+        decode_check(pos_ < buckets_->size(), DecodeStatus::Truncated,
+                     pos_, "unterminated packed entry");
     }
     std::size_t last = pos_;
     ++pos_;
@@ -96,7 +100,8 @@ ObjectUnpacker::nextBits()
     while (marker < bits.size() && !bits[marker]) {
         ++marker;
     }
-    panic_if(marker == bits.size(), "packed entry missing marker bit");
+    decode_check(marker < bits.size(), DecodeStatus::Malformed, first,
+                 "packed entry missing marker bit");
     return std::vector<bool>(bits.begin() +
                                  static_cast<std::ptrdiff_t>(marker) + 1,
                              bits.end());
@@ -105,8 +110,10 @@ ObjectUnpacker::nextBits()
 std::uint64_t
 ObjectUnpacker::nextValue()
 {
+    std::size_t at = pos_;
     auto bits = nextBits();
-    panic_if(bits.size() > 64, "packed value wider than 64 bits");
+    decode_check(bits.size() <= 64, DecodeStatus::Malformed, at,
+                 "packed value wider than 64 bits");
     std::uint64_t v = 0;
     for (bool b : bits) {
         v = (v << 1) | (b ? 1 : 0);
@@ -151,7 +158,9 @@ std::uint32_t
 getU32(const std::vector<std::uint8_t> &in, std::size_t &at)
 {
     std::uint32_t v;
-    panic_if(at + 4 > in.size(), "CerealStream decode underflow");
+    decode_check(at <= in.size() && in.size() - at >= 4,
+                 DecodeStatus::Truncated, at,
+                 "CerealStream decode underflow");
     std::memcpy(&v, in.data() + at, 4);
     at += 4;
     return v;
@@ -161,7 +170,9 @@ std::uint64_t
 getU64(const std::vector<std::uint8_t> &in, std::size_t &at)
 {
     std::uint64_t v;
-    panic_if(at + 8 > in.size(), "CerealStream decode underflow");
+    decode_check(at <= in.size() && in.size() - at >= 8,
+                 DecodeStatus::Truncated, at,
+                 "CerealStream decode underflow");
     std::memcpy(&v, in.data() + at, 8);
     at += 8;
     return v;
@@ -201,11 +212,12 @@ CerealStream::decode(const std::vector<std::uint8_t> &bytes)
 {
     CerealStream s;
     std::size_t at = 0;
-    fatal_if(getU32(bytes, at) != kStreamMagic,
-             "bad Cereal stream magic");
+    decode_check(getU32(bytes, at) == kStreamMagic,
+                 DecodeStatus::BadMagic, 0, "bad Cereal stream magic");
     s.objectCount = getU32(bytes, at);
     s.totalGraphBytes = getU32(bytes, at);
-    panic_if(at >= bytes.size(), "CerealStream decode underflow");
+    decode_check(at < bytes.size(), DecodeStatus::Truncated, at,
+                 "CerealStream decode underflow");
     s.headerStripped = bytes[at++] != 0;
     std::uint64_t n_values = getU64(bytes, at);
     std::uint64_t n_ref_buckets = getU64(bytes, at);
@@ -215,10 +227,36 @@ CerealStream::decode(const std::vector<std::uint8_t> &bytes)
     s.refEntries = getU64(bytes, at);
     s.bitmapBits = getU64(bytes, at);
 
-    panic_if(at + n_values * 8 + n_ref_buckets + n_ref_end +
-                     n_bm_buckets + n_bm_end !=
-                 bytes.size(),
-             "CerealStream length mismatch");
+    // Section sizes must tile the remaining bytes exactly; accumulate
+    // with per-section bounds so corrupted 64-bit sizes cannot wrap the
+    // sum.
+    const std::uint64_t rest = bytes.size() - at;
+    decode_check(n_values <= rest / 8, DecodeStatus::BadLength, at,
+                 "value array (%llu entries) exceeds stream",
+                 (unsigned long long)n_values);
+    std::uint64_t need = n_values * 8;
+    for (std::uint64_t n : {n_ref_buckets, n_ref_end, n_bm_buckets,
+                            n_bm_end}) {
+        decode_check(n <= rest - need, DecodeStatus::BadLength, at,
+                     "packed section (%llu B) exceeds stream",
+                     (unsigned long long)n);
+        need += n;
+    }
+    decode_check(need == rest, DecodeStatus::Malformed, at,
+                 "CerealStream length mismatch (%llu declared, %llu "
+                 "present)",
+                 (unsigned long long)need, (unsigned long long)rest);
+
+    // Byte-level self-consistency: end maps carry one bit per bucket.
+    // Cross-field semantic checks (object counts vs buckets, graph size
+    // vs bitmap bits) live in deserializeStream, which also covers
+    // hand-built streams that never pass through this codec.
+    decode_check(n_ref_end == (n_ref_buckets + 7) / 8,
+                 DecodeStatus::Malformed, at,
+                 "reference end map size mismatch");
+    decode_check(n_bm_end == (n_bm_buckets + 7) / 8,
+                 DecodeStatus::Malformed, at,
+                 "bitmap end map size mismatch");
 
     s.valueArray.resize(n_values);
     std::memcpy(s.valueArray.data(), bytes.data() + at, n_values * 8);

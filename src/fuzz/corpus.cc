@@ -1,0 +1,125 @@
+#include "fuzz/corpus.hh"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+#include "cereal/cereal_serializer.hh"
+#include "heap/object.hh"
+#include "serde/java_serde.hh"
+#include "serde/kryo_serde.hh"
+#include "serde/skyway_serde.hh"
+#include "sim/logging.hh"
+
+namespace cereal {
+
+Addr
+buildCorpusGraph(KlassRegistry &reg, Heap &heap)
+{
+    KlassId node = reg.add("Node", {{"value", FieldType::Long},
+                                    {"next", FieldType::Reference}});
+    KlassId pair = reg.add("Pair", {{"a", FieldType::Reference},
+                                    {"b", FieldType::Reference},
+                                    {"tag", FieldType::Int}});
+    reg.arrayKlass(FieldType::Int);
+
+    Addr n1 = heap.allocateInstance(node);
+    Addr n2 = heap.allocateInstance(node);
+    ObjectView v1(heap, n1), v2(heap, n2);
+    v1.setLong(0, 0x1122334455667788LL);
+    v1.setRef(1, n2);
+    v2.setLong(0, -1);
+    v2.setRef(1, n1); // cycle
+
+    Addr arr = heap.allocateArray(FieldType::Int, 3);
+    ObjectView av(heap, arr);
+    av.setElem(0, 1);
+    av.setElem(1, 2);
+    av.setElem(2, 3);
+
+    Addr root = heap.allocateInstance(pair);
+    ObjectView rv(heap, root);
+    rv.setRef(0, n1);
+    rv.setRef(1, arr);
+    rv.setInt(2, 0x7f);
+    return root;
+}
+
+std::vector<CorpusEntry>
+seedCorpus(const KlassRegistry &reg, Heap &heap, Addr root)
+{
+    std::vector<CorpusEntry> out;
+
+    JavaSerializer java;
+    out.push_back({"java_golden", "java", java.serialize(heap, root)});
+
+    KryoSerializer kryo;
+    kryo.registerAll(reg);
+    out.push_back({"kryo_golden", "kryo", kryo.serialize(heap, root)});
+
+    SkywaySerializer skyway;
+    out.push_back(
+        {"skyway_golden", "skyway", skyway.serialize(heap, root)});
+
+    CerealSerializer cereal_ser;
+    cereal_ser.registerAll(reg);
+    out.push_back(
+        {"cereal_golden", "cereal", cereal_ser.serialize(heap, root)});
+    return out;
+}
+
+namespace {
+
+bool
+knownFormat(const std::string &f)
+{
+    return f == "java" || f == "kryo" || f == "skyway" || f == "cereal";
+}
+
+} // namespace
+
+std::vector<CorpusEntry>
+loadCorpusDir(const std::string &dir)
+{
+    std::vector<CorpusEntry> out;
+    std::error_code ec;
+    for (const auto &de :
+         std::filesystem::directory_iterator(dir, ec)) {
+        if (!de.is_regular_file()) {
+            continue;
+        }
+        const auto path = de.path();
+        CorpusEntry e;
+        e.name = path.stem().string();
+        const auto us = e.name.find('_');
+        const std::string prefix =
+            us == std::string::npos ? e.name : e.name.substr(0, us);
+        e.format = knownFormat(prefix) ? prefix : "unknown";
+
+        std::ifstream in(path, std::ios::binary);
+        fatal_if(!in, "cannot read corpus file %s",
+                 path.string().c_str());
+        e.bytes.assign(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+        out.push_back(std::move(e));
+    }
+    std::sort(out.begin(), out.end(),
+              [](const CorpusEntry &a, const CorpusEntry &b) {
+                  return a.name < b.name;
+              });
+    return out;
+}
+
+std::string
+saveCorpusEntry(const std::string &dir, const CorpusEntry &entry)
+{
+    std::filesystem::create_directories(dir);
+    const std::string path = dir + "/" + entry.name + ".bin";
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    fatal_if(!out, "cannot write corpus file %s", path.c_str());
+    out.write(reinterpret_cast<const char *>(entry.bytes.data()),
+              static_cast<std::streamsize>(entry.bytes.size()));
+    return path;
+}
+
+} // namespace cereal

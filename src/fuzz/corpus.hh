@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Seed corpus for the decoder fuzzer.
+ *
+ * The corpus starts from the four golden-vector streams (one per wire
+ * format, produced live from the pinned golden graph so they stay in
+ * lockstep with the formats) and can be extended with regression inputs
+ * stored on disk — one `<format>_<name>.bin` file per entry, as written
+ * by `fuzz_decoders --save-dir` and committed under `tests/corpus/`.
+ */
+
+#ifndef CEREAL_FUZZ_CORPUS_HH
+#define CEREAL_FUZZ_CORPUS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "heap/heap.hh"
+
+namespace cereal {
+
+/** One fuzz input: bytes plus the wire format they started life as. */
+struct CorpusEntry
+{
+    std::string name;
+    /** "java", "kryo", "skyway", "cereal", or "unknown". */
+    std::string format;
+    std::vector<std::uint8_t> bytes;
+};
+
+/**
+ * Build the corpus graph into @p reg / @p heap and return its root.
+ * This is the golden-vector graph (two Node instances in a cycle, a
+ * shared int[3], a Pair root): registration order and field values
+ * match tests/test_golden_vectors.cc so the seed streams equal the
+ * pinned vectors byte-for-byte.
+ */
+Addr buildCorpusGraph(KlassRegistry &reg, Heap &heap);
+
+/**
+ * Serialize the corpus graph with all four serializers.
+ * @return one entry per format, named "<format>_golden".
+ */
+std::vector<CorpusEntry> seedCorpus(const KlassRegistry &reg, Heap &heap,
+                                    Addr root);
+
+/**
+ * Load every regular file of @p dir as a corpus entry; the format is
+ * taken from the filename prefix up to the first '_' when it names a
+ * known format, "unknown" otherwise. Returns entries sorted by name so
+ * corpus order (and therefore fuzz runs) is independent of directory
+ * enumeration order. A missing directory yields an empty corpus.
+ */
+std::vector<CorpusEntry> loadCorpusDir(const std::string &dir);
+
+/** Write @p entry to "<dir>/<entry.name>.bin". @return the path. */
+std::string saveCorpusEntry(const std::string &dir,
+                            const CorpusEntry &entry);
+
+} // namespace cereal
+
+#endif // CEREAL_FUZZ_CORPUS_HH

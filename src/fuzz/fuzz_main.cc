@@ -1,0 +1,148 @@
+/**
+ * @file
+ * fuzz_decoders: seeded mutation fuzzing of all four deserializers.
+ *
+ * Usage:
+ *   fuzz_decoders [--seed N] [--iters N] [--max-mutations N]
+ *                 [--format java|kryo|skyway|cereal|all]
+ *                 [--corpus DIR] [--save-dir DIR] [--no-roundtrip]
+ *                 [--replay-only] [--quiet]
+ *
+ * Exit status 0 when the run produced no findings, 1 otherwise.
+ * Findings are printed and, with --save-dir, written as corpus files
+ * ready to commit under tests/corpus/.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "fuzz/fuzzer.hh"
+#include "sim/logging.hh"
+
+namespace {
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--seed N] [--iters N] [--max-mutations N]\n"
+        "          [--format java|kryo|skyway|cereal|all]\n"
+        "          [--corpus DIR] [--save-dir DIR] [--no-roundtrip]\n"
+        "          [--replay-only] [--quiet]\n",
+        argv0);
+}
+
+void
+printStats(const char *title, const cereal::FuzzStats &stats)
+{
+    std::printf("%s: %llu iterations, %llu attempts, %llu ok, "
+                "%llu decode errors, %llu round trips\n",
+                title, (unsigned long long)stats.iterations,
+                (unsigned long long)stats.attempts,
+                (unsigned long long)stats.decodeOk,
+                (unsigned long long)stats.decodeError,
+                (unsigned long long)stats.roundTrips);
+    for (const auto &[status, count] : stats.byStatus) {
+        std::printf("  %-12s %llu\n", status.c_str(),
+                    (unsigned long long)count);
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace cereal;
+
+    FuzzConfig cfg;
+    std::string corpus_dir;
+    std::string save_dir;
+    bool replay_only = false;
+    bool quiet = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            fatal_if(i + 1 >= argc, "%s needs a value", arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--seed") {
+            cfg.seed = std::strtoull(next(), nullptr, 0);
+        } else if (arg == "--iters") {
+            cfg.iterations = std::strtoull(next(), nullptr, 0);
+        } else if (arg == "--max-mutations") {
+            cfg.maxMutations = static_cast<unsigned>(
+                std::strtoul(next(), nullptr, 0));
+        } else if (arg == "--format") {
+            cfg.format = next();
+        } else if (arg == "--corpus") {
+            corpus_dir = next();
+        } else if (arg == "--save-dir") {
+            save_dir = next();
+        } else if (arg == "--no-roundtrip") {
+            cfg.roundTrip = false;
+        } else if (arg == "--replay-only") {
+            replay_only = true;
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else {
+            usage(argv[0]);
+            return 2;
+        }
+    }
+
+    DecoderFuzzer fuzzer;
+    if (!corpus_dir.empty()) {
+        auto extra = loadCorpusDir(corpus_dir);
+        if (!quiet) {
+            std::printf("loaded %zu corpus entries from %s\n",
+                        extra.size(), corpus_dir.c_str());
+        }
+        fuzzer.addCorpus(std::move(extra));
+    }
+
+    // The committed corpus must stay clean before mutation starts.
+    FuzzStats replay = fuzzer.replayCorpus();
+    if (!quiet) {
+        printStats("corpus replay", replay);
+    }
+
+    FuzzStats stats;
+    if (!replay_only) {
+        stats = fuzzer.run(cfg);
+        if (!quiet) {
+            printStats("fuzz run", stats);
+        }
+    }
+
+    auto report = [&](const FuzzStats &s, const char *phase) {
+        for (std::size_t i = 0; i < s.findings.size(); ++i) {
+            const auto &f = s.findings[i];
+            std::fprintf(stderr,
+                         "FINDING [%s] %s: decoder=%s seed=%s "
+                         "iteration=%llu: %s\n",
+                         phase, f.kind.c_str(), f.format.c_str(),
+                         f.seedName.c_str(),
+                         (unsigned long long)f.iteration,
+                         f.detail.c_str());
+            if (!save_dir.empty()) {
+                CorpusEntry e{strfmt("%s_finding_%s_%zu", f.format.c_str(),
+                                     phase, i),
+                              f.format, f.bytes};
+                auto path = saveCorpusEntry(save_dir, e);
+                std::fprintf(stderr, "  saved to %s\n", path.c_str());
+            }
+        }
+    };
+    report(replay, "replay");
+    report(stats, "fuzz");
+
+    return replay.findings.empty() && stats.findings.empty() ? 0 : 1;
+}

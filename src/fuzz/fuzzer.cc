@@ -1,0 +1,150 @@
+#include "fuzz/fuzzer.hh"
+
+#include "fuzz/mutator.hh"
+#include "heap/walker.hh"
+#include "serde/decode_error.hh"
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace cereal {
+
+namespace {
+
+/** Fresh decode heaps live here; a new Heap per attempt keeps failed
+ *  decodes from contaminating later ones. */
+constexpr Addr kDecodeBase = 0x9'0000'0000ULL;
+constexpr Addr kReDecodeBase = 0x11'0000'0000ULL;
+
+} // namespace
+
+DecoderFuzzer::DecoderFuzzer() : srcHeap_(reg_, 0x1'0000'0000ULL)
+{
+    root_ = buildCorpusGraph(reg_, srcHeap_);
+    kryo_.registerAll(reg_);
+    cereal_.registerAll(reg_);
+    corpus_ = seedCorpus(reg_, srcHeap_, root_);
+}
+
+const std::vector<std::string> &
+DecoderFuzzer::formats()
+{
+    static const std::vector<std::string> kFormats = {"java", "kryo",
+                                                      "skyway", "cereal"};
+    return kFormats;
+}
+
+void
+DecoderFuzzer::addCorpus(std::vector<CorpusEntry> extra)
+{
+    for (auto &e : extra) {
+        corpus_.push_back(std::move(e));
+    }
+}
+
+Serializer *
+DecoderFuzzer::serializerFor(const std::string &format)
+{
+    if (format == "java") {
+        return &java_;
+    }
+    if (format == "kryo") {
+        return &kryo_;
+    }
+    if (format == "skyway") {
+        return &skyway_;
+    }
+    fatal_if(format != "cereal", "unknown format '%s'", format.c_str());
+    return &cereal_;
+}
+
+void
+DecoderFuzzer::attempt(const std::string &format,
+                       const std::vector<std::uint8_t> &bytes,
+                       const std::string &seed_name,
+                       std::uint64_t iteration, bool round_trip,
+                       FuzzStats &stats)
+{
+    ++stats.attempts;
+    Serializer *ser = serializerFor(format);
+    Heap dst(reg_, kDecodeBase);
+
+    Addr root;
+    try {
+        root = ser->deserialize(bytes, dst, nullptr);
+    } catch (const DecodeError &e) {
+        ++stats.decodeError;
+        ++stats.byStatus[decodeStatusName(e.status())];
+        return;
+    } catch (const std::exception &e) {
+        stats.findings.push_back({"unexpected-exception", format,
+                                  seed_name, iteration, e.what(), bytes});
+        return;
+    }
+    ++stats.decodeOk;
+    if (!round_trip) {
+        return;
+    }
+
+    // Round-trip oracle: a stream the decoder accepted must describe a
+    // well-formed graph, so re-encoding and re-decoding it has no
+    // excuse to fail, and the result must be isomorphic.
+    try {
+        auto stream2 = ser->serialize(dst, root, nullptr);
+        Heap dst2(reg_, kReDecodeBase);
+        Addr root2 = ser->deserialize(stream2, dst2, nullptr);
+        std::string why;
+        if (!graphEquals(dst, root, dst2, root2, &why)) {
+            stats.findings.push_back({"roundtrip-mismatch", format,
+                                      seed_name, iteration, why, bytes});
+            return;
+        }
+        ++stats.roundTrips;
+    } catch (const std::exception &e) {
+        stats.findings.push_back({"roundtrip-exception", format,
+                                  seed_name, iteration, e.what(), bytes});
+    }
+}
+
+FuzzStats
+DecoderFuzzer::run(const FuzzConfig &cfg)
+{
+    FuzzStats stats;
+    Rng rng(cfg.seed);
+
+    std::vector<const CorpusEntry *> pool;
+    std::vector<std::vector<std::uint8_t>> splice_pool;
+    for (const auto &e : corpus_) {
+        splice_pool.push_back(e.bytes);
+        if (cfg.format == "all" || e.format == cfg.format) {
+            pool.push_back(&e);
+        }
+    }
+    fatal_if(pool.empty(), "no corpus entries match format '%s'",
+             cfg.format.c_str());
+
+    for (std::uint64_t i = 0; i < cfg.iterations; ++i) {
+        ++stats.iterations;
+        const CorpusEntry &seed = *pool[rng.below(pool.size())];
+        auto mutated =
+            mutate(seed.bytes, rng, cfg.maxMutations, splice_pool);
+        for (const auto &format : formats()) {
+            attempt(format, mutated, seed.name, i, cfg.roundTrip, stats);
+        }
+    }
+    return stats;
+}
+
+FuzzStats
+DecoderFuzzer::replayCorpus()
+{
+    FuzzStats stats;
+    for (const auto &e : corpus_) {
+        ++stats.iterations;
+        for (const auto &format : formats()) {
+            attempt(format, e.bytes, e.name, 0, true, stats);
+        }
+    }
+    return stats;
+}
+
+} // namespace cereal

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Seeded structured fuzzer for the four deserializers.
+ *
+ * The fuzzer owns one decode environment (the golden-graph registry and
+ * one serializer per wire format), a corpus of seed streams, and a
+ * deterministic Rng. Each iteration mutates a corpus entry and feeds
+ * the result to all four decoders; every attempt must end in exactly
+ * one of two ways:
+ *
+ *  - a successfully reconstructed graph, which must then survive the
+ *    round-trip oracle (re-encode with the same serializer, decode
+ *    again, graphEquals isomorphism check), or
+ *  - a clean DecodeError.
+ *
+ * Aborts, non-DecodeError exceptions, sanitizer reports, and round-trip
+ * mismatches are findings. A run is fully determined by (corpus, seed,
+ * iteration count): rerunning with the same parameters replays it.
+ */
+
+#ifndef CEREAL_FUZZ_FUZZER_HH
+#define CEREAL_FUZZ_FUZZER_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cereal/cereal_serializer.hh"
+#include "fuzz/corpus.hh"
+#include "serde/java_serde.hh"
+#include "serde/kryo_serde.hh"
+#include "serde/skyway_serde.hh"
+
+namespace cereal {
+
+/** Parameters of one fuzz run. */
+struct FuzzConfig
+{
+    std::uint64_t seed = 1;
+    std::uint64_t iterations = 10000;
+    /** Mutation operators applied per iteration: 1..maxMutations. */
+    unsigned maxMutations = 4;
+    /** Run the re-encode/re-decode isomorphism oracle on successes. */
+    bool roundTrip = true;
+    /** Mutate only entries of this format ("all" = whole corpus). */
+    std::string format = "all";
+};
+
+/** One input that violated the decode contract. */
+struct FuzzFinding
+{
+    /** "unexpected-exception", "roundtrip-mismatch", ... */
+    std::string kind;
+    /** Decoder that was running. */
+    std::string format;
+    /** Corpus entry the input was derived from. */
+    std::string seedName;
+    std::uint64_t iteration = 0;
+    std::string detail;
+    std::vector<std::uint8_t> bytes;
+};
+
+/** Aggregate outcome of a fuzz run (or corpus replay). */
+struct FuzzStats
+{
+    std::uint64_t iterations = 0;
+    /** Decode attempts (iterations x decoders driven). */
+    std::uint64_t attempts = 0;
+    std::uint64_t decodeOk = 0;
+    std::uint64_t decodeError = 0;
+    /** Successful round-trip oracle runs. */
+    std::uint64_t roundTrips = 0;
+    /** DecodeError count per status name (deterministic order). */
+    std::map<std::string, std::uint64_t> byStatus;
+    std::vector<FuzzFinding> findings;
+};
+
+/** The four-decoder fuzz harness. */
+class DecoderFuzzer
+{
+  public:
+    /** Builds the golden-graph environment and the seed corpus. */
+    DecoderFuzzer();
+
+    /** Append extra entries (e.g. loadCorpusDir of tests/corpus). */
+    void addCorpus(std::vector<CorpusEntry> extra);
+
+    const std::vector<CorpusEntry> &corpus() const { return corpus_; }
+
+    /** The decode environment's class registry. */
+    KlassRegistry &registry() { return reg_; }
+
+    /** The environment's serializer for @p format. */
+    Serializer &
+    serializer(const std::string &format)
+    {
+        return *serializerFor(format);
+    }
+
+    /** Mutation-fuzz the corpus per @p cfg. */
+    FuzzStats run(const FuzzConfig &cfg);
+
+    /**
+     * Drive every corpus entry, unmutated, through all four decoders
+     * (with the round-trip oracle). The regression gate: replaying the
+     * committed corpus must produce zero findings.
+     */
+    FuzzStats replayCorpus();
+
+    /**
+     * Decode @p bytes with decoder @p format into a fresh heap,
+     * recording the outcome in @p stats (attempts/ok/error/byStatus,
+     * plus a finding on any contract violation).
+     */
+    void attempt(const std::string &format,
+                 const std::vector<std::uint8_t> &bytes,
+                 const std::string &seed_name, std::uint64_t iteration,
+                 bool round_trip, FuzzStats &stats);
+
+    static const std::vector<std::string> &formats();
+
+  private:
+    Serializer *serializerFor(const std::string &format);
+
+    KlassRegistry reg_;
+    Heap srcHeap_;
+    Addr root_ = 0;
+    JavaSerializer java_;
+    KryoSerializer kryo_;
+    SkywaySerializer skyway_;
+    CerealSerializer cereal_;
+    std::vector<CorpusEntry> corpus_;
+};
+
+} // namespace cereal
+
+#endif // CEREAL_FUZZ_FUZZER_HH

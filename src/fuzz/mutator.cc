@@ -1,0 +1,122 @@
+#include "fuzz/mutator.hh"
+
+#include <algorithm>
+#include <cstring>
+
+namespace cereal {
+
+namespace {
+
+using Bytes = std::vector<std::uint8_t>;
+
+void
+bitFlip(Bytes &b, Rng &rng)
+{
+    if (b.empty()) {
+        return;
+    }
+    b[rng.below(b.size())] ^=
+        static_cast<std::uint8_t>(1u << rng.below(8));
+}
+
+void
+byteSet(Bytes &b, Rng &rng)
+{
+    if (b.empty()) {
+        return;
+    }
+    b[rng.below(b.size())] = static_cast<std::uint8_t>(rng.below(256));
+}
+
+void
+truncate(Bytes &b, Rng &rng)
+{
+    b.resize(rng.below(b.size() + 1));
+}
+
+void
+extend(Bytes &b, Rng &rng)
+{
+    const std::size_t n = 1 + rng.below(16);
+    for (std::size_t i = 0; i < n; ++i) {
+        b.push_back(static_cast<std::uint8_t>(rng.below(256)));
+    }
+}
+
+void
+splice(Bytes &b, Rng &rng, const std::vector<Bytes> &pool)
+{
+    if (b.empty() || pool.empty()) {
+        return;
+    }
+    const Bytes &src = pool[rng.below(pool.size())];
+    if (src.empty()) {
+        return;
+    }
+    const std::size_t dst_at = rng.below(b.size());
+    const std::size_t src_at = rng.below(src.size());
+    const std::size_t n = 1 + rng.below(std::min(b.size() - dst_at,
+                                                 src.size() - src_at));
+    std::copy(src.begin() + static_cast<std::ptrdiff_t>(src_at),
+              src.begin() + static_cast<std::ptrdiff_t>(src_at + n),
+              b.begin() + static_cast<std::ptrdiff_t>(dst_at));
+}
+
+/** Overwrite a window with 0xff continuation bytes: decoders that read
+ *  a varint there see an overlong / overflowing encoding. */
+void
+varintCorrupt(Bytes &b, Rng &rng)
+{
+    if (b.empty()) {
+        return;
+    }
+    const std::size_t at = rng.below(b.size());
+    const std::size_t n = std::min<std::size_t>(11, b.size() - at);
+    std::fill(b.begin() + static_cast<std::ptrdiff_t>(at),
+              b.begin() + static_cast<std::ptrdiff_t>(at + n), 0xff);
+}
+
+/** Overwrite a 4- or 8-byte little-endian window with a huge value:
+ *  whatever count/length/offset field lives there gets inflated. */
+void
+lengthInflate(Bytes &b, Rng &rng)
+{
+    const std::size_t width = rng.chance(0.5) ? 4 : 8;
+    if (b.size() < width) {
+        return;
+    }
+    const std::size_t at = rng.below(b.size() - width + 1);
+    std::uint64_t v;
+    switch (rng.below(3)) {
+      case 0: v = ~std::uint64_t{0}; break;
+      case 1: v = std::uint64_t{1} << rng.below(width * 8); break;
+      default: v = rng.next(); break;
+    }
+    std::memcpy(b.data() + at, &v, width);
+}
+
+} // namespace
+
+std::vector<std::uint8_t>
+mutate(const std::vector<std::uint8_t> &input, Rng &rng,
+       unsigned max_mutations,
+       const std::vector<std::vector<std::uint8_t>> &splice_pool)
+{
+    Bytes b = input;
+    const unsigned n = 1 + static_cast<unsigned>(
+                               rng.below(std::max(1u, max_mutations)));
+    for (unsigned i = 0; i < n; ++i) {
+        switch (rng.below(7)) {
+          case 0: bitFlip(b, rng); break;
+          case 1: byteSet(b, rng); break;
+          case 2: truncate(b, rng); break;
+          case 3: extend(b, rng); break;
+          case 4: splice(b, rng, splice_pool); break;
+          case 5: varintCorrupt(b, rng); break;
+          default: lengthInflate(b, rng); break;
+        }
+    }
+    return b;
+}
+
+} // namespace cereal

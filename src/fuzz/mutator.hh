@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Deterministic structured mutation of serialized byte streams.
+ *
+ * Given a seed input and the repo's portable Rng, mutate() applies a
+ * small random number of mutation operators chosen to exercise decoder
+ * error paths: single-bit flips, byte overwrites, truncation, tail
+ * extension, window splicing from another corpus entry, overlong-varint
+ * injection, and little-endian length-field inflation. Equal (input,
+ * Rng state) pairs produce equal outputs on every platform, so fuzz
+ * runs are replayable from just the seed.
+ */
+
+#ifndef CEREAL_FUZZ_MUTATOR_HH
+#define CEREAL_FUZZ_MUTATOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.hh"
+
+namespace cereal {
+
+/**
+ * Mutate @p input with 1..@p max_mutations operators drawn from @p rng.
+ *
+ * @param splice_pool other corpus inputs the splice operator may copy
+ *        windows from (may be empty; the operator is skipped then)
+ * @return the mutated bytes (possibly empty: truncation may cut all)
+ */
+std::vector<std::uint8_t>
+mutate(const std::vector<std::uint8_t> &input, Rng &rng,
+       unsigned max_mutations,
+       const std::vector<std::vector<std::uint8_t>> &splice_pool);
+
+} // namespace cereal
+
+#endif // CEREAL_FUZZ_MUTATOR_HH

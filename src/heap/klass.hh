@@ -128,6 +128,14 @@ class KlassRegistry
     const KlassDescriptor &klass(KlassId id) const;
     std::size_t size() const { return descs_.size(); }
 
+    /**
+     * True iff @p id names a registered class. Decoders must gate every
+     * stream-derived class id through this before calling klass():
+     * klass() panics on bad ids because its other callers pass ids the
+     * heap model itself produced.
+     */
+    bool validKlass(KlassId id) const { return id < descs_.size(); }
+
     /** Lookup by name; kBadKlassId if absent. */
     KlassId idByName(const std::string &name) const;
 

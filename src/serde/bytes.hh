@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "serde/decode_error.hh"
 #include "serde/sink.hh"
 #include "sim/logging.hh"
 
@@ -105,7 +106,15 @@ class ByteWriter
     MemSink *sink_;
 };
 
-/** Sequential reader over a serialized byte stream. */
+/**
+ * Sequential reader over a serialized byte stream.
+ *
+ * All reads are bounds-checked against the buffer and report failure by
+ * throwing DecodeError (never panic/abort): the reader is the first line
+ * of defence for decoders consuming hostile bytes. Comparisons are done
+ * against remaining() so an attacker-controlled length can never wrap
+ * the `pos + n` arithmetic.
+ */
 class ByteReader
 {
   public:
@@ -151,19 +160,34 @@ class ByteReader
         return v;
     }
 
+    /**
+     * LEB128-style unsigned varint (1-10 bytes).
+     *
+     * Throws DecodeError on a non-terminated varint (Truncated) and on
+     * overlong encodings: more than 10 bytes, or a 10th byte carrying
+     * bits that overflow 64 bits (BadVarint).
+     */
     std::uint64_t
     varint()
     {
+        const std::size_t start = pos_;
         std::uint64_t v = 0;
         unsigned shift = 0;
         for (;;) {
             std::uint8_t b = u8();
+            if (shift == 63 && (b & 0xfe)) {
+                throwDecode(DecodeStatus::BadVarint, start,
+                            "varint overflows 64 bits");
+            }
             v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
             if (!(b & 0x80)) {
                 break;
             }
             shift += 7;
-            panic_if(shift > 63, "varint too long");
+            if (shift > 63) {
+                throwDecode(DecodeStatus::BadVarint, start,
+                            "varint longer than 10 bytes");
+            }
         }
         return v;
     }
@@ -180,9 +204,13 @@ class ByteReader
     void
     raw(void *dst, std::size_t n)
     {
-        panic_if(pos_ + n > buf_->size(),
-                 "stream underflow at %zu (+%zu of %zu)", pos_, n,
-                 buf_->size());
+        // Compare against remaining(): `pos_ + n` would wrap when a
+        // corrupted length field yields a huge n.
+        if (n > remaining()) {
+            throwDecode(DecodeStatus::Truncated, pos_,
+                        "stream underflow (+%zu of %zu remaining)", n,
+                        remaining());
+        }
         if (n == 0) {
             return; // zero-length reads may pass dst == nullptr
         }
@@ -197,7 +225,11 @@ class ByteReader
     void
     skip(std::size_t n)
     {
-        panic_if(pos_ + n > buf_->size(), "skip past end");
+        if (n > remaining()) {
+            throwDecode(DecodeStatus::Truncated, pos_,
+                        "skip past end (+%zu of %zu remaining)", n,
+                        remaining());
+        }
         pos_ += n;
     }
 

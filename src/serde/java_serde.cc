@@ -35,21 +35,21 @@ typeChar(FieldType t)
     return '?';
 }
 
-FieldType
-typeFromChar(char c)
+bool
+typeFromChar(char c, FieldType &out)
 {
     switch (c) {
-      case 'Z': return FieldType::Boolean;
-      case 'B': return FieldType::Byte;
-      case 'C': return FieldType::Char;
-      case 'S': return FieldType::Short;
-      case 'I': return FieldType::Int;
-      case 'J': return FieldType::Long;
-      case 'F': return FieldType::Float;
-      case 'D': return FieldType::Double;
-      case 'L': return FieldType::Reference;
+      case 'Z': out = FieldType::Boolean; return true;
+      case 'B': out = FieldType::Byte; return true;
+      case 'C': out = FieldType::Char; return true;
+      case 'S': out = FieldType::Short; return true;
+      case 'I': out = FieldType::Int; return true;
+      case 'J': out = FieldType::Long; return true;
+      case 'F': out = FieldType::Float; return true;
+      case 'D': out = FieldType::Double; return true;
+      case 'L': out = FieldType::Reference; return true;
     }
-    panic("bad type char '%c'", c);
+    return false;
 }
 
 void
@@ -204,7 +204,8 @@ JavaSerializer::deserialize(const std::vector<std::uint8_t> &stream,
                             Heap &dst, MemSink *sink)
 {
     ByteReader r(stream, sink);
-    fatal_if(r.u32() != kMagic, "bad Java stream magic");
+    decode_check(r.u32() == kMagic, DecodeStatus::BadMagic, 0,
+                 "bad Java stream magic");
 
     std::vector<Addr> handles;
     std::vector<KlassId> class_handles;
@@ -216,14 +217,18 @@ JavaSerializer::deserialize(const std::vector<std::uint8_t> &stream,
     std::vector<Patch> patches;
 
     auto read_classdesc = [&]() -> KlassId {
+        std::size_t tag_at = r.pos();
         std::uint8_t tag = r.u8();
         if (tag == kTagClassDescHandle) {
             std::uint32_t h = r.u32();
             charge(sink, 8);
-            panic_if(h >= class_handles.size(), "bad class handle");
+            decode_check(h < class_handles.size(), DecodeStatus::BadHandle,
+                         tag_at, "class handle %u out of range (%zu known)",
+                         h, class_handles.size());
             return class_handles[h];
         }
-        panic_if(tag != kTagClassDescFull, "bad classdesc tag %u", tag);
+        decode_check(tag == kTagClassDescFull, DecodeStatus::BadTag,
+                     tag_at, "bad classdesc tag %u", tag);
         std::string cls_name = r.str();
         // Type resolution: hash the name and match it against the
         // registry — the string work the paper calls out as Java S/D's
@@ -233,15 +238,23 @@ JavaSerializer::deserialize(const std::vector<std::uint8_t> &stream,
         bool is_array = r.u8() != 0;
         KlassId id;
         if (is_array) {
-            FieldType elem = typeFromChar(static_cast<char>(r.u8()));
+            std::size_t elem_at = r.pos();
+            FieldType elem;
+            decode_check(typeFromChar(static_cast<char>(r.u8()), elem),
+                         DecodeStatus::BadTag, elem_at,
+                         "bad array element type char");
             id = dst.registry().arrayKlass(elem);
         } else {
             id = dst.registry().idByName(cls_name);
-            fatal_if(id == kBadKlassId, "unknown class '%s' in stream",
-                     cls_name.c_str());
+            decode_check(id != kBadKlassId, DecodeStatus::BadClass,
+                         r.pos(), "unknown class '%s' in stream",
+                         cls_name.c_str());
             std::uint16_t nf = r.u16();
-            fatal_if(nf != dst.registry().klass(id).numFields(),
-                     "field count mismatch for '%s'", cls_name.c_str());
+            decode_check(nf == dst.registry().klass(id).numFields(),
+                         DecodeStatus::Malformed, r.pos(),
+                         "field count mismatch for '%s' (%u vs %zu)",
+                         cls_name.c_str(), nf,
+                         dst.registry().klass(id).numFields());
             for (std::uint16_t i = 0; i < nf; ++i) {
                 r.u8(); // type char
                 std::string fname = r.str();
@@ -262,7 +275,21 @@ JavaSerializer::deserialize(const std::vector<std::uint8_t> &stream,
         if (tag == kTagArray) {
             KlassId id = read_classdesc();
             const auto &d = dst.registry().klass(id);
+            decode_check(d.isArray(), DecodeStatus::Malformed, r.pos(),
+                         "array record with non-array class '%s'",
+                         d.name().c_str());
+            std::size_t len_at = r.pos();
             std::uint32_t n = r.u32();
+            // Allocation cap: every element still owes bytes in the
+            // stream (4 B per reference, element size otherwise), so a
+            // count beyond remaining()/esz can never be satisfied.
+            const unsigned wire_esz =
+                d.elemType() == FieldType::Reference
+                    ? 4
+                    : fieldTypeBytes(d.elemType());
+            decode_check(n <= r.remaining() / wire_esz,
+                         DecodeStatus::BadLength, len_at,
+                         "array length %u exceeds remaining stream", n);
             charge(sink, costs_.alloc);
             Addr obj = dst.allocateArray(d.elemType(), n);
             if (sink) {
@@ -290,10 +317,13 @@ JavaSerializer::deserialize(const std::vector<std::uint8_t> &stream,
             }
             continue;
         }
-        panic_if(tag != kTagObject, "bad record tag %u at %zu", tag,
-                 r.pos());
+        decode_check(tag == kTagObject, DecodeStatus::BadTag, r.pos(),
+                     "bad record tag %u", tag);
         KlassId id = read_classdesc();
         const auto &d = dst.registry().klass(id);
+        decode_check(!d.isArray(), DecodeStatus::Malformed, r.pos(),
+                     "object record with array class '%s'",
+                     d.name().c_str());
         charge(sink, costs_.alloc);
         Addr obj = dst.allocateInstance(id);
         if (sink) {
@@ -324,7 +354,10 @@ JavaSerializer::deserialize(const std::vector<std::uint8_t> &stream,
         charge(sink, 4);
         Addr target = 0;
         if (p.handle != kNullHandle) {
-            panic_if(p.handle >= handles.size(), "bad object handle");
+            decode_check(p.handle < handles.size(),
+                         DecodeStatus::BadHandle, r.pos(),
+                         "object handle %u out of range (%zu objects)",
+                         p.handle, handles.size());
             target = handles[p.handle];
         }
         dst.store64(p.slotAddr, target);
@@ -333,7 +366,8 @@ JavaSerializer::deserialize(const std::vector<std::uint8_t> &stream,
         }
     }
 
-    fatal_if(handles.empty(), "empty Java stream");
+    decode_check(!handles.empty(), DecodeStatus::Malformed, r.pos(),
+                 "empty Java stream (no object records)");
     return handles[0];
 }
 

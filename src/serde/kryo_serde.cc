@@ -185,7 +185,8 @@ KryoSerializer::deserialize(const std::vector<std::uint8_t> &stream,
                             Heap &dst, MemSink *sink)
 {
     ByteReader r(stream, sink);
-    fatal_if(r.u32() != kMagic, "bad Kryo stream magic");
+    decode_check(r.u32() == kMagic, DecodeStatus::BadMagic, 0,
+                 "bad Kryo stream magic");
 
     std::vector<Addr> handles;
     struct Patch
@@ -197,9 +198,11 @@ KryoSerializer::deserialize(const std::vector<std::uint8_t> &stream,
 
     while (!r.done()) {
         charge(sink, costs_.perObject);
+        std::size_t id_at = r.pos();
         std::uint32_t kryo_id = r.u32();
-        fatal_if(kryo_id >= fromKryoId_.size(),
-                 "unregistered Kryo class id %u", kryo_id);
+        decode_check(kryo_id < fromKryoId_.size(), DecodeStatus::BadClass,
+                     id_at, "unregistered Kryo class id %u (%zu known)",
+                     kryo_id, fromKryoId_.size());
         // Class-ID table lookup (a flat array in Kryo).
         charge(sink, 4);
         if (sink) {
@@ -210,7 +213,20 @@ KryoSerializer::deserialize(const std::vector<std::uint8_t> &stream,
 
         if (d.isArray()) {
             charge(sink, costs_.varint);
+            std::size_t len_at = r.pos();
             std::uint64_t n = r.varint();
+            // Allocation cap: each element owes at least one stream byte
+            // (a varint per reference, the element size otherwise), so
+            // bound the count by remaining() before allocating and
+            // before the n * esz products below can overflow.
+            const unsigned wire_esz =
+                d.elemType() == FieldType::Reference
+                    ? 1
+                    : fieldTypeBytes(d.elemType());
+            decode_check(n <= r.remaining() / wire_esz,
+                         DecodeStatus::BadLength, len_at,
+                         "array length %llu exceeds remaining stream",
+                         (unsigned long long)n);
             charge(sink, costs_.alloc);
             Addr obj = dst.allocateArray(d.elemType(), n);
             if (sink) {
@@ -241,7 +257,8 @@ KryoSerializer::deserialize(const std::vector<std::uint8_t> &stream,
             continue;
         }
 
-        fatal_if(r.u8() != 1, "unexpected null-check byte");
+        decode_check(r.u8() == 1, DecodeStatus::Malformed, r.pos(),
+                     "unexpected null-check byte");
         charge(sink, costs_.alloc);
         Addr obj = dst.allocateInstance(id);
         if (sink) {
@@ -280,7 +297,10 @@ KryoSerializer::deserialize(const std::vector<std::uint8_t> &stream,
         charge(sink, 3);
         Addr target = 0;
         if (p.token != kNullRef) {
-            panic_if(p.token - 1 >= handles.size(), "bad Kryo ref token");
+            decode_check(p.token - 1 < handles.size(),
+                         DecodeStatus::BadHandle, r.pos(),
+                         "Kryo ref token %llu out of range (%zu objects)",
+                         (unsigned long long)p.token, handles.size());
             target = handles[p.token - 1];
         }
         dst.store64(p.slotAddr, target);
@@ -289,7 +309,8 @@ KryoSerializer::deserialize(const std::vector<std::uint8_t> &stream,
         }
     }
 
-    fatal_if(handles.empty(), "empty Kryo stream");
+    decode_check(!handles.empty(), DecodeStatus::Malformed, r.pos(),
+                 "empty Kryo stream (no object records)");
     return handles[0];
 }
 

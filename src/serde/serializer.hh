@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "heap/heap.hh"
+#include "serde/decode_error.hh"
 #include "serde/sink.hh"
 
 namespace cereal {
@@ -39,11 +40,35 @@ class Serializer
 
     /**
      * Reconstruct the graph from @p stream into @p dst.
+     *
+     * Error contract: arbitrary (malformed, truncated, hostile) input
+     * must never abort the process, read/write out of bounds, or
+     * allocate more than a small constant multiple of the stream size —
+     * every implementation validates structure as it decodes and throws
+     * DecodeError on the first violation. On failure @p dst may hold a
+     * partially reconstructed graph; discard the heap, not the process.
+     *
      * @return the address of the new root object
+     * @throws DecodeError on malformed input
      */
     virtual Addr
     deserialize(const std::vector<std::uint8_t> &stream, Heap &dst,
                 MemSink *sink = nullptr) = 0;
+
+    /**
+     * Exception-free decode: wraps deserialize() and converts a thrown
+     * DecodeError into the error arm of a DecodeResult.
+     */
+    DecodeResult<Addr>
+    tryDeserialize(const std::vector<std::uint8_t> &stream, Heap &dst,
+                   MemSink *sink = nullptr)
+    {
+        try {
+            return deserialize(stream, dst, sink);
+        } catch (const DecodeError &e) {
+            return e;
+        }
+    }
 };
 
 } // namespace cereal

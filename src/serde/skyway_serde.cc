@@ -2,6 +2,7 @@
 
 #include <deque>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "heap/object.hh"
 #include "serde/bytes.hh"
@@ -140,8 +141,15 @@ SkywaySerializer::deserialize(const std::vector<std::uint8_t> &stream,
                               Heap &dst, MemSink *sink)
 {
     ByteReader r(stream, sink);
-    fatal_if(r.u32() != kMagic, "bad Skyway stream magic");
+    decode_check(r.u32() == kMagic, DecodeStatus::BadMagic, 0,
+                 "bad Skyway stream magic");
     std::uint64_t data_bytes = r.u64();
+    decode_check(data_bytes <= r.remaining(), DecodeStatus::BadLength,
+                 4, "data section (%llu B) exceeds stream (%zu B left)",
+                 (unsigned long long)data_bytes, r.remaining());
+    decode_check(data_bytes % 8 == 0, DecodeStatus::Malformed, 4,
+                 "data section length %llu not slot-aligned",
+                 (unsigned long long)data_bytes);
 
     // Bulk copy of the whole data section into fresh heap space — the
     // "simple memory copy" Skyway is built around.
@@ -161,19 +169,83 @@ SkywaySerializer::deserialize(const std::vector<std::uint8_t> &stream,
     }
 
     // Type table: resolve stream type IDs to registry classes.
+    std::size_t count_at = r.pos();
     std::uint32_t type_count = r.u32();
+    // Each table entry is at least a 2 B length prefix.
+    decode_check(type_count <= r.remaining() / 2, DecodeStatus::BadLength,
+                 count_at, "type table count %u exceeds remaining stream",
+                 type_count);
     std::vector<KlassId> types(type_count);
     for (std::uint32_t i = 0; i < type_count; ++i) {
+        std::size_t name_at = r.pos();
         std::string type_name = r.str();
         KlassId id = dst.registry().idByName(type_name);
-        fatal_if(id == kBadKlassId, "unknown class '%s' in Skyway stream",
-                 type_name.c_str());
+        decode_check(id != kBadKlassId, DecodeStatus::BadClass, name_at,
+                     "unknown class '%s' in Skyway stream",
+                     type_name.c_str());
         types[i] = id;
         charge(sink, 2 * type_name.size());
     }
+    decode_check(r.done(), DecodeStatus::Malformed, r.pos(),
+                 "trailing bytes after Skyway type table");
+
+    // Validation pre-pass over the copied image: every object header
+    // must name a known type, every object must fit inside the data
+    // section, and array lengths (which came off the wire) must not
+    // overflow the slot arithmetic. Records the set of valid object
+    // start offsets so the fix-up pass can reject references that
+    // point between objects.
+    const unsigned header_slots = dst.registry().headerSlots();
+    const auto &reg = dst.registry();
+    std::unordered_set<Addr> starts;
+    {
+        Addr off = 0;
+        while (off < data_bytes) {
+            const Addr avail = data_bytes - off;
+            decode_check(avail >= Addr{header_slots} * 8,
+                         DecodeStatus::Truncated, 12 + off,
+                         "object header at +%llu overruns data section",
+                         (unsigned long long)off);
+            std::uint64_t tid = dst.load64(base + off + 8);
+            decode_check(tid < types.size(), DecodeStatus::BadClass,
+                         12 + off, "bad Skyway type id %llu at +%llu",
+                         (unsigned long long)tid, (unsigned long long)off);
+            KlassId id = types[tid];
+            const auto &d = reg.klass(id);
+            std::uint64_t slots;
+            if (d.isArray()) {
+                decode_check(avail >= Addr{header_slots + 1} * 8,
+                             DecodeStatus::Truncated, 12 + off,
+                             "array header at +%llu overruns data section",
+                             (unsigned long long)off);
+                std::uint64_t len = dst.load64(
+                    base + off + Addr{reg.arrayLengthSlot()} * 8);
+                const unsigned esz = fieldTypeBytes(d.elemType());
+                // Overflow-safe bound before the len * esz product.
+                decode_check(len <= avail / esz, DecodeStatus::BadLength,
+                             12 + off,
+                             "array length %llu at +%llu exceeds data "
+                             "section",
+                             (unsigned long long)len,
+                             (unsigned long long)off);
+                slots = header_slots + 1 + (len * esz + 7) / 8;
+            } else {
+                slots = reg.instanceSlots(id);
+            }
+            decode_check(slots * 8 <= avail, DecodeStatus::Truncated,
+                         12 + off,
+                         "object at +%llu (%llu slots) overruns data "
+                         "section",
+                         (unsigned long long)off,
+                         (unsigned long long)slots);
+            starts.insert(off);
+            off += slots * 8;
+        }
+    }
+    decode_check(!starts.empty(), DecodeStatus::Malformed, 12,
+                 "empty Skyway stream (no objects in data section)");
 
     // Sequential fix-up pass: restore klass pointers, rebase references.
-    const unsigned header_slots = dst.registry().headerSlots();
     Addr off = 0;
     Addr root = 0;
     bool first = true;
@@ -185,9 +257,7 @@ SkywaySerializer::deserialize(const std::vector<std::uint8_t> &stream,
             sink->load(obj + 8, 8);
         }
         std::uint64_t tid = dst.load64(obj + 8);
-        panic_if(tid >= types.size(), "bad Skyway type id %llu at +%llu",
-                 (unsigned long long)tid, (unsigned long long)off);
-        KlassId id = types[tid];
+        KlassId id = types[tid]; // validated by the pre-pass
         dst.store64(obj + 8, dst.registry().metadataAddr(id));
         if (sink) {
             sink->store(obj + 8, 8);
@@ -216,7 +286,21 @@ SkywaySerializer::deserialize(const std::vector<std::uint8_t> &stream,
             }
             std::uint64_t enc = dst.load64(slot_addr);
             if (enc != 0) {
-                dst.store64(slot_addr, base + (enc >> 1));
+                // Non-null references carry the tag bit and must land on
+                // an object start inside the data section.
+                decode_check(enc & 1, DecodeStatus::Malformed,
+                             12 + off + Addr{s} * 8,
+                             "untagged non-null reference %#llx at +%llu",
+                             (unsigned long long)enc,
+                             (unsigned long long)off);
+                Addr rel = enc >> 1;
+                decode_check(starts.count(rel) != 0,
+                             DecodeStatus::BadHandle,
+                             12 + off + Addr{s} * 8,
+                             "reference offset +%llu is not an object "
+                             "start",
+                             (unsigned long long)rel);
+                dst.store64(slot_addr, base + rel);
                 if (sink) {
                     sink->store(slot_addr, 8);
                 }
@@ -224,7 +308,6 @@ SkywaySerializer::deserialize(const std::vector<std::uint8_t> &stream,
         }
         off += Addr{slots} * 8;
     }
-    fatal_if(first, "empty Skyway stream");
     return root;
 }
 

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Tests of the src/fuzz subsystem itself, plus the seeded fuzz
+ * acceptance run: 10k mutation iterations over all four decoders must
+ * produce zero contract violations (no aborts, no non-DecodeError
+ * exceptions, every accepted stream survives the round-trip oracle).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fuzz/fuzzer.hh"
+#include "fuzz/mutator.hh"
+#include "sim/rng.hh"
+
+namespace cereal {
+namespace {
+
+TEST(Mutator, DeterministicGivenRngState)
+{
+    DecoderFuzzer fuzzer;
+    std::vector<std::vector<std::uint8_t>> pool;
+    for (const auto &e : fuzzer.corpus()) {
+        pool.push_back(e.bytes);
+    }
+    const auto &input = fuzzer.corpus()[0].bytes;
+
+    Rng a(1234), b(1234);
+    for (int i = 0; i < 200; ++i) {
+        EXPECT_EQ(mutate(input, a, 4, pool), mutate(input, b, 4, pool))
+            << "mutation " << i << " diverged for equal Rng streams";
+    }
+}
+
+TEST(Mutator, HandlesEmptyInputAndEmptyPool)
+{
+    Rng rng(7);
+    for (int i = 0; i < 100; ++i) {
+        auto out = mutate({}, rng, 4, {});
+        // Only extend() can grow an empty input; everything else must
+        // cope with it without touching memory.
+        EXPECT_LE(out.size(), 16u * 4u);
+    }
+}
+
+TEST(Corpus, SeedCorpusCoversAllFourFormats)
+{
+    DecoderFuzzer fuzzer;
+    ASSERT_EQ(fuzzer.corpus().size(), 4u);
+    for (const auto &format : DecoderFuzzer::formats()) {
+        bool found = false;
+        for (const auto &e : fuzzer.corpus()) {
+            found = found || e.format == format;
+        }
+        EXPECT_TRUE(found) << "no seed entry for " << format;
+    }
+}
+
+TEST(Corpus, SaveAndLoadRoundTrip)
+{
+    const std::string dir = ::testing::TempDir() + "corpus_rt";
+    CorpusEntry e{"kryo_saved", "kryo", {1, 2, 3, 0xff, 0}};
+    saveCorpusEntry(dir, e);
+    auto loaded = loadCorpusDir(dir);
+    ASSERT_EQ(loaded.size(), 1u);
+    EXPECT_EQ(loaded[0].name, "kryo_saved");
+    EXPECT_EQ(loaded[0].format, "kryo"); // inferred from the prefix
+    EXPECT_EQ(loaded[0].bytes, e.bytes);
+}
+
+TEST(Corpus, MissingDirectoryYieldsEmptyCorpus)
+{
+    EXPECT_TRUE(loadCorpusDir("/nonexistent/fuzz/corpus").empty());
+}
+
+TEST(FuzzRun, DeterministicGivenSeed)
+{
+    FuzzConfig cfg;
+    cfg.seed = 99;
+    cfg.iterations = 500;
+
+    DecoderFuzzer f1, f2;
+    auto s1 = f1.run(cfg);
+    auto s2 = f2.run(cfg);
+    EXPECT_EQ(s1.attempts, s2.attempts);
+    EXPECT_EQ(s1.decodeOk, s2.decodeOk);
+    EXPECT_EQ(s1.decodeError, s2.decodeError);
+    EXPECT_EQ(s1.roundTrips, s2.roundTrips);
+    EXPECT_EQ(s1.byStatus, s2.byStatus);
+    EXPECT_EQ(s1.findings.size(), s2.findings.size());
+}
+
+/** The acceptance gate: 10k seeded iterations, all four decoders. */
+TEST(FuzzRun, TenThousandIterationsUpholdDecodeContract)
+{
+    FuzzConfig cfg;
+    cfg.seed = 0xCE4EA1;
+    cfg.iterations = 10000;
+
+    DecoderFuzzer fuzzer;
+    auto stats = fuzzer.run(cfg);
+
+    for (const auto &f : stats.findings) {
+        ADD_FAILURE() << f.kind << " in " << f.format
+                      << " decoder (seed entry " << f.seedName
+                      << ", iteration " << f.iteration
+                      << "): " << f.detail;
+    }
+    EXPECT_EQ(stats.iterations, cfg.iterations);
+    EXPECT_EQ(stats.attempts,
+              cfg.iterations * DecoderFuzzer::formats().size());
+    // The run must exercise both sides of the contract: some mutants
+    // decode (and then round-trip), most die with a typed error.
+    EXPECT_GT(stats.decodeOk, 0u);
+    EXPECT_GT(stats.decodeError, 0u);
+    EXPECT_EQ(stats.roundTrips, stats.decodeOk);
+    // Mutation reaches a spread of error classes, not just bad magic.
+    EXPECT_GE(stats.byStatus.size(), 5u);
+}
+
+} // namespace
+} // namespace cereal
