@@ -1,0 +1,281 @@
+#include "cluster/cluster.hh"
+
+#include <cmath>
+#include <deque>
+#include <unordered_map>
+#include <utility>
+
+#include "cluster/frame.hh"
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace cereal {
+namespace cluster {
+
+namespace {
+
+Tick
+secondsToTicks(double s)
+{
+    return static_cast<Tick>(
+        std::ceil(s * static_cast<double>(kTicksPerSecond)));
+}
+
+/**
+ * One node's serializer worker: a single server draining a FIFO of
+ * jobs (serialize or deserialize — both contend for the same CPU or
+ * accelerator) at the profiled per-partition cost.
+ */
+struct Worker
+{
+    EventQueue *eq = nullptr;
+    std::deque<std::pair<Tick, std::function<void()>>> q;
+    bool busy = false;
+
+    void
+    enqueue(Tick service, std::function<void()> done)
+    {
+        q.emplace_back(service, std::move(done));
+        if (!busy) {
+            startNext();
+        }
+    }
+
+    void
+    startNext()
+    {
+        if (q.empty()) {
+            busy = false;
+            return;
+        }
+        busy = true;
+        auto job = std::move(q.front());
+        q.pop_front();
+        eq->scheduleIn(job.first,
+                       [this, done = std::move(job.second)] {
+            done();
+            startNext();
+        });
+    }
+};
+
+} // namespace
+
+LatencySummary
+LatencySummary::of(const stats::Distribution &d)
+{
+    LatencySummary s;
+    s.count = d.count();
+    s.mean = d.mean();
+    s.min = d.min();
+    s.max = d.max();
+    s.p50 = d.p50();
+    s.p95 = d.p95();
+    s.p99 = d.p99();
+    return s;
+}
+
+void
+LatencySummary::writeJson(json::Writer &w,
+                          const std::string &prefix) const
+{
+    w.kv(prefix + "_count", count);
+    w.kv(prefix + "_mean_s", mean);
+    w.kv(prefix + "_min_s", min);
+    w.kv(prefix + "_max_s", max);
+    w.kv(prefix + "_p50_s", p50);
+    w.kv(prefix + "_p95_s", p95);
+    w.kv(prefix + "_p99_s", p99);
+}
+
+ClusterSim::ClusterSim(ClusterConfig cfg) : cfg_(std::move(cfg))
+{
+    panic_if(cfg_.nodes < 2, "cluster needs at least 2 nodes");
+    NodeConfig nc;
+    nc.backend = cfg_.backend;
+    nc.app = cfg_.app;
+    nc.scale = cfg_.scale;
+    nc.seed = cfg_.seed;
+    profile_ = profileNode(nc);
+
+    Frame probe;
+    probe.format = backendFormatId(cfg_.backend);
+    probe.flags = profile_.compressed ? kFrameFlagCompressed : 0;
+    probe.payload = profile_.payload;
+    frameBytes_ = encodeFrame(probe).size();
+}
+
+double
+ClusterSim::nodeCapacityRps() const
+{
+    // Worker budget: as origin the node pays serSeconds per request;
+    // with uniform destinations it receives one partition per sent one
+    // in expectation, paying deserSeconds. Each link (egress and
+    // ingress) carries one frame per request.
+    const double worker = profile_.serSeconds + profile_.deserSeconds;
+    const double wire = static_cast<double>(frameBytes_) * 8.0 /
+                        (cfg_.net.bandwidthGbps * 1e9);
+    const double bottleneck = std::max(worker, wire);
+    panic_if(bottleneck <= 0, "degenerate node profile");
+    return 1.0 / bottleneck;
+}
+
+ShuffleResult
+ClusterSim::runShuffle() const
+{
+    const unsigned n = cfg_.nodes;
+    const Tick ser = secondsToTicks(profile_.serSeconds);
+    const Tick deser = secondsToTicks(profile_.deserSeconds);
+
+    EventQueue eq;
+    std::vector<Worker> workers(n);
+    for (auto &w : workers) {
+        w.eq = &eq;
+    }
+
+    stats::Distribution latency;
+    std::unordered_map<std::uint32_t, Tick> start;
+    Tick last_done = 0;
+
+    Fabric fabric(eq, n, cfg_.net,
+                  [&](std::uint32_t dst, std::vector<std::uint8_t> bytes) {
+        auto res = tryDecodeFrame(bytes);
+        panic_if(!res.ok(), "fabric delivered a corrupt frame: %s",
+                 res.error().what());
+        const std::uint32_t partition = res.value().partition;
+        workers[dst].enqueue(deser, [&, partition] {
+            latency.sample(ticksToSeconds(eq.now() - start.at(partition)));
+            last_done = eq.now();
+        });
+    });
+
+    // t = 0: every node enqueues one serialize job per peer.
+    for (std::uint32_t src = 0; src < n; ++src) {
+        for (std::uint32_t dst = 0; dst < n; ++dst) {
+            if (dst == src) {
+                continue;
+            }
+            const std::uint32_t partition = src * n + dst;
+            start[partition] = 0;
+            workers[src].enqueue(ser, [&, src, dst, partition] {
+                Frame f;
+                f.format = backendFormatId(cfg_.backend);
+                f.flags =
+                    profile_.compressed ? kFrameFlagCompressed : 0;
+                f.srcNode = src;
+                f.dstNode = dst;
+                f.partition = partition;
+                f.payload = profile_.payload;
+                fabric.send(src, dst, encodeFrame(f));
+            });
+        }
+    }
+
+    eq.runAll();
+
+    ShuffleResult out;
+    out.completionSeconds = ticksToSeconds(last_done);
+    out.frames = static_cast<std::uint64_t>(n) * (n - 1);
+    out.wireBytes = fabric.wireBytes();
+    out.batches = fabric.batches();
+    out.throughputMBps = out.completionSeconds > 0
+        ? static_cast<double>(out.wireBytes) /
+              out.completionSeconds / 1e6
+        : 0;
+    out.latency = LatencySummary::of(latency);
+    panic_if(out.latency.count != out.frames,
+             "shuffle lost partitions (%llu of %llu finished)",
+             (unsigned long long)out.latency.count,
+             (unsigned long long)out.frames);
+    return out;
+}
+
+ServingResult
+ClusterSim::runServing(double utilization,
+                       std::uint64_t requests_per_node) const
+{
+    panic_if(utilization <= 0, "serving utilization must be > 0");
+    panic_if(requests_per_node == 0 || requests_per_node > 0xffff,
+             "requests per node out of range");
+
+    const unsigned n = cfg_.nodes;
+    const Tick ser = secondsToTicks(profile_.serSeconds);
+    const Tick deser = secondsToTicks(profile_.deserSeconds);
+    const double lambda = utilization * nodeCapacityRps();
+
+    EventQueue eq;
+    std::vector<Worker> workers(n);
+    for (auto &w : workers) {
+        w.eq = &eq;
+    }
+
+    stats::Distribution latency;
+    std::unordered_map<std::uint32_t, Tick> arrival;
+    std::uint64_t completed = 0;
+    Tick last_done = 0;
+
+    Fabric fabric(eq, n, cfg_.net,
+                  [&](std::uint32_t dst, std::vector<std::uint8_t> bytes) {
+        auto res = tryDecodeFrame(bytes);
+        panic_if(!res.ok(), "fabric delivered a corrupt frame: %s",
+                 res.error().what());
+        const std::uint32_t request = res.value().partition;
+        workers[dst].enqueue(deser, [&, request] {
+            latency.sample(ticksToSeconds(eq.now() - arrival.at(request)));
+            ++completed;
+            last_done = eq.now();
+        });
+    });
+
+    // Open loop: pre-draw every node's Poisson arrival process and the
+    // uniform peer destinations from the per-node seeded Rng.
+    for (std::uint32_t origin = 0; origin < n; ++origin) {
+        Rng rng(cfg_.seed * 0x51ed2701ULL + origin);
+        double t = 0;
+        for (std::uint64_t k = 0; k < requests_per_node; ++k) {
+            t += -std::log(1.0 - rng.uniform()) / lambda;
+            std::uint32_t dst =
+                static_cast<std::uint32_t>(rng.below(n - 1));
+            if (dst >= origin) {
+                ++dst; // uniform over the n-1 peers
+            }
+            const std::uint32_t request =
+                origin * 0x10000u + static_cast<std::uint32_t>(k);
+            const Tick at = secondsToTicks(t);
+            arrival[request] = at;
+            eq.schedule(at, [&, origin, dst, request] {
+                workers[origin].enqueue(ser, [&, origin, dst, request] {
+                    Frame f;
+                    f.format = backendFormatId(cfg_.backend);
+                    f.flags = profile_.compressed
+                        ? kFrameFlagCompressed : 0;
+                    f.srcNode = origin;
+                    f.dstNode = dst;
+                    f.partition = request;
+                    f.payload = profile_.payload;
+                    fabric.send(origin, dst, encodeFrame(f));
+                });
+            });
+        }
+    }
+
+    eq.runAll();
+
+    ServingResult out;
+    out.offeredRps = lambda * static_cast<double>(n);
+    out.requests = static_cast<std::uint64_t>(n) * requests_per_node;
+    out.completed = completed;
+    out.durationSeconds = ticksToSeconds(last_done);
+    out.achievedRps = out.durationSeconds > 0
+        ? static_cast<double>(completed) / out.durationSeconds
+        : 0;
+    out.latency = LatencySummary::of(latency);
+    panic_if(out.completed != out.requests,
+             "serving lost requests (%llu of %llu finished)",
+             (unsigned long long)out.completed,
+             (unsigned long long)out.requests);
+    return out;
+}
+
+} // namespace cluster
+} // namespace cereal

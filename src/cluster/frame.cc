@@ -1,0 +1,110 @@
+#include "cluster/frame.hh"
+
+#include "serde/bytes.hh"
+
+namespace cereal {
+
+const char *
+frameFormatName(std::uint8_t id)
+{
+    switch (id) {
+      case 0: return "java";
+      case 1: return "kryo";
+      case 2: return "skyway";
+      case 3: return "cereal";
+    }
+    return "?";
+}
+
+std::uint64_t
+fnv1a64(const std::uint8_t *data, std::size_t n)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= data[i];
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+std::vector<std::uint8_t>
+encodeFrame(const Frame &f)
+{
+    ByteWriter w;
+    w.u32(kFrameMagic);
+    w.u8(kFrameVersion);
+    w.u8(f.format);
+    w.u16(f.flags);
+    w.u32(f.srcNode);
+    w.u32(f.dstNode);
+    w.u32(f.partition);
+    w.u64(f.payload.size());
+    w.u64(fnv1a64(f.payload.data(), f.payload.size()));
+    w.raw(f.payload.data(), f.payload.size());
+    return w.take();
+}
+
+Frame
+decodeFrame(const std::vector<std::uint8_t> &bytes)
+{
+    ByteReader r(bytes);
+
+    const std::uint32_t magic = r.u32();
+    decode_check(magic == kFrameMagic, DecodeStatus::BadMagic, 0,
+                 "not a partition frame (magic 0x%08x)", magic);
+
+    const std::uint8_t version = r.u8();
+    decode_check(version == kFrameVersion, DecodeStatus::BadTag, 4,
+                 "unsupported frame version %u", version);
+
+    Frame f;
+    f.format = r.u8();
+    decode_check(f.format < kFrameFormatCount, DecodeStatus::BadClass, 5,
+                 "unknown serializer format id %u", f.format);
+
+    f.flags = r.u16();
+    decode_check((f.flags & ~kFrameFlagCompressed) == 0,
+                 DecodeStatus::Malformed, 6,
+                 "reserved frame flags set (0x%04x)", f.flags);
+
+    f.srcNode = r.u32();
+    f.dstNode = r.u32();
+    f.partition = r.u32();
+
+    const std::uint64_t payload_len = r.u64();
+    const std::size_t checksum_at = r.pos();
+    const std::uint64_t checksum = r.u64();
+
+    decode_check(payload_len <= r.remaining(), DecodeStatus::Truncated,
+                 r.pos(), "payload declares %llu bytes, %zu remain",
+                 (unsigned long long)payload_len, r.remaining());
+    decode_check(payload_len == r.remaining(), DecodeStatus::BadLength,
+                 r.pos(),
+                 "%zu trailing bytes after declared payload",
+                 r.remaining() - static_cast<std::size_t>(payload_len));
+
+    f.payload.resize(static_cast<std::size_t>(payload_len));
+    r.raw(f.payload.data(), f.payload.size());
+
+    const std::uint64_t computed =
+        fnv1a64(f.payload.data(), f.payload.size());
+    decode_check(computed == checksum, DecodeStatus::Malformed,
+                 checksum_at,
+                 "payload checksum mismatch (stored %016llx, computed "
+                 "%016llx)",
+                 (unsigned long long)checksum,
+                 (unsigned long long)computed);
+    return f;
+}
+
+DecodeResult<Frame>
+tryDecodeFrame(const std::vector<std::uint8_t> &bytes)
+{
+    try {
+        return decodeFrame(bytes);
+    } catch (const DecodeError &e) {
+        return e;
+    }
+}
+
+} // namespace cereal

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Partition-frame wire format for the cluster shuffle fabric.
+ *
+ * Every serialized partition a node pushes onto the wire is wrapped in
+ * one frame so the receiver can route it (source, destination,
+ * partition id), pick the right deserializer (format id), and detect
+ * corruption before handing the payload to a decoder (FNV-1a-64
+ * checksum). Like the serializer formats, the decoder treats the input
+ * as hostile: every violation is a typed DecodeError, never an abort.
+ *
+ * Layout (little-endian, 36-byte header):
+ *
+ *   u32 magic      'C' 'F' 'R' 'M'
+ *   u8  version    kFrameVersion
+ *   u8  format     serializer id (0=java 1=kryo 2=skyway 3=cereal)
+ *   u16 flags      bit0 = payload is LZ-compressed; others reserved
+ *   u32 srcNode
+ *   u32 dstNode
+ *   u32 partition
+ *   u64 payloadLen
+ *   u64 checksum   FNV-1a-64 over the payload bytes
+ *   payloadLen payload bytes (the frame ends exactly here)
+ */
+
+#ifndef CEREAL_CLUSTER_FRAME_HH
+#define CEREAL_CLUSTER_FRAME_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "serde/decode_error.hh"
+
+namespace cereal {
+
+/** 'CFRM' as read back by a little-endian u32 load. */
+constexpr std::uint32_t kFrameMagic = 0x4D524643;
+
+constexpr std::uint8_t kFrameVersion = 1;
+
+/** Number of serializer format ids (valid ids are [0, count)). */
+constexpr std::uint8_t kFrameFormatCount = 4;
+
+/** flags bit0: payload went through the LZ shuffle codec. */
+constexpr std::uint16_t kFrameFlagCompressed = 0x0001;
+
+/** Header bytes preceding the payload. */
+constexpr std::size_t kFrameHeaderBytes = 36;
+
+/** One framed partition. */
+struct Frame
+{
+    std::uint8_t format = 0;
+    std::uint16_t flags = 0;
+    std::uint32_t srcNode = 0;
+    std::uint32_t dstNode = 0;
+    std::uint32_t partition = 0;
+    std::vector<std::uint8_t> payload;
+};
+
+/** Printable serializer name of frame format id @p id ("?" if bad). */
+const char *frameFormatName(std::uint8_t id);
+
+/** FNV-1a 64-bit hash of @p data (the frame payload checksum). */
+std::uint64_t fnv1a64(const std::uint8_t *data, std::size_t n);
+
+/** Encode @p f; a decoded frame re-encodes to identical bytes. */
+std::vector<std::uint8_t> encodeFrame(const Frame &f);
+
+/**
+ * Decode one frame occupying the whole of @p bytes.
+ *
+ * Trailing bytes after the declared payload are an error (BadLength):
+ * the fabric delivers exact frames, so slack means corruption.
+ *
+ * @throws DecodeError on any malformed input
+ */
+Frame decodeFrame(const std::vector<std::uint8_t> &bytes);
+
+/** Exception-free decodeFrame(). */
+DecodeResult<Frame> tryDecodeFrame(const std::vector<std::uint8_t> &bytes);
+
+} // namespace cereal
+
+#endif // CEREAL_CLUSTER_FRAME_HH

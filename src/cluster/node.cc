@@ -1,0 +1,103 @@
+#include "cluster/node.hh"
+
+#include <memory>
+
+#include "cereal/cereal_serializer.hh"
+#include "serde/java_serde.hh"
+#include "serde/kryo_serde.hh"
+#include "serde/skyway_serde.hh"
+#include "shuffle/shuffle.hh"
+#include "sim/logging.hh"
+#include "workloads/harness.hh"
+#include "workloads/spark.hh"
+
+namespace cereal {
+namespace cluster {
+
+const std::vector<Backend> &
+allBackends()
+{
+    static const std::vector<Backend> kAll = {
+        Backend::Java, Backend::Kryo, Backend::Skyway, Backend::Cereal};
+    return kAll;
+}
+
+const char *
+backendName(Backend b)
+{
+    switch (b) {
+      case Backend::Java: return "java";
+      case Backend::Kryo: return "kryo";
+      case Backend::Skyway: return "skyway";
+      case Backend::Cereal: return "cereal";
+    }
+    return "?";
+}
+
+std::uint8_t
+backendFormatId(Backend b)
+{
+    return static_cast<std::uint8_t>(b);
+}
+
+NodeProfile
+profileNode(const NodeConfig &cfg)
+{
+    KlassRegistry reg;
+    workloads::SparkWorkloads apps(reg);
+    Heap heap(reg);
+    Addr root = apps.build(heap, cfg.app, cfg.scale, cfg.seed);
+
+    ShuffleStage stage;
+    NodeProfile out;
+
+    if (cfg.backend == Backend::Cereal) {
+        auto m = workloads::measureCereal(heap, root);
+        // The functional serializer produces the packed bytes the
+        // accelerator writes; they travel uncompressed (the packed
+        // format already plays the codec's role).
+        CerealSerializer ser;
+        ser.registerAll(reg);
+        out.payload = ser.serialize(heap, root);
+        out.compressed = false;
+        auto handoff = stage.cerealHandoff(out.payload.size());
+        out.serSeconds = m.serSeconds + handoff.seconds;
+        out.deserSeconds = handoff.seconds + m.deserSeconds;
+        out.streamBytes = m.streamBytes;
+        out.objects = m.objects;
+        return out;
+    }
+
+    std::unique_ptr<Serializer> ser;
+    switch (cfg.backend) {
+      case Backend::Java:
+        ser = std::make_unique<JavaSerializer>();
+        break;
+      case Backend::Kryo: {
+        auto kryo = std::make_unique<KryoSerializer>();
+        kryo->registerAll(reg);
+        ser = std::move(kryo);
+        break;
+      }
+      case Backend::Skyway:
+        ser = std::make_unique<SkywaySerializer>();
+        break;
+      default:
+        panic("unhandled backend");
+    }
+
+    auto m = workloads::measureSoftware(*ser, heap, root);
+    auto stream = ser->serialize(heap, root);
+    auto write = stage.softwareWrite(stream);
+    auto read = stage.softwareRead(stream);
+    out.payload = stage.codec().compress(stream);
+    out.compressed = true;
+    out.serSeconds = m.serSeconds + write.seconds;
+    out.deserSeconds = read.seconds + m.deserSeconds;
+    out.streamBytes = m.streamBytes;
+    out.objects = m.objects;
+    return out;
+}
+
+} // namespace cluster
+} // namespace cereal

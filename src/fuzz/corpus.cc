@@ -5,6 +5,7 @@
 #include <fstream>
 
 #include "cereal/cereal_serializer.hh"
+#include "cluster/frame.hh"
 #include "heap/object.hh"
 #include "serde/java_serde.hh"
 #include "serde/kryo_serde.hh"
@@ -65,6 +66,17 @@ seedCorpus(const KlassRegistry &reg, Heap &heap, Addr root)
     cereal_ser.registerAll(reg);
     out.push_back(
         {"cereal_golden", "cereal", cereal_ser.serialize(heap, root)});
+
+    // A well-formed partition frame wrapping the kryo golden stream,
+    // seeding the cluster frame decoder.
+    Frame frame;
+    frame.format = 1; // kryo
+    frame.flags = kFrameFlagCompressed;
+    frame.srcNode = 0;
+    frame.dstNode = 1;
+    frame.partition = 1;
+    frame.payload = out[1].bytes;
+    out.push_back({"cluster_golden", "cluster", encodeFrame(frame)});
     return out;
 }
 
@@ -73,7 +85,8 @@ namespace {
 bool
 knownFormat(const std::string &f)
 {
-    return f == "java" || f == "kryo" || f == "skyway" || f == "cereal";
+    return f == "java" || f == "kryo" || f == "skyway" ||
+           f == "cereal" || f == "cluster";
 }
 
 } // namespace

@@ -2,9 +2,10 @@
  * @file
  * Seed corpus for the decoder fuzzer.
  *
- * The corpus starts from the four golden-vector streams (one per wire
+ * The corpus starts from the golden-vector streams (one per wire
  * format, produced live from the pinned golden graph so they stay in
- * lockstep with the formats) and can be extended with regression inputs
+ * lockstep with the formats, plus a partition frame wrapping one of
+ * them) and can be extended with regression inputs
  * stored on disk — one `<format>_<name>.bin` file per entry, as written
  * by `fuzz_decoders --save-dir` and committed under `tests/corpus/`.
  */
@@ -24,7 +25,7 @@ namespace cereal {
 struct CorpusEntry
 {
     std::string name;
-    /** "java", "kryo", "skyway", "cereal", or "unknown". */
+    /** "java", "kryo", "skyway", "cereal", "cluster", or "unknown". */
     std::string format;
     std::vector<std::uint8_t> bytes;
 };
@@ -39,7 +40,8 @@ struct CorpusEntry
 Addr buildCorpusGraph(KlassRegistry &reg, Heap &heap);
 
 /**
- * Serialize the corpus graph with all four serializers.
+ * Serialize the corpus graph with all four serializers, then wrap the
+ * kryo stream in a partition frame for the cluster decoder.
  * @return one entry per format, named "<format>_golden".
  */
 std::vector<CorpusEntry> seedCorpus(const KlassRegistry &reg, Heap &heap,

@@ -1,6 +1,6 @@
 /**
  * @file
- * fuzz_decoders: seeded mutation fuzzing of all four deserializers.
+ * fuzz_decoders: seeded mutation fuzzing of all wire-format decoders.
  *
  * Usage:
  *   fuzz_decoders [--seed N] [--iters N] [--max-mutations N]

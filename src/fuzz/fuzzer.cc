@@ -1,5 +1,6 @@
 #include "fuzz/fuzzer.hh"
 
+#include "cluster/frame.hh"
 #include "fuzz/mutator.hh"
 #include "heap/walker.hh"
 #include "serde/decode_error.hh"
@@ -28,8 +29,8 @@ DecoderFuzzer::DecoderFuzzer() : srcHeap_(reg_, 0x1'0000'0000ULL)
 const std::vector<std::string> &
 DecoderFuzzer::formats()
 {
-    static const std::vector<std::string> kFormats = {"java", "kryo",
-                                                      "skyway", "cereal"};
+    static const std::vector<std::string> kFormats = {
+        "java", "kryo", "skyway", "cereal", "cluster"};
     return kFormats;
 }
 
@@ -58,12 +59,58 @@ DecoderFuzzer::serializerFor(const std::string &format)
 }
 
 void
+DecoderFuzzer::attemptFrame(const std::vector<std::uint8_t> &bytes,
+                            const std::string &seed_name,
+                            std::uint64_t iteration, bool round_trip,
+                            FuzzStats &stats)
+{
+    ++stats.attempts;
+    Frame frame;
+    try {
+        frame = decodeFrame(bytes);
+    } catch (const DecodeError &e) {
+        ++stats.decodeError;
+        ++stats.byStatus[decodeStatusName(e.status())];
+        return;
+    } catch (const std::exception &e) {
+        stats.findings.push_back({"unexpected-exception", "cluster",
+                                  seed_name, iteration, e.what(), bytes});
+        return;
+    }
+    ++stats.decodeOk;
+    if (!round_trip) {
+        return;
+    }
+
+    // Round-trip oracle: the frame encoding is canonical, so any
+    // accepted input must re-encode to the exact same bytes.
+    try {
+        auto bytes2 = encodeFrame(frame);
+        if (bytes2 != bytes) {
+            stats.findings.push_back({"roundtrip-mismatch", "cluster",
+                                      seed_name, iteration,
+                                      "re-encode differs from input",
+                                      bytes});
+            return;
+        }
+        ++stats.roundTrips;
+    } catch (const std::exception &e) {
+        stats.findings.push_back({"roundtrip-exception", "cluster",
+                                  seed_name, iteration, e.what(), bytes});
+    }
+}
+
+void
 DecoderFuzzer::attempt(const std::string &format,
                        const std::vector<std::uint8_t> &bytes,
                        const std::string &seed_name,
                        std::uint64_t iteration, bool round_trip,
                        FuzzStats &stats)
 {
+    if (format == "cluster") {
+        attemptFrame(bytes, seed_name, iteration, round_trip, stats);
+        return;
+    }
     ++stats.attempts;
     Serializer *ser = serializerFor(format);
     Heap dst(reg_, kDecodeBase);

@@ -1,12 +1,12 @@
 /**
  * @file
- * Seeded structured fuzzer for the four deserializers.
+ * Seeded structured fuzzer for the deserializers.
  *
- * The fuzzer owns one decode environment (the golden-graph registry and
- * one serializer per wire format), a corpus of seed streams, and a
- * deterministic Rng. Each iteration mutates a corpus entry and feeds
- * the result to all four decoders; every attempt must end in exactly
- * one of two ways:
+ * The fuzzer owns one decode environment (the golden-graph registry,
+ * one serializer per wire format, and the cluster partition-frame
+ * codec), a corpus of seed streams, and a deterministic Rng. Each
+ * iteration mutates a corpus entry and feeds the result to every
+ * decoder; every attempt must end in exactly one of two ways:
  *
  *  - a successfully reconstructed graph, which must then survive the
  *    round-trip oracle (re-encode with the same serializer, decode
@@ -76,7 +76,7 @@ struct FuzzStats
     std::vector<FuzzFinding> findings;
 };
 
-/** The four-decoder fuzz harness. */
+/** The multi-decoder fuzz harness. */
 class DecoderFuzzer
 {
   public:
@@ -102,7 +102,7 @@ class DecoderFuzzer
     FuzzStats run(const FuzzConfig &cfg);
 
     /**
-     * Drive every corpus entry, unmutated, through all four decoders
+     * Drive every corpus entry, unmutated, through every decoder
      * (with the round-trip oracle). The regression gate: replaying the
      * committed corpus must produce zero findings.
      */
@@ -122,6 +122,16 @@ class DecoderFuzzer
 
   private:
     Serializer *serializerFor(const std::string &format);
+
+    /**
+     * The "cluster" decoder path: partition frames have no serializer
+     * object; the round-trip oracle is canonical re-encoding (an
+     * accepted frame must re-encode to the input bytes).
+     */
+    void attemptFrame(const std::vector<std::uint8_t> &bytes,
+                      const std::string &seed_name,
+                      std::uint64_t iteration, bool round_trip,
+                      FuzzStats &stats);
 
     KlassRegistry reg_;
     Heap srcHeap_;

@@ -1,11 +1,39 @@
 #include "sim/stats.hh"
 
+#include <algorithm>
+#include <cmath>
 #include <iomanip>
 
 #include "sim/json.hh"
 
 namespace cereal {
 namespace stats {
+
+double
+Distribution::percentile(double p) const
+{
+    if (samples_.empty()) {
+        return 0;
+    }
+    if (!sorted_) {
+        std::sort(samples_.begin(), samples_.end());
+        sorted_ = true;
+    }
+    if (p <= 0) {
+        return samples_.front();
+    }
+    if (p >= 100) {
+        return samples_.back();
+    }
+    // Nearest-rank: the smallest sample with at least p% of the
+    // population at or below it.
+    auto rank = static_cast<std::size_t>(
+        std::ceil(p / 100.0 * static_cast<double>(samples_.size())));
+    if (rank == 0) {
+        rank = 1;
+    }
+    return samples_[rank - 1];
+}
 
 void
 StatGroup::dump(std::ostream &os) const
@@ -29,6 +57,12 @@ StatGroup::dump(std::ostream &os) const
             const auto *h = static_cast<const Histogram *>(e.stat);
             os << "mean=" << h->mean() << " n=" << h->count()
                << " overflow=" << h->overflow();
+            break;
+          }
+          case Kind::Distribution: {
+            const auto *d = static_cast<const Distribution *>(e.stat);
+            os << "p50=" << d->p50() << " p95=" << d->p95()
+               << " p99=" << d->p99() << " n=" << d->count();
             break;
           }
           case Kind::Formula: {
@@ -79,6 +113,18 @@ StatGroup::dumpJson(json::Writer &w) const
                 w.value(b);
             }
             w.endArray();
+            break;
+          }
+          case Kind::Distribution: {
+            const auto *d = static_cast<const Distribution *>(e.stat);
+            w.kv("kind", "distribution");
+            w.kv("count", d->count());
+            w.kv("mean", d->mean());
+            w.kv("min", d->min());
+            w.kv("max", d->max());
+            w.kv("p50", d->p50());
+            w.kv("p95", d->p95());
+            w.kv("p99", d->p99());
             break;
           }
           case Kind::Formula: {

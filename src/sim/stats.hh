@@ -131,6 +131,58 @@ class Histogram
 };
 
 /**
+ * Percentile summary over a stream of samples.
+ *
+ * Keeps every sample so exact order statistics are available at dump
+ * time (nearest-rank percentiles). Intended for latency populations of
+ * at most a few hundred thousand samples; the sort is deferred and
+ * cached until the next sample() invalidates it.
+ */
+class Distribution
+{
+  public:
+    Distribution() = default;
+
+    /** Record one sample. */
+    void
+    sample(double v)
+    {
+        samples_.push_back(v);
+        sorted_ = false;
+        avg_.sample(v);
+    }
+
+    void
+    reset()
+    {
+        samples_.clear();
+        sorted_ = false;
+        avg_.reset();
+    }
+
+    /**
+     * Nearest-rank percentile, @p p in [0, 100]. Returns 0 when the
+     * distribution is empty.
+     */
+    double percentile(double p) const;
+
+    double p50() const { return percentile(50); }
+    double p95() const { return percentile(95); }
+    double p99() const { return percentile(99); }
+    double mean() const { return avg_.mean(); }
+    double min() const { return avg_.min(); }
+    double max() const { return avg_.max(); }
+    double sum() const { return avg_.sum(); }
+    std::uint64_t count() const { return avg_.count(); }
+
+  private:
+    // percentile() sorts lazily; logical state is unchanged.
+    mutable std::vector<double> samples_;
+    mutable bool sorted_ = false;
+    Average avg_;
+};
+
+/**
  * A derived statistic: a closure over other statistics, evaluated
  * lazily at dump time (ratios, rates, utilisations).
  */
@@ -150,7 +202,7 @@ class Formula
 };
 
 /** Kind discriminator for registered statistics. */
-enum class Kind { Scalar, Average, Histogram, Formula };
+enum class Kind { Scalar, Average, Histogram, Distribution, Formula };
 
 /** One registration record inside a StatGroup. */
 struct Entry
@@ -192,6 +244,13 @@ class StatGroup
         const Histogram &h)
     {
         entries_.push_back({stat_name, desc, Kind::Histogram, &h});
+    }
+
+    void
+    add(const std::string &stat_name, const std::string &desc,
+        const Distribution &d)
+    {
+        entries_.push_back({stat_name, desc, Kind::Distribution, &d});
     }
 
     void

@@ -1,7 +1,8 @@
 /**
  * @file
- * Negative-path decode tests: the error-handling contract of all four
- * deserializers (see src/serde/decode_error.hh).
+ * Negative-path decode tests: the error-handling contract of the four
+ * deserializers (see src/serde/decode_error.hh) and, via the shared
+ * corpus sweep, the cluster partition-frame codec.
  *
  *  - ByteReader primitives report underflow and malformed varints as
  *    DecodeError, with and without an attached MemSink;
@@ -11,7 +12,7 @@
  *    golden stream yields a clean error — never a crash, never a
  *    false success;
  *  - the committed regression corpus (tests/corpus) replays through
- *    all four decoders with zero contract violations.
+ *    all five decoders with zero contract violations.
  */
 
 #include <gtest/gtest.h>
@@ -23,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "cluster/frame.hh"
 #include "fuzz/fuzzer.hh"
 #include "heap/heap.hh"
 #include "serde/bytes.hh"
@@ -340,6 +342,22 @@ TEST(TruncationSweep, EveryProperPrefixFailsCleanly)
 {
     DecoderFuzzer fuzzer;
     for (const auto &entry : fuzzer.corpus()) {
+        if (entry.format == "cluster") {
+            // The partition-frame codec has no heap; sweep it through
+            // its own non-throwing decoder.
+            for (std::size_t n = 0; n < entry.bytes.size(); ++n) {
+                Bytes prefix(entry.bytes.begin(),
+                             entry.bytes.begin() +
+                                 static_cast<std::ptrdiff_t>(n));
+                EXPECT_FALSE(tryDecodeFrame(prefix).ok())
+                    << entry.format << ": prefix of " << n << "/"
+                    << entry.bytes.size()
+                    << " bytes decoded successfully";
+            }
+            EXPECT_TRUE(tryDecodeFrame(entry.bytes).ok())
+                << entry.format;
+            continue;
+        }
         auto &ser = fuzzer.serializer(entry.format);
         for (std::size_t n = 0; n < entry.bytes.size(); ++n) {
             Bytes prefix(entry.bytes.begin(),
@@ -376,9 +394,10 @@ TEST(FuzzCorpus, CommittedCorpusReplaysWithoutViolations)
                       << "corpus entry " << f.seedName << ": "
                       << f.detail;
     }
-    // The four golden seeds decode with their own decoder (and any
-    // corpus entry a fix turned valid again); everything else errors.
-    EXPECT_GE(stats.decodeOk, 4u);
+    // The five golden seeds (four serializers + the partition frame)
+    // decode with their own decoder (and any corpus entry a fix
+    // turned valid again); everything else errors.
+    EXPECT_GE(stats.decodeOk, 5u);
     EXPECT_GT(stats.decodeError, 0u);
     EXPECT_EQ(stats.roundTrips, stats.decodeOk);
     // The corpus pins a spread of error classes, not one.

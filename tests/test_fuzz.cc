@@ -1,9 +1,10 @@
 /**
  * @file
  * Tests of the src/fuzz subsystem itself, plus the seeded fuzz
- * acceptance run: 10k mutation iterations over all four decoders must
- * produce zero contract violations (no aborts, no non-DecodeError
- * exceptions, every accepted stream survives the round-trip oracle).
+ * acceptance run: 10k mutation iterations over every decoder (the four
+ * serializers plus the cluster partition-frame codec) must produce
+ * zero contract violations (no aborts, no non-DecodeError exceptions,
+ * every accepted stream survives the round-trip oracle).
  */
 
 #include <gtest/gtest.h>
@@ -46,10 +47,10 @@ TEST(Mutator, HandlesEmptyInputAndEmptyPool)
     }
 }
 
-TEST(Corpus, SeedCorpusCoversAllFourFormats)
+TEST(Corpus, SeedCorpusCoversAllFormats)
 {
     DecoderFuzzer fuzzer;
-    ASSERT_EQ(fuzzer.corpus().size(), 4u);
+    ASSERT_EQ(fuzzer.corpus().size(), DecoderFuzzer::formats().size());
     for (const auto &format : DecoderFuzzer::formats()) {
         bool found = false;
         for (const auto &e : fuzzer.corpus()) {
@@ -93,7 +94,7 @@ TEST(FuzzRun, DeterministicGivenSeed)
     EXPECT_EQ(s1.findings.size(), s2.findings.size());
 }
 
-/** The acceptance gate: 10k seeded iterations, all four decoders. */
+/** The acceptance gate: 10k seeded iterations, every decoder. */
 TEST(FuzzRun, TenThousandIterationsUpholdDecodeContract)
 {
     FuzzConfig cfg;

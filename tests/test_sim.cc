@@ -9,6 +9,7 @@
 #include <sstream>
 
 #include "sim/event_queue.hh"
+#include "sim/json.hh"
 #include "sim/rng.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
@@ -38,6 +39,59 @@ TEST(EventQueue, TiesBreakInScheduleOrder)
     }
     eq.runAll();
     EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, SameTickEventsScheduledFromCallbacksKeepFifoOrder)
+{
+    // The cluster simulator relies on this: a callback that schedules
+    // more work *at the current tick* must run it after everything
+    // already queued for that tick, in scheduling order.
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(50, [&] {
+        order.push_back(0);
+        eq.schedule(50, [&] { order.push_back(3); });
+        eq.schedule(50, [&] { order.push_back(4); });
+    });
+    eq.schedule(50, [&] { order.push_back(1); });
+    eq.schedule(50, [&] { order.push_back(2); });
+    eq.runAll();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, ScheduleAndScheduleInInterleaveDeterministically)
+{
+    // schedule(now + d) and scheduleIn(d) land in the same FIFO class
+    // when they resolve to the same tick: sequence numbers are handed
+    // out per call, regardless of entry point.
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(10, [&] {
+        eq.scheduleIn(7, [&] { order.push_back(0); });
+        eq.schedule(17, [&] { order.push_back(1); });
+        eq.scheduleIn(7, [&] { order.push_back(2); });
+        eq.schedule(17, [&] { order.push_back(3); });
+    });
+    eq.runAll();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+    EXPECT_EQ(eq.now(), 17u);
+}
+
+TEST(EventQueue, IdenticalRunsExecuteIdentically)
+{
+    // Two queues fed the same schedule drain in the same order — the
+    // reproducibility property multi-node cluster runs depend on.
+    auto drive = [] {
+        EventQueue eq;
+        std::vector<int> order;
+        for (int i = 0; i < 32; ++i) {
+            eq.schedule(static_cast<Tick>((i * 7) % 5),
+                        [&order, i] { order.push_back(i); });
+        }
+        eq.runAll();
+        return order;
+    };
+    EXPECT_EQ(drive(), drive());
 }
 
 TEST(EventQueue, EventsCanScheduleEvents)
@@ -189,6 +243,71 @@ TEST(Stats, HistogramBucketsAndOverflow)
     EXPECT_EQ(h.buckets()[3], 1u);
     EXPECT_EQ(h.overflow(), 1u);
     EXPECT_EQ(h.count(), 5u);
+}
+
+TEST(Stats, DistributionExactPercentiles)
+{
+    stats::Distribution d;
+    for (int v = 100; v >= 1; --v) {
+        d.sample(v); // reverse order: percentile() must sort
+    }
+    EXPECT_EQ(d.count(), 100u);
+    EXPECT_DOUBLE_EQ(d.min(), 1.0);
+    EXPECT_DOUBLE_EQ(d.max(), 100.0);
+    EXPECT_DOUBLE_EQ(d.mean(), 50.5);
+    // Nearest rank over 1..100: pXX is exactly XX.
+    EXPECT_DOUBLE_EQ(d.p50(), 50.0);
+    EXPECT_DOUBLE_EQ(d.p95(), 95.0);
+    EXPECT_DOUBLE_EQ(d.p99(), 99.0);
+    EXPECT_DOUBLE_EQ(d.percentile(0), 1.0);
+    EXPECT_DOUBLE_EQ(d.percentile(100), 100.0);
+}
+
+TEST(Stats, DistributionResortsAfterNewSamples)
+{
+    stats::Distribution d;
+    d.sample(10);
+    d.sample(20);
+    EXPECT_DOUBLE_EQ(d.p50(), 10.0); // rank 1 of 2
+    d.sample(1); // invalidates the cached sort
+    EXPECT_DOUBLE_EQ(d.p50(), 10.0); // rank 2 of 3
+    EXPECT_DOUBLE_EQ(d.p99(), 20.0);
+    d.reset();
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_DOUBLE_EQ(d.p99(), 0.0);
+}
+
+TEST(Stats, DistributionSingleSample)
+{
+    stats::Distribution d;
+    d.sample(7.5);
+    EXPECT_DOUBLE_EQ(d.p50(), 7.5);
+    EXPECT_DOUBLE_EQ(d.p95(), 7.5);
+    EXPECT_DOUBLE_EQ(d.p99(), 7.5);
+}
+
+TEST(Stats, DistributionInGroupDump)
+{
+    stats::StatGroup g("net");
+    stats::Distribution lat;
+    lat.sample(1);
+    lat.sample(2);
+    lat.sample(3);
+    g.add("latency", "request latency", lat);
+    std::ostringstream os;
+    g.dump(os);
+    EXPECT_NE(os.str().find("net.latency"), std::string::npos);
+    EXPECT_NE(os.str().find("p99="), std::string::npos);
+
+    std::ostringstream js;
+    json::Writer w(js, 0);
+    w.beginObject();
+    g.dumpJson(w);
+    w.endObject();
+    EXPECT_TRUE(w.balanced());
+    EXPECT_NE(js.str().find("\"kind\":\"distribution\""),
+              std::string::npos);
+    EXPECT_NE(js.str().find("\"p95\":"), std::string::npos);
 }
 
 TEST(Stats, GroupDumpContainsNames)
