@@ -17,7 +17,7 @@ using namespace cereal::workloads;
 int
 main(int argc, char **argv)
 {
-    auto opts = bench::parseArgs(argc, argv, 64, "abl_mai");
+    auto opts = bench::Options::parse(argc, argv, 64, "abl_mai");
     bench::banner("Ablation: MAI outstanding-entry sweep",
                   "the 64-entry MAI is the accelerator's MLP source; "
                   "small tables re-create the CPU's bottleneck");
@@ -69,7 +69,7 @@ main(int argc, char **argv)
                   });
     }
 
-    sweep.run(opts.threads);
+    bench::runSweep(sweep, opts);
 
     std::printf("%-8s | %10s | %10s\n", "entries", "ser(ms)",
                 "deser(ms)");
@@ -77,6 +77,6 @@ main(int argc, char **argv)
         std::printf("%-8u | %10.3f | %10.3f\n", entries[i],
                     rows[i].serMs, rows[i].deserMs);
     }
-    bench::writeBenchJson(sweep, opts);
+    bench::writeBenchOutputs(sweep, opts);
     return 0;
 }

@@ -20,7 +20,7 @@ using namespace cereal::workloads;
 int
 main(int argc, char **argv)
 {
-    auto opts = bench::parseArgs(argc, argv, 64, "abl_mlp");
+    auto opts = bench::Options::parse(argc, argv, 64, "abl_mlp");
     bench::banner("Ablation: CPU miss-window (MLP) sweep under Kryo",
                   "bounded MLP is the structural CPU limit; gains "
                   "saturate well below accelerator bandwidth");
@@ -49,7 +49,7 @@ main(int argc, char **argv)
                   });
     }
 
-    sweep.run(opts.threads);
+    bench::runSweep(sweep, opts);
 
     std::printf("%-8s | %10s %8s | %10s %8s\n", "window", "ser(ms)",
                 "bw%", "deser(ms)", "bw%");
@@ -62,6 +62,6 @@ main(int argc, char **argv)
     }
     std::printf("(Table I CPU sustains ~10; Cereal's MAI sustains "
                 "64)\n");
-    bench::writeBenchJson(sweep, opts);
+    bench::writeBenchOutputs(sweep, opts);
     return 0;
 }

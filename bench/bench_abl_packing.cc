@@ -49,7 +49,7 @@ measure(const CerealStream &s)
 int
 main(int argc, char **argv)
 {
-    auto opts = bench::parseArgs(argc, argv, 64, "abl_packing");
+    auto opts = bench::Options::parse(argc, argv, 64, "abl_packing");
     bench::banner("Ablation: object packing on vs off",
                   "packing compresses reference offsets + bitmaps; "
                   "value-heavy workloads see little change, "
@@ -104,7 +104,7 @@ main(int argc, char **argv)
         });
     }
 
-    sweep.run(opts.threads);
+    bench::runSweep(sweep, opts);
 
     std::printf("%-14s | %10s %10s | %9s | %8s\n", "workload",
                 "base(KB)", "packed(KB)", "saved", "ref-share");
@@ -114,6 +114,6 @@ main(int argc, char **argv)
                     specs[i].name.c_str(), r.baselineBytes / 1024,
                     r.packedBytes / 1024, r.savedPct(), r.refSharePct);
     }
-    bench::writeBenchJson(sweep, opts);
+    bench::writeBenchOutputs(sweep, opts);
     return 0;
 }

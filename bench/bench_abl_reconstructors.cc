@@ -23,7 +23,7 @@ constexpr std::array<unsigned, 4> kReconCounts = {1, 2, 4, 8};
 int
 main(int argc, char **argv)
 {
-    auto opts = bench::parseArgs(argc, argv, 64, "abl_reconstructors");
+    auto opts = bench::Options::parse(argc, argv, 64, "abl_reconstructors");
     bench::banner("Ablation: block reconstructors per DU",
                   "the decoupled format lets several 64 B blocks "
                   "rebuild in parallel (Section V-C)");
@@ -71,7 +71,7 @@ main(int argc, char **argv)
                   });
     }
 
-    sweep.run(opts.threads);
+    bench::runSweep(sweep, opts);
 
     std::printf("%-13s |", "workload");
     for (unsigned r : kReconCounts) {
@@ -85,6 +85,6 @@ main(int argc, char **argv)
         }
         std::printf("\n");
     }
-    bench::writeBenchJson(sweep, opts);
+    bench::writeBenchOutputs(sweep, opts);
     return 0;
 }

@@ -51,7 +51,7 @@ makespan(const OpProfile &p, unsigned units, bool ser)
 int
 main(int argc, char **argv)
 {
-    auto opts = bench::parseArgs(argc, argv, 256, "abl_units");
+    auto opts = bench::Options::parse(argc, argv, 256, "abl_units");
     bench::banner("Ablation: SU/DU count sweep (operation-level "
                   "parallelism)",
                   "multiple units overlap independent S/D operations; "
@@ -111,7 +111,7 @@ main(int argc, char **argv)
         w.endArray();
     });
 
-    sweep.run(opts.threads);
+    bench::runSweep(sweep, opts);
 
     std::printf("%-6s | %14s %10s | %14s %10s\n", "units",
                 "ser-makespan", "ser-x", "deser-makespan", "deser-x");
@@ -127,6 +127,6 @@ main(int argc, char **argv)
     std::printf("(speedup saturates when the batch hits the %.1f GB/s "
                 "DRAM ceiling)\n",
                 prof.peakBw / 1e9);
-    bench::writeBenchJson(sweep, opts);
+    bench::writeBenchOutputs(sweep, opts);
     return 0;
 }

@@ -62,7 +62,7 @@ writeCommon(json::Writer &w, const Row &r)
 int
 main(int argc, char **argv)
 {
-    auto opts = bench::parseArgs(argc, argv, 64, "cluster_shuffle");
+    auto opts = bench::Options::parse(argc, argv, 64, "cluster_shuffle");
     bench::banner(
         "Cluster shuffle + serving: latency-throughput by serializer",
         "Cereal's S/D speedups imply a dominating latency-throughput "
@@ -160,7 +160,7 @@ main(int argc, char **argv)
              static_cast<std::uint64_t>(dominates ? 1 : 0));
     });
 
-    sweep.run(opts.threads);
+    bench::runSweep(sweep, opts);
 
     std::printf("%-8s | %12s %12s | %12s %12s %12s\n", "backend",
                 "cap(rps)", "a2a(ms)", "p99@40(ms)", "p99@70(ms)",
@@ -176,7 +176,7 @@ main(int argc, char **argv)
     std::printf("(cereal must dominate the software frontier at every "
                 "load point)\n");
 
-    bench::writeBenchJson(sweep, opts,
+    bench::writeBenchOutputs(sweep, opts,
                           {{"nodes", kNodes},
                            {"requests_per_node", kRequestsPerNode}});
     return 0;

@@ -23,7 +23,7 @@ using namespace cereal::workloads;
 int
 main(int argc, char **argv)
 {
-    auto opts = bench::parseArgs(argc, argv, 8, "fig02_breakdown");
+    auto opts = bench::Options::parse(argc, argv, 8, "fig02_breakdown");
     bench::banner("Figure 2: Spark runtime breakdown by serializer",
                   "S/D share avg 39.5% (Java, max 90.9%) and 28.3% "
                   "(Kryo, max 83.4%)");
@@ -47,7 +47,7 @@ main(int argc, char **argv)
         w.kv("kryo_sd_share_max", kryo_sd_max);
     });
 
-    sweep.run(opts.threads);
+    bench::runSweep(sweep, opts);
 
     std::printf("(a) Java S/D\n");
     std::printf("%-10s | %8s %6s %6s %6s\n", "app", "compute", "gc",
@@ -82,6 +82,6 @@ main(int argc, char **argv)
     std::printf("\nS/D share: java avg %.1f%% (paper 39.5%%), kryo avg "
                 "%.1f%% max %.1f%% (paper 28.3%% / 83.4%%)\n",
                 java_sd_avg * 100, kryo_sd_avg * 100, kryo_sd_max * 100);
-    bench::writeBenchJson(sweep, opts);
+    bench::writeBenchOutputs(sweep, opts);
     return 0;
 }

@@ -32,7 +32,7 @@ struct Row
 int
 main(int argc, char **argv)
 {
-    auto opts = bench::parseArgs(argc, argv, 64, "fig03_sd_analysis");
+    auto opts = bench::Options::parse(argc, argv, 64, "fig03_sd_analysis");
     bench::banner("Figure 3: S/D process analysis (Java S/D vs Kryo)",
                   "IPC ~1.0; high LLC miss rate; <5% DRAM bandwidth; "
                   "modest Kryo speedup");
@@ -104,7 +104,7 @@ main(int argc, char **argv)
         w.kv("kryo_speedup_avg", avg_of(&Row::spd));
     });
 
-    sweep.run(opts.threads);
+    bench::runSweep(sweep, opts);
 
     std::printf("%-13s | %5s %5s | %6s %6s | %6s %6s | %7s\n", "workload",
                 "ipcJ", "ipcK", "llcJ", "llcK", "bwJ%", "bwK%",
@@ -121,6 +121,6 @@ main(int argc, char **argv)
                 avg_of(&Row::bwJ) * 100, avg_of(&Row::bwK) * 100);
     std::printf("(paper)       |  1.01  0.96 |  high  | "
                 "~2.7-3.5 ~4.1-4.5 |\n");
-    bench::writeBenchJson(sweep, opts);
+    bench::writeBenchOutputs(sweep, opts);
     return 0;
 }

@@ -33,7 +33,7 @@ struct Row
 int
 main(int argc, char **argv)
 {
-    auto opts = bench::parseArgs(argc, argv, 64, "fig10_micro_speedup");
+    auto opts = bench::Options::parse(argc, argv, 64, "fig10_micro_speedup");
     bench::banner(
         "Figure 10: microbenchmark S/D speedup over Java S/D (log scale)",
         "Kryo 2.30x/52.3x, Cereal 26.5x/364.5x (ser/deser averages)");
@@ -99,7 +99,7 @@ main(int argc, char **argv)
         w.kv("cereal_deser_speedup_avg", avg_of(&Row::cd));
     });
 
-    sweep.run(opts.threads);
+    bench::runSweep(sweep, opts);
 
     std::printf("%-13s %10s %10s | %10s %10s | %10s %10s\n", "workload",
                 "kryo-ser", "kryo-de", "vanil-ser", "vanil-de",
@@ -119,6 +119,6 @@ main(int argc, char **argv)
     std::printf("scale divisor: %llu (paper-size graphs / %llu)\n",
                 (unsigned long long)opts.scale,
                 (unsigned long long)opts.scale);
-    bench::writeBenchJson(sweep, opts);
+    bench::writeBenchOutputs(sweep, opts);
     return 0;
 }

@@ -32,7 +32,7 @@ struct Row
 int
 main(int argc, char **argv)
 {
-    auto opts = bench::parseArgs(argc, argv, 64, "fig11_micro_bandwidth");
+    auto opts = bench::Options::parse(argc, argv, 64, "fig11_micro_bandwidth");
     bench::banner("Figure 11: DRAM bandwidth utilisation (%) on "
                   "microbenchmarks",
                   "ser avg: Java 2.71 / Kryo 4.12 / Cereal 20.9 (max "
@@ -92,7 +92,7 @@ main(int argc, char **argv)
         w.kv("deser_bandwidth_cereal_max_pct", max_of(&Row::dc));
     });
 
-    sweep.run(opts.threads);
+    bench::runSweep(sweep, opts);
 
     std::printf("%-13s | %7s %7s %7s | %7s %7s %7s\n", "workload",
                 "serJ%", "serK%", "serC%", "deJ%", "deK%", "deC%");
@@ -110,6 +110,6 @@ main(int argc, char **argv)
                 "", max_of(&Row::sc), "", "", max_of(&Row::dc));
     std::printf("(paper avg)   |    2.71    4.12   20.90 |    3.48    "
                 "4.50   31.10\n");
-    bench::writeBenchJson(sweep, opts);
+    bench::writeBenchOutputs(sweep, opts);
     return 0;
 }

@@ -32,7 +32,7 @@ using namespace cereal::workloads;
 int
 main(int argc, char **argv)
 {
-    auto opts = bench::parseArgs(argc, argv, 1000, "fig12_jsbs");
+    auto opts = bench::Options::parse(argc, argv, 1000, "fig12_jsbs");
     bench::banner("Figure 12: JSBS comparison (88 S/D libraries)",
                   "Cereal 43.4x suite average; 15.1x over the fastest "
                   "(kryo-manual); size 46% below average");
@@ -146,7 +146,7 @@ main(int argc, char **argv)
                  100);
     });
 
-    sweep.run(opts.threads);
+    bench::runSweep(sweep, opts);
 
     std::printf("%-28s %12s %12s %10s\n", "library", "total(us)",
                 "size(B)", "cereal-x");
@@ -193,6 +193,6 @@ main(int argc, char **argv)
     std::printf("cereal size vs average:     %+.0f%%  (paper: -46%%)\n",
                 (static_cast<double>(cereal_size) - avg_size) /
                     avg_size * 100);
-    bench::writeBenchJson(sweep, opts);
+    bench::writeBenchOutputs(sweep, opts);
     return 0;
 }

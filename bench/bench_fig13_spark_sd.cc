@@ -16,7 +16,7 @@ using namespace cereal::workloads;
 int
 main(int argc, char **argv)
 {
-    auto opts = bench::parseArgs(argc, argv, 8, "fig13_spark_sd");
+    auto opts = bench::Options::parse(argc, argv, 8, "fig13_spark_sd");
     bench::banner("Figure 13: Spark S/D speedups",
                   "Kryo 1.67x vs Java; Cereal 7.97x vs Java, 4.81x vs "
                   "Kryo (averages)");
@@ -40,7 +40,7 @@ main(int argc, char **argv)
              avg(&bench::SparkRow::cerealOverKryo));
     });
 
-    sweep.run(opts.threads);
+    bench::runSweep(sweep, opts);
 
     std::printf("%-10s | %10s %12s %12s | %10s %10s %10s\n", "app",
                 "kryo/java", "cereal/java", "cereal/kryo", "sdJ(ms)",
@@ -58,6 +58,6 @@ main(int argc, char **argv)
                 avg(&bench::SparkRow::cerealSdSpeedup),
                 avg(&bench::SparkRow::cerealOverKryo));
     std::printf("(paper)    |       1.67         7.97         4.81 |\n");
-    bench::writeBenchJson(sweep, opts);
+    bench::writeBenchOutputs(sweep, opts);
     return 0;
 }

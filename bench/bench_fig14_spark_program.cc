@@ -18,7 +18,7 @@ using namespace cereal::workloads;
 int
 main(int argc, char **argv)
 {
-    auto opts = bench::parseArgs(argc, argv, 8, "fig14_spark_program");
+    auto opts = bench::Options::parse(argc, argv, 8, "fig14_spark_program");
     bench::banner("Figure 14: Spark whole-program speedups with Cereal",
                   "1.81x avg / 4.66x max over Java S/D; 1.69x avg / "
                   "4.53x max over Kryo");
@@ -58,7 +58,7 @@ main(int argc, char **argv)
         w.kv("program_speedup_vs_kryo_max", km);
     });
 
-    sweep.run(opts.threads);
+    bench::runSweep(sweep, opts);
 
     std::printf("%-10s | %14s %14s\n", "app", "vs java-config",
                 "vs kryo-config");
@@ -72,6 +72,6 @@ main(int argc, char **argv)
     std::printf("%-10s | %13.2fx %13.2fx\n", "max", jm, km);
     std::printf("(paper)    |          1.81x          1.69x  (max "
                 "4.66x / 4.53x)\n");
-    bench::writeBenchJson(sweep, opts);
+    bench::writeBenchOutputs(sweep, opts);
     return 0;
 }

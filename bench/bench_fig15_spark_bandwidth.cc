@@ -15,7 +15,7 @@ using namespace cereal::workloads;
 int
 main(int argc, char **argv)
 {
-    auto opts = bench::parseArgs(argc, argv, 8, "fig15_spark_bandwidth");
+    auto opts = bench::Options::parse(argc, argv, 8, "fig15_spark_bandwidth");
     bench::banner("Figure 15: DRAM bandwidth utilisation (%) on Spark "
                   "applications",
                   "Cereal >> software; deserialization > serialization");
@@ -36,7 +36,7 @@ main(int argc, char **argv)
              dc / static_cast<double>(rows.size()));
     });
 
-    sweep.run(opts.threads);
+    bench::runSweep(sweep, opts);
 
     std::printf("%-10s | %6s %6s %6s | %6s %6s %6s\n", "app", "serJ%",
                 "serK%", "serC%", "deJ%", "deK%", "deC%");
@@ -55,6 +55,6 @@ main(int argc, char **argv)
     std::printf("cereal averages: ser %.1f%%, deser %.1f%% "
                 "(deser > ser, both >> software, as in the paper)\n",
                 sc / rows.size() * 100, dc / rows.size() * 100);
-    bench::writeBenchJson(sweep, opts);
+    bench::writeBenchOutputs(sweep, opts);
     return 0;
 }

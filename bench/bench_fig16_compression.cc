@@ -30,7 +30,7 @@ struct Row
 int
 main(int argc, char **argv)
 {
-    auto opts = bench::parseArgs(argc, argv, 8, "fig16_compression");
+    auto opts = bench::Options::parse(argc, argv, 8, "fig16_compression");
     bench::banner("Figure 16: Cereal object-packing compression on "
                   "Spark applications",
                   "packing avg 28.3% reduction; strongest on NWeight, "
@@ -80,7 +80,7 @@ main(int argc, char **argv)
              avg_packing / static_cast<double>(rows.size()));
     });
 
-    sweep.run(opts.threads);
+    bench::runSweep(sweep, opts);
 
     std::printf("%-10s | %12s %12s %12s | %9s %9s\n", "app",
                 "unpacked(KB)", "packed(KB)", "+strip(KB)", "packing%",
@@ -99,6 +99,6 @@ main(int argc, char **argv)
     }
     std::printf("average packing reduction: %.1f%% (paper: 28.3%%)\n",
                 avg_packing / apps.size());
-    bench::writeBenchJson(sweep, opts);
+    bench::writeBenchOutputs(sweep, opts);
     return 0;
 }

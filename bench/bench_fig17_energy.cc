@@ -21,7 +21,7 @@ using namespace cereal::workloads;
 int
 main(int argc, char **argv)
 {
-    auto opts = bench::parseArgs(argc, argv, 8, "fig17_energy");
+    auto opts = bench::Options::parse(argc, argv, 8, "fig17_energy");
     bench::banner("Figure 17: normalized S/D energy on Spark "
                   "applications",
                   "Cereal saves 227.75x vs Java and 136.28x vs Kryo "
@@ -97,7 +97,7 @@ main(int argc, char **argv)
         w.kv("overall_saving_vs_kryo", vs_kryo);
     });
 
-    sweep.run(opts.threads);
+    bench::runSweep(sweep, opts);
 
     std::printf("%-10s | %12s %12s | %12s %12s\n", "app",
                 "J/C ser", "J/C deser", "K/C ser", "K/C deser");
@@ -121,6 +121,6 @@ main(int argc, char **argv)
     std::printf("overall S/D energy saving: %.1fx vs Java (paper "
                 "227.75x), %.1fx vs Kryo (paper 136.28x)\n",
                 vs_java, vs_kryo);
-    bench::writeBenchJson(sweep, opts);
+    bench::writeBenchOutputs(sweep, opts);
     return 0;
 }

@@ -14,6 +14,7 @@
 #include "heap/walker.hh"
 #include "serde/java_serde.hh"
 #include "serde/kryo_serde.hh"
+#include "serde/registry.hh"
 #include "serde/skyway_serde.hh"
 #include "sim/rng.hh"
 #include "workloads/micro.hh"
@@ -181,48 +182,18 @@ addComponentPoints(runner::SweepRunner &sweep, std::uint64_t nodes)
         w.kv("bucket_bytes", static_cast<std::uint64_t>(p.buckets().size()));
         w.kv("end_map_bytes", static_cast<std::uint64_t>(p.endMap().size()));
     });
-    struct Ser
-    {
-        const char *name;
-        std::function<std::vector<std::uint8_t>(Heap &, Addr,
-                                                KlassRegistry &)> run;
-    };
-    const std::vector<Ser> sers = {
-        {"java",
-         [](Heap &h, Addr r, KlassRegistry &) {
-             JavaSerializer s;
-             return s.serialize(h, r);
-         }},
-        {"kryo",
-         [](Heap &h, Addr r, KlassRegistry &reg) {
-             KryoSerializer s;
-             s.registerAll(reg);
-             return s.serialize(h, r);
-         }},
-        {"skyway",
-         [](Heap &h, Addr r, KlassRegistry &) {
-             SkywaySerializer s;
-             return s.serialize(h, r);
-         }},
-        {"cereal",
-         [](Heap &h, Addr r, KlassRegistry &reg) {
-             CerealSerializer s;
-             s.registerAll(reg);
-             return s.serialize(h, r);
-         }},
-    };
-    for (const auto &ser : sers) {
-        sweep.add(std::string("serialize-") + ser.name,
-                  [run = ser.run, nodes](json::Writer &w) {
-                      Graph g(nodes);
-                      auto bytes = run(g.heap, g.root, g.reg);
-                      GraphWalker walker(g.heap);
-                      auto gs = walker.stats(g.root);
-                      w.kv("nodes", nodes);
-                      w.kv("objects", gs.objectCount);
-                      w.kv("stream_bytes",
-                           static_cast<std::uint64_t>(bytes.size()));
-                  });
+    for (const auto &name : serde::availableBackends()) {
+        sweep.add("serialize-" + name, [name, nodes](json::Writer &w) {
+            Graph g(nodes);
+            auto ser = serde::makeSerializer(name, &g.reg);
+            auto bytes = ser->serialize(g.heap, g.root);
+            GraphWalker walker(g.heap);
+            auto gs = walker.stats(g.root);
+            w.kv("nodes", nodes);
+            w.kv("objects", gs.objectCount);
+            w.kv("stream_bytes",
+                 static_cast<std::uint64_t>(bytes.size()));
+        });
     }
 }
 
@@ -233,13 +204,14 @@ main(int argc, char **argv)
 {
     // Strip the repo-common flags first; whatever remains goes to
     // google-benchmark's own parser.
-    auto opts = cereal::bench::parseArgs(argc, argv, 1023,
-                                         "gb_components");
-    if (!opts.jsonPath.empty() || opts.threads > 1) {
+    auto opts = cereal::bench::Options::parsePassthrough(
+        argc, argv, 1023, "gb_components");
+    if (!opts.jsonPath.empty() || !opts.tracePath.empty() ||
+        opts.threads > 1) {
         runner::SweepRunner sweep("gb_components");
         addComponentPoints(sweep, opts.scale);
-        sweep.run(opts.threads);
-        cereal::bench::writeBenchJson(sweep, opts);
+        cereal::bench::runSweep(sweep, opts);
+        cereal::bench::writeBenchOutputs(sweep, opts);
     }
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv)) {

@@ -32,7 +32,7 @@ struct Row
 int
 main(int argc, char **argv)
 {
-    auto opts = bench::parseArgs(argc, argv, 64, "tab04_sizes");
+    auto opts = bench::Options::parse(argc, argv, 64, "tab04_sizes");
     bench::banner("Table IV: serialized sizes across microbenchmarks",
                   "paper (MB): tree-narrow 23.0/12.0/16.1, tree-wide "
                   "148.6/48.0/80.0, list-small 8.0/2.5/16.0, list-large "
@@ -70,7 +70,7 @@ main(int argc, char **argv)
         });
     }
 
-    sweep.run(opts.threads);
+    bench::runSweep(sweep, opts);
 
     std::printf("%-13s | %10s %10s %10s | %8s\n", "workload",
                 "java(MB)", "kryo(MB)", "cereal(MB)",
@@ -89,6 +89,6 @@ main(int argc, char **argv)
     std::printf("scale divisor: %llu; MB columns are extrapolated to "
                 "paper-scale graphs\n",
                 (unsigned long long)opts.scale);
-    bench::writeBenchJson(sweep, opts);
+    bench::writeBenchOutputs(sweep, opts);
     return 0;
 }

@@ -58,7 +58,7 @@ jsonGroup(json::Writer &w, const char *key,
 int
 main(int argc, char **argv)
 {
-    auto opts = bench::parseArgs(argc, argv, 1, "tab05_area_power");
+    auto opts = bench::Options::parse(argc, argv, 1, "tab05_area_power");
     bench::banner("Table V: area/power breakdown of Cereal (40 nm)",
                   "total 3.857 mm^2 / 1231.6 mW; 612.5x less area and "
                   "113.7x less power than the host CPU");
@@ -78,7 +78,7 @@ main(int argc, char **argv)
         w.kv("host_power_ratio",
              AreaPowerModel::kHostTdpWatts / (m.totalPowerMw() * 1e-3));
     });
-    sweep.run(opts.threads);
+    bench::runSweep(sweep, opts);
 
     AreaPowerModel m;
     printGroup("Serializer (per-unit modules):", m.serializerModules());
@@ -95,6 +95,6 @@ main(int argc, char **argv)
     std::printf("host-CPU power ratio: %.1fx lower (paper 113.7x)\n",
                 AreaPowerModel::kHostTdpWatts /
                     (m.totalPowerMw() * 1e-3));
-    bench::writeBenchJson(sweep, opts);
+    bench::writeBenchOutputs(sweep, opts);
     return 0;
 }

@@ -8,17 +8,25 @@
  * numbers for eyeball comparison.
  *
  * Every bench also registers its sweep points with a
- * runner::SweepRunner and accepts a common command line:
+ * runner::SweepRunner and parses the one common command line via
+ * bench::Options:
  *
- *   bench_<name> [scale] [--threads N] [--json [path]]
+ *   bench_<name> [scale] [--threads N] [--json [path]] [--trace <path>]
  *
  * --threads N runs the independent sweep points on a work-stealing
- * pool; output (stdout tables and JSON) is bit-identical to a serial
- * run because every point builds its own simulation context from
- * explicit seeds and results land in registration-order slots.
+ * pool; output (stdout tables, JSON, and traces) is bit-identical to a
+ * serial run because every point builds its own simulation context
+ * from explicit seeds and results land in registration-order slots.
  * --json writes the schema-stable BENCH_<name>.json document (default
  * path BENCH_<name>.json in the working directory) — the repo's
- * machine-readable perf trajectory.
+ * machine-readable perf trajectory. --trace records every point with
+ * a per-point trace sink and writes one merged Chrome trace_event
+ * document (open in chrome://tracing or https://ui.perfetto.dev) plus
+ * a per-component self-time summary on stdout.
+ *
+ * Unknown flags are fatal: a typoed `--thread 4` silently running
+ * serially is exactly the kind of bug a measurement harness must not
+ * have.
  */
 
 #ifndef CEREAL_BENCH_BENCH_UTIL_HH
@@ -28,6 +36,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <iostream>
 #include <string>
 #include <vector>
 
@@ -38,14 +47,113 @@ namespace cereal {
 namespace bench {
 
 /** Parsed common command line of a bench binary. */
-struct BenchOptions
+class Options
 {
+  public:
     /** Scale divisor: paper-size graphs / scale (bench-specific default). */
     std::uint64_t scale = 64;
     /** Sweep-point worker threads (1 = serial reference behaviour). */
     unsigned threads = 1;
     /** Destination for the JSON document; empty = don't write. */
     std::string jsonPath;
+    /** Destination for the Chrome trace; empty = tracing off. */
+    std::string tracePath;
+
+    /**
+     * Parse the common bench command line. Unknown arguments are
+     * fatal; --help prints usage and exits.
+     */
+    static Options
+    parse(int argc, char **argv, std::uint64_t default_scale = 64,
+          const char *bench_name = nullptr)
+    {
+        return parseImpl(argc, argv, default_scale, bench_name, false);
+    }
+
+    /**
+     * Like parse(), but leaves `--benchmark_*` flags in argv for a
+     * downstream parser (the google-benchmark bench); any other
+     * unknown flag is still fatal. @p argc is updated in place.
+     */
+    static Options
+    parsePassthrough(int &argc, char **argv,
+                     std::uint64_t default_scale = 64,
+                     const char *bench_name = nullptr)
+    {
+        return parseImpl(argc, argv, default_scale, bench_name, true);
+    }
+
+  private:
+    static bool
+    isInteger(const char *s)
+    {
+        if (*s == '\0') {
+            return false;
+        }
+        for (; *s; ++s) {
+            if (!std::isdigit(static_cast<unsigned char>(*s))) {
+                return false;
+            }
+        }
+        return true;
+    }
+
+    static Options
+    parseImpl(int &argc, char **argv, std::uint64_t default_scale,
+              const char *bench_name, bool pass_benchmark_flags)
+    {
+        Options opts;
+        opts.scale = default_scale;
+
+        int out = 1;
+        for (int i = 1; i < argc; ++i) {
+            const char *arg = argv[i];
+            if (std::strcmp(arg, "--threads") == 0) {
+                fatal_if(i + 1 >= argc || !isInteger(argv[i + 1]),
+                         "--threads needs a positive integer");
+                opts.threads = static_cast<unsigned>(
+                    std::strtoul(argv[++i], nullptr, 10));
+                fatal_if(opts.threads == 0, "--threads must be >= 1");
+            } else if (std::strcmp(arg, "--json") == 0) {
+                if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0 &&
+                    !isInteger(argv[i + 1])) {
+                    opts.jsonPath = argv[++i];
+                } else {
+                    fatal_if(bench_name == nullptr,
+                             "--json with no path needs a bench name default");
+                    opts.jsonPath =
+                        std::string("BENCH_") + bench_name + ".json";
+                }
+            } else if (std::strcmp(arg, "--trace") == 0) {
+                fatal_if(i + 1 >= argc, "--trace needs an output path");
+                opts.tracePath = argv[++i];
+            } else if (std::strcmp(arg, "--help") == 0) {
+                std::printf("usage: %s [scale] [--threads N] [--json [path]]"
+                            " [--trace <path>]\n", argv[0]);
+                std::printf("  scale          scale divisor (default %llu)\n",
+                            static_cast<unsigned long long>(default_scale));
+                std::printf("  --threads N    run sweep points on N workers"
+                            " (output identical to serial)\n");
+                std::printf("  --json [path]  write BENCH_<name>.json"
+                            " (default BENCH_%s.json)\n",
+                            bench_name != nullptr ? bench_name : "<name>");
+                std::printf("  --trace <path> write a Chrome trace_event"
+                            " JSON profile of every point\n");
+                std::exit(0);
+            } else if (isInteger(arg)) {
+                opts.scale = std::strtoull(arg, nullptr, 10);
+                fatal_if(opts.scale == 0, "scale divisor must be >= 1");
+            } else if (pass_benchmark_flags &&
+                       std::strncmp(arg, "--benchmark_", 12) == 0) {
+                argv[out++] = argv[i];
+            } else {
+                fatal("unknown argument '%s' (see --help)", arg);
+            }
+        }
+        argc = out;
+        argv[argc] = nullptr;
+        return opts;
+    }
 };
 
 /** Print the bench banner. */
@@ -59,86 +167,42 @@ banner(const char *experiment, const char *claim)
 }
 
 /**
- * Parse (and remove from @p argv) the common bench options, so
- * remaining arguments can be handed to another parser (the
- * google-benchmark bench does this). A bare integer positional sets
- * the scale divisor.
+ * Execute the sweep under @p opts: enables per-point tracing when
+ * --trace was given, then runs on the requested worker count.
  */
-inline BenchOptions
-parseArgs(int &argc, char **argv, std::uint64_t default_scale = 64,
-          const char *bench_name = nullptr)
+inline void
+runSweep(runner::SweepRunner &sweep, const Options &opts)
 {
-    BenchOptions opts;
-    opts.scale = default_scale;
-
-    auto is_integer = [](const char *s) {
-        if (*s == '\0') {
-            return false;
-        }
-        for (; *s; ++s) {
-            if (!std::isdigit(static_cast<unsigned char>(*s))) {
-                return false;
-            }
-        }
-        return true;
-    };
-
-    int out = 1;
-    for (int i = 1; i < argc; ++i) {
-        const char *arg = argv[i];
-        if (std::strcmp(arg, "--threads") == 0) {
-            fatal_if(i + 1 >= argc || !is_integer(argv[i + 1]),
-                     "--threads needs a positive integer");
-            opts.threads =
-                static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
-            fatal_if(opts.threads == 0, "--threads must be >= 1");
-        } else if (std::strcmp(arg, "--json") == 0) {
-            if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0 &&
-                !is_integer(argv[i + 1])) {
-                opts.jsonPath = argv[++i];
-            } else {
-                fatal_if(bench_name == nullptr,
-                         "--json with no path needs a bench name default");
-                opts.jsonPath = std::string("BENCH_") + bench_name + ".json";
-            }
-        } else if (std::strcmp(arg, "--help") == 0) {
-            std::printf("usage: %s [scale] [--threads N] [--json [path]]\n",
-                        argv[0]);
-            std::exit(0);
-        } else if (is_integer(arg)) {
-            opts.scale = std::strtoull(arg, nullptr, 10);
-            fatal_if(opts.scale == 0, "scale divisor must be >= 1");
-        } else {
-            // Unrecognized: keep for a downstream parser.
-            argv[out++] = argv[i];
-            continue;
-        }
+    if (!opts.tracePath.empty()) {
+        sweep.enableTrace();
     }
-    argc = out;
-    argv[argc] = nullptr;
-    return opts;
+    sweep.run(opts.threads);
 }
 
 /**
- * Write the BENCH_<name>.json document when --json was given; the
- * "config" header carries the scale divisor (plus any @p extra pairs)
- * but never the thread count — N-thread output must be byte-identical
- * to serial output.
+ * Write the outputs --json/--trace asked for. The JSON "config"
+ * header carries the scale divisor (plus any @p extra pairs) but
+ * never the thread count — N-thread output must be byte-identical to
+ * serial output, and the same holds for the trace document.
  */
 inline void
-writeBenchJson(const runner::SweepRunner &sweep, const BenchOptions &opts,
-               std::vector<runner::ConfigKv> extra = {})
+writeBenchOutputs(const runner::SweepRunner &sweep, const Options &opts,
+                  std::vector<runner::ConfigKv> extra = {})
 {
-    if (opts.jsonPath.empty()) {
-        return;
+    if (!opts.jsonPath.empty()) {
+        std::vector<runner::ConfigKv> config;
+        config.push_back({"scale", opts.scale});
+        for (auto &kv : extra) {
+            config.push_back(std::move(kv));
+        }
+        auto path = sweep.writeJsonFile(opts.jsonPath, config);
+        std::printf("json: %s\n", path.c_str());
     }
-    std::vector<runner::ConfigKv> config;
-    config.push_back({"scale", opts.scale});
-    for (auto &kv : extra) {
-        config.push_back(std::move(kv));
+    if (!opts.tracePath.empty()) {
+        auto path = sweep.writeTraceFile(opts.tracePath);
+        sweep.writeTraceSummary(std::cout);
+        std::printf("trace: %s\n", path.c_str());
     }
-    auto path = sweep.writeJsonFile(opts.jsonPath, config);
-    std::printf("json: %s\n", path.c_str());
 }
 
 } // namespace bench

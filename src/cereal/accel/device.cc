@@ -1,6 +1,7 @@
 #include "cereal/accel/device.hh"
 
 #include <algorithm>
+#include <string>
 
 #include "sim/logging.hh"
 
@@ -34,9 +35,15 @@ CerealDevice::serialize(Heap &heap, Addr root, Tick submit)
     nextStreamBase_ += 0x4000'0000ULL;
 
     SerializationUnit su(*suMai_[unit], cfg_);
+    if (unit < suTrace_.size()) {
+        su.setTrace(suTrace_[unit]);
+    }
     SuResult r = su.serialize(heap, root, start, stream_base);
     suFreeAt_[unit] = r.done;
     suBusy_ += r.done - start;
+    if (unit < suTrace_.size()) {
+        suTrace_[unit].span("serialize", start, r.done);
+    }
 
     AccelOpResult out;
     out.submit = submit;
@@ -65,6 +72,9 @@ CerealDevice::deserialize(const CerealStream &stream, Addr dst_base,
     DuResult r = du.deserialize(stream, stream_base, dst_base, start);
     duFreeAt_[unit] = r.done;
     duBusy_ += r.done - start;
+    if (unit < duTrace_.size()) {
+        duTrace_[unit].span("deserialize", start, r.done);
+    }
 
     AccelOpResult out;
     out.submit = submit;
@@ -94,6 +104,24 @@ CerealDevice::resetBusyStats()
 {
     suBusy_ = 0;
     duBusy_ = 0;
+}
+
+void
+CerealDevice::setTrace(const trace::TraceEmitter &em)
+{
+    suTrace_.clear();
+    duTrace_.clear();
+    if (!em.enabled()) {
+        return;
+    }
+    for (unsigned i = 0; i < cfg_.numSU; ++i) {
+        suTrace_.push_back(em.sub(("su" + std::to_string(i)).c_str()));
+        suMai_[i]->setTrace(suTrace_.back());
+    }
+    for (unsigned i = 0; i < cfg_.numDU; ++i) {
+        duTrace_.push_back(em.sub(("du" + std::to_string(i)).c_str()));
+        duMai_[i]->setTrace(duTrace_.back());
+    }
 }
 
 } // namespace cereal

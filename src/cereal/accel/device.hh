@@ -81,6 +81,14 @@ class CerealDevice
 
     void resetBusyStats();
 
+    /**
+     * Attach a trace emitter. Each unit gets a child track ("su0",
+     * "du0", ...) carrying one "serialize"/"deserialize" span per op
+     * (unit occupancy), the MAI hit/miss/TLB instants of that unit's
+     * memory view, and the SU's "hm_queue" depth counter.
+     */
+    void setTrace(const trace::TraceEmitter &em);
+
   private:
     AccelConfig cfg_;
     Tlb tlb_;
@@ -89,6 +97,9 @@ class CerealDevice
     std::vector<std::unique_ptr<Mai>> duMai_;
     std::vector<Tick> suFreeAt_;
     std::vector<Tick> duFreeAt_;
+    /** Per-unit trace tracks (empty when tracing is off). */
+    std::vector<trace::TraceEmitter> suTrace_;
+    std::vector<trace::TraceEmitter> duTrace_;
     /** Stream scratch region allocator (distinct per op). */
     Addr nextStreamBase_ = 0x100'0000'0000ULL;
 

@@ -29,6 +29,7 @@ Mai::blockAccess(Addr block, bool write, Tick issue)
         auto it = inflight_.find(block);
         if (it != inflight_.end() && it->second > issue) {
             ++coalesced_;
+            trace_.instant("mai_hit", issue);
             return it->second;
         }
         // Data-buffer hit: the block was fetched recently and still
@@ -36,13 +37,19 @@ Mai::blockAccess(Addr block, bool write, Tick issue)
         auto lb = lineBuffer_.find(block);
         if (lb != lineBuffer_.end()) {
             ++coalesced_;
+            trace_.instant("mai_hit", issue);
             return std::max(issue, lb->second);
         }
     }
 
     if (tlb_) {
-        issue += tlb_->lookup(block);
+        Tick penalty = tlb_->lookup(block);
+        if (penalty > 0) {
+            trace_.instant("tlb_miss", issue);
+        }
+        issue += penalty;
     }
+    trace_.instant("mai_miss", issue);
 
     issue = acquireSlot(issue);
     Tick done = dram_->access(block, write, issue).completeTick;

@@ -29,6 +29,7 @@
 #include "cereal/accel/tlb.hh"
 #include "mem/dram.hh"
 #include "sim/types.hh"
+#include "trace/trace.hh"
 
 namespace cereal {
 
@@ -64,6 +65,13 @@ class Mai
 
     std::uint64_t coalescedHits() const { return coalesced_; }
     std::uint64_t requests() const { return requests_; }
+
+    /**
+     * Emit "mai_hit" (coalesce/data-buffer) and "mai_miss" (DRAM path)
+     * instants, plus "tlb_miss" when translation charged a penalty, on
+     * @p em's track.
+     */
+    void setTrace(trace::TraceEmitter em) { trace_ = std::move(em); }
 
     void
     reset()
@@ -103,6 +111,8 @@ class Mai
 
     std::uint64_t coalesced_ = 0;
     std::uint64_t requests_ = 0;
+
+    trace::TraceEmitter trace_;
 };
 
 } // namespace cereal

@@ -110,8 +110,9 @@ class SuSim
 {
   public:
     SuSim(Heap &heap, Mai &mai, const AccelConfig &cfg, Tick start,
-          Addr stream_base)
+          Addr stream_base, trace::TraceEmitter trace)
         : heap_(&heap), mai_(&mai), cfg_(cfg), clk_(cfg.period()),
+          trace_(std::move(trace)),
           start_(start), mdcache_(cfg.metadataCacheEntries),
           values_(mai, stream_base),
           refs_(mai, stream_base + 0x1000'0000ULL),
@@ -181,6 +182,8 @@ class SuSim
             out_.bytesRead += 8;
         }
         pending_.push_back({target, arrival, chk_done});
+        trace_.counter("hm_queue", arrival,
+                       static_cast<double>(pending_.size()));
         scheduleHm(arrival);
     }
 
@@ -231,6 +234,8 @@ class SuSim
             return;
         }
         pending_.pop_front();
+        trace_.counter("hm_queue", now,
+                       static_cast<double>(pending_.size()));
         ++out_.refs;
 
         Tick hm_t = now + cyc(cfg_.hmPerRef);
@@ -338,6 +343,7 @@ class SuSim
     Mai *mai_;
     AccelConfig cfg_;
     ClockDomain clk_;
+    trace::TraceEmitter trace_;
     Tick start_;
 
     EventQueue evq_;
@@ -373,7 +379,7 @@ SerializationUnit::serialize(Heap &heap, Addr root, Tick start,
                              Addr stream_base)
 {
     panic_if(root == 0, "SU given a null root");
-    SuSim sim(heap, *mai_, cfg_, start, stream_base);
+    SuSim sim(heap, *mai_, cfg_, start, stream_base, trace_);
     return sim.run(root);
 }
 

@@ -35,6 +35,7 @@
 #include "cereal/accel/accel_config.hh"
 #include "cereal/accel/mai.hh"
 #include "heap/heap.hh"
+#include "trace/trace.hh"
 
 namespace cereal {
 
@@ -78,9 +79,16 @@ class SerializationUnit
     SuResult serialize(Heap &heap, Addr root, Tick start,
                        Addr stream_base);
 
+    /**
+     * Emit an "hm_queue" counter on @p em's track tracking the depth of
+     * the header manager's pending-reference queue.
+     */
+    void setTrace(trace::TraceEmitter em) { trace_ = std::move(em); }
+
   private:
     Mai *mai_;
     AccelConfig cfg_;
+    trace::TraceEmitter trace_;
 };
 
 } // namespace cereal

@@ -5,6 +5,7 @@
 #include "serde/decode_error.hh"
 #include "serde/skyway_serde.hh"
 #include "sim/logging.hh"
+#include "trace/trace.hh"
 
 namespace cereal {
 
@@ -39,10 +40,22 @@ ObjectInputStream::nextRecord()
     return rec;
 }
 
+DecodeResult<std::vector<std::uint8_t>>
+ObjectInputStream::tryNextRecord()
+{
+    try {
+        return nextRecord();
+    } catch (const DecodeError &e) {
+        return e;
+    }
+}
+
 CerealContext::CerealContext(Dram &dram, AccelConfig cfg,
                              CerealOptions opts)
-    : dram_(&dram), device_(dram, cfg), serializer_(opts)
+    : dram_(&dram), device_(dram, cfg), serializer_(opts),
+      trace_(trace::current().sub("cereal"))
 {
+    device_.setTrace(trace_);
 }
 
 void
@@ -71,6 +84,7 @@ CerealContext::writeObject(ObjectOutputStream &oos, Heap &src, Addr root,
         // visited table. Skyway's algorithm is that software path.
         out.softwareFallback = true;
         CoreModel core(*dram_, CoreConfig(), submit);
+        core.setTrace(trace_.sub("sw_fallback"));
         SkywaySerializer sw;
         sw.serialize(src, root, &core);
         auto stats = core.finish();

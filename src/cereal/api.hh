@@ -61,6 +61,9 @@ class ObjectInputStream
     /** Extract the next length-prefixed record. */
     std::vector<std::uint8_t> nextRecord();
 
+    /** Non-throwing nextRecord for untrusted streams. */
+    DecodeResult<std::vector<std::uint8_t>> tryNextRecord();
+
   private:
     const std::vector<std::uint8_t> *buf_;
     std::size_t pos_ = 0;
@@ -132,6 +135,8 @@ class CerealContext
     Dram *dram_;
     CerealDevice device_;
     CerealSerializer serializer_;
+    /** Ambient trace root captured at construction ("cereal" track). */
+    trace::TraceEmitter trace_;
 };
 
 } // namespace cereal

@@ -8,6 +8,7 @@
 #include "cluster/frame.hh"
 #include "sim/logging.hh"
 #include "sim/rng.hh"
+#include "trace/trace.hh"
 
 namespace cereal {
 namespace cluster {
@@ -28,14 +29,26 @@ secondsToTicks(double s)
  */
 struct Worker
 {
+    struct Job
+    {
+        Tick service;
+        /** Span label ("ser"/"deser"); must be a string literal. */
+        const char *label;
+        std::function<void()> done;
+    };
+
     EventQueue *eq = nullptr;
-    std::deque<std::pair<Tick, std::function<void()>>> q;
+    /** This worker's trace track (disabled when tracing is off). */
+    trace::TraceEmitter trace;
+    std::deque<Job> q;
     bool busy = false;
 
     void
-    enqueue(Tick service, std::function<void()> done)
+    enqueue(Tick service, const char *label, std::function<void()> done)
     {
-        q.emplace_back(service, std::move(done));
+        q.push_back({service, label, std::move(done)});
+        trace.counter("queue", eq->now(),
+                      static_cast<double>(q.size()));
         if (!busy) {
             startNext();
         }
@@ -49,10 +62,16 @@ struct Worker
             return;
         }
         busy = true;
-        auto job = std::move(q.front());
+        Job job = std::move(q.front());
         q.pop_front();
-        eq->scheduleIn(job.first,
-                       [this, done = std::move(job.second)] {
+        trace.counter("queue", eq->now(),
+                      static_cast<double>(q.size()));
+        const Tick start = eq->now();
+        const char *label = job.label;
+        eq->scheduleIn(job.service,
+                       [this, start, label,
+                        done = std::move(job.done)] {
+            trace.span(label, start, eq->now());
             done();
             startNext();
         });
@@ -128,9 +147,14 @@ ClusterSim::runShuffle() const
     const Tick deser = secondsToTicks(profile_.deserSeconds);
 
     EventQueue eq;
+    const auto em = trace::current();
     std::vector<Worker> workers(n);
-    for (auto &w : workers) {
-        w.eq = &eq;
+    for (std::uint32_t i = 0; i < n; ++i) {
+        workers[i].eq = &eq;
+        if (em.enabled()) {
+            workers[i].trace =
+                em.sub(("node" + std::to_string(i)).c_str());
+        }
     }
 
     stats::Distribution latency;
@@ -143,11 +167,12 @@ ClusterSim::runShuffle() const
         panic_if(!res.ok(), "fabric delivered a corrupt frame: %s",
                  res.error().what());
         const std::uint32_t partition = res.value().partition;
-        workers[dst].enqueue(deser, [&, partition] {
+        workers[dst].enqueue(deser, "deser", [&, partition] {
             latency.sample(ticksToSeconds(eq.now() - start.at(partition)));
             last_done = eq.now();
         });
     });
+    fabric.setTrace(em.sub("fabric"));
 
     // t = 0: every node enqueues one serialize job per peer.
     for (std::uint32_t src = 0; src < n; ++src) {
@@ -157,7 +182,7 @@ ClusterSim::runShuffle() const
             }
             const std::uint32_t partition = src * n + dst;
             start[partition] = 0;
-            workers[src].enqueue(ser, [&, src, dst, partition] {
+            workers[src].enqueue(ser, "ser", [&, src, dst, partition] {
                 Frame f;
                 f.format = backendFormatId(cfg_.backend);
                 f.flags =
@@ -204,9 +229,14 @@ ClusterSim::runServing(double utilization,
     const double lambda = utilization * nodeCapacityRps();
 
     EventQueue eq;
+    const auto em = trace::current();
     std::vector<Worker> workers(n);
-    for (auto &w : workers) {
-        w.eq = &eq;
+    for (std::uint32_t i = 0; i < n; ++i) {
+        workers[i].eq = &eq;
+        if (em.enabled()) {
+            workers[i].trace =
+                em.sub(("node" + std::to_string(i)).c_str());
+        }
     }
 
     stats::Distribution latency;
@@ -220,12 +250,13 @@ ClusterSim::runServing(double utilization,
         panic_if(!res.ok(), "fabric delivered a corrupt frame: %s",
                  res.error().what());
         const std::uint32_t request = res.value().partition;
-        workers[dst].enqueue(deser, [&, request] {
+        workers[dst].enqueue(deser, "deser", [&, request] {
             latency.sample(ticksToSeconds(eq.now() - arrival.at(request)));
             ++completed;
             last_done = eq.now();
         });
     });
+    fabric.setTrace(em.sub("fabric"));
 
     // Open loop: pre-draw every node's Poisson arrival process and the
     // uniform peer destinations from the per-node seeded Rng.
@@ -244,7 +275,8 @@ ClusterSim::runServing(double utilization,
             const Tick at = secondsToTicks(t);
             arrival[request] = at;
             eq.schedule(at, [&, origin, dst, request] {
-                workers[origin].enqueue(ser, [&, origin, dst, request] {
+                workers[origin].enqueue(ser, "ser",
+                                        [&, origin, dst, request] {
                     Frame f;
                     f.format = backendFormatId(cfg_.backend);
                     f.flags = profile_.compressed

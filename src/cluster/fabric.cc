@@ -1,6 +1,7 @@
 #include "cluster/fabric.hh"
 
 #include <cmath>
+#include <string>
 #include <utility>
 
 #include "sim/logging.hh"
@@ -16,6 +17,21 @@ Fabric::Fabric(EventQueue &eq, unsigned nodes, NetConfig cfg,
     panic_if(cfg_.batchBytes == 0, "zero batch size");
     for (auto &p : ports_) {
         p.flows.resize(nodes);
+    }
+}
+
+void
+Fabric::setTrace(const trace::TraceEmitter &em)
+{
+    txTrace_.clear();
+    rxTrace_.clear();
+    if (!em.enabled()) {
+        return;
+    }
+    for (std::size_t i = 0; i < ports_.size(); ++i) {
+        const std::string n = "n" + std::to_string(i);
+        txTrace_.push_back(em.sub((n + ".tx").c_str()));
+        rxTrace_.push_back(em.sub((n + ".rx").c_str()));
     }
 }
 
@@ -44,6 +60,12 @@ Fabric::send(std::uint32_t src, std::uint32_t dst,
     panic_if(src == dst, "fabric does not loop back node %u", src);
     wireBytes_ += frame.size();
     ports_[src].flows[dst].push_back(std::move(frame));
+    ++ports_[src].queuedFrames;
+    if (!txTrace_.empty()) {
+        txTrace_[src].counter(
+            "queued_frames", eq_->now(),
+            static_cast<double>(ports_[src].queuedFrames));
+    }
     if (!ports_[src].busy) {
         kickEgress(src);
     }
@@ -83,9 +105,15 @@ Fabric::kickEgress(std::uint32_t src)
         flow.pop_front();
     }
     ++batches_;
+    port.queuedFrames -= batch.size();
 
     const Tick tx = txTicks(batch_bytes);
     port.busy = true;
+    if (!txTrace_.empty()) {
+        txTrace_[src].span("tx_batch", eq_->now(), eq_->now() + tx);
+        txTrace_[src].counter("queued_frames", eq_->now(),
+                              static_cast<double>(port.queuedFrames));
+    }
 
     // Egress link frees after the batch's serialization time.
     eq_->scheduleIn(tx, [this, src] { kickEgress(src); });
@@ -100,6 +128,9 @@ Fabric::kickEgress(std::uint32_t src)
         const Tick start = std::max(eq_->now(), in.rxBusyUntil);
         const Tick done = start + tx;
         in.rxBusyUntil = done;
+        if (!rxTrace_.empty()) {
+            rxTrace_[dst].span("rx_batch", start, done);
+        }
         eq_->schedule(done, [this, dst,
                              fs = std::move(frames)]() mutable {
             for (auto &f : fs) {

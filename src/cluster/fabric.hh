@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "sim/event_queue.hh"
+#include "trace/trace.hh"
 
 namespace cereal {
 
@@ -69,6 +70,14 @@ class Fabric
     /** Transmission batches formed so far. */
     std::uint64_t batches() const { return batches_; }
 
+    /**
+     * Attach a trace emitter. Each node's link pair gets child tracks
+     * "n{i}.tx" ("tx_batch" spans = egress occupancy, "queued_frames"
+     * counter = egress backlog) and "n{i}.rx" ("rx_batch" spans =
+     * ingress occupancy, where incast queueing shows up).
+     */
+    void setTrace(const trace::TraceEmitter &em);
+
   private:
     struct Port
     {
@@ -79,6 +88,8 @@ class Fabric
         bool busy = false;
         /** Ingress side: link occupied until this tick. */
         Tick rxBusyUntil = 0;
+        /** Frames queued across this port's egress flows. */
+        std::uint64_t queuedFrames = 0;
     };
 
     void kickEgress(std::uint32_t src);
@@ -87,6 +98,9 @@ class Fabric
     NetConfig cfg_;
     Deliver deliver_;
     std::vector<Port> ports_;
+    /** Per-node link trace tracks (empty when tracing is off). */
+    std::vector<trace::TraceEmitter> txTrace_;
+    std::vector<trace::TraceEmitter> rxTrace_;
     std::uint64_t wireBytes_ = 0;
     std::uint64_t batches_ = 0;
 };

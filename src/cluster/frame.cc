@@ -1,19 +1,15 @@
 #include "cluster/frame.hh"
 
 #include "serde/bytes.hh"
+#include "serde/registry.hh"
 
 namespace cereal {
 
 const char *
 frameFormatName(std::uint8_t id)
 {
-    switch (id) {
-      case 0: return "java";
-      case 1: return "kryo";
-      case 2: return "skyway";
-      case 3: return "cereal";
-    }
-    return "?";
+    const auto *b = serde::findBackendByFormat(id);
+    return b != nullptr ? b->name : "?";
 }
 
 std::uint64_t

@@ -2,10 +2,7 @@
 
 #include <memory>
 
-#include "cereal/cereal_serializer.hh"
-#include "serde/java_serde.hh"
-#include "serde/kryo_serde.hh"
-#include "serde/skyway_serde.hh"
+#include "serde/registry.hh"
 #include "shuffle/shuffle.hh"
 #include "sim/logging.hh"
 #include "workloads/harness.hh"
@@ -25,13 +22,12 @@ allBackends()
 const char *
 backendName(Backend b)
 {
-    switch (b) {
-      case Backend::Java: return "java";
-      case Backend::Kryo: return "kryo";
-      case Backend::Skyway: return "skyway";
-      case Backend::Cereal: return "cereal";
-    }
-    return "?";
+    // Backend values are the on-wire format ids; the registry owns the
+    // name mapping.
+    const auto *info = serde::findBackendByFormat(backendFormatId(b));
+    panic_if(info == nullptr, "backend %u missing from serde registry",
+             unsigned(backendFormatId(b)));
+    return info->name;
 }
 
 std::uint8_t
@@ -56,9 +52,8 @@ profileNode(const NodeConfig &cfg)
         // The functional serializer produces the packed bytes the
         // accelerator writes; they travel uncompressed (the packed
         // format already plays the codec's role).
-        CerealSerializer ser;
-        ser.registerAll(reg);
-        out.payload = ser.serialize(heap, root);
+        auto ser = serde::makeSerializer(backendName(cfg.backend), &reg);
+        out.payload = ser->serialize(heap, root);
         out.compressed = false;
         auto handoff = stage.cerealHandoff(out.payload.size());
         out.serSeconds = m.serSeconds + handoff.seconds;
@@ -68,23 +63,7 @@ profileNode(const NodeConfig &cfg)
         return out;
     }
 
-    std::unique_ptr<Serializer> ser;
-    switch (cfg.backend) {
-      case Backend::Java:
-        ser = std::make_unique<JavaSerializer>();
-        break;
-      case Backend::Kryo: {
-        auto kryo = std::make_unique<KryoSerializer>();
-        kryo->registerAll(reg);
-        ser = std::move(kryo);
-        break;
-      }
-      case Backend::Skyway:
-        ser = std::make_unique<SkywaySerializer>();
-        break;
-      default:
-        panic("unhandled backend");
-    }
+    auto ser = serde::makeSerializer(backendName(cfg.backend), &reg);
 
     auto m = workloads::measureSoftware(*ser, heap, root);
     auto stream = ser->serialize(heap, root);

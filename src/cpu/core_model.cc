@@ -1,6 +1,7 @@
 #include "cpu/core_model.hh"
 
 #include <algorithm>
+#include <cstring>
 
 #include "sim/logging.hh"
 
@@ -20,6 +21,28 @@ CoreModel::curTick() const
 }
 
 void
+CoreModel::setTrace(trace::TraceEmitter em)
+{
+    trace_ = std::move(em);
+    phaseName_ = "run";
+    phaseStart_ = curTick();
+}
+
+void
+CoreModel::phase(const char *name)
+{
+    if (!trace_.enabled() || std::strcmp(name, phaseName_) == 0) {
+        return;
+    }
+    const Tick now = curTick();
+    if (now > phaseStart_) {
+        trace_.span(phaseName_, phaseStart_, now);
+    }
+    phaseName_ = name;
+    phaseStart_ = now;
+}
+
+void
 CoreModel::compute(std::uint64_t ops)
 {
     insts_ += ops;
@@ -36,6 +59,7 @@ CoreModel::waitForWindowSlot()
     }
     // If the window is still full, the core stalls until the oldest
     // miss retires.
+    const Tick stallFrom = now;
     while (outstanding_.size() >= cfg_.missWindow) {
         Tick done = outstanding_.front();
         outstanding_.pop_front();
@@ -43,6 +67,9 @@ CoreModel::waitForWindowSlot()
             cycles_ = static_cast<double>(done - startTick_) /
                       static_cast<double>(period_);
         }
+    }
+    if (curTick() > stallFrom) {
+        trace_.span("mlp_stall", stallFrom, curTick());
     }
 }
 
@@ -79,10 +106,14 @@ CoreModel::lineAccess(Addr line_addr, bool write, bool dependent)
     if (dependent) {
         // Pointer chase: nothing can overlap; the core observes the
         // full round trip.
-        auto res = dram_->access(line_addr, write, curTick());
+        const Tick stallFrom = curTick();
+        auto res = dram_->access(line_addr, write, stallFrom);
         cycles_ = std::max(
             cycles_, static_cast<double>(res.completeTick - startTick_) /
                          static_cast<double>(period_));
+        if (curTick() > stallFrom) {
+            trace_.span("dep_stall", stallFrom, curTick());
+        }
         return res.completeTick;
     }
 
@@ -138,6 +169,7 @@ CoreModel::store(Addr addr, std::uint32_t bytes)
 void
 CoreModel::drain()
 {
+    const Tick stallFrom = curTick();
     while (!outstanding_.empty()) {
         Tick done = outstanding_.front();
         outstanding_.pop_front();
@@ -146,12 +178,20 @@ CoreModel::drain()
                       static_cast<double>(period_);
         }
     }
+    if (curTick() > stallFrom) {
+        trace_.span("mlp_stall", stallFrom, curTick());
+    }
 }
 
 CoreRunStats
 CoreModel::finish()
 {
     drain();
+    // Close the last phase span so phase spans tile the whole region.
+    if (trace_.enabled() && curTick() > phaseStart_) {
+        trace_.span(phaseName_, phaseStart_, curTick());
+        phaseStart_ = curTick();
+    }
     CoreRunStats out;
     out.elapsedTicks = curTick() - startTick_;
     out.instructions = insts_;

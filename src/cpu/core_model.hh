@@ -35,6 +35,7 @@
 #include "mem/dram.hh"
 #include "serde/sink.hh"
 #include "sim/types.hh"
+#include "trace/trace.hh"
 
 namespace cereal {
 
@@ -77,7 +78,7 @@ struct CoreRunStats
  * One simulated core: a MemSink whose consumption of a serializer's
  * narration advances simulated time.
  */
-class CoreModel : public MemSink
+class CoreModel : public MemSink, public trace::TraceClock
 {
   public:
     /**
@@ -92,6 +93,19 @@ class CoreModel : public MemSink
     void store(Addr addr, std::uint32_t bytes) override;
     void loadDep(Addr addr, std::uint32_t bytes) override;
     void compute(std::uint64_t ops) override;
+    void phase(const char *name) override;
+
+    /**
+     * Attribute this core's time to @p em's track. Call right after
+     * construction: phase spans tile [setTrace tick, finish tick], so
+     * the trace's per-phase self times (phases plus the "mlp_stall" /
+     * "dep_stall" spans nested inside them) sum exactly to the
+     * region's elapsedTicks.
+     */
+    void setTrace(trace::TraceEmitter em);
+
+    /** TraceClock: "now" for RAII spans around core-driven work. */
+    Tick traceNow() const override { return curTick(); }
 
     /** Wait for all outstanding misses to complete. */
     void drain();
@@ -129,6 +143,11 @@ class CoreModel : public MemSink
 
     /** Completion ticks of in-flight DRAM misses (FIFO retire). */
     std::deque<Tick> outstanding_;
+
+    trace::TraceEmitter trace_;
+    /** Current phase (literal) and the tick its span opened at. */
+    const char *phaseName_ = "run";
+    Tick phaseStart_ = 0;
 };
 
 } // namespace cereal

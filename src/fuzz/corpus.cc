@@ -4,12 +4,9 @@
 #include <filesystem>
 #include <fstream>
 
-#include "cereal/cereal_serializer.hh"
 #include "cluster/frame.hh"
 #include "heap/object.hh"
-#include "serde/java_serde.hh"
-#include "serde/kryo_serde.hh"
-#include "serde/skyway_serde.hh"
+#include "serde/registry.hh"
 #include "sim/logging.hh"
 
 namespace cereal {
@@ -51,31 +48,24 @@ seedCorpus(const KlassRegistry &reg, Heap &heap, Addr root)
 {
     std::vector<CorpusEntry> out;
 
-    JavaSerializer java;
-    out.push_back({"java_golden", "java", java.serialize(heap, root)});
-
-    KryoSerializer kryo;
-    kryo.registerAll(reg);
-    out.push_back({"kryo_golden", "kryo", kryo.serialize(heap, root)});
-
-    SkywaySerializer skyway;
-    out.push_back(
-        {"skyway_golden", "skyway", skyway.serialize(heap, root)});
-
-    CerealSerializer cereal_ser;
-    cereal_ser.registerAll(reg);
-    out.push_back(
-        {"cereal_golden", "cereal", cereal_ser.serialize(heap, root)});
+    // One golden stream per backend, in format-id order (so out[i] is
+    // the stream of format id i).
+    for (const auto &b : serde::backends()) {
+        auto ser = serde::makeSerializer(b.name, &reg);
+        out.push_back({std::string(b.name) + "_golden", b.name,
+                       ser->serialize(heap, root)});
+    }
 
     // A well-formed partition frame wrapping the kryo golden stream,
     // seeding the cluster frame decoder.
+    const auto *kryo = serde::findBackend("kryo");
     Frame frame;
-    frame.format = 1; // kryo
+    frame.format = kryo->formatId;
     frame.flags = kFrameFlagCompressed;
     frame.srcNode = 0;
     frame.dstNode = 1;
     frame.partition = 1;
-    frame.payload = out[1].bytes;
+    frame.payload = out[kryo->formatId].bytes;
     out.push_back({"cluster_golden", "cluster", encodeFrame(frame)});
     return out;
 }
@@ -85,8 +75,7 @@ namespace {
 bool
 knownFormat(const std::string &f)
 {
-    return f == "java" || f == "kryo" || f == "skyway" ||
-           f == "cereal" || f == "cluster";
+    return serde::findBackend(f) != nullptr || f == "cluster";
 }
 
 } // namespace

@@ -6,20 +6,25 @@
  *   fuzz_decoders [--seed N] [--iters N] [--max-mutations N]
  *                 [--format java|kryo|skyway|cereal|all]
  *                 [--corpus DIR] [--save-dir DIR] [--no-roundtrip]
- *                 [--replay-only] [--quiet]
+ *                 [--replay-only] [--quiet] [--trace PATH]
  *
  * Exit status 0 when the run produced no findings, 1 otherwise.
  * Findings are printed and, with --save-dir, written as corpus files
- * ready to commit under tests/corpus/.
+ * ready to commit under tests/corpus/. --trace writes a Chrome
+ * trace_event JSON with per-format decode_ok/decode_error/finding
+ * instants, timestamped by iteration index.
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <memory>
 #include <string>
 
 #include "fuzz/fuzzer.hh"
 #include "sim/logging.hh"
+#include "trace/chrome_trace.hh"
 
 namespace {
 
@@ -31,7 +36,7 @@ usage(const char *argv0)
         "usage: %s [--seed N] [--iters N] [--max-mutations N]\n"
         "          [--format java|kryo|skyway|cereal|all]\n"
         "          [--corpus DIR] [--save-dir DIR] [--no-roundtrip]\n"
-        "          [--replay-only] [--quiet]\n",
+        "          [--replay-only] [--quiet] [--trace PATH]\n",
         argv0);
 }
 
@@ -61,6 +66,7 @@ main(int argc, char **argv)
     FuzzConfig cfg;
     std::string corpus_dir;
     std::string save_dir;
+    std::string trace_path;
     bool replay_only = false;
     bool quiet = false;
 
@@ -83,6 +89,8 @@ main(int argc, char **argv)
             corpus_dir = next();
         } else if (arg == "--save-dir") {
             save_dir = next();
+        } else if (arg == "--trace") {
+            trace_path = next();
         } else if (arg == "--no-roundtrip") {
             cfg.roundTrip = false;
         } else if (arg == "--replay-only") {
@@ -96,6 +104,14 @@ main(int argc, char **argv)
             usage(argv[0]);
             return 2;
         }
+    }
+
+    // The fuzzer captures its per-format trace tracks from the ambient
+    // sink at construction, so install the sink first.
+    trace::ChromeTraceSink trace_sink;
+    std::unique_ptr<trace::ScopedTrace> trace_scope;
+    if (!trace_path.empty()) {
+        trace_scope = std::make_unique<trace::ScopedTrace>(trace_sink);
     }
 
     DecoderFuzzer fuzzer;
@@ -143,6 +159,18 @@ main(int argc, char **argv)
     };
     report(replay, "replay");
     report(stats, "fuzz");
+
+    if (!trace_path.empty()) {
+        trace_scope.reset();
+        std::ofstream out(trace_path,
+                          std::ios::binary | std::ios::trunc);
+        fatal_if(!out, "cannot open trace file %s", trace_path.c_str());
+        trace::writeChromeTrace(out, {{"fuzz_decoders", &trace_sink}});
+        fatal_if(!out.good(), "write to %s failed", trace_path.c_str());
+        if (!quiet) {
+            std::printf("trace: %s\n", trace_path.c_str());
+        }
+    }
 
     return replay.findings.empty() && stats.findings.empty() ? 0 : 1;
 }

@@ -21,16 +21,27 @@ constexpr Addr kReDecodeBase = 0x11'0000'0000ULL;
 DecoderFuzzer::DecoderFuzzer() : srcHeap_(reg_, 0x1'0000'0000ULL)
 {
     root_ = buildCorpusGraph(reg_, srcHeap_);
-    kryo_.registerAll(reg_);
-    cereal_.registerAll(reg_);
+    for (const auto &b : serde::backends()) {
+        serializers_.emplace(b.name,
+                             serde::makeSerializer(b.name, &reg_));
+    }
     corpus_ = seedCorpus(reg_, srcHeap_, root_);
+    if (trace::currentSink() != nullptr) {
+        for (const auto &f : formats()) {
+            trace_.emplace(
+                f, trace::current().sub(("fuzz." + f).c_str()));
+        }
+    }
 }
 
 const std::vector<std::string> &
 DecoderFuzzer::formats()
 {
-    static const std::vector<std::string> kFormats = {
-        "java", "kryo", "skyway", "cereal", "cluster"};
+    static const std::vector<std::string> kFormats = [] {
+        auto names = serde::availableBackends();
+        names.push_back("cluster");
+        return names;
+    }();
     return kFormats;
 }
 
@@ -45,17 +56,17 @@ DecoderFuzzer::addCorpus(std::vector<CorpusEntry> extra)
 Serializer *
 DecoderFuzzer::serializerFor(const std::string &format)
 {
-    if (format == "java") {
-        return &java_;
-    }
-    if (format == "kryo") {
-        return &kryo_;
-    }
-    if (format == "skyway") {
-        return &skyway_;
-    }
-    fatal_if(format != "cereal", "unknown format '%s'", format.c_str());
-    return &cereal_;
+    auto it = serializers_.find(format);
+    fatal_if(it == serializers_.end(), "unknown format '%s'",
+             format.c_str());
+    return it->second.get();
+}
+
+trace::TraceEmitter
+DecoderFuzzer::traceFor(const std::string &format) const
+{
+    auto it = trace_.find(format);
+    return it == trace_.end() ? trace::TraceEmitter() : it->second;
 }
 
 void
@@ -65,19 +76,25 @@ DecoderFuzzer::attemptFrame(const std::vector<std::uint8_t> &bytes,
                             FuzzStats &stats)
 {
     ++stats.attempts;
+    const auto em = traceFor("cluster");
     Frame frame;
     try {
-        frame = decodeFrame(bytes);
-    } catch (const DecodeError &e) {
-        ++stats.decodeError;
-        ++stats.byStatus[decodeStatusName(e.status())];
-        return;
+        auto res = tryDecodeFrame(bytes);
+        if (!res.ok()) {
+            ++stats.decodeError;
+            ++stats.byStatus[decodeStatusName(res.error().status())];
+            em.instant("decode_error", iteration);
+            return;
+        }
+        frame = res.value();
     } catch (const std::exception &e) {
         stats.findings.push_back({"unexpected-exception", "cluster",
                                   seed_name, iteration, e.what(), bytes});
+        em.instant("finding", iteration);
         return;
     }
     ++stats.decodeOk;
+    em.instant("decode_ok", iteration);
     if (!round_trip) {
         return;
     }
@@ -91,12 +108,14 @@ DecoderFuzzer::attemptFrame(const std::vector<std::uint8_t> &bytes,
                                       seed_name, iteration,
                                       "re-encode differs from input",
                                       bytes});
+            em.instant("finding", iteration);
             return;
         }
         ++stats.roundTrips;
     } catch (const std::exception &e) {
         stats.findings.push_back({"roundtrip-exception", "cluster",
                                   seed_name, iteration, e.what(), bytes});
+        em.instant("finding", iteration);
     }
 }
 
@@ -113,21 +132,27 @@ DecoderFuzzer::attempt(const std::string &format,
     }
     ++stats.attempts;
     Serializer *ser = serializerFor(format);
+    const auto em = traceFor(format);
     Heap dst(reg_, kDecodeBase);
 
-    Addr root;
+    Addr root = 0;
     try {
-        root = ser->deserialize(bytes, dst, nullptr);
-    } catch (const DecodeError &e) {
-        ++stats.decodeError;
-        ++stats.byStatus[decodeStatusName(e.status())];
-        return;
+        auto res = ser->tryDeserialize(bytes, dst, nullptr);
+        if (!res.ok()) {
+            ++stats.decodeError;
+            ++stats.byStatus[decodeStatusName(res.error().status())];
+            em.instant("decode_error", iteration);
+            return;
+        }
+        root = res.value();
     } catch (const std::exception &e) {
         stats.findings.push_back({"unexpected-exception", format,
                                   seed_name, iteration, e.what(), bytes});
+        em.instant("finding", iteration);
         return;
     }
     ++stats.decodeOk;
+    em.instant("decode_ok", iteration);
     if (!round_trip) {
         return;
     }
@@ -136,19 +161,35 @@ DecoderFuzzer::attempt(const std::string &format,
     // well-formed graph, so re-encoding and re-decoding it has no
     // excuse to fail, and the result must be isomorphic.
     try {
-        auto stream2 = ser->serialize(dst, root, nullptr);
+        auto stream2 = ser->trySerialize(dst, root, nullptr);
+        if (!stream2.ok()) {
+            stats.findings.push_back({"roundtrip-exception", format,
+                                      seed_name, iteration,
+                                      stream2.error().what(), bytes});
+            em.instant("finding", iteration);
+            return;
+        }
         Heap dst2(reg_, kReDecodeBase);
-        Addr root2 = ser->deserialize(stream2, dst2, nullptr);
+        auto redec = ser->tryDeserialize(stream2.value(), dst2, nullptr);
+        if (!redec.ok()) {
+            stats.findings.push_back({"roundtrip-exception", format,
+                                      seed_name, iteration,
+                                      redec.error().what(), bytes});
+            em.instant("finding", iteration);
+            return;
+        }
         std::string why;
-        if (!graphEquals(dst, root, dst2, root2, &why)) {
+        if (!graphEquals(dst, root, dst2, redec.value(), &why)) {
             stats.findings.push_back({"roundtrip-mismatch", format,
                                       seed_name, iteration, why, bytes});
+            em.instant("finding", iteration);
             return;
         }
         ++stats.roundTrips;
     } catch (const std::exception &e) {
         stats.findings.push_back({"roundtrip-exception", format,
                                   seed_name, iteration, e.what(), bytes});
+        em.instant("finding", iteration);
     }
 }
 

@@ -23,14 +23,13 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
-#include "cereal/cereal_serializer.hh"
 #include "fuzz/corpus.hh"
-#include "serde/java_serde.hh"
-#include "serde/kryo_serde.hh"
-#include "serde/skyway_serde.hh"
+#include "serde/registry.hh"
+#include "trace/trace.hh"
 
 namespace cereal {
 
@@ -123,6 +122,9 @@ class DecoderFuzzer
   private:
     Serializer *serializerFor(const std::string &format);
 
+    /** Per-format trace track, or a disabled emitter when off. */
+    trace::TraceEmitter traceFor(const std::string &format) const;
+
     /**
      * The "cluster" decoder path: partition frames have no serializer
      * object; the round-trip oracle is canonical re-encoding (an
@@ -136,10 +138,14 @@ class DecoderFuzzer
     KlassRegistry reg_;
     Heap srcHeap_;
     Addr root_ = 0;
-    JavaSerializer java_;
-    KryoSerializer kryo_;
-    SkywaySerializer skyway_;
-    CerealSerializer cereal_;
+    /** One decode-environment serializer per registry backend. */
+    std::map<std::string, std::unique_ptr<Serializer>> serializers_;
+    /**
+     * Per-format trace tracks captured from the ambient sink at
+     * construction; instants use the iteration index as the timestamp
+     * (the fuzzer has no simulated clock).
+     */
+    std::map<std::string, trace::TraceEmitter> trace_;
     std::vector<CorpusEntry> corpus_;
 };
 

@@ -79,6 +79,11 @@ Dram::access(Addr addr, bool write, Tick issue)
 
     Tick complete = data_end + tCtrl_;
 
+    if (!chTrace_.empty()) {
+        chTrace_[ch_idx].span(write ? "wr_burst" : "rd_burst", data_start,
+                              data_end);
+    }
+
     ++accesses_;
     if (write) {
         bytesWritten_ += cfg_.burstBytes;
@@ -143,6 +148,19 @@ double
 Dram::avgLatencyNs() const
 {
     return accesses_ ? latencySumNs_ / static_cast<double>(accesses_) : 0;
+}
+
+void
+Dram::setTrace(const trace::TraceEmitter &em)
+{
+    chTrace_.clear();
+    if (!em.enabled()) {
+        return;
+    }
+    chTrace_.reserve(cfg_.numChannels);
+    for (unsigned i = 0; i < cfg_.numChannels; ++i) {
+        chTrace_.push_back(em.sub(("ch" + std::to_string(i)).c_str()));
+    }
 }
 
 } // namespace cereal

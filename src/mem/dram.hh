@@ -25,6 +25,7 @@
 
 #include "sim/sim_object.hh"
 #include "sim/types.hh"
+#include "trace/trace.hh"
 
 namespace cereal {
 
@@ -127,6 +128,14 @@ class Dram : public SimObject
     /** Mean access latency (issue to completion), ns. */
     double avgLatencyNs() const;
 
+    /**
+     * Emit per-channel data-bus busy spans ("rd_burst"/"wr_burst" on
+     * child tracks ch0..chN) under @p em. Channel spans never overlap
+     * (the bus serialises bursts), so a channel's total span time is
+     * its bus occupancy.
+     */
+    void setTrace(const trace::TraceEmitter &em);
+
   private:
     struct Bank
     {
@@ -149,6 +158,8 @@ class Dram : public SimObject
 
     DramConfig cfg_;
     std::vector<Channel> channels_;
+    /** One emitter per channel; empty when tracing is off. */
+    std::vector<trace::TraceEmitter> chTrace_;
 
     Tick tRCD_, tCAS_, tRP_, tBURST_, tCtrl_;
 

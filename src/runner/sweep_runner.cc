@@ -23,8 +23,16 @@ SweepRunner::run(unsigned threads)
     panic_if(ran_, "SweepRunner::run() called twice");
     ran_ = true;
     pointJson_.resize(points_.size());
+    if (traceEnabled_) {
+        pointTrace_.resize(points_.size());
+    }
 
     auto run_point = [this](std::size_t i) {
+        std::unique_ptr<trace::ScopedTrace> scope;
+        if (traceEnabled_) {
+            pointTrace_[i] = std::make_unique<trace::ChromeTraceSink>();
+            scope = std::make_unique<trace::ScopedTrace>(*pointTrace_[i]);
+        }
         std::ostringstream ss;
         json::Writer w(ss, 2, kPointDepth);
         w.beginObject();
@@ -90,6 +98,59 @@ SweepRunner::writeJson(std::ostream &os,
     w.endObject();
     panic_if(!w.balanced(), "summary writer left document unbalanced");
     os << "\n";
+}
+
+const trace::ChromeTraceSink &
+SweepRunner::pointTrace(std::size_t i) const
+{
+    panic_if(!ran_ || !traceEnabled_,
+             "pointTrace() needs enableTrace() before run()");
+    panic_if(i >= pointTrace_.size(), "pointTrace(%zu): only %zu points",
+             i, pointTrace_.size());
+    return *pointTrace_[i];
+}
+
+std::vector<trace::TracePoint>
+SweepRunner::tracePoints() const
+{
+    panic_if(!ran_ || !traceEnabled_,
+             "trace output needs enableTrace() before run()");
+    std::vector<trace::TracePoint> pts;
+    pts.reserve(points_.size());
+    for (std::size_t i = 0; i < points_.size(); ++i) {
+        pts.push_back({points_[i].name, pointTrace_[i].get()});
+    }
+    return pts;
+}
+
+void
+SweepRunner::writeTrace(std::ostream &os) const
+{
+    trace::writeChromeTrace(os, tracePoints());
+}
+
+std::string
+SweepRunner::writeTraceFile(const std::string &path) const
+{
+    if (path.empty()) {
+        return "";
+    }
+    if (path == "-") {
+        writeTrace(std::cout);
+        return path;
+    }
+    std::ofstream os(path, std::ios::binary);
+    fatal_if(!os, "cannot open %s for writing", path.c_str());
+    writeTrace(os);
+    os.flush();
+    fatal_if(!os, "write to %s failed", path.c_str());
+    return path;
+}
+
+void
+SweepRunner::writeTraceSummary(std::ostream &os) const
+{
+    trace::writeSelfTimeSummary(os, tracePoints());
 }
 
 std::string

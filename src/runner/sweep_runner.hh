@@ -31,11 +31,13 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "sim/json.hh"
+#include "trace/chrome_trace.hh"
 
 namespace cereal {
 namespace runner {
@@ -84,6 +86,33 @@ class SweepRunner
     void run(unsigned threads);
 
     /**
+     * Record a trace of every point. Must be called before run():
+     * each point gets its own trace::ChromeTraceSink installed as the
+     * ambient trace root (trace::ScopedTrace) for the point's
+     * duration, so every instrumented component under the point emits
+     * into the point's own sink. Sinks live in registration-order
+     * slots; the merged document is therefore byte-identical across
+     * thread counts, like the JSON.
+     */
+    void enableTrace() { traceEnabled_ = true; }
+    bool traceEnabled() const { return traceEnabled_; }
+
+    /** Trace sink of point @p i (enableTrace() + run() required). */
+    const trace::ChromeTraceSink &pointTrace(std::size_t i) const;
+
+    /** Render the merged Chrome trace_event document. */
+    void writeTrace(std::ostream &os) const;
+
+    /**
+     * Write the Chrome trace to @p path ("" -> no-op, "-" -> stdout).
+     * Returns the path written.
+     */
+    std::string writeTraceFile(const std::string &path) const;
+
+    /** Compact per-point self-time summary (see trace::selfTimes). */
+    void writeTraceSummary(std::ostream &os) const;
+
+    /**
      * Install a closure that writes cross-point aggregate members into
      * the top-level "summary" object. Runs after all points, on the
      * calling thread.
@@ -115,10 +144,14 @@ class SweepRunner
         PointFn fn;
     };
 
+    std::vector<trace::TracePoint> tracePoints() const;
+
     std::string benchName_;
     std::vector<Point> points_;
     std::vector<std::string> pointJson_;
+    std::vector<std::unique_ptr<trace::ChromeTraceSink>> pointTrace_;
     PointFn summary_;
+    bool traceEnabled_ = false;
     bool ran_ = false;
 };
 

@@ -60,6 +60,15 @@ charge(MemSink *sink, std::uint64_t ops)
     }
 }
 
+/** Phase annotation for time attribution (no-op on null sinks). */
+void
+setPhase(MemSink *sink, const char *name)
+{
+    if (sink) {
+        sink->phase(name);
+    }
+}
+
 /** Model an identity-hash-map probe in scratch memory. */
 void
 chargeProbe(MemSink *sink, const JavaSerdeCosts &costs, Addr key)
@@ -104,6 +113,7 @@ JavaSerializer::serialize(Heap &src, Addr root, MemSink *sink)
     };
 
     auto write_classdesc = [&](KlassId id) {
+        setPhase(sink, "metadata");
         auto it = class_handles.find(id);
         if (it != class_handles.end()) {
             w.u8(kTagClassDescHandle);
@@ -134,11 +144,13 @@ JavaSerializer::serialize(Heap &src, Addr root, MemSink *sink)
             id, static_cast<std::uint32_t>(class_handles.size()));
     };
 
+    setPhase(sink, "walk");
     handle_of(root);
     while (!queue.empty()) {
         Addr obj = queue.front();
         queue.pop_front();
 
+        setPhase(sink, "walk");
         // Header read to find the object's class: the address came from
         // the reference that discovered this object (pointer chase).
         if (sink) {
@@ -153,6 +165,7 @@ JavaSerializer::serialize(Heap &src, Addr root, MemSink *sink)
         if (d.isArray()) {
             w.u8(kTagArray);
             write_classdesc(id);
+            setPhase(sink, "copy");
             const std::uint64_t n = v.length();
             w.u32(static_cast<std::uint32_t>(n));
             if (d.elemType() == FieldType::Reference) {
@@ -179,6 +192,7 @@ JavaSerializer::serialize(Heap &src, Addr root, MemSink *sink)
 
         w.u8(kTagObject);
         write_classdesc(id);
+        setPhase(sink, "copy");
         for (std::uint32_t i = 0; i < d.numFields(); ++i) {
             const auto &f = d.fields()[i];
             // Field extraction through the reflect package.
@@ -217,6 +231,7 @@ JavaSerializer::deserialize(const std::vector<std::uint8_t> &stream,
     std::vector<Patch> patches;
 
     auto read_classdesc = [&]() -> KlassId {
+        setPhase(sink, "metadata");
         std::size_t tag_at = r.pos();
         std::uint8_t tag = r.u8();
         if (tag == kTagClassDescHandle) {
@@ -268,6 +283,7 @@ JavaSerializer::deserialize(const std::vector<std::uint8_t> &stream,
     };
 
     while (!r.done()) {
+        setPhase(sink, "walk");
         std::uint8_t tag = r.u8();
         // readObject0 dispatch + descriptor validation + handle setup +
         // reflective allocation path.
@@ -290,6 +306,7 @@ JavaSerializer::deserialize(const std::vector<std::uint8_t> &stream,
             decode_check(n <= r.remaining() / wire_esz,
                          DecodeStatus::BadLength, len_at,
                          "array length %u exceeds remaining stream", n);
+            setPhase(sink, "copy");
             charge(sink, costs_.alloc);
             Addr obj = dst.allocateArray(d.elemType(), n);
             if (sink) {
@@ -324,6 +341,7 @@ JavaSerializer::deserialize(const std::vector<std::uint8_t> &stream,
         decode_check(!d.isArray(), DecodeStatus::Malformed, r.pos(),
                      "object record with array class '%s'",
                      d.name().c_str());
+        setPhase(sink, "copy");
         charge(sink, costs_.alloc);
         Addr obj = dst.allocateInstance(id);
         if (sink) {
@@ -350,6 +368,7 @@ JavaSerializer::deserialize(const std::vector<std::uint8_t> &stream,
     }
 
     // Resolve forward references now that every handle has an address.
+    setPhase(sink, "patch");
     for (const auto &p : patches) {
         charge(sink, 4);
         Addr target = 0;

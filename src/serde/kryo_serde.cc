@@ -22,6 +22,14 @@ charge(MemSink *sink, std::uint64_t ops)
 }
 
 void
+setPhase(MemSink *sink, const char *name)
+{
+    if (sink) {
+        sink->phase(name);
+    }
+}
+
+void
 chargeProbe(MemSink *sink, const KryoSerdeCosts &costs, Addr key)
 {
     if (!sink) {
@@ -103,11 +111,13 @@ KryoSerializer::serialize(Heap &src, Addr root, MemSink *sink)
         return h + 1;
     };
 
+    setPhase(sink, "walk");
     ref_token(root);
     while (!queue.empty()) {
         Addr obj = queue.front();
         queue.pop_front();
 
+        setPhase(sink, "walk");
         if (sink) {
             sink->loadDep(obj, 16); // header: resolve class (pointer chase)
         }
@@ -118,6 +128,7 @@ KryoSerializer::serialize(Heap &src, Addr root, MemSink *sink)
         w.u32(kryoIdOf(v.klassId()));
 
         if (d.isArray()) {
+            setPhase(sink, "copy");
             const std::uint64_t n = v.length();
             charge(sink, costs_.varint);
             w.varint(n);
@@ -150,6 +161,7 @@ KryoSerializer::serialize(Heap &src, Addr root, MemSink *sink)
         }
 
         // Null-check byte present on every object record (Figure 1c).
+        setPhase(sink, "copy");
         w.u8(1);
         for (std::uint32_t i = 0; i < d.numFields(); ++i) {
             const auto &f = d.fields()[i];
@@ -197,6 +209,7 @@ KryoSerializer::deserialize(const std::vector<std::uint8_t> &stream,
     std::vector<Patch> patches;
 
     while (!r.done()) {
+        setPhase(sink, "walk");
         charge(sink, costs_.perObject);
         std::size_t id_at = r.pos();
         std::uint32_t kryo_id = r.u32();
@@ -227,6 +240,7 @@ KryoSerializer::deserialize(const std::vector<std::uint8_t> &stream,
                          DecodeStatus::BadLength, len_at,
                          "array length %llu exceeds remaining stream",
                          (unsigned long long)n);
+            setPhase(sink, "copy");
             charge(sink, costs_.alloc);
             Addr obj = dst.allocateArray(d.elemType(), n);
             if (sink) {
@@ -259,6 +273,7 @@ KryoSerializer::deserialize(const std::vector<std::uint8_t> &stream,
 
         decode_check(r.u8() == 1, DecodeStatus::Malformed, r.pos(),
                      "unexpected null-check byte");
+        setPhase(sink, "copy");
         charge(sink, costs_.alloc);
         Addr obj = dst.allocateInstance(id);
         if (sink) {
@@ -293,6 +308,7 @@ KryoSerializer::deserialize(const std::vector<std::uint8_t> &stream,
         }
     }
 
+    setPhase(sink, "patch");
     for (const auto &p : patches) {
         charge(sink, 3);
         Addr target = 0;

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * The one place backend name strings are interpreted.
+ *
+ * Every subsystem that picks a serializer by name — the cluster node
+ * profiler, the fuzzer's format pool and corpus seeder, the benches —
+ * goes through this registry instead of keeping its own switch/if
+ * chain. The table is ordered by on-wire format id (the byte the
+ * cluster frame header carries), so iterating backends() doubles as
+ * iterating format ids, and adding a backend is a one-line change
+ * here rather than a scavenger hunt.
+ *
+ * Header-only on purpose: the registry constructs CerealSerializer,
+ * which lives in the cereal library above serde; a registry .cc inside
+ * cereal_serde would invert the link order.
+ */
+
+#ifndef CEREAL_SERDE_REGISTRY_HH
+#define CEREAL_SERDE_REGISTRY_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cereal/cereal_serializer.hh"
+#include "serde/java_serde.hh"
+#include "serde/kryo_serde.hh"
+#include "serde/serializer.hh"
+#include "serde/skyway_serde.hh"
+#include "sim/logging.hh"
+
+namespace cereal {
+namespace serde {
+
+/** One serializer backend the simulator models. */
+struct BackendInfo
+{
+    /** Canonical name ("java", "kryo", "skyway", "cereal"). */
+    const char *name;
+    /** On-wire format id (cluster frame header byte). */
+    std::uint8_t formatId;
+    /** Needs KlassRegistry-driven class registration before use. */
+    bool needsRegistration;
+};
+
+/** All backends, ordered by format id. */
+inline const std::vector<BackendInfo> &
+backends()
+{
+    static const std::vector<BackendInfo> table = {
+        {"java", 0, false},
+        {"kryo", 1, true},
+        {"skyway", 2, false},
+        {"cereal", 3, true},
+    };
+    return table;
+}
+
+/** Backend named @p name, or nullptr. */
+inline const BackendInfo *
+findBackend(const std::string &name)
+{
+    for (const auto &b : backends()) {
+        if (name == b.name) {
+            return &b;
+        }
+    }
+    return nullptr;
+}
+
+/** Backend with on-wire @p format_id, or nullptr. */
+inline const BackendInfo *
+findBackendByFormat(std::uint8_t format_id)
+{
+    for (const auto &b : backends()) {
+        if (b.formatId == format_id) {
+            return &b;
+        }
+    }
+    return nullptr;
+}
+
+/** Canonical backend names, in format-id order. */
+inline std::vector<std::string>
+availableBackends()
+{
+    std::vector<std::string> names;
+    names.reserve(backends().size());
+    for (const auto &b : backends()) {
+        names.push_back(b.name);
+    }
+    return names;
+}
+
+/**
+ * Construct the serializer called @p name (fatal on unknown names —
+ * callers validate user input with findBackend() first). Backends
+ * whose protocol requires pre-registered classes (kryo's dense class
+ * ids, cereal's Klass Pointer Table) register every class of @p reg;
+ * passing no registry for those backends yields a serializer that only
+ * handles already-registered (i.e. no) classes, which is almost never
+ * what a caller wants — hence the fatal_if.
+ */
+inline std::unique_ptr<Serializer>
+makeSerializer(const std::string &name, const KlassRegistry *reg = nullptr)
+{
+    const BackendInfo *info = findBackend(name);
+    fatal_if(info == nullptr, "unknown serializer backend '%s'",
+             name.c_str());
+    fatal_if(info->needsRegistration && reg == nullptr,
+             "backend '%s' needs a KlassRegistry to register classes",
+             name.c_str());
+    switch (info->formatId) {
+      case 0:
+        return std::make_unique<JavaSerializer>();
+      case 1: {
+          auto ser = std::make_unique<KryoSerializer>();
+          ser->registerAll(*reg);
+          return ser;
+      }
+      case 2:
+        return std::make_unique<SkywaySerializer>();
+      case 3: {
+          auto ser = std::make_unique<CerealSerializer>();
+          ser->registerAll(*reg);
+          return ser;
+      }
+    }
+    panic("backend table out of sync with makeSerializer()");
+}
+
+} // namespace serde
+} // namespace cereal
+
+#endif // CEREAL_SERDE_REGISTRY_HH

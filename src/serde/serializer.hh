@@ -69,6 +69,23 @@ class Serializer
             return e;
         }
     }
+
+    /**
+     * Exception-free encode, symmetric to tryDeserialize(): a
+     * serializer walking a heap that was itself reconstructed from
+     * untrusted bytes (the fuzzer's round-trip oracle, a node
+     * re-encoding a relayed partition) can hit the same structural
+     * violations decoding can, and reports them the same way.
+     */
+    DecodeResult<std::vector<std::uint8_t>>
+    trySerialize(Heap &src, Addr root, MemSink *sink = nullptr)
+    {
+        try {
+            return serialize(src, root, sink);
+        } catch (const DecodeError &e) {
+            return e;
+        }
+    }
 };
 
 } // namespace cereal

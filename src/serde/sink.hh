@@ -57,6 +57,18 @@ class MemSink
     {
         load(addr, bytes);
     }
+
+    /**
+     * Phase annotation: the narration that follows belongs to the
+     * serializer phase @p name — the paper's Fig. 2/3 taxonomy ("walk"
+     * = graph traversal, "metadata" = class descriptors / type tables,
+     * "copy" = field and array data movement, "patch" = reference
+     * fix-ups) plus codec phases in the shuffle path ("compress",
+     * "decompress", "checksum"). @p name must be a string literal.
+     * Sinks that don't attribute time (counting, null) ignore it; the
+     * CPU timing model turns consecutive phases into trace spans.
+     */
+    virtual void phase(const char *name) { (void)name; }
 };
 
 /** Sink that ignores everything (functional-only runs). */

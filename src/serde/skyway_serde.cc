@@ -23,6 +23,14 @@ charge(MemSink *sink, std::uint64_t ops)
 }
 
 void
+setPhase(MemSink *sink, const char *name)
+{
+    if (sink) {
+        sink->phase(name);
+    }
+}
+
+void
 chargeProbe(MemSink *sink, const SkywaySerdeCosts &costs, Addr key)
 {
     if (!sink) {
@@ -87,6 +95,10 @@ SkywaySerializer::serialize(Heap &src, Addr root, MemSink *sink)
     std::size_t len_at = w.size();
     w.u64(0);
 
+    // Skyway is a copy machine: the slot loop below both walks (the
+    // first-word pointer chase + ref_rel probes) and copies; attribute
+    // it to "copy", with the trailing type table as "metadata".
+    setPhase(sink, "copy");
     ref_rel(root);
     while (!queue.empty()) {
         Addr obj = queue.front();
@@ -126,6 +138,7 @@ SkywaySerializer::serialize(Heap &src, Addr root, MemSink *sink)
                static_cast<std::uint32_t>(assigned_bytes >> 32));
 
     // Trailing type table: id -> class name.
+    setPhase(sink, "metadata");
     w.u32(static_cast<std::uint32_t>(type_table.size()));
     for (KlassId id : type_table) {
         const auto &d = src.registry().klass(id);
@@ -153,6 +166,7 @@ SkywaySerializer::deserialize(const std::vector<std::uint8_t> &stream,
 
     // Bulk copy of the whole data section into fresh heap space — the
     // "simple memory copy" Skyway is built around.
+    setPhase(sink, "copy");
     Addr base = dst.allocateRaw(data_bytes);
     {
         std::vector<std::uint8_t> tmp(data_bytes);
@@ -169,6 +183,7 @@ SkywaySerializer::deserialize(const std::vector<std::uint8_t> &stream,
     }
 
     // Type table: resolve stream type IDs to registry classes.
+    setPhase(sink, "metadata");
     std::size_t count_at = r.pos();
     std::uint32_t type_count = r.u32();
     // Each table entry is at least a 2 B length prefix.
@@ -195,6 +210,7 @@ SkywaySerializer::deserialize(const std::vector<std::uint8_t> &stream,
     // overflow the slot arithmetic. Records the set of valid object
     // start offsets so the fix-up pass can reject references that
     // point between objects.
+    setPhase(sink, "walk");
     const unsigned header_slots = dst.registry().headerSlots();
     const auto &reg = dst.registry();
     std::unordered_set<Addr> starts;
@@ -246,6 +262,7 @@ SkywaySerializer::deserialize(const std::vector<std::uint8_t> &stream,
                  "empty Skyway stream (no objects in data section)");
 
     // Sequential fix-up pass: restore klass pointers, rebase references.
+    setPhase(sink, "patch");
     Addr off = 0;
     Addr root = 0;
     bool first = true;

@@ -1,6 +1,7 @@
 #include "shuffle/shuffle.hh"
 
 #include "sim/logging.hh"
+#include "trace/trace.hh"
 
 namespace cereal {
 
@@ -29,9 +30,12 @@ ShuffleStage::softwareWrite(
     EventQueue eq;
     Dram dram("dram.shuffle.w", eq);
     CoreModel core(dram, coreCfg_);
+    core.setTrace(trace::current().sub("shuffle.write"));
 
+    core.phase("compress");
     auto compressed = codec_.compress(serialized, &core);
     // Buffer copy of the compressed block into the shuffle file buffer.
+    core.phase("copy");
     narrateCopy(core, kStreamBase + 0x8'0000'0000ULL,
                 kStreamBase + 0xc'0000'0000ULL, compressed.size());
 
@@ -46,9 +50,11 @@ ShuffleStage::softwareRead(
     EventQueue eq;
     Dram dram("dram.shuffle.r", eq);
     CoreModel core(dram, coreCfg_);
+    core.setTrace(trace::current().sub("shuffle.read"));
 
     // The read side sees the compressed block (what the writer made).
     auto compressed = codec_.compress(serialized, nullptr);
+    core.phase("decompress");
     auto raw = codec_.decompress(compressed, &core);
     panic_if(raw.size() != serialized.size(), "shuffle read corrupted");
 
@@ -62,11 +68,14 @@ ShuffleStage::cerealHandoff(std::uint64_t stream_bytes) const
     EventQueue eq;
     Dram dram("dram.shuffle.c", eq);
     CoreModel core(dram, coreCfg_);
+    core.setTrace(trace::current().sub("shuffle.handoff"));
+    core.phase("copy");
     narrateCopy(core, kStreamBase, kStreamBase + 0xc'0000'0000ULL,
                 stream_bytes);
     // Spark checksums every shuffle block regardless of codec; the
     // driver pays that pass over the (uncompressed) packed stream.
     // lighter-weight xxhash-style pass (no buffer-copy layers).
+    core.phase("checksum");
     core.compute(3 * stream_bytes);
     auto st = core.finish();
     return {stream_bytes, st.seconds};

@@ -1,0 +1,242 @@
+#include "trace/chrome_trace.hh"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+
+#include "sim/json.hh"
+#include "sim/logging.hh"
+
+namespace cereal {
+namespace trace {
+
+std::uint32_t
+ChromeTraceSink::track(const std::string &name)
+{
+    auto it = byName_.find(name);
+    if (it != byName_.end()) {
+        return it->second;
+    }
+    auto id = static_cast<std::uint32_t>(trackNames_.size());
+    trackNames_.push_back(name);
+    byName_.emplace(name, id);
+    return id;
+}
+
+std::uint32_t
+ChromeTraceSink::uniqueTrack(const std::string &name)
+{
+    std::uint32_t &uses = nameUses_[name];
+    std::string unique =
+        uses == 0 ? name : name + "#" + std::to_string(uses);
+    ++uses;
+    auto id = static_cast<std::uint32_t>(trackNames_.size());
+    trackNames_.push_back(std::move(unique));
+    return id;
+}
+
+void
+ChromeTraceSink::record(const TraceEvent &ev)
+{
+    panic_if(ev.track >= trackNames_.size(),
+             "trace event on unknown track %u", ev.track);
+    events_.push_back(ev);
+}
+
+namespace {
+
+/** Ticks (picoseconds) -> Chrome timestamp (microseconds). */
+double
+usOf(Tick t)
+{
+    return static_cast<double>(t) / 1e6;
+}
+
+/** Common "pid"/"tid" prefix of one event line. */
+void
+eventHead(std::ostream &os, char ph, std::size_t pid, std::uint32_t tid)
+{
+    os << "{\"ph\":\"" << ph << "\",\"pid\":" << pid << ",\"tid\":" << tid;
+}
+
+void
+writePointEvents(std::ostream &os, std::size_t pid, const TracePoint &pt,
+                 bool &first)
+{
+    auto sep = [&] {
+        if (!first) {
+            os << ",\n";
+        }
+        first = false;
+    };
+
+    // Metadata: the point is a process, each track a named thread.
+    sep();
+    eventHead(os, 'M', pid, 0);
+    os << ",\"name\":\"process_name\",\"args\":{\"name\":"
+       << json::escape(pt.name) << "}}";
+    const auto &tracks = pt.sink->tracks();
+    for (std::uint32_t tid = 0; tid < tracks.size(); ++tid) {
+        sep();
+        eventHead(os, 'M', pid, tid);
+        os << ",\"name\":\"thread_name\",\"args\":{\"name\":"
+           << json::escape(tracks[tid]) << "}}";
+    }
+
+    for (const auto &ev : pt.sink->events()) {
+        sep();
+        switch (ev.kind) {
+          case TraceEvent::Kind::Span:
+            eventHead(os, 'X', pid, ev.track);
+            os << ",\"ts\":" << json::formatDouble(usOf(ev.start))
+               << ",\"dur\":" << json::formatDouble(usOf(ev.end - ev.start))
+               << ",\"name\":" << json::escape(ev.name) << "}";
+            break;
+          case TraceEvent::Kind::Instant:
+            eventHead(os, 'i', pid, ev.track);
+            os << ",\"ts\":" << json::formatDouble(usOf(ev.start))
+               << ",\"s\":\"t\",\"name\":" << json::escape(ev.name) << "}";
+            break;
+          case TraceEvent::Kind::Counter:
+            // Chrome keys counter tracks by (pid, name): qualify the
+            // name with the track so counters on different components
+            // stay separate.
+            eventHead(os, 'C', pid, ev.track);
+            os << ",\"ts\":" << json::formatDouble(usOf(ev.start))
+               << ",\"name\":" << json::escape(tracks[ev.track] + "." +
+                                               ev.name)
+               << ",\"args\":{\"value\":" << json::formatDouble(ev.value)
+               << "}}";
+            break;
+        }
+    }
+}
+
+} // namespace
+
+void
+writeChromeTrace(std::ostream &os, const std::vector<TracePoint> &points)
+{
+    os << "{\"traceEvents\": [\n";
+    bool first = true;
+    for (std::size_t pid = 0; pid < points.size(); ++pid) {
+        if (points[pid].sink == nullptr) {
+            continue;
+        }
+        writePointEvents(os, pid, points[pid], first);
+    }
+    os << "\n],\n\"displayTimeUnit\": \"ns\"\n}\n";
+}
+
+std::vector<SelfTimeRow>
+selfTimes(const ChromeTraceSink &sink)
+{
+    // Aggregation rows keyed by (track id, span name), created in
+    // track-id-then-first-appearance order.
+    std::vector<SelfTimeRow> rows;
+    std::map<std::pair<std::uint32_t, std::string>, std::size_t> rowOf;
+
+    // Spans of one track, sorted for the nesting sweep: by start, with
+    // the enclosing (later-ending) span first on equal starts.
+    struct Rec
+    {
+        Tick start;
+        Tick end;
+        std::size_t row;
+        std::size_t seq;
+    };
+
+    std::vector<std::vector<Rec>> perTrack(sink.tracks().size());
+    std::size_t seq = 0;
+    for (const auto &ev : sink.events()) {
+        if (ev.kind != TraceEvent::Kind::Span) {
+            continue;
+        }
+        auto key = std::make_pair(ev.track, std::string(ev.name));
+        auto it = rowOf.find(key);
+        std::size_t row;
+        if (it == rowOf.end()) {
+            row = rows.size();
+            rowOf.emplace(key, row);
+            rows.push_back({sink.tracks()[ev.track], ev.name, 0, 0, 0});
+        } else {
+            row = it->second;
+        }
+        rows[row].count += 1;
+        rows[row].totalTicks += ev.end - ev.start;
+        perTrack[ev.track].push_back({ev.start, ev.end, row, seq++});
+    }
+
+    for (auto &recs : perTrack) {
+        std::sort(recs.begin(), recs.end(), [](const Rec &a, const Rec &b) {
+            if (a.start != b.start) {
+                return a.start < b.start;
+            }
+            if (a.end != b.end) {
+                return a.end > b.end;
+            }
+            return a.seq < b.seq;
+        });
+        struct Frame
+        {
+            Tick start;
+            Tick end;
+            Tick childTicks;
+            std::size_t row;
+        };
+        std::vector<Frame> fstack;
+        auto finalize = [&](const Frame &f) {
+            Tick dur = f.end - f.start;
+            Tick self = dur > f.childTicks ? dur - f.childTicks : 0;
+            rows[f.row].selfTicks += self;
+            if (!fstack.empty()) {
+                fstack.back().childTicks += dur;
+            }
+        };
+        for (const auto &r : recs) {
+            while (!fstack.empty() && fstack.back().end <= r.start) {
+                Frame f = fstack.back();
+                fstack.pop_back();
+                finalize(f);
+            }
+            fstack.push_back({r.start, r.end, 0, r.row});
+        }
+        while (!fstack.empty()) {
+            Frame f = fstack.back();
+            fstack.pop_back();
+            finalize(f);
+        }
+    }
+    return rows;
+}
+
+void
+writeSelfTimeSummary(std::ostream &os, const std::vector<TracePoint> &points)
+{
+    char buf[256];
+    os << "self-time per component (us; self = span minus nested spans)\n";
+    for (const auto &pt : points) {
+        if (pt.sink == nullptr) {
+            continue;
+        }
+        auto rows = selfTimes(*pt.sink);
+        if (rows.empty()) {
+            continue;
+        }
+        os << "-- " << pt.name << "\n";
+        std::snprintf(buf, sizeof(buf), "   %-32s %-14s %8s %12s %12s\n",
+                      "track", "span", "count", "total_us", "self_us");
+        os << buf;
+        for (const auto &r : rows) {
+            std::snprintf(buf, sizeof(buf),
+                          "   %-32s %-14s %8" PRIu64 " %12.3f %12.3f\n",
+                          r.track.c_str(), r.name.c_str(), r.count,
+                          usOf(r.totalTicks), usOf(r.selfTicks));
+            os << buf;
+        }
+    }
+}
+
+} // namespace trace
+} // namespace cereal

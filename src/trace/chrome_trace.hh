@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Buffering trace sink + Chrome trace_event JSON exporter.
+ *
+ * ChromeTraceSink records events in memory; writeChromeTrace() renders
+ * one or more sinks (one per sweep point) into a single Chrome
+ * trace_event document loadable in chrome://tracing or Perfetto
+ * (https://ui.perfetto.dev): each sweep point becomes a process (pid =
+ * registration slot), each track a named thread, spans become "X"
+ * (complete) events, instants "i" events, counters "C" events.
+ * Timestamps are microseconds (ticks are picoseconds, so ts = tick /
+ * 1e6) rendered with json::formatDouble — the shortest round-trippable
+ * form — so equal runs produce byte-identical documents.
+ *
+ * selfTimes() computes the per-(track, span-name) self time: the span's
+ * duration minus the duration of spans nested inside it on the same
+ * track. Because instrumented components tile their busy time with
+ * spans (e.g. CoreModel phases cover [start, finish] and stall spans
+ * nest inside phases), self times per track sum to the track's total
+ * busy ticks — the property test_trace.cc pins against reported cycle
+ * totals.
+ */
+
+#ifndef CEREAL_TRACE_CHROME_TRACE_HH
+#define CEREAL_TRACE_CHROME_TRACE_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/trace.hh"
+
+namespace cereal {
+namespace trace {
+
+/** In-memory TraceSink used by benches, tests, and the fuzzer. */
+class ChromeTraceSink : public TraceSink
+{
+  public:
+    std::uint32_t track(const std::string &name) override;
+    std::uint32_t uniqueTrack(const std::string &name) override;
+    void record(const TraceEvent &ev) override;
+
+    /** Track names, indexed by track id (creation order). */
+    const std::vector<std::string> &tracks() const { return trackNames_; }
+
+    /** Events in recorded order. */
+    const std::vector<TraceEvent> &events() const { return events_; }
+
+  private:
+    std::vector<std::string> trackNames_;
+    std::unordered_map<std::string, std::uint32_t> byName_;
+    std::unordered_map<std::string, std::uint32_t> nameUses_;
+    std::vector<TraceEvent> events_;
+};
+
+/** One sweep point's worth of trace data (pid = position in the list). */
+struct TracePoint
+{
+    std::string name;
+    const ChromeTraceSink *sink;
+};
+
+/** Render @p points as one merged Chrome trace_event document. */
+void writeChromeTrace(std::ostream &os, const std::vector<TracePoint> &points);
+
+/** Aggregated span statistics for one (track, span name) pair. */
+struct SelfTimeRow
+{
+    std::string track;
+    std::string name;
+    std::uint64_t count;
+    /** Sum of span durations. */
+    Tick totalTicks;
+    /** totalTicks minus ticks covered by spans nested inside. */
+    Tick selfTicks;
+};
+
+/**
+ * Per-(track, name) self times of @p sink's spans, ordered by track id
+ * then first appearance. Spans on one track are treated as a properly
+ * nested forest (the emitters' contract); a span exactly covering
+ * another is the parent (ties broken: earlier start, then later end).
+ */
+std::vector<SelfTimeRow> selfTimes(const ChromeTraceSink &sink);
+
+/** Compact text table of selfTimes() for every point. */
+void writeSelfTimeSummary(std::ostream &os,
+                          const std::vector<TracePoint> &points);
+
+} // namespace trace
+} // namespace cereal
+
+#endif // CEREAL_TRACE_CHROME_TRACE_HH

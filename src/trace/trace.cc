@@ -1,0 +1,50 @@
+#include "trace/trace.hh"
+
+namespace cereal {
+namespace trace {
+
+namespace {
+
+/**
+ * Thread-local: each sweep point runs start-to-finish on one pool
+ * thread, so per-thread roots keep concurrent points isolated without
+ * locks — the same reason point JSON slots need no synchronisation.
+ */
+thread_local TraceSink *tls_sink = nullptr;
+thread_local std::uint32_t tls_root_track = 0;
+
+} // namespace
+
+TraceSink *
+currentSink()
+{
+    return tls_sink;
+}
+
+TraceEmitter
+current()
+{
+    if (tls_sink == nullptr) {
+        return {};
+    }
+    // Empty path: children of the root are named without a prefix
+    // ("cereal", "java.ser", ...); root-level events land on "main".
+    return TraceEmitter(tls_sink, tls_root_track, "");
+}
+
+ScopedTrace::ScopedTrace(TraceSink &sink) : prev_(tls_sink)
+{
+    tls_sink = &sink;
+    tls_root_track = sink.track("main");
+}
+
+ScopedTrace::~ScopedTrace()
+{
+    tls_sink = prev_;
+    if (tls_sink != nullptr) {
+        tls_root_track = tls_sink->track("main");
+    }
+}
+
+} // namespace trace
+} // namespace cereal

@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Low-overhead deterministic event tracer.
+ *
+ * The simulator's aggregate stats say *how long* a run took; traces say
+ * *where the cycles went*. A TraceSink records cycle-stamped events on
+ * named tracks; components hold a TraceEmitter — a (sink, track) handle
+ * — and emit three event kinds:
+ *
+ *  - span:    a [start, end] tick interval (a pipeline op, a DRAM data
+ *             burst, a core phase, a fabric transmission);
+ *  - instant: a single-tick marker (an MAI hit/miss, a TLB miss);
+ *  - counter: a sampled value over time (queue depths).
+ *
+ * Tracing is nullable everywhere: a default-constructed TraceEmitter is
+ * disabled and every call on it returns before touching a string or
+ * allocating — instrumented hot paths cost one branch when tracing is
+ * off (asserted by the zero-allocation test in test_trace.cc).
+ *
+ * Determinism contract: sinks are single-threaded and owned by one
+ * sweep point; events are recorded in program order, track ids in
+ * first-use order. Because every sweep point builds its own simulation
+ * context and its own sink, an N-thread bench run produces byte-wise
+ * the same trace document as a serial run (the same slot-merge argument
+ * as runner::SweepRunner's JSON).
+ *
+ * Event names must be string literals (or otherwise outlive the sink):
+ * emitters store the pointer, never a copy, so recording an event
+ * performs no allocation.
+ */
+
+#ifndef CEREAL_TRACE_TRACE_HH
+#define CEREAL_TRACE_TRACE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace cereal {
+namespace trace {
+
+/** One recorded event. `name` must outlive the sink (use literals). */
+struct TraceEvent
+{
+    enum class Kind : std::uint8_t { Span, Instant, Counter };
+
+    Kind kind;
+    /** Track id from TraceSink::track()/uniqueTrack(). */
+    std::uint32_t track;
+    /** Start tick (spans) or timestamp (instants/counters). */
+    Tick start;
+    /** End tick; meaningful for spans only. */
+    Tick end;
+    const char *name;
+    /** Sampled value; meaningful for counters only. */
+    double value;
+};
+
+/**
+ * Receiver of trace events. Implementations are single-threaded: a
+ * sink belongs to the one thread running its sweep point.
+ */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+
+    /** Id of the track called @p name; same name -> same id. */
+    virtual std::uint32_t track(const std::string &name) = 0;
+
+    /**
+     * A fresh track per call: the first use of @p name gets the name
+     * verbatim, later uses get "name#1", "name#2", ... Used by
+     * TraceEmitter::sub() so repeated instantiations of a component
+     * (e.g. two measureCereal() runs in one point, both restarting at
+     * tick 0) land on separate tracks instead of interleaving spans.
+     */
+    virtual std::uint32_t uniqueTrack(const std::string &name) = 0;
+
+    virtual void record(const TraceEvent &ev) = 0;
+};
+
+/**
+ * A component's handle onto one track of a sink. Cheap to copy;
+ * default-constructed == disabled (all operations no-ops).
+ */
+class TraceEmitter
+{
+  public:
+    TraceEmitter() = default;
+
+    TraceEmitter(TraceSink *sink, std::uint32_t track, std::string path)
+        : sink_(sink), track_(track), path_(std::move(path))
+    {
+    }
+
+    bool enabled() const { return sink_ != nullptr; }
+
+    /** The sink, or nullptr when disabled. */
+    TraceSink *sink() const { return sink_; }
+
+    /** Dotted track path ("" when disabled). */
+    const std::string &path() const { return path_; }
+
+    /**
+     * Child emitter on track "<this>.<child>" (fresh per call, see
+     * TraceSink::uniqueTrack). Disabled emitters return a disabled
+     * child without composing any string.
+     */
+    TraceEmitter
+    sub(const char *child) const
+    {
+        if (!sink_) {
+            return {};
+        }
+        std::string p =
+            path_.empty() ? std::string(child) : path_ + "." + child;
+        std::uint32_t id = sink_->uniqueTrack(p);
+        return TraceEmitter(sink_, id, std::move(p));
+    }
+
+    /** Record the [start, end] span @p name. */
+    void
+    span(const char *name, Tick start, Tick end) const
+    {
+        if (!sink_) {
+            return;
+        }
+        sink_->record({TraceEvent::Kind::Span, track_, start, end, name, 0.0});
+    }
+
+    /** Record an instant event at @p at. */
+    void
+    instant(const char *name, Tick at) const
+    {
+        if (!sink_) {
+            return;
+        }
+        sink_->record({TraceEvent::Kind::Instant, track_, at, at, name, 0.0});
+    }
+
+    /** Record a counter sample at @p at. */
+    void
+    counter(const char *name, Tick at, double value) const
+    {
+        if (!sink_) {
+            return;
+        }
+        sink_->record(
+            {TraceEvent::Kind::Counter, track_, at, at, name, value});
+    }
+
+  private:
+    TraceSink *sink_ = nullptr;
+    std::uint32_t track_ = 0;
+    std::string path_;
+};
+
+/** Source of "now" for SpanScope (CoreModel and EventQueue adapt to it). */
+class TraceClock
+{
+  public:
+    virtual ~TraceClock() = default;
+    virtual Tick traceNow() const = 0;
+};
+
+/**
+ * RAII span: reads the clock at construction and emits a span up to
+ * the clock's value at destruction (or at an explicit end()). Disabled
+ * emitters make it free — the clock is not even read.
+ */
+class SpanScope
+{
+  public:
+    SpanScope(TraceEmitter em, const char *name, const TraceClock &clock)
+        : em_(std::move(em)), clock_(&clock), name_(name),
+          start_(em_.enabled() ? clock.traceNow() : 0)
+    {
+    }
+
+    SpanScope(const SpanScope &) = delete;
+    SpanScope &operator=(const SpanScope &) = delete;
+
+    /** Close the span now (idempotent). */
+    void
+    end()
+    {
+        if (done_) {
+            return;
+        }
+        done_ = true;
+        if (em_.enabled()) {
+            em_.span(name_, start_, clock_->traceNow());
+        }
+    }
+
+    ~SpanScope() { end(); }
+
+  private:
+    TraceEmitter em_;
+    const TraceClock *clock_;
+    const char *name_;
+    Tick start_;
+    bool done_ = false;
+};
+
+/**
+ * Ambient per-thread trace root.
+ *
+ * A sweep point (or the fuzzer CLI) installs a sink with ScopedTrace;
+ * components that build their own simulation contexts deep inside a
+ * measurement (CerealContext, ClusterSim, the harness) pick it up via
+ * current() instead of threading an emitter through every signature.
+ * With no sink installed, current() is disabled and costs one TLS read.
+ */
+TraceEmitter current();
+
+/** The installed sink (nullptr when tracing is off). */
+TraceSink *currentSink();
+
+/** Installs @p sink as the thread's trace root for its lifetime. */
+class ScopedTrace
+{
+  public:
+    explicit ScopedTrace(TraceSink &sink);
+    ~ScopedTrace();
+
+    ScopedTrace(const ScopedTrace &) = delete;
+    ScopedTrace &operator=(const ScopedTrace &) = delete;
+
+  private:
+    TraceSink *prev_;
+};
+
+} // namespace trace
+} // namespace cereal
+
+#endif // CEREAL_TRACE_TRACE_HH

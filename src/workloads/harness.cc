@@ -5,6 +5,7 @@
 #include "cereal/area_power.hh"
 #include "heap/walker.hh"
 #include "sim/logging.hh"
+#include "trace/trace.hh"
 
 namespace cereal {
 namespace workloads {
@@ -23,6 +24,9 @@ measureSoftware(Serializer &ser, Heap &src, Addr root,
         EventQueue eq;
         Dram dram("dram.ser", eq);
         CoreModel core(dram, core_cfg);
+        auto em = trace::current().sub((ser.name() + ".ser").c_str());
+        core.setTrace(em);
+        dram.setTrace(em.sub("dram"));
         stream = ser.serialize(src, root, &core);
         auto st = core.finish();
         out.serSeconds = st.seconds;
@@ -38,6 +42,9 @@ measureSoftware(Serializer &ser, Heap &src, Addr root,
         EventQueue eq;
         Dram dram("dram.deser", eq);
         CoreModel core(dram, core_cfg);
+        auto em = trace::current().sub((ser.name() + ".deser").c_str());
+        core.setTrace(em);
+        dram.setTrace(em.sub("dram"));
         Heap dst(src.registry(), 0x9'0000'0000ULL);
         Addr nr = ser.deserialize(stream, dst, &core);
         auto st = core.finish();
@@ -71,6 +78,7 @@ measureCereal(Heap &src, Addr root, const AccelConfig &accel_cfg,
         EventQueue eq;
         Dram dram("dram.ser", eq);
         CerealContext ctx(dram, accel_cfg, opts);
+        dram.setTrace(trace::current().sub("cereal.ser_dram"));
         ctx.registerAll(src.registry());
         ObjectOutputStream oos;
         auto w = ctx.writeObject(oos, src, root);
@@ -86,6 +94,7 @@ measureCereal(Heap &src, Addr root, const AccelConfig &accel_cfg,
         EventQueue eq;
         Dram dram("dram.deser", eq);
         CerealContext ctx(dram, accel_cfg, opts);
+        dram.setTrace(trace::current().sub("cereal.deser_dram"));
         ctx.registerAll(src.registry());
         Heap dst(src.registry(), 0x9'0000'0000ULL);
         Addr nr = ctx.serializer().deserializeStream(stream, dst);

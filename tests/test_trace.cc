@@ -1,0 +1,735 @@
+/**
+ * @file
+ * Tests for the trace subsystem: sink/emitter semantics, the
+ * zero-allocation null-sink guarantee, SpanScope, self-time
+ * aggregation (the "phase spans tile the region" contract with
+ * CoreModel), Chrome trace_event JSON validity, thread-count
+ * determinism of sweep traces, and the pinned golden trace of a small
+ * Figure-10-style run.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <new>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cpu/core_model.hh"
+#include "fuzz/fuzzer.hh"
+#include "mem/dram.hh"
+#include "runner/sweep_runner.hh"
+#include "serde/registry.hh"
+#include "trace/chrome_trace.hh"
+#include "trace/trace.hh"
+#include "workloads/harness.hh"
+#include "workloads/micro.hh"
+
+// ------------------------------------------------- allocation counter
+//
+// Program-wide operator new replacement so the null-sink test can
+// assert that disabled emitters never allocate. Counting is cheap and
+// thread-safe, so replacing it for the whole test binary is harmless.
+
+namespace {
+std::atomic<std::uint64_t> g_allocCount{0};
+} // namespace
+
+void *
+operator new(std::size_t size)
+{
+    ++g_allocCount;
+    if (void *p = std::malloc(size ? size : 1)) {
+        return p;
+    }
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](std::size_t size)
+{
+    return ::operator new(size);
+}
+
+void operator delete(void *p) noexcept { std::free(p); }
+void operator delete[](void *p) noexcept { std::free(p); }
+void operator delete(void *p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void *p, std::size_t) noexcept { std::free(p); }
+
+namespace cereal {
+namespace {
+
+using trace::ChromeTraceSink;
+using trace::TraceEmitter;
+using trace::TraceEvent;
+
+// ---------------------------------------------------------------- sink
+
+TEST(TraceSink, TrackIdsAreStableAndSharedByName)
+{
+    ChromeTraceSink sink;
+    EXPECT_EQ(sink.track("a"), 0u);
+    EXPECT_EQ(sink.track("b"), 1u);
+    EXPECT_EQ(sink.track("a"), 0u);
+    ASSERT_EQ(sink.tracks().size(), 2u);
+    EXPECT_EQ(sink.tracks()[0], "a");
+    EXPECT_EQ(sink.tracks()[1], "b");
+}
+
+TEST(TraceSink, UniqueTrackSuffixesRepeatedNames)
+{
+    ChromeTraceSink sink;
+    auto t0 = sink.uniqueTrack("core");
+    auto t1 = sink.uniqueTrack("core");
+    auto t2 = sink.uniqueTrack("core");
+    EXPECT_NE(t0, t1);
+    EXPECT_NE(t1, t2);
+    EXPECT_EQ(sink.tracks()[t0], "core");
+    EXPECT_EQ(sink.tracks()[t1], "core#1");
+    EXPECT_EQ(sink.tracks()[t2], "core#2");
+}
+
+TEST(TraceSink, EventsKeepRecordedOrder)
+{
+    ChromeTraceSink sink;
+    TraceEmitter em(&sink, sink.uniqueTrack("t"), "t");
+    em.span("s", 10, 20);
+    em.instant("i", 15);
+    em.counter("c", 16, 3.0);
+    ASSERT_EQ(sink.events().size(), 3u);
+    EXPECT_EQ(sink.events()[0].kind, TraceEvent::Kind::Span);
+    EXPECT_EQ(sink.events()[0].start, 10u);
+    EXPECT_EQ(sink.events()[0].end, 20u);
+    EXPECT_EQ(sink.events()[1].kind, TraceEvent::Kind::Instant);
+    EXPECT_EQ(sink.events()[2].kind, TraceEvent::Kind::Counter);
+    EXPECT_EQ(sink.events()[2].value, 3.0);
+}
+
+// ------------------------------------------------------------- emitter
+
+TEST(TraceEmitter, SubComposesDottedUniqueTracks)
+{
+    ChromeTraceSink sink;
+    trace::ScopedTrace scoped(sink);
+    auto root = trace::current();
+    ASSERT_TRUE(root.enabled());
+    EXPECT_EQ(root.path(), "");
+
+    auto a = root.sub("cereal");
+    EXPECT_EQ(a.path(), "cereal");
+    auto b = a.sub("su0");
+    EXPECT_EQ(b.path(), "cereal.su0");
+    // Same child name again -> fresh '#'-suffixed track, same path.
+    auto b2 = a.sub("su0");
+    EXPECT_EQ(sink.tracks()[sink.tracks().size() - 1], "cereal.su0#1");
+    EXPECT_EQ(b2.path(), "cereal.su0");
+}
+
+TEST(TraceEmitter, DisabledEmitterPropagatesAndRecordsNothing)
+{
+    EXPECT_EQ(trace::currentSink(), nullptr);
+    auto em = trace::current();
+    EXPECT_FALSE(em.enabled());
+    auto child = em.sub("x");
+    EXPECT_FALSE(child.enabled());
+    // No sink to observe; the contract is simply "no crash, no work".
+    child.span("s", 0, 1);
+    child.instant("i", 0);
+    child.counter("c", 0, 1.0);
+}
+
+TEST(TraceEmitter, NullSinkPathPerformsZeroAllocations)
+{
+    TraceEmitter em; // disabled
+    const auto before = g_allocCount.load();
+    for (int i = 0; i < 1000; ++i) {
+        auto child = em.sub("child_with_a_long_enough_name_to_allocate");
+        child.span("span", 0, 100);
+        child.instant("instant", 50);
+        child.counter("counter", 60, 1.5);
+        em.span("span2", 0, 1);
+    }
+    EXPECT_EQ(g_allocCount.load(), before);
+}
+
+// ----------------------------------------------------------- SpanScope
+
+/** Manually advanced clock for SpanScope tests. */
+struct FakeClock : trace::TraceClock
+{
+    Tick now = 0;
+    mutable int reads = 0;
+    Tick
+    traceNow() const override
+    {
+        ++reads;
+        return now;
+    }
+};
+
+TEST(SpanScope, EmitsSpanFromConstructionToDestruction)
+{
+    ChromeTraceSink sink;
+    TraceEmitter em(&sink, sink.uniqueTrack("t"), "t");
+    FakeClock clock;
+    clock.now = 5;
+    {
+        trace::SpanScope scope(em, "op", clock);
+        clock.now = 42;
+    }
+    ASSERT_EQ(sink.events().size(), 1u);
+    EXPECT_EQ(sink.events()[0].start, 5u);
+    EXPECT_EQ(sink.events()[0].end, 42u);
+    EXPECT_STREQ(sink.events()[0].name, "op");
+}
+
+TEST(SpanScope, ExplicitEndIsIdempotent)
+{
+    ChromeTraceSink sink;
+    TraceEmitter em(&sink, sink.uniqueTrack("t"), "t");
+    FakeClock clock;
+    {
+        trace::SpanScope scope(em, "op", clock);
+        clock.now = 10;
+        scope.end();
+        clock.now = 99; // must not extend the span
+        scope.end();
+    }
+    ASSERT_EQ(sink.events().size(), 1u);
+    EXPECT_EQ(sink.events()[0].end, 10u);
+}
+
+TEST(SpanScope, DisabledEmitterNeverReadsTheClock)
+{
+    FakeClock clock;
+    {
+        trace::SpanScope scope(TraceEmitter(), "op", clock);
+    }
+    EXPECT_EQ(clock.reads, 0);
+}
+
+// ----------------------------------------------------------- selfTimes
+
+TEST(SelfTimes, NestedSpansSubtractFromTheirParent)
+{
+    ChromeTraceSink sink;
+    TraceEmitter em(&sink, sink.uniqueTrack("core"), "core");
+    em.span("inner_a", 10, 30);
+    em.span("inner_a", 30, 60);
+    em.span("outer", 0, 100); // order of recording must not matter
+
+    auto rows = trace::selfTimes(sink);
+    ASSERT_EQ(rows.size(), 2u);
+    // Rows appear in first-appearance order.
+    EXPECT_EQ(rows[0].name, "inner_a");
+    EXPECT_EQ(rows[0].count, 2u);
+    EXPECT_EQ(rows[0].totalTicks, 50u);
+    EXPECT_EQ(rows[0].selfTicks, 50u);
+    EXPECT_EQ(rows[1].name, "outer");
+    EXPECT_EQ(rows[1].totalTicks, 100u);
+    EXPECT_EQ(rows[1].selfTicks, 50u);
+
+    Tick sum = 0;
+    for (const auto &r : rows) {
+        sum += r.selfTicks;
+    }
+    EXPECT_EQ(sum, 100u);
+}
+
+TEST(SelfTimes, TracksAreIndependent)
+{
+    ChromeTraceSink sink;
+    TraceEmitter a(&sink, sink.uniqueTrack("a"), "a");
+    TraceEmitter b(&sink, sink.uniqueTrack("b"), "b");
+    a.span("x", 0, 50);
+    b.span("x", 10, 20); // overlaps a's span but on another track
+    auto rows = trace::selfTimes(sink);
+    ASSERT_EQ(rows.size(), 2u);
+    EXPECT_EQ(rows[0].track, "a");
+    EXPECT_EQ(rows[0].selfTicks, 50u);
+    EXPECT_EQ(rows[1].track, "b");
+    EXPECT_EQ(rows[1].selfTicks, 10u);
+}
+
+/**
+ * The CoreModel contract: phase spans (plus the stall spans nested
+ * inside them) tile [setTrace, finish], so per-track self times sum
+ * exactly to the region's elapsedTicks.
+ */
+TEST(SelfTimes, CoreModelPhaseSpansTileElapsedTicks)
+{
+    ChromeTraceSink sink;
+    EventQueue eq;
+    Dram dram("dram", eq);
+    CoreModel core(dram);
+    TraceEmitter em(&sink, sink.uniqueTrack("core"), "core");
+    core.setTrace(em);
+
+    core.compute(500);
+    core.phase("walk");
+    // Streaming loads over 1 MB: misses everywhere, fills the MLP
+    // window, produces mlp_stall spans nested in the "walk" phase.
+    for (Addr a = 0; a < (1u << 20); a += 64) {
+        core.load(a, 64);
+    }
+    core.phase("copy");
+    for (Addr a = (1u << 21); a < (1u << 21) + (1u << 18); a += 64) {
+        core.store(a, 64);
+    }
+    core.phase("patch");
+    // Pointer chases: dep_stall spans nested in the "patch" phase.
+    for (Addr a = (1u << 22); a < (1u << 22) + (1u << 16); a += 4096) {
+        core.loadDep(a, 16);
+    }
+    auto st = core.finish();
+    ASSERT_GT(st.elapsedTicks, 0u);
+
+    Tick sum = 0;
+    bool sawStall = false;
+    for (const auto &r : trace::selfTimes(sink)) {
+        ASSERT_EQ(r.track, "core");
+        sum += r.selfTicks;
+        if (r.name == std::string("mlp_stall") ||
+            r.name == std::string("dep_stall")) {
+            sawStall = true;
+        }
+    }
+    EXPECT_EQ(sum, st.elapsedTicks);
+    EXPECT_TRUE(sawStall);
+}
+
+// --------------------------------------------------- Chrome JSON shape
+
+/** Minimal JSON syntax checker (no semantics, just well-formedness). */
+class JsonChecker
+{
+  public:
+    explicit JsonChecker(const std::string &doc) : s_(doc) {}
+
+    bool
+    valid()
+    {
+        skipWs();
+        if (!value()) {
+            return false;
+        }
+        skipWs();
+        return pos_ == s_.size();
+    }
+
+  private:
+    void
+    skipWs()
+    {
+        while (pos_ < s_.size() &&
+               (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+                s_[pos_] == '\r')) {
+            ++pos_;
+        }
+    }
+
+    bool
+    literal(const char *lit)
+    {
+        std::size_t n = std::strlen(lit);
+        if (s_.compare(pos_, n, lit) != 0) {
+            return false;
+        }
+        pos_ += n;
+        return true;
+    }
+
+    bool
+    string()
+    {
+        if (pos_ >= s_.size() || s_[pos_] != '"') {
+            return false;
+        }
+        ++pos_;
+        while (pos_ < s_.size() && s_[pos_] != '"') {
+            if (s_[pos_] == '\\') {
+                ++pos_;
+                if (pos_ >= s_.size()) {
+                    return false;
+                }
+            }
+            ++pos_;
+        }
+        if (pos_ >= s_.size()) {
+            return false;
+        }
+        ++pos_; // closing quote
+        return true;
+    }
+
+    bool
+    number()
+    {
+        const std::size_t start = pos_;
+        if (pos_ < s_.size() && s_[pos_] == '-') {
+            ++pos_;
+        }
+        while (pos_ < s_.size() &&
+               (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+                s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+                s_[pos_] == '+' || s_[pos_] == '-')) {
+            ++pos_;
+        }
+        return pos_ > start;
+    }
+
+    bool
+    value()
+    {
+        skipWs();
+        if (pos_ >= s_.size()) {
+            return false;
+        }
+        switch (s_[pos_]) {
+          case '{':
+            return object();
+          case '[':
+            return array();
+          case '"':
+            return string();
+          case 't':
+            return literal("true");
+          case 'f':
+            return literal("false");
+          case 'n':
+            return literal("null");
+          default:
+            return number();
+        }
+    }
+
+    bool
+    object()
+    {
+        ++pos_; // '{'
+        skipWs();
+        if (pos_ < s_.size() && s_[pos_] == '}') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (!string()) {
+                return false;
+            }
+            skipWs();
+            if (pos_ >= s_.size() || s_[pos_] != ':') {
+                return false;
+            }
+            ++pos_;
+            if (!value()) {
+                return false;
+            }
+            skipWs();
+            if (pos_ < s_.size() && s_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            break;
+        }
+        skipWs();
+        if (pos_ >= s_.size() || s_[pos_] != '}') {
+            return false;
+        }
+        ++pos_;
+        return true;
+    }
+
+    bool
+    array()
+    {
+        ++pos_; // '['
+        skipWs();
+        if (pos_ < s_.size() && s_[pos_] == ']') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            if (!value()) {
+                return false;
+            }
+            skipWs();
+            if (pos_ < s_.size() && s_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            break;
+        }
+        skipWs();
+        if (pos_ >= s_.size() || s_[pos_] != ']') {
+            return false;
+        }
+        ++pos_;
+        return true;
+    }
+
+    const std::string &s_;
+    std::size_t pos_ = 0;
+};
+
+TEST(ChromeTrace, DocumentIsWellFormedJsonWithExpectedEvents)
+{
+    ChromeTraceSink sink;
+    TraceEmitter em(&sink, sink.uniqueTrack("core"), "core");
+    em.span("op \"quoted\"", 0, 1'000'000); // 1 us
+    em.instant("hit", 500);
+    em.counter("queue", 600, 2.0);
+
+    std::ostringstream ss;
+    trace::writeChromeTrace(ss, {{"pt0", &sink}});
+    const std::string doc = ss.str();
+
+    EXPECT_TRUE(JsonChecker(doc).valid()) << doc;
+    EXPECT_NE(doc.find("\"traceEvents\""), std::string::npos);
+    // Process/thread metadata.
+    EXPECT_NE(doc.find("\"process_name\""), std::string::npos);
+    EXPECT_NE(doc.find("\"thread_name\""), std::string::npos);
+    // One of each event kind, with ticks rendered as microseconds.
+    EXPECT_NE(doc.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(doc.find("\"dur\":1"), std::string::npos);
+    EXPECT_NE(doc.find("\"ph\":\"i\""), std::string::npos);
+    EXPECT_NE(doc.find("\"ph\":\"C\""), std::string::npos);
+    // Counter names are qualified by their track.
+    EXPECT_NE(doc.find("\"core.queue\""), std::string::npos);
+    // Escaping survived.
+    EXPECT_NE(doc.find("op \\\"quoted\\\""), std::string::npos);
+}
+
+TEST(ChromeTrace, SkipsNullSinksButKeepsPids)
+{
+    ChromeTraceSink sink;
+    TraceEmitter em(&sink, sink.uniqueTrack("t"), "t");
+    em.span("s", 0, 10);
+    std::ostringstream ss;
+    trace::writeChromeTrace(ss, {{"missing", nullptr}, {"pt", &sink}});
+    const std::string doc = ss.str();
+    EXPECT_TRUE(JsonChecker(doc).valid()) << doc;
+    // The present point keeps its registration-slot pid (1).
+    EXPECT_NE(doc.find("\"pid\":1"), std::string::npos);
+    EXPECT_EQ(doc.find("\"pid\":0"), std::string::npos);
+}
+
+// --------------------------------------------- instrumented components
+
+/**
+ * Fig10-style measurement under a trace: the software core's phase
+ * self-times must sum to the measurement's reported serialize time
+ * (the acceptance criterion for the instrumentation).
+ */
+TEST(HarnessTrace, SoftwareSelfTimesSumToReportedSeconds)
+{
+    ChromeTraceSink sink;
+    KlassRegistry reg;
+    workloads::MicroWorkloads micro(reg);
+    Heap src(reg, 0x1'0000'0000ULL);
+    Addr root =
+        micro.build(src, workloads::MicroBench::TreeNarrow, 1 << 14, 42);
+    auto ser = serde::makeSerializer("java", &reg);
+
+    workloads::SdMeasurement m;
+    {
+        trace::ScopedTrace scoped(sink);
+        m = workloads::measureSoftware(*ser, src, root);
+    }
+
+    Tick serSum = 0, deserSum = 0;
+    for (const auto &r : trace::selfTimes(sink)) {
+        if (r.track == "java.ser") {
+            serSum += r.selfTicks;
+        } else if (r.track == "java.deser") {
+            deserSum += r.selfTicks;
+        }
+    }
+    ASSERT_GT(serSum, 0u);
+    ASSERT_GT(deserSum, 0u);
+    EXPECT_DOUBLE_EQ(ticksToSeconds(serSum), m.serSeconds);
+    EXPECT_DOUBLE_EQ(ticksToSeconds(deserSum), m.deserSeconds);
+    // The serializers narrate named phases, not one opaque "run" span.
+    bool sawNamedPhase = false;
+    for (const auto &r : trace::selfTimes(sink)) {
+        if (r.track == "java.ser" && r.name != std::string("run")) {
+            sawNamedPhase = true;
+        }
+    }
+    EXPECT_TRUE(sawNamedPhase);
+}
+
+TEST(HarnessTrace, CerealMeasurementEmitsAccelTracks)
+{
+    ChromeTraceSink sink;
+    KlassRegistry reg;
+    workloads::MicroWorkloads micro(reg);
+    Heap src(reg, 0x1'0000'0000ULL);
+    Addr root =
+        micro.build(src, workloads::MicroBench::ListSmall, 1 << 14, 42);
+
+    {
+        trace::ScopedTrace scoped(sink);
+        workloads::measureCereal(src, root);
+    }
+
+    bool sawSu = false, sawDram = false, sawMai = false;
+    for (const auto &name : sink.tracks()) {
+        if (name.find("cereal.su0") == 0) {
+            sawSu = true;
+        }
+        if (name.find("cereal.ser_dram") == 0) {
+            sawDram = true;
+        }
+    }
+    for (const auto &ev : sink.events()) {
+        if (ev.kind == TraceEvent::Kind::Instant &&
+            (ev.name == std::string("mai_hit") ||
+             ev.name == std::string("mai_miss"))) {
+            sawMai = true;
+        }
+    }
+    EXPECT_TRUE(sawSu);
+    EXPECT_TRUE(sawDram);
+    EXPECT_TRUE(sawMai);
+}
+
+TEST(FuzzerTrace, ReplayEmitsPerFormatInstants)
+{
+    ChromeTraceSink sink;
+    FuzzStats stats;
+    {
+        trace::ScopedTrace scoped(sink);
+        DecoderFuzzer fuzzer;
+        stats = fuzzer.replayCorpus();
+    }
+    EXPECT_TRUE(stats.findings.empty());
+    ASSERT_GT(stats.decodeOk, 0u);
+
+    std::uint64_t okInstants = 0;
+    for (const auto &ev : sink.events()) {
+        if (ev.kind == TraceEvent::Kind::Instant &&
+            ev.name == std::string("decode_ok")) {
+            ++okInstants;
+        }
+    }
+    EXPECT_EQ(okInstants, stats.decodeOk);
+    bool sawJavaTrack = false;
+    for (const auto &name : sink.tracks()) {
+        if (name == "fuzz.java") {
+            sawJavaTrack = true;
+        }
+    }
+    EXPECT_TRUE(sawJavaTrack);
+}
+
+// ------------------------------------------------- sweep determinism
+
+/** A small two-point traced sweep exercising software + accel paths. */
+std::string
+renderTracedSweep(unsigned threads)
+{
+    runner::SweepRunner sweep("trace_unit");
+    for (auto mb : {workloads::MicroBench::TreeNarrow,
+                    workloads::MicroBench::ListSmall}) {
+        sweep.add(workloads::microBenchName(mb), [mb](json::Writer &w) {
+            KlassRegistry reg;
+            workloads::MicroWorkloads micro(reg);
+            Heap src(reg, 0x1'0000'0000ULL);
+            Addr root = micro.build(src, mb, 1 << 15, 42);
+            auto ser = serde::makeSerializer("kryo", &reg);
+            auto ms = workloads::measureSoftware(*ser, src, root);
+            auto mc = workloads::measureCereal(src, root);
+            w.kv("sw_ser_s", ms.serSeconds);
+            w.kv("accel_ser_s", mc.serSeconds);
+        });
+    }
+    sweep.enableTrace();
+    sweep.run(threads);
+    std::ostringstream ss;
+    sweep.writeTrace(ss);
+    return ss.str();
+}
+
+TEST(SweepTrace, TraceBytesAreIdenticalAcrossThreadCounts)
+{
+    const std::string serial = renderTracedSweep(1);
+    const std::string parallel = renderTracedSweep(4);
+    EXPECT_FALSE(serial.empty());
+    EXPECT_EQ(serial, parallel);
+    EXPECT_TRUE(JsonChecker(serial).valid());
+}
+
+TEST(SweepTrace, UntracedRunInstallsNoAmbientSink)
+{
+    runner::SweepRunner sweep("untraced");
+    bool pointRan = false;
+    sweep.add("pt", [&pointRan](json::Writer &w) {
+        // Ambient root must be disabled when enableTrace() was not
+        // called: instrumented components do no trace work.
+        EXPECT_EQ(trace::currentSink(), nullptr);
+        pointRan = true;
+        w.kv("x", 1);
+    });
+    sweep.run(1);
+    EXPECT_TRUE(pointRan);
+}
+
+// -------------------------------------------------------- golden trace
+
+/**
+ * Pinned golden trace of a tiny fig10-style run. Regenerate after a
+ * deliberate instrumentation/model change with:
+ *
+ *   CEREAL_UPDATE_GOLDEN=1 ./build/tests/test_trace \
+ *       --gtest_filter='GoldenTrace.*'
+ */
+TEST(GoldenTrace, SmallFig10RunMatchesPinnedDocument)
+{
+    runner::SweepRunner sweep("fig10_small");
+    sweep.add("tree-narrow", [](json::Writer &w) {
+        KlassRegistry reg;
+        workloads::MicroWorkloads micro(reg);
+        Heap src(reg, 0x1'0000'0000ULL);
+        Addr root = micro.build(src, workloads::MicroBench::TreeNarrow,
+                                1 << 16, 42);
+        auto java = serde::makeSerializer("java", &reg);
+        auto mj = workloads::measureSoftware(*java, src, root);
+        auto mc = workloads::measureCereal(src, root);
+        w.kv("java_ser_s", mj.serSeconds);
+        w.kv("cereal_ser_s", mc.serSeconds);
+    });
+    sweep.enableTrace();
+    sweep.run(1);
+    std::ostringstream ss;
+    sweep.writeTrace(ss);
+    const std::string doc = ss.str();
+    ASSERT_TRUE(JsonChecker(doc).valid());
+
+    const std::string path =
+        std::string(CEREAL_GOLDEN_DIR) + "/trace_fig10_small.json";
+    if (std::getenv("CEREAL_UPDATE_GOLDEN") != nullptr) {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        ASSERT_TRUE(out.good()) << "cannot write " << path;
+        out << doc;
+        return;
+    }
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good())
+        << "missing golden file " << path
+        << " (generate with CEREAL_UPDATE_GOLDEN=1)";
+    std::stringstream golden;
+    golden << in.rdbuf();
+    EXPECT_EQ(doc, golden.str())
+        << "trace output drifted from the pinned golden document; if "
+           "the change is deliberate, regenerate with "
+           "CEREAL_UPDATE_GOLDEN=1";
+}
+
+} // namespace
+} // namespace cereal
