@@ -12,6 +12,7 @@
  * bench::Options:
  *
  *   bench_<name> [scale] [--threads N] [--json [path]] [--trace <path>]
+ *               [--metrics <path> [--metrics-interval N]]
  *
  * --threads N runs the independent sweep points on a work-stealing
  * pool; output (stdout tables, JSON, and traces) is bit-identical to a
@@ -22,7 +23,12 @@
  * machine-readable perf trajectory. --trace records every point with
  * a per-point trace sink and writes one merged Chrome trace_event
  * document (open in chrome://tracing or https://ui.perfetto.dev) plus
- * a per-component self-time summary on stdout.
+ * a per-component self-time summary on stdout. --metrics samples every
+ * instrumented component's time series (see src/metrics) at a fixed
+ * tick interval and writes them as CSV (".csv" path) or the Prometheus
+ * text exposition format (any other path); the same series are embedded
+ * in the --json document. Metrics output is byte-identical across
+ * --threads values, like everything else.
  *
  * Unknown flags are fatal: a typoed `--thread 4` silently running
  * serially is exactly the kind of bug a measurement harness must not
@@ -58,6 +64,11 @@ class Options
     std::string jsonPath;
     /** Destination for the Chrome trace; empty = tracing off. */
     std::string tracePath;
+    /** Destination for the metrics export; empty = metrics off.
+     *  ".csv" selects long-form CSV, anything else Prometheus text. */
+    std::string metricsPath;
+    /** Metrics sampling interval, ticks (0 = recorder default). */
+    Tick metricsInterval = 0;
 
     /**
      * Parse the common bench command line. Unknown arguments are
@@ -127,9 +138,19 @@ class Options
             } else if (std::strcmp(arg, "--trace") == 0) {
                 fatal_if(i + 1 >= argc, "--trace needs an output path");
                 opts.tracePath = argv[++i];
+            } else if (std::strcmp(arg, "--metrics") == 0) {
+                fatal_if(i + 1 >= argc, "--metrics needs an output path");
+                opts.metricsPath = argv[++i];
+            } else if (std::strcmp(arg, "--metrics-interval") == 0) {
+                fatal_if(i + 1 >= argc || !isInteger(argv[i + 1]),
+                         "--metrics-interval needs a positive tick count");
+                opts.metricsInterval = std::strtoull(argv[++i], nullptr, 10);
+                fatal_if(opts.metricsInterval == 0,
+                         "--metrics-interval must be >= 1");
             } else if (std::strcmp(arg, "--help") == 0) {
                 std::printf("usage: %s [scale] [--threads N] [--json [path]]"
-                            " [--trace <path>]\n", argv[0]);
+                            " [--trace <path>] [--metrics <path>"
+                            " [--metrics-interval N]]\n", argv[0]);
                 std::printf("  scale          scale divisor (default %llu)\n",
                             static_cast<unsigned long long>(default_scale));
                 std::printf("  --threads N    run sweep points on N workers"
@@ -139,6 +160,10 @@ class Options
                             bench_name != nullptr ? bench_name : "<name>");
                 std::printf("  --trace <path> write a Chrome trace_event"
                             " JSON profile of every point\n");
+                std::printf("  --metrics <path>  write sampled time series"
+                            " (.csv = CSV, else Prometheus text)\n");
+                std::printf("  --metrics-interval N  sampling interval in"
+                            " ticks (default 1000000 = 1us)\n");
                 std::exit(0);
             } else if (isInteger(arg)) {
                 opts.scale = std::strtoull(arg, nullptr, 10);
@@ -176,6 +201,9 @@ runSweep(runner::SweepRunner &sweep, const Options &opts)
     if (!opts.tracePath.empty()) {
         sweep.enableTrace();
     }
+    if (!opts.metricsPath.empty()) {
+        sweep.enableMetrics(opts.metricsInterval);
+    }
     sweep.run(opts.threads);
 }
 
@@ -202,6 +230,10 @@ writeBenchOutputs(const runner::SweepRunner &sweep, const Options &opts,
         auto path = sweep.writeTraceFile(opts.tracePath);
         sweep.writeTraceSummary(std::cout);
         std::printf("trace: %s\n", path.c_str());
+    }
+    if (!opts.metricsPath.empty()) {
+        auto path = sweep.writeMetricsFile(opts.metricsPath);
+        std::printf("metrics: %s\n", path.c_str());
     }
 }
 

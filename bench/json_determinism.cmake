@@ -1,7 +1,7 @@
 # Runs a bench binary twice -- serial and with 8 worker threads -- and
-# fails unless the two JSON documents AND the two Chrome trace
-# documents are byte-identical. Invoked by ctest (see add_test in
-# CMakeLists.txt) with:
+# fails unless the two JSON documents, the two Chrome trace documents,
+# AND the two Prometheus metrics documents are byte-identical. Invoked
+# by ctest (see add_test in CMakeLists.txt) with:
 #   -DBENCH=<path to bench binary> -DWORKDIR=<scratch dir> -DNAME=<id>
 # A large scale divisor keeps the runtime in seconds while still
 # executing every sweep point.
@@ -11,14 +11,17 @@ set(json1 ${WORKDIR}/${NAME}_t1.json)
 set(json8 ${WORKDIR}/${NAME}_t8.json)
 set(trace1 ${WORKDIR}/${NAME}_t1.trace.json)
 set(trace8 ${WORKDIR}/${NAME}_t8.trace.json)
+set(prom1 ${WORKDIR}/${NAME}_t1.prom)
+set(prom8 ${WORKDIR}/${NAME}_t8.prom)
 
-foreach(cfg "1;${json1};${trace1}" "8;${json8};${trace8}")
+foreach(cfg "1;${json1};${trace1};${prom1}" "8;${json8};${trace8};${prom8}")
   list(GET cfg 0 threads)
   list(GET cfg 1 out)
   list(GET cfg 2 trace_out)
+  list(GET cfg 3 prom_out)
   execute_process(
     COMMAND ${BENCH} ${scale} --threads ${threads} --json ${out}
-            --trace ${trace_out}
+            --trace ${trace_out} --metrics ${prom_out}
     RESULT_VARIABLE rc
     OUTPUT_VARIABLE stdout
     ERROR_VARIABLE stderr)
@@ -45,4 +48,13 @@ if(NOT trace_diff EQUAL 0)
   message(FATAL_ERROR
           "trace output differs between --threads 1 and --threads 8: "
           "${trace1} vs ${trace8}")
+endif()
+
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                        ${prom1} ${prom8}
+                RESULT_VARIABLE prom_diff)
+if(NOT prom_diff EQUAL 0)
+  message(FATAL_ERROR
+          "metrics output differs between --threads 1 and --threads 8: "
+          "${prom1} vs ${prom8}")
 endif()

@@ -19,6 +19,42 @@ CerealDevice::CerealDevice(Dram &dram, const AccelConfig &cfg)
         duMai_.push_back(
             std::make_unique<Mai>(dram, cfg_.maiEntries, &tlb_));
     }
+
+    metrics_ = metrics::Group(metrics::current(), "cereal.accel");
+    if (metrics_.enabled()) {
+        // Busy ticks accumulate monotonically (resetBusyStats() has no
+        // in-tree callers), so rate deltas stay non-negative.
+        metrics_.rate("su_busy_frac",
+                      "mean busy fraction across serialization units",
+                      [this] { return static_cast<double>(suBusy_); },
+                      1.0 / static_cast<double>(cfg_.numSU));
+        metrics_.rate("du_busy_frac",
+                      "mean busy fraction across deserialization units",
+                      [this] { return static_cast<double>(duBusy_); },
+                      1.0 / static_cast<double>(cfg_.numDU));
+        metrics_.ratio("mai_hit_rate",
+                       "MAI coalesce/data-buffer hits per request",
+                       [this] {
+                           std::uint64_t hits = 0;
+                           for (const auto &m : suMai_) {
+                               hits += m->coalescedHits();
+                           }
+                           for (const auto &m : duMai_) {
+                               hits += m->coalescedHits();
+                           }
+                           return static_cast<double>(hits);
+                       },
+                       [this] {
+                           std::uint64_t reqs = 0;
+                           for (const auto &m : suMai_) {
+                               reqs += m->requests();
+                           }
+                           for (const auto &m : duMai_) {
+                               reqs += m->requests();
+                           }
+                           return static_cast<double>(reqs);
+                       });
+    }
 }
 
 AccelOpResult
@@ -41,6 +77,7 @@ CerealDevice::serialize(Heap &heap, Addr root, Tick submit)
     SuResult r = su.serialize(heap, root, start, stream_base);
     suFreeAt_[unit] = r.done;
     suBusy_ += r.done - start;
+    metrics_.tick(r.done);
     if (unit < suTrace_.size()) {
         suTrace_[unit].span("serialize", start, r.done);
     }
@@ -72,6 +109,7 @@ CerealDevice::deserialize(const CerealStream &stream, Addr dst_base,
     DuResult r = du.deserialize(stream, stream_base, dst_base, start);
     duFreeAt_[unit] = r.done;
     duBusy_ += r.done - start;
+    metrics_.tick(r.done);
     if (unit < duTrace_.size()) {
         duTrace_[unit].span("deserialize", start, r.done);
     }

@@ -29,6 +29,7 @@
 #include "cereal/accel/su.hh"
 #include "cereal/accel/tlb.hh"
 #include "cereal/cereal_serializer.hh"
+#include "metrics/metrics.hh"
 
 namespace cereal {
 
@@ -105,6 +106,11 @@ class CerealDevice
 
     Tick suBusy_ = 0;
     Tick duBusy_ = 0;
+    /**
+     * Time-series registration with the ambient metrics recorder:
+     * SU/DU busy fractions and the MAI coalesce-hit rate.
+     */
+    metrics::Group metrics_;
     /** Command-queue + scheduler latency, cycles. */
     static constexpr Cycles kDispatchCycles = 4;
 };

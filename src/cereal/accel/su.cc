@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "heap/object.hh"
+#include "metrics/metrics.hh"
 #include "sim/event_queue.hh"
 #include "sim/logging.hh"
 
@@ -121,6 +122,17 @@ class SuSim
           bitmapEnds_(mai, stream_base + 0x2800'0000ULL),
           headerSlots_(heap.registry().headerSlots())
     {
+        // One group per op; the recorder uniquifies repeated prefixes
+        // ("cereal.accel.su", "cereal.accel.su#1", ...) the way
+        // per-unit trace tracks do.
+        metrics_ = metrics::Group(metrics::current(), "cereal.accel.su");
+        if (metrics_.enabled()) {
+            metrics_.gauge("hm_queue",
+                           "header-manager pending-reference queue depth",
+                           [this](Tick) {
+                               return static_cast<double>(pending_.size());
+                           });
+        }
     }
 
     SuResult
@@ -184,6 +196,7 @@ class SuSim
         pending_.push_back({target, arrival, chk_done});
         trace_.counter("hm_queue", arrival,
                        static_cast<double>(pending_.size()));
+        metrics_.tick(arrival);
         scheduleHm(arrival);
     }
 
@@ -236,6 +249,7 @@ class SuSim
         pending_.pop_front();
         trace_.counter("hm_queue", now,
                        static_cast<double>(pending_.size()));
+        metrics_.tick(now);
         ++out_.refs;
 
         Tick hm_t = now + cyc(cfg_.hmPerRef);
@@ -344,6 +358,7 @@ class SuSim
     AccelConfig cfg_;
     ClockDomain clk_;
     trace::TraceEmitter trace_;
+    metrics::Group metrics_;
     Tick start_;
 
     EventQueue evq_;

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "cluster/frame.hh"
+#include "metrics/metrics.hh"
 #include "sim/logging.hh"
 #include "sim/rng.hh"
 #include "trace/trace.hh"
@@ -40,8 +41,24 @@ struct Worker
     EventQueue *eq = nullptr;
     /** This worker's trace track (disabled when tracing is off). */
     trace::TraceEmitter trace;
+    /** This worker's queue-length time series. */
+    metrics::Group metrics;
     std::deque<Job> q;
     bool busy = false;
+
+    void
+    initMetrics(std::uint32_t node)
+    {
+        metrics = metrics::Group(metrics::current(),
+                                 "cluster.n" + std::to_string(node));
+        if (metrics.enabled()) {
+            metrics.gauge("queue_len",
+                          "jobs waiting at this node's worker",
+                          [this](Tick) {
+                              return static_cast<double>(q.size());
+                          });
+        }
+    }
 
     void
     enqueue(Tick service, const char *label, std::function<void()> done)
@@ -49,6 +66,7 @@ struct Worker
         q.push_back({service, label, std::move(done)});
         trace.counter("queue", eq->now(),
                       static_cast<double>(q.size()));
+        metrics.tick(eq->now());
         if (!busy) {
             startNext();
         }
@@ -66,6 +84,7 @@ struct Worker
         q.pop_front();
         trace.counter("queue", eq->now(),
                       static_cast<double>(q.size()));
+        metrics.tick(eq->now());
         const Tick start = eq->now();
         const char *label = job.label;
         eq->scheduleIn(job.service,
@@ -151,6 +170,7 @@ ClusterSim::runShuffle() const
     std::vector<Worker> workers(n);
     for (std::uint32_t i = 0; i < n; ++i) {
         workers[i].eq = &eq;
+        workers[i].initMetrics(i);
         if (em.enabled()) {
             workers[i].trace =
                 em.sub(("node" + std::to_string(i)).c_str());
@@ -233,6 +253,7 @@ ClusterSim::runServing(double utilization,
     std::vector<Worker> workers(n);
     for (std::uint32_t i = 0; i < n; ++i) {
         workers[i].eq = &eq;
+        workers[i].initMetrics(i);
         if (em.enabled()) {
             workers[i].trace =
                 em.sub(("node" + std::to_string(i)).c_str());

@@ -18,6 +18,26 @@ Fabric::Fabric(EventQueue &eq, unsigned nodes, NetConfig cfg,
     for (auto &p : ports_) {
         p.flows.resize(nodes);
     }
+
+    metrics_ = metrics::Group(metrics::current(), "cluster.fabric");
+    if (metrics_.enabled()) {
+        for (unsigned i = 0; i < nodes; ++i) {
+            const std::string n = "n" + std::to_string(i);
+            metrics_.rate((n + ".tx_util").c_str(),
+                          "egress-link busy fraction of this node",
+                          [this, i] {
+                              return static_cast<double>(
+                                  ports_[i].txBusyTicks);
+                          },
+                          1.0);
+            metrics_.gauge((n + ".queued_frames").c_str(),
+                           "frames backlogged across egress flows",
+                           [this, i](Tick) {
+                               return static_cast<double>(
+                                   ports_[i].queuedFrames);
+                           });
+        }
+    }
 }
 
 void
@@ -66,6 +86,7 @@ Fabric::send(std::uint32_t src, std::uint32_t dst,
             "queued_frames", eq_->now(),
             static_cast<double>(ports_[src].queuedFrames));
     }
+    metrics_.tick(eq_->now());
     if (!ports_[src].busy) {
         kickEgress(src);
     }
@@ -109,6 +130,10 @@ Fabric::kickEgress(std::uint32_t src)
 
     const Tick tx = txTicks(batch_bytes);
     port.busy = true;
+    // Schedule-synchronous attribution: the whole batch occupancy is
+    // charged at batch start.
+    port.txBusyTicks += tx;
+    metrics_.tick(eq_->now());
     if (!txTrace_.empty()) {
         txTrace_[src].span("tx_batch", eq_->now(), eq_->now() + tx);
         txTrace_[src].counter("queued_frames", eq_->now(),
@@ -128,6 +153,7 @@ Fabric::kickEgress(std::uint32_t src)
         const Tick start = std::max(eq_->now(), in.rxBusyUntil);
         const Tick done = start + tx;
         in.rxBusyUntil = done;
+        metrics_.tick(eq_->now());
         if (!rxTrace_.empty()) {
             rxTrace_[dst].span("rx_batch", start, done);
         }

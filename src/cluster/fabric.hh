@@ -26,6 +26,7 @@
 #include <functional>
 #include <vector>
 
+#include "metrics/metrics.hh"
 #include "sim/event_queue.hh"
 #include "trace/trace.hh"
 
@@ -90,6 +91,8 @@ class Fabric
         Tick rxBusyUntil = 0;
         /** Frames queued across this port's egress flows. */
         std::uint64_t queuedFrames = 0;
+        /** Cumulative egress-link occupancy, ticks (never reset). */
+        Tick txBusyTicks = 0;
     };
 
     void kickEgress(std::uint32_t src);
@@ -101,6 +104,11 @@ class Fabric
     /** Per-node link trace tracks (empty when tracing is off). */
     std::vector<trace::TraceEmitter> txTrace_;
     std::vector<trace::TraceEmitter> rxTrace_;
+    /**
+     * Time-series registration with the ambient metrics recorder:
+     * per-node egress-link utilization and queued-frame backlog.
+     */
+    metrics::Group metrics_;
     std::uint64_t wireBytes_ = 0;
     std::uint64_t batches_ = 0;
 };

@@ -12,6 +12,36 @@ CoreModel::CoreModel(Dram &dram, const CoreConfig &cfg, Tick start_tick)
       startTick_(start_tick), period_(periodFromMHz(cfg.freqMHz))
 {
     dramBytesAtStart_ = dram.bytesRead() + dram.bytesWritten();
+
+    metrics_ = metrics::Group(metrics::current(), "cpu.core");
+    if (metrics_.enabled()) {
+        metrics_.gauge("miss_window",
+                       "outstanding overlapped DRAM misses",
+                       [this](Tick) {
+                           return static_cast<double>(outstanding_.size());
+                       });
+        metrics_.ratio("mlp_stall_frac",
+                       "fraction of core time stalled on the MLP window",
+                       [this] {
+                           return static_cast<double>(mlpStallTicks_);
+                       },
+                       [this] {
+                           return static_cast<double>(curTick() -
+                                                      startTick_);
+                       });
+        metrics_.ratio("dep_stall_frac",
+                       "fraction of core time stalled on dependent loads",
+                       [this] {
+                           return static_cast<double>(depStallTicks_);
+                       },
+                       [this] {
+                           return static_cast<double>(curTick() -
+                                                      startTick_);
+                       });
+        metrics_.ratio("ipc", "instructions retired per core cycle",
+                       [this] { return static_cast<double>(insts_); },
+                       [this] { return cycles_; });
+    }
 }
 
 Tick
@@ -47,6 +77,7 @@ CoreModel::compute(std::uint64_t ops)
 {
     insts_ += ops;
     cycles_ += static_cast<double>(ops) * cfg_.cpiBase;
+    metrics_.tick(curTick());
 }
 
 void
@@ -69,6 +100,7 @@ CoreModel::waitForWindowSlot()
         }
     }
     if (curTick() > stallFrom) {
+        mlpStallTicks_ += curTick() - stallFrom;
         trace_.span("mlp_stall", stallFrom, curTick());
     }
 }
@@ -112,8 +144,10 @@ CoreModel::lineAccess(Addr line_addr, bool write, bool dependent)
             cycles_, static_cast<double>(res.completeTick - startTick_) /
                          static_cast<double>(period_));
         if (curTick() > stallFrom) {
+            depStallTicks_ += curTick() - stallFrom;
             trace_.span("dep_stall", stallFrom, curTick());
         }
+        metrics_.tick(curTick());
         return res.completeTick;
     }
 
@@ -121,6 +155,7 @@ CoreModel::lineAccess(Addr line_addr, bool write, bool dependent)
     waitForWindowSlot();
     auto res = dram_->access(line_addr, write, curTick());
     outstanding_.push_back(res.completeTick);
+    metrics_.tick(curTick());
     return res.completeTick;
 }
 
@@ -179,6 +214,7 @@ CoreModel::drain()
         }
     }
     if (curTick() > stallFrom) {
+        mlpStallTicks_ += curTick() - stallFrom;
         trace_.span("mlp_stall", stallFrom, curTick());
     }
 }
@@ -187,6 +223,7 @@ CoreRunStats
 CoreModel::finish()
 {
     drain();
+    metrics_.tick(curTick());
     // Close the last phase span so phase spans tile the whole region.
     if (trace_.enabled() && curTick() > phaseStart_) {
         trace_.span(phaseName_, phaseStart_, curTick());

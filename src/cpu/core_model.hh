@@ -33,6 +33,7 @@
 
 #include "mem/cache.hh"
 #include "mem/dram.hh"
+#include "metrics/metrics.hh"
 #include "serde/sink.hh"
 #include "sim/types.hh"
 #include "trace/trace.hh"
@@ -143,6 +144,15 @@ class CoreModel : public MemSink, public trace::TraceClock
 
     /** Completion ticks of in-flight DRAM misses (FIFO retire). */
     std::deque<Tick> outstanding_;
+
+    /**
+     * Time-series registration with the ambient metrics recorder:
+     * miss-window occupancy, stall fractions, and IPC.
+     */
+    metrics::Group metrics_;
+    /** Ticks spent stalled on the MLP window / on dependent loads. */
+    Tick mlpStallTicks_ = 0;
+    Tick depStallTicks_ = 0;
 
     trace::TraceEmitter trace_;
     /** Current phase (literal) and the tick its span opened at. */

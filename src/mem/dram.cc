@@ -28,6 +28,57 @@ Dram::Dram(const std::string &name, EventQueue &eq, const DramConfig &cfg)
     stats().add("writes", "write bursts serviced", statWrites_);
     stats().add("rowHits", "row-buffer hits", statRowHits_);
     stats().add("rowMisses", "row-buffer misses", statRowMisses_);
+
+    chBytes_.assign(cfg_.numChannels, 0);
+    metrics_ = metrics::Group(metrics::current(), "mem.dram");
+    if (metrics_.enabled()) {
+        // One burst occupies a channel for tBURST_ ticks, so peak
+        // per-channel throughput is burstBytes / tBURST_ bytes/tick.
+        const double per_tick_peak =
+            static_cast<double>(cfg_.burstBytes) /
+            static_cast<double>(tBURST_);
+        for (unsigned i = 0; i < cfg_.numChannels; ++i) {
+            const std::string ch = "ch" + std::to_string(i);
+            metrics_.rate(
+                (ch + ".bw_util").c_str(),
+                "achieved / peak bandwidth of this channel",
+                [this, i] {
+                    return static_cast<double>(chBytes_[i]);
+                },
+                1.0 / per_tick_peak);
+            metrics_.gauge(
+                (ch + ".queue_depth").c_str(),
+                "bursts queued ahead on this channel's data bus",
+                [this, i](Tick t) {
+                    const Tick free = channels_[i].busFreeAt;
+                    return free > t ? static_cast<double>(free - t) /
+                                          static_cast<double>(tBURST_)
+                                    : 0.0;
+                });
+        }
+        // Aggregate closures read the never-reset per-channel/cum
+        // counters so a resetStats() mid-run cannot produce negative
+        // deltas.
+        metrics_.rate(
+            "bw_util", "achieved / peak bandwidth across all channels",
+            [this] {
+                std::uint64_t total = 0;
+                for (auto b : chBytes_) {
+                    total += b;
+                }
+                return static_cast<double>(total);
+            },
+            1.0 / (per_tick_peak *
+                   static_cast<double>(cfg_.numChannels)));
+        metrics_.ratio(
+            "row_hit_rate", "row-buffer hits per access this interval",
+            [this] { return static_cast<double>(cumRowHits_); },
+            [this] { return static_cast<double>(cumAccesses_); });
+        // Cumulative counters come straight off the StatGroup, via
+        // the by-name bridge the metrics registry provides.
+        metrics_.gaugeFromStat(stats(), "reads");
+        metrics_.gaugeFromStat(stats(), "writes");
+    }
 }
 
 void
@@ -85,6 +136,7 @@ Dram::access(Addr addr, bool write, Tick issue)
     }
 
     ++accesses_;
+    ++cumAccesses_;
     if (write) {
         bytesWritten_ += cfg_.burstBytes;
         ++statWrites_;
@@ -94,11 +146,14 @@ Dram::access(Addr addr, bool write, Tick issue)
     }
     if (row_hit) {
         ++rowHits_;
+        ++cumRowHits_;
         ++statRowHits_;
     } else {
         ++statRowMisses_;
     }
     latencySumNs_ += static_cast<double>(complete - issue) / 1e3;
+    chBytes_[ch_idx] += cfg_.burstBytes;
+    metrics_.tick(complete);
 
     return {complete, row_hit};
 }

@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "metrics/metrics.hh"
 #include "sim/sim_object.hh"
 #include "sim/types.hh"
 #include "trace/trace.hh"
@@ -114,6 +115,8 @@ class Dram : public SimObject
     std::uint64_t bytesRead() const { return bytesRead_; }
     /** Bytes written since the last resetStats(). */
     std::uint64_t bytesWritten() const { return bytesWritten_; }
+    /** Bytes moved on channel @p ch since construction. */
+    std::uint64_t channelBytes(unsigned ch) const { return chBytes_[ch]; }
     /** Total accesses since the last resetStats(). */
     std::uint64_t accesses() const { return accesses_; }
     /** Row-buffer hits since the last resetStats(). */
@@ -160,6 +163,17 @@ class Dram : public SimObject
     std::vector<Channel> channels_;
     /** One emitter per channel; empty when tracing is off. */
     std::vector<trace::TraceEmitter> chTrace_;
+    /**
+     * Time-series registration with the ambient metrics recorder:
+     * per-channel bandwidth utilization and queue depth, plus row-hit
+     * rate and the cumulative counters bridged from stats().
+     */
+    metrics::Group metrics_;
+    /** Cumulative bytes moved per channel (metrics never reset). */
+    std::vector<std::uint64_t> chBytes_;
+    /** Cumulative accesses/row-hits (unaffected by resetStats()). */
+    std::uint64_t cumAccesses_ = 0;
+    std::uint64_t cumRowHits_ = 0;
 
     Tick tRCD_, tCAS_, tRP_, tBURST_, tCtrl_;
 

@@ -1,0 +1,480 @@
+#include "metrics/metrics.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/json.hh"
+#include "sim/logging.hh"
+
+namespace cereal {
+namespace metrics {
+
+namespace {
+
+/**
+ * Thread-local ambient recorder: each sweep point runs start-to-finish
+ * on one pool thread (the trace/JSON slot argument), so per-thread
+ * roots keep concurrent points isolated without locks.
+ */
+thread_local MetricsRecorder *tls_recorder = nullptr;
+
+} // namespace
+
+const char *
+kindName(Kind k)
+{
+    switch (k) {
+      case Kind::Gauge: return "gauge";
+      case Kind::Rate: return "rate";
+      case Kind::Ratio: return "ratio";
+    }
+    return "?";
+}
+
+// ------------------------------------------------------------- Series
+
+Series::Series(std::string name, std::string help, Kind kind,
+               std::size_t max_samples, Tick interval)
+    : name_(std::move(name)), help_(std::move(help)), kind_(kind),
+      next_(interval), interval_(interval)
+{
+    panic_if(interval_ == 0, "metrics interval must be >= 1 tick");
+    panic_if(max_samples == 0, "metrics ring capacity must be >= 1");
+    ring_.resize(max_samples);
+}
+
+std::vector<Sample>
+Series::samples() const
+{
+    std::vector<Sample> out;
+    out.reserve(count_);
+    for (std::size_t i = 0; i < count_; ++i) {
+        out.push_back(ring_[(head_ + i) % ring_.size()]);
+    }
+    return out;
+}
+
+Sample
+Series::last() const
+{
+    panic_if(count_ == 0, "Series::last() on empty series '%s'",
+             name_.c_str());
+    return ring_[(head_ + count_ - 1) % ring_.size()];
+}
+
+void
+Series::push(Tick at, double v)
+{
+    if (count_ == ring_.size()) {
+        ring_[head_] = {at, v};
+        head_ = (head_ + 1) % ring_.size();
+        ++dropped_;
+    } else {
+        ring_[(head_ + count_) % ring_.size()] = {at, v};
+        ++count_;
+    }
+}
+
+void
+Series::sampleAt(Tick at)
+{
+    switch (kind_) {
+      case Kind::Gauge:
+        push(at, gauge_(at));
+        break;
+      case Kind::Rate: {
+        const double cur = num_();
+        const double delta = cur - prevNum_;
+        prevNum_ = cur;
+        push(at, delta / static_cast<double>(interval_) * scale_);
+        break;
+      }
+      case Kind::Ratio: {
+        const double num = num_();
+        const double den = den_();
+        const double dn = num - prevNum_;
+        const double dd = den - prevDen_;
+        prevNum_ = num;
+        prevDen_ = den;
+        push(at, dd != 0 ? dn / dd : 0.0);
+        break;
+      }
+    }
+}
+
+// ----------------------------------------------------- MetricsRecorder
+
+MetricsRecorder::MetricsRecorder(Tick interval, std::size_t max_samples)
+    : interval_(interval), maxSamples_(max_samples)
+{
+    panic_if(interval_ == 0, "metrics interval must be >= 1 tick");
+    panic_if(maxSamples_ == 0, "metrics ring capacity must be >= 1");
+}
+
+std::string
+MetricsRecorder::uniquePrefix(const std::string &prefix)
+{
+    for (auto &[name, uses] : prefixes_) {
+        if (name == prefix) {
+            ++uses;
+            return prefix + "#" + std::to_string(uses - 1);
+        }
+    }
+    prefixes_.push_back({prefix, 1});
+    return prefix;
+}
+
+std::size_t
+MetricsRecorder::addGauge(std::string name, std::string help, GaugeFn fn)
+{
+    series_.emplace_back(std::move(name), std::move(help), Kind::Gauge,
+                         maxSamples_, interval_);
+    series_.back().gauge_ = std::move(fn);
+    return series_.size() - 1;
+}
+
+std::size_t
+MetricsRecorder::addRate(std::string name, std::string help, CounterFn fn,
+                         double scale)
+{
+    series_.emplace_back(std::move(name), std::move(help), Kind::Rate,
+                         maxSamples_, interval_);
+    auto &s = series_.back();
+    s.num_ = std::move(fn);
+    s.scale_ = scale;
+    s.prevNum_ = s.num_();
+    return series_.size() - 1;
+}
+
+std::size_t
+MetricsRecorder::addRatio(std::string name, std::string help,
+                          CounterFn num, CounterFn den)
+{
+    series_.emplace_back(std::move(name), std::move(help), Kind::Ratio,
+                         maxSamples_, interval_);
+    auto &s = series_.back();
+    s.num_ = std::move(num);
+    s.den_ = std::move(den);
+    s.prevNum_ = s.num_();
+    s.prevDen_ = s.den_();
+    return series_.size() - 1;
+}
+
+void
+MetricsRecorder::detach(const std::vector<std::size_t> &ids)
+{
+    for (std::size_t id : ids) {
+        Series &s = series_[id];
+        s.live_ = false;
+        s.gauge_ = nullptr;
+        s.num_ = nullptr;
+        s.den_ = nullptr;
+    }
+}
+
+void
+MetricsRecorder::tickSeries(const std::vector<std::size_t> &ids, Tick now)
+{
+    for (std::size_t id : ids) {
+        Series &s = series_[id];
+        while (s.live_ && now >= s.next_) {
+            s.sampleAt(s.next_);
+            s.next_ += interval_;
+        }
+    }
+}
+
+void
+MetricsRecorder::writeJson(json::Writer &w) const
+{
+    w.key("metrics");
+    w.beginObject();
+    w.kv("interval_ticks", interval_);
+    w.key("series");
+    w.beginArray();
+    for (const auto &s : series_) {
+        w.beginObject();
+        w.kv("name", s.name());
+        w.kv("kind", kindName(s.kind()));
+        w.kv("help", s.help());
+        w.kv("dropped", s.dropped());
+        const auto samples = s.samples();
+        w.key("ticks");
+        w.beginArray();
+        for (const auto &sm : samples) {
+            w.value(sm.tick);
+        }
+        w.endArray();
+        w.key("values");
+        w.beginArray();
+        for (const auto &sm : samples) {
+            w.value(sm.value);
+        }
+        w.endArray();
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+}
+
+void
+MetricsRecorder::writeCsvHeader(std::ostream &os)
+{
+    os << "point,series,kind,tick,value\n";
+}
+
+void
+MetricsRecorder::writeCsvRows(std::ostream &os,
+                              const std::string &point) const
+{
+    for (const auto &s : series_) {
+        for (const auto &sm : s.samples()) {
+            os << point << ',' << s.name() << ',' << kindName(s.kind())
+               << ',' << sm.tick << ',' << json::formatDouble(sm.value)
+               << '\n';
+        }
+    }
+}
+
+// -------------------------------------------------------------- Group
+
+Group::Group(MetricsRecorder *r, const std::string &prefix) : rec_(r)
+{
+    if (rec_ != nullptr) {
+        prefix_ = rec_->uniquePrefix(prefix);
+    }
+}
+
+Group::Group(Group &&other) noexcept
+    : rec_(other.rec_), prefix_(std::move(other.prefix_)),
+      ids_(std::move(other.ids_))
+{
+    other.rec_ = nullptr;
+    other.ids_.clear();
+}
+
+Group &
+Group::operator=(Group &&other) noexcept
+{
+    if (this != &other) {
+        if (rec_ != nullptr) {
+            rec_->detach(ids_);
+        }
+        rec_ = other.rec_;
+        prefix_ = std::move(other.prefix_);
+        ids_ = std::move(other.ids_);
+        other.rec_ = nullptr;
+        other.ids_.clear();
+    }
+    return *this;
+}
+
+Group::~Group()
+{
+    if (rec_ != nullptr) {
+        rec_->detach(ids_);
+    }
+}
+
+void
+Group::gauge(const char *name, const char *help, GaugeFn fn)
+{
+    if (rec_ == nullptr) {
+        return;
+    }
+    ids_.push_back(
+        rec_->addGauge(prefix_ + "." + name, help, std::move(fn)));
+}
+
+void
+Group::rate(const char *name, const char *help, CounterFn fn, double scale)
+{
+    if (rec_ == nullptr) {
+        return;
+    }
+    ids_.push_back(
+        rec_->addRate(prefix_ + "." + name, help, std::move(fn), scale));
+}
+
+void
+Group::ratio(const char *name, const char *help, CounterFn num,
+             CounterFn den)
+{
+    if (rec_ == nullptr) {
+        return;
+    }
+    ids_.push_back(rec_->addRatio(prefix_ + "." + name, help,
+                                  std::move(num), std::move(den)));
+}
+
+void
+Group::gaugeFromStat(const stats::StatGroup &sg,
+                     const std::string &stat_name)
+{
+    if (rec_ == nullptr) {
+        return;
+    }
+    const stats::Entry *e = sg.find(stat_name);
+    panic_if(e == nullptr, "metrics: no stat '%s' in group '%s'",
+             stat_name.c_str(), sg.name().c_str());
+    GaugeFn fn;
+    switch (e->kind) {
+      case stats::Kind::Scalar: {
+        const auto *s = static_cast<const stats::Scalar *>(e->stat);
+        fn = [s](Tick) { return s->value(); };
+        break;
+      }
+      case stats::Kind::Average: {
+        const auto *a = static_cast<const stats::Average *>(e->stat);
+        fn = [a](Tick) { return a->mean(); };
+        break;
+      }
+      case stats::Kind::Histogram: {
+        const auto *h = static_cast<const stats::Histogram *>(e->stat);
+        fn = [h](Tick) { return h->mean(); };
+        break;
+      }
+      case stats::Kind::Distribution: {
+        const auto *d = static_cast<const stats::Distribution *>(e->stat);
+        fn = [d](Tick) { return d->p50(); };
+        break;
+      }
+      case stats::Kind::Formula: {
+        const auto *f = static_cast<const stats::Formula *>(e->stat);
+        fn = [f](Tick) { return f->value(); };
+        break;
+      }
+    }
+    ids_.push_back(rec_->addGauge(prefix_ + "." + stat_name, e->desc,
+                                  std::move(fn)));
+}
+
+void
+Group::bindStatGroup(const stats::StatGroup &sg)
+{
+    if (rec_ == nullptr) {
+        return;
+    }
+    for (const auto &e : sg.entries()) {
+        gaugeFromStat(sg, e.name);
+    }
+}
+
+void
+Group::tick(Tick now)
+{
+    if (rec_ == nullptr) {
+        return;
+    }
+    rec_->tickSeries(ids_, now);
+}
+
+// ------------------------------------------------------------ ambient
+
+MetricsRecorder *
+current()
+{
+    return tls_recorder;
+}
+
+ScopedMetrics::ScopedMetrics(MetricsRecorder &rec) : prev_(tls_recorder)
+{
+    tls_recorder = &rec;
+}
+
+ScopedMetrics::~ScopedMetrics()
+{
+    tls_recorder = prev_;
+}
+
+// -------------------------------------------------- merged exporters
+
+void
+writeCsv(std::ostream &os, const std::vector<MetricsPoint> &points)
+{
+    MetricsRecorder::writeCsvHeader(os);
+    for (const auto &p : points) {
+        p.recorder->writeCsvRows(os, p.name);
+    }
+}
+
+std::string
+promName(const std::string &series_name)
+{
+    std::string out = "cereal_";
+    for (char c : series_name) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_' || c == ':';
+        out.push_back(ok ? c : '_');
+    }
+    return out;
+}
+
+void
+writeProm(std::ostream &os, const std::vector<MetricsPoint> &points)
+{
+    // Escape a label value per the exposition format.
+    auto esc = [](const std::string &s) {
+        std::string out;
+        for (char c : s) {
+            if (c == '\\' || c == '"') {
+                out.push_back('\\');
+                out.push_back(c);
+            } else if (c == '\n') {
+                out += "\\n";
+            } else {
+                out.push_back(c);
+            }
+        }
+        return out;
+    };
+
+    // Group sample lines by family (sanitized name) so each family is
+    // one contiguous block after its HELP/TYPE header, as the format
+    // requires. Families keep first-seen order for determinism.
+    struct Family
+    {
+        std::string help;
+        Kind kind;
+        std::vector<std::string> lines;
+    };
+    std::vector<std::pair<std::string, Family>> families;
+    auto family = [&](const std::string &name, const std::string &help,
+                      Kind kind) -> Family & {
+        for (auto &[n, f] : families) {
+            if (n == name) {
+                return f;
+            }
+        }
+        families.push_back({name, {help, kind, {}}});
+        return families.back().second;
+    };
+
+    for (const auto &p : points) {
+        for (const auto &s : p.recorder->series()) {
+            if (s.sampleCount() == 0) {
+                continue; // nothing observed; deterministic skip
+            }
+            const std::string fam = promName(s.name());
+            Family &f = family(fam, s.help(), s.kind());
+            const Sample last = s.last();
+            f.lines.push_back(
+                fam + "{point=\"" + esc(p.name) + "\",series=\"" +
+                esc(s.name()) + "\"} " + json::formatDouble(last.value) +
+                " " + std::to_string(last.tick));
+        }
+    }
+
+    for (const auto &[name, f] : families) {
+        os << "# HELP " << name << ' ' << (f.help.empty() ? "-" : f.help)
+           << '\n';
+        // Rates/ratios are windowed derivations sampled as gauges.
+        os << "# TYPE " << name << " gauge\n";
+        for (const auto &line : f.lines) {
+            os << line << '\n';
+        }
+    }
+}
+
+} // namespace metrics
+} // namespace cereal

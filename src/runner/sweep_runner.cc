@@ -26,6 +26,9 @@ SweepRunner::run(unsigned threads)
     if (traceEnabled_) {
         pointTrace_.resize(points_.size());
     }
+    if (metricsEnabled_) {
+        pointMetrics_.resize(points_.size());
+    }
 
     auto run_point = [this](std::size_t i) {
         std::unique_ptr<trace::ScopedTrace> scope;
@@ -33,11 +36,22 @@ SweepRunner::run(unsigned threads)
             pointTrace_[i] = std::make_unique<trace::ChromeTraceSink>();
             scope = std::make_unique<trace::ScopedTrace>(*pointTrace_[i]);
         }
+        std::unique_ptr<metrics::ScopedMetrics> mscope;
+        if (metricsEnabled_) {
+            pointMetrics_[i] = std::make_unique<metrics::MetricsRecorder>(
+                metricsInterval_ ? metricsInterval_
+                                 : metrics::MetricsRecorder::kDefaultInterval);
+            mscope =
+                std::make_unique<metrics::ScopedMetrics>(*pointMetrics_[i]);
+        }
         std::ostringstream ss;
         json::Writer w(ss, 2, kPointDepth);
         w.beginObject();
         w.kv("name", points_[i].name);
         points_[i].fn(w);
+        if (metricsEnabled_) {
+            pointMetrics_[i]->writeJson(w);
+        }
         w.endObject();
         panic_if(!w.balanced(),
                  "sweep point '%s' left the JSON writer unbalanced",
@@ -151,6 +165,74 @@ void
 SweepRunner::writeTraceSummary(std::ostream &os) const
 {
     trace::writeSelfTimeSummary(os, tracePoints());
+}
+
+void
+SweepRunner::enableMetrics(Tick interval)
+{
+    panic_if(ran_, "enableMetrics() after run()");
+    metricsEnabled_ = true;
+    metricsInterval_ = interval;
+}
+
+const metrics::MetricsRecorder &
+SweepRunner::pointMetrics(std::size_t i) const
+{
+    panic_if(!ran_ || !metricsEnabled_,
+             "pointMetrics() needs enableMetrics() before run()");
+    panic_if(i >= pointMetrics_.size(),
+             "pointMetrics(%zu): only %zu points", i,
+             pointMetrics_.size());
+    return *pointMetrics_[i];
+}
+
+std::vector<metrics::MetricsPoint>
+SweepRunner::metricsPoints() const
+{
+    panic_if(!ran_ || !metricsEnabled_,
+             "metrics output needs enableMetrics() before run()");
+    std::vector<metrics::MetricsPoint> pts;
+    pts.reserve(points_.size());
+    for (std::size_t i = 0; i < points_.size(); ++i) {
+        pts.push_back({points_[i].name, pointMetrics_[i].get()});
+    }
+    return pts;
+}
+
+void
+SweepRunner::writeMetricsCsv(std::ostream &os) const
+{
+    metrics::writeCsv(os, metricsPoints());
+}
+
+void
+SweepRunner::writeMetricsProm(std::ostream &os) const
+{
+    metrics::writeProm(os, metricsPoints());
+}
+
+std::string
+SweepRunner::writeMetricsFile(const std::string &path) const
+{
+    if (path.empty()) {
+        return "";
+    }
+    const bool csv = path.size() >= 4 &&
+                     path.compare(path.size() - 4, 4, ".csv") == 0;
+    if (path == "-") {
+        writeMetricsProm(std::cout);
+        return path;
+    }
+    std::ofstream os(path, std::ios::binary);
+    fatal_if(!os, "cannot open %s for writing", path.c_str());
+    if (csv) {
+        writeMetricsCsv(os);
+    } else {
+        writeMetricsProm(os);
+    }
+    os.flush();
+    fatal_if(!os, "write to %s failed", path.c_str());
+    return path;
 }
 
 std::string

@@ -23,6 +23,29 @@ narrateCopy(MemSink &sink, Addr src, Addr dst, std::uint64_t bytes)
 
 } // namespace
 
+ShuffleStage::ShuffleStage(CoreConfig core_cfg, LzCosts lz_costs)
+    : coreCfg_(core_cfg), codec_(lz_costs)
+{
+    metrics_ = metrics::Group(metrics::current(), "shuffle");
+    if (metrics_.enabled()) {
+        metrics_.rate("throughput_mbps",
+                      "wire bytes per second of stage busy time, MB/s",
+                      [this] {
+                          return static_cast<double>(cumWireBytes_);
+                      },
+                      static_cast<double>(kTicksPerSecond) / 1e6);
+    }
+}
+
+void
+ShuffleStage::account(const ShuffleTiming &t) const
+{
+    cumWireBytes_ += t.wireBytes;
+    cumBusySeconds_ += t.seconds;
+    metrics_.tick(static_cast<Tick>(cumBusySeconds_ *
+                                    static_cast<double>(kTicksPerSecond)));
+}
+
 ShuffleTiming
 ShuffleStage::softwareWrite(
     const std::vector<std::uint8_t> &serialized) const
@@ -40,7 +63,9 @@ ShuffleStage::softwareWrite(
                 kStreamBase + 0xc'0000'0000ULL, compressed.size());
 
     auto st = core.finish();
-    return {compressed.size(), st.seconds};
+    ShuffleTiming out{compressed.size(), st.seconds};
+    account(out);
+    return out;
 }
 
 ShuffleTiming
@@ -59,7 +84,9 @@ ShuffleStage::softwareRead(
     panic_if(raw.size() != serialized.size(), "shuffle read corrupted");
 
     auto st = core.finish();
-    return {compressed.size(), st.seconds};
+    ShuffleTiming out{compressed.size(), st.seconds};
+    account(out);
+    return out;
 }
 
 ShuffleTiming
@@ -78,7 +105,9 @@ ShuffleStage::cerealHandoff(std::uint64_t stream_bytes) const
     core.phase("checksum");
     core.compute(3 * stream_bytes);
     auto st = core.finish();
-    return {stream_bytes, st.seconds};
+    ShuffleTiming out{stream_bytes, st.seconds};
+    account(out);
+    return out;
 }
 
 } // namespace cereal

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "cpu/core_model.hh"
+#include "metrics/metrics.hh"
 #include "shuffle/lz.hh"
 
 namespace cereal {
@@ -36,11 +37,8 @@ struct ShuffleTiming
 class ShuffleStage
 {
   public:
-    explicit ShuffleStage(CoreConfig core_cfg = CoreConfig(),
-                          LzCosts lz_costs = LzCosts())
-        : coreCfg_(core_cfg), codec_(lz_costs)
-    {
-    }
+    ShuffleStage(CoreConfig core_cfg = CoreConfig(),
+                 LzCosts lz_costs = LzCosts());
 
     /**
      * Software shuffle write: block-compress the serialized stream and
@@ -66,8 +64,21 @@ class ShuffleStage
     const LzCodec &codec() const { return codec_; }
 
   private:
+    /** Charge @p t's bytes/seconds to the stage-level time series. */
+    void account(const ShuffleTiming &t) const;
+
     CoreConfig coreCfg_;
     LzCodec codec_;
+
+    /**
+     * Stage-level throughput series. The stage has no clock of its own
+     * (each call runs a private CoreModel from tick 0), so the series'
+     * time base is cumulative busy time across calls. mutable: the
+     * const methods measure, they don't mutate the model.
+     */
+    mutable metrics::Group metrics_;
+    mutable std::uint64_t cumWireBytes_ = 0;
+    mutable double cumBusySeconds_ = 0;
 };
 
 } // namespace cereal

@@ -5,9 +5,30 @@
 #include <iomanip>
 
 #include "sim/json.hh"
+#include "sim/logging.hh"
 
 namespace cereal {
 namespace stats {
+
+void
+StatGroup::addEntry(Entry e)
+{
+    panic_if(find(e.name) != nullptr,
+             "stat group '%s' already has a stat named '%s'",
+             name_.c_str(), e.name.c_str());
+    entries_.push_back(std::move(e));
+}
+
+const Entry *
+StatGroup::find(const std::string &stat_name) const
+{
+    for (const auto &e : entries_) {
+        if (e.name == stat_name) {
+            return &e;
+        }
+    }
+    return nullptr;
+}
 
 double
 Distribution::percentile(double p) const

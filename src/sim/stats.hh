@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -54,34 +55,46 @@ class Average
     {
         sum_ += v;
         ++count_;
-        if (count_ == 1 || v < min_) {
+        if (v < min_) {
             min_ = v;
         }
-        if (count_ == 1 || v > max_) {
+        if (v > max_) {
             max_ = v;
         }
     }
 
+    /**
+     * Forget every sample. The min/max extremes are re-armed to the
+     * infinity sentinels, so the first post-reset sample establishes
+     * both — stale extremes cannot leak across a reset.
+     */
     void
     reset()
     {
         sum_ = 0;
         count_ = 0;
-        min_ = 0;
-        max_ = 0;
+        min_ = kMinSentinel;
+        max_ = kMaxSentinel;
     }
 
     double mean() const { return count_ ? sum_ / count_ : 0; }
     double sum() const { return sum_; }
-    double min() const { return min_; }
-    double max() const { return max_; }
+    /** Smallest sample (0 while empty, for schema-stable reports). */
+    double min() const { return count_ ? min_ : 0; }
+    /** Largest sample (0 while empty, for schema-stable reports). */
+    double max() const { return count_ ? max_ : 0; }
     std::uint64_t count() const { return count_; }
 
   private:
+    static constexpr double kMinSentinel =
+        std::numeric_limits<double>::infinity();
+    static constexpr double kMaxSentinel =
+        -std::numeric_limits<double>::infinity();
+
     double sum_ = 0;
     std::uint64_t count_ = 0;
-    double min_ = 0;
-    double max_ = 0;
+    double min_ = kMinSentinel;
+    double max_ = kMaxSentinel;
 };
 
 /** Fixed-bucket histogram over [0, bucketWidth * numBuckets). */
@@ -219,6 +232,11 @@ struct Entry
  * Components register member statistics once at construction; the group
  * does not own the statistic objects, only pointers, so the registering
  * component must outlive the group's use.
+ *
+ * Stat names are unique within a group: registering a duplicate is a
+ * hard error (a silently shadowed stat is exactly the kind of bug a
+ * measurement layer must not have — the metrics registry resolves
+ * stats by name through find()).
  */
 class StatGroup
 {
@@ -229,36 +247,39 @@ class StatGroup
     add(const std::string &stat_name, const std::string &desc,
         const Scalar &s)
     {
-        entries_.push_back({stat_name, desc, Kind::Scalar, &s});
+        addEntry({stat_name, desc, Kind::Scalar, &s});
     }
 
     void
     add(const std::string &stat_name, const std::string &desc,
         const Average &a)
     {
-        entries_.push_back({stat_name, desc, Kind::Average, &a});
+        addEntry({stat_name, desc, Kind::Average, &a});
     }
 
     void
     add(const std::string &stat_name, const std::string &desc,
         const Histogram &h)
     {
-        entries_.push_back({stat_name, desc, Kind::Histogram, &h});
+        addEntry({stat_name, desc, Kind::Histogram, &h});
     }
 
     void
     add(const std::string &stat_name, const std::string &desc,
         const Distribution &d)
     {
-        entries_.push_back({stat_name, desc, Kind::Distribution, &d});
+        addEntry({stat_name, desc, Kind::Distribution, &d});
     }
 
     void
     add(const std::string &stat_name, const std::string &desc,
         const Formula &f)
     {
-        entries_.push_back({stat_name, desc, Kind::Formula, &f});
+        addEntry({stat_name, desc, Kind::Formula, &f});
     }
+
+    /** The entry registered as @p stat_name, or nullptr. */
+    const Entry *find(const std::string &stat_name) const;
 
     /** Render all registered statistics to @p os. */
     void dump(std::ostream &os) const;
@@ -275,6 +296,9 @@ class StatGroup
     const std::vector<Entry> &entries() const { return entries_; }
 
   private:
+    /** Append @p e; panics if the name is already registered. */
+    void addEntry(Entry e);
+
     std::string name_;
     std::vector<Entry> entries_;
 };

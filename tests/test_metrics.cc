@@ -1,0 +1,453 @@
+/**
+ * @file
+ * Tests for the time-series metrics layer: series kinds and sampling
+ * semantics, ring-buffer bounding, prefix uniquification, RAII detach,
+ * the StatGroup bridge, the disabled (no ambient recorder) path, the
+ * three exporters (JSON/CSV/Prometheus), byte-determinism of sweep
+ * metrics across thread counts on both the micro and cluster stacks,
+ * and the pinned golden CSV of a small Figure-10-style run.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hh"
+#include "metrics/metrics.hh"
+#include "runner/sweep_runner.hh"
+#include "serde/registry.hh"
+#include "sim/json.hh"
+#include "sim/stats.hh"
+#include "workloads/harness.hh"
+#include "workloads/micro.hh"
+
+namespace cereal {
+namespace {
+
+using metrics::Group;
+using metrics::MetricsRecorder;
+using metrics::ScopedMetrics;
+
+// ------------------------------------------------------- series kinds
+
+TEST(Metrics, GaugeSamplesAtEveryCrossedBoundary)
+{
+    MetricsRecorder rec(100);
+    Group g(&rec, "comp");
+    double v = 1.0;
+    g.gauge("depth", "a depth", [&v](Tick) { return v; });
+
+    g.tick(50); // no boundary crossed yet
+    EXPECT_EQ(rec.series()[0].sampleCount(), 0u);
+
+    g.tick(100); // boundary at 100
+    v = 7.0;
+    g.tick(350); // boundaries at 200, 300
+    const auto samples = rec.series()[0].samples();
+    ASSERT_EQ(samples.size(), 3u);
+    EXPECT_EQ(samples[0].tick, 100u);
+    EXPECT_EQ(samples[0].value, 1.0);
+    EXPECT_EQ(samples[1].tick, 200u);
+    EXPECT_EQ(samples[1].value, 7.0);
+    EXPECT_EQ(samples[2].tick, 300u);
+}
+
+TEST(Metrics, RateIsScaledDeltaPerIntervalTick)
+{
+    MetricsRecorder rec(100);
+    Group g(&rec, "comp");
+    double counter = 40.0; // primed at registration
+    g.rate("bw", "bytes per tick", [&counter] { return counter; }, 2.0);
+
+    counter = 140.0;
+    g.tick(100); // delta 100 over 100 ticks, scale 2 -> 2.0
+    counter = 140.0;
+    g.tick(200); // flat -> 0
+    const auto samples = rec.series()[0].samples();
+    ASSERT_EQ(samples.size(), 2u);
+    EXPECT_DOUBLE_EQ(samples[0].value, 2.0);
+    EXPECT_DOUBLE_EQ(samples[1].value, 0.0);
+}
+
+TEST(Metrics, RatioIsDeltaOverDeltaAndZeroWhenFlat)
+{
+    MetricsRecorder rec(10);
+    Group g(&rec, "comp");
+    double hits = 0, total = 0;
+    g.ratio("hit_rate", "hits per access", [&hits] { return hits; },
+            [&total] { return total; });
+
+    hits = 3;
+    total = 4;
+    g.tick(10);
+    g.tick(20); // both flat -> 0, not NaN
+    const auto samples = rec.series()[0].samples();
+    ASSERT_EQ(samples.size(), 2u);
+    EXPECT_DOUBLE_EQ(samples[0].value, 0.75);
+    EXPECT_DOUBLE_EQ(samples[1].value, 0.0);
+}
+
+TEST(Metrics, RingDropsOldestAndCounts)
+{
+    MetricsRecorder rec(1, 4);
+    Group g(&rec, "comp");
+    Tick t = 0;
+    g.gauge("x", "", [&t](Tick) { return static_cast<double>(t); });
+    for (t = 1; t <= 10; ++t) {
+        g.tick(t);
+    }
+    const auto &s = rec.series()[0];
+    EXPECT_EQ(s.sampleCount(), 4u);
+    EXPECT_EQ(s.dropped(), 6u);
+    const auto samples = s.samples();
+    EXPECT_EQ(samples.front().tick, 7u); // oldest retained
+    EXPECT_EQ(samples.back().tick, 10u);
+    EXPECT_EQ(s.last().tick, 10u);
+}
+
+TEST(Metrics, BackwardClockProducesNoSamplesUntilHighWaterMark)
+{
+    MetricsRecorder rec(100);
+    Group g(&rec, "comp");
+    g.gauge("x", "", [](Tick) { return 1.0; });
+    g.tick(300); // samples at 100, 200, 300
+    g.tick(50);  // a component restarting at ~0: nothing new
+    g.tick(250); // still below the next boundary (400)
+    EXPECT_EQ(rec.series()[0].sampleCount(), 3u);
+    g.tick(400);
+    EXPECT_EQ(rec.series()[0].sampleCount(), 4u);
+}
+
+// ------------------------------------------- registration and detach
+
+TEST(Metrics, PrefixesAreUniquifiedLikeTraceTracks)
+{
+    MetricsRecorder rec;
+    Group a(&rec, "cpu.core");
+    Group b(&rec, "cpu.core");
+    Group c(&rec, "cpu.core");
+    a.gauge("ipc", "", [](Tick) { return 0.0; });
+    b.gauge("ipc", "", [](Tick) { return 0.0; });
+    c.gauge("ipc", "", [](Tick) { return 0.0; });
+    EXPECT_EQ(rec.series()[0].name(), "cpu.core.ipc");
+    EXPECT_EQ(rec.series()[1].name(), "cpu.core#1.ipc");
+    EXPECT_EQ(rec.series()[2].name(), "cpu.core#2.ipc");
+}
+
+TEST(Metrics, DestroyedGroupStopsSamplingButKeepsSamples)
+{
+    MetricsRecorder rec(100);
+    {
+        Group g(&rec, "comp");
+        // The closure references a stack local; detach-on-destroy is
+        // what makes this registration pattern safe.
+        double local = 5.0;
+        g.gauge("x", "", [&local](Tick) { return local; });
+        g.tick(100);
+    }
+    ASSERT_EQ(rec.series().size(), 1u);
+    EXPECT_EQ(rec.series()[0].sampleCount(), 1u);
+    EXPECT_DOUBLE_EQ(rec.series()[0].samples()[0].value, 5.0);
+}
+
+TEST(Metrics, DisabledGroupIsANoOp)
+{
+    ASSERT_EQ(metrics::current(), nullptr);
+    Group g(metrics::current(), "comp");
+    EXPECT_FALSE(g.enabled());
+    g.gauge("x", "", [](Tick) { return 1.0; });
+    g.rate("y", "", [] { return 1.0; }, 1.0);
+    g.ratio("z", "", [] { return 1.0; }, [] { return 1.0; });
+    g.tick(1'000'000'000);
+    SUCCEED(); // nothing registered anywhere, nothing crashed
+}
+
+TEST(Metrics, ScopedRecorderInstallsAndRestores)
+{
+    EXPECT_EQ(metrics::current(), nullptr);
+    {
+        MetricsRecorder rec;
+        ScopedMetrics scope(rec);
+        EXPECT_EQ(metrics::current(), &rec);
+    }
+    EXPECT_EQ(metrics::current(), nullptr);
+}
+
+TEST(Metrics, GaugeFromStatBridgesScalarsAndAverages)
+{
+    stats::StatGroup sg("dev");
+    stats::Scalar reads;
+    stats::Average lat;
+    sg.add("reads", "read count", reads);
+    sg.add("lat", "latency", lat);
+    reads += 7;
+    lat.sample(10);
+    lat.sample(20);
+
+    MetricsRecorder rec(100);
+    Group g(&rec, "dev");
+    g.gaugeFromStat(sg, "reads");
+    g.gaugeFromStat(sg, "lat");
+    g.tick(100);
+    EXPECT_DOUBLE_EQ(rec.series()[0].last().value, 7.0);
+    EXPECT_DOUBLE_EQ(rec.series()[1].last().value, 15.0);
+}
+
+TEST(Metrics, GaugeFromStatPanicsOnUnknownName)
+{
+    stats::StatGroup sg("dev");
+    MetricsRecorder rec;
+    Group g(&rec, "dev");
+    EXPECT_DEATH(g.gaugeFromStat(sg, "nope"), "no stat");
+}
+
+// ----------------------------------------------------------- exports
+
+TEST(MetricsExport, CsvIsLongFormWithHeader)
+{
+    MetricsRecorder rec(100);
+    Group g(&rec, "comp");
+    g.gauge("depth", "", [](Tick t) { return static_cast<double>(t); });
+    g.tick(200);
+
+    std::ostringstream ss;
+    metrics::writeCsv(ss, {{"pt", &rec}});
+    EXPECT_EQ(ss.str(),
+              "point,series,kind,tick,value\n"
+              "pt,comp.depth,gauge,100,100\n"
+              "pt,comp.depth,gauge,200,200\n");
+}
+
+TEST(MetricsExport, PromFamiliesAreContiguousAndSanitized)
+{
+    MetricsRecorder a(100), b(100);
+    Group ga(&a, "mem.dram");
+    Group gb(&b, "mem.dram");
+    ga.gauge("bw", "bandwidth", [](Tick) { return 0.5; });
+    gb.gauge("bw", "bandwidth", [](Tick) { return 0.25; });
+    ga.tick(100);
+    gb.tick(100);
+
+    std::ostringstream ss;
+    metrics::writeProm(ss, {{"p1", &a}, {"p2", &b}});
+    const std::string doc = ss.str();
+    EXPECT_EQ(doc,
+              "# HELP cereal_mem_dram_bw bandwidth\n"
+              "# TYPE cereal_mem_dram_bw gauge\n"
+              "cereal_mem_dram_bw{point=\"p1\",series=\"mem.dram.bw\"}"
+              " 0.5 100\n"
+              "cereal_mem_dram_bw{point=\"p2\",series=\"mem.dram.bw\"}"
+              " 0.25 100\n");
+}
+
+TEST(MetricsExport, PromSkipsEmptySeriesAndEscapesLabels)
+{
+    MetricsRecorder rec(100);
+    Group g(&rec, "comp");
+    g.gauge("never", "", [](Tick) { return 0.0; });
+    std::ostringstream ss;
+    metrics::writeProm(ss, {{"quote\"back\\slash", &rec}});
+    EXPECT_TRUE(ss.str().empty());
+
+    g.tick(100);
+    std::ostringstream ss2;
+    metrics::writeProm(ss2, {{"quote\"back\\slash", &rec}});
+    EXPECT_NE(ss2.str().find("point=\"quote\\\"back\\\\slash\""),
+              std::string::npos);
+}
+
+TEST(MetricsExport, PromNameSanitizesToMetricCharset)
+{
+    EXPECT_EQ(metrics::promName("mem.dram.ch0.bw_util"),
+              "cereal_mem_dram_ch0_bw_util");
+    EXPECT_EQ(metrics::promName("cpu.core#1.ipc"),
+              "cereal_cpu_core_1_ipc");
+}
+
+TEST(MetricsExport, JsonFragmentCarriesSeriesColumns)
+{
+    MetricsRecorder rec(100);
+    Group g(&rec, "comp");
+    g.gauge("x", "a help", [](Tick) { return 2.5; });
+    g.tick(100);
+
+    std::ostringstream ss;
+    json::Writer w(ss, 0);
+    w.beginObject();
+    rec.writeJson(w);
+    w.endObject();
+    ASSERT_TRUE(w.balanced());
+    const std::string doc = ss.str();
+    EXPECT_NE(doc.find("\"interval_ticks\":100"), std::string::npos);
+    EXPECT_NE(doc.find("\"name\":\"comp.x\""), std::string::npos);
+    EXPECT_NE(doc.find("\"kind\":\"gauge\""), std::string::npos);
+    EXPECT_NE(doc.find("\"ticks\":[100]"), std::string::npos);
+    EXPECT_NE(doc.find("\"values\":[2.5]"), std::string::npos);
+}
+
+// ----------------------------------------- sweep-level determinism
+
+/** Figure-10-style two-point sweep with metrics on. */
+runner::SweepRunner
+runMicroSweep(unsigned threads)
+{
+    runner::SweepRunner sweep("metrics_unit");
+    for (auto mb : {workloads::MicroBench::TreeNarrow,
+                    workloads::MicroBench::ListSmall}) {
+        sweep.add(workloads::microBenchName(mb), [mb](json::Writer &w) {
+            KlassRegistry reg;
+            workloads::MicroWorkloads micro(reg);
+            Heap src(reg, 0x1'0000'0000ULL);
+            Addr root = micro.build(src, mb, 1 << 15, 42);
+            auto ser = serde::makeSerializer("kryo", &reg);
+            auto ms = workloads::measureSoftware(*ser, src, root);
+            auto mc = workloads::measureCereal(src, root);
+            w.kv("sw_ser_s", ms.serSeconds);
+            w.kv("accel_ser_s", mc.serSeconds);
+        });
+    }
+    sweep.enableMetrics();
+    sweep.run(threads);
+    return sweep;
+}
+
+TEST(SweepMetrics, MicroMetricsAreByteIdenticalAcrossThreadCounts)
+{
+    auto serial = runMicroSweep(1);
+    auto parallel = runMicroSweep(4);
+
+    std::ostringstream cs, cp, ps, pp, js, jp;
+    serial.writeMetricsCsv(cs);
+    parallel.writeMetricsCsv(cp);
+    serial.writeMetricsProm(ps);
+    parallel.writeMetricsProm(pp);
+    serial.writeJson(js);
+    parallel.writeJson(jp);
+
+    EXPECT_FALSE(cs.str().empty());
+    EXPECT_EQ(cs.str(), cp.str());
+    EXPECT_FALSE(ps.str().empty());
+    EXPECT_EQ(ps.str(), pp.str());
+    EXPECT_EQ(js.str(), jp.str());
+
+    // The instrumented components all showed up.
+    for (const char *needle :
+         {"mem.dram.bw_util", "cpu.core.miss_window",
+          "cereal.accel.su_busy_frac", "mem.dram.row_hit_rate"}) {
+        EXPECT_NE(cs.str().find(needle), std::string::npos)
+            << "missing series " << needle;
+    }
+}
+
+/** Small cluster shuffle sweep with metrics on. */
+runner::SweepRunner
+runClusterSweep(unsigned threads)
+{
+    runner::SweepRunner sweep("cluster_metrics_unit");
+    for (auto backend :
+         {cluster::Backend::Kryo, cluster::Backend::Cereal}) {
+        sweep.add(cluster::backendName(backend),
+                  [backend](json::Writer &w) {
+            cluster::ClusterConfig cfg;
+            cfg.nodes = 4;
+            cfg.backend = backend;
+            cfg.scale = 1 << 20;
+            cluster::ClusterSim sim(cfg);
+            auto r = sim.runShuffle();
+            w.kv("completion_s", r.completionSeconds);
+        });
+    }
+    sweep.enableMetrics();
+    sweep.run(threads);
+    return sweep;
+}
+
+TEST(SweepMetrics, ClusterMetricsAreByteIdenticalAcrossThreadCounts)
+{
+    auto serial = runClusterSweep(1);
+    auto parallel = runClusterSweep(4);
+
+    std::ostringstream cs, cp, ps, pp;
+    serial.writeMetricsCsv(cs);
+    parallel.writeMetricsCsv(cp);
+    serial.writeMetricsProm(ps);
+    parallel.writeMetricsProm(pp);
+    EXPECT_FALSE(cs.str().empty());
+    EXPECT_EQ(cs.str(), cp.str());
+    EXPECT_EQ(ps.str(), pp.str());
+
+    for (const char *needle :
+         {"cluster.fabric.n0.tx_util", "cluster.n0.queue_len"}) {
+        EXPECT_NE(cs.str().find(needle), std::string::npos)
+            << "missing series " << needle;
+    }
+}
+
+TEST(SweepMetrics, MetricsOffInstallsNoAmbientRecorder)
+{
+    runner::SweepRunner sweep("no_metrics");
+    bool ran = false;
+    sweep.add("pt", [&ran](json::Writer &w) {
+        EXPECT_EQ(metrics::current(), nullptr);
+        ran = true;
+        w.kv("x", 1);
+    });
+    sweep.run(1);
+    EXPECT_TRUE(ran);
+}
+
+// -------------------------------------------------------- golden CSV
+
+/**
+ * Pinned golden metrics CSV of a tiny fig10-style run. Regenerate
+ * after a deliberate instrumentation/model change with:
+ *
+ *   CEREAL_UPDATE_GOLDEN=1 ./build/tests/test_metrics \
+ *       --gtest_filter='GoldenMetrics.*'
+ */
+TEST(GoldenMetrics, SmallFig10RunMatchesPinnedCsv)
+{
+    runner::SweepRunner sweep("fig10_small");
+    sweep.add("tree-narrow", [](json::Writer &w) {
+        KlassRegistry reg;
+        workloads::MicroWorkloads micro(reg);
+        Heap src(reg, 0x1'0000'0000ULL);
+        Addr root = micro.build(src, workloads::MicroBench::TreeNarrow,
+                                1 << 16, 42);
+        auto java = serde::makeSerializer("java", &reg);
+        auto mj = workloads::measureSoftware(*java, src, root);
+        auto mc = workloads::measureCereal(src, root);
+        w.kv("java_ser_s", mj.serSeconds);
+        w.kv("cereal_ser_s", mc.serSeconds);
+    });
+    sweep.enableMetrics();
+    sweep.run(1);
+    std::ostringstream ss;
+    sweep.writeMetricsCsv(ss);
+    const std::string doc = ss.str();
+
+    const std::string path =
+        std::string(CEREAL_GOLDEN_DIR) + "/metrics_fig10_small.csv";
+    if (std::getenv("CEREAL_UPDATE_GOLDEN") != nullptr) {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        ASSERT_TRUE(out.good()) << "cannot write " << path;
+        out << doc;
+        return;
+    }
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good())
+        << "missing golden file " << path
+        << " (generate with CEREAL_UPDATE_GOLDEN=1)";
+    std::stringstream golden;
+    golden << in.rdbuf();
+    EXPECT_EQ(doc, golden.str())
+        << "metrics output drifted from the pinned golden CSV; if the "
+           "change is deliberate, regenerate with CEREAL_UPDATE_GOLDEN=1";
+}
+
+} // namespace
+} // namespace cereal

@@ -230,6 +230,50 @@ TEST(Stats, AverageTracksMinMaxMean)
     EXPECT_EQ(a.count(), 3u);
 }
 
+TEST(Stats, AverageResetClearsMinMaxExtremes)
+{
+    // Regression: reset() once left the old min/max behind, so samples
+    // after a reset could never narrow the reported range.
+    stats::Average a;
+    a.sample(1);
+    a.sample(1000);
+    a.reset();
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_DOUBLE_EQ(a.min(), 0.0);
+    EXPECT_DOUBLE_EQ(a.max(), 0.0);
+    a.sample(50);
+    a.sample(60);
+    EXPECT_DOUBLE_EQ(a.min(), 50.0);
+    EXPECT_DOUBLE_EQ(a.max(), 60.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 55.0);
+}
+
+TEST(Stats, GroupRejectsDuplicateStatNames)
+{
+    stats::StatGroup g("dev");
+    stats::Scalar a, b;
+    g.add("reads", "first registration", a);
+    EXPECT_DEATH(g.add("reads", "silently shadowing", b),
+                 "already has a stat named 'reads'");
+}
+
+TEST(Stats, GroupFindResolvesByName)
+{
+    stats::StatGroup g("dev");
+    stats::Scalar reads;
+    stats::Average lat;
+    g.add("reads", "read count", reads);
+    g.add("lat", "latency", lat);
+
+    const stats::Entry *e = g.find("reads");
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->kind, stats::Kind::Scalar);
+    EXPECT_EQ(e->stat, &reads);
+    ASSERT_NE(g.find("lat"), nullptr);
+    EXPECT_EQ(g.find("lat")->kind, stats::Kind::Average);
+    EXPECT_EQ(g.find("writes"), nullptr);
+}
+
 TEST(Stats, HistogramBucketsAndOverflow)
 {
     stats::Histogram h(4, 10.0);
