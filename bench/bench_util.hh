@@ -48,6 +48,7 @@
 
 #include "runner/sweep_runner.hh"
 #include "sim/logging.hh"
+#include "sim/sim_mode.hh"
 
 namespace cereal {
 namespace bench {
@@ -69,6 +70,12 @@ class Options
     std::string metricsPath;
     /** Metrics sampling interval, ticks (0 = recorder default). */
     Tick metricsInterval = 0;
+    /**
+     * Simulation fidelity (--sim-mode cycle|fast|sampled). Fast and
+     * sampled modes drop observability, so combining them with
+     * --trace/--metrics is fatal rather than silently lossy.
+     */
+    SimMode simMode = SimMode::CycleAccurate;
 
     /**
      * Parse the common bench command line. Unknown arguments are
@@ -147,10 +154,17 @@ class Options
                 opts.metricsInterval = std::strtoull(argv[++i], nullptr, 10);
                 fatal_if(opts.metricsInterval == 0,
                          "--metrics-interval must be >= 1");
+            } else if (std::strcmp(arg, "--sim-mode") == 0) {
+                fatal_if(i + 1 >= argc,
+                         "--sim-mode needs cycle, fast, or sampled");
+                fatal_if(!parseSimMode(argv[++i], opts.simMode),
+                         "unknown --sim-mode '%s' (cycle, fast, sampled)",
+                         argv[i]);
             } else if (std::strcmp(arg, "--help") == 0) {
                 std::printf("usage: %s [scale] [--threads N] [--json [path]]"
                             " [--trace <path>] [--metrics <path>"
-                            " [--metrics-interval N]]\n", argv[0]);
+                            " [--metrics-interval N]] [--sim-mode M]\n",
+                            argv[0]);
                 std::printf("  scale          scale divisor (default %llu)\n",
                             static_cast<unsigned long long>(default_scale));
                 std::printf("  --threads N    run sweep points on N workers"
@@ -164,6 +178,10 @@ class Options
                             " (.csv = CSV, else Prometheus text)\n");
                 std::printf("  --metrics-interval N  sampling interval in"
                             " ticks (default 1000000 = 1us)\n");
+                std::printf("  --sim-mode M   cycle (default), fast"
+                            " (stat-preserving, observability off),\n"
+                            "                 or sampled (shortened serving"
+                            " runs, approximate percentiles)\n");
                 std::exit(0);
             } else if (isInteger(arg)) {
                 opts.scale = std::strtoull(arg, nullptr, 10);
@@ -177,6 +195,10 @@ class Options
         }
         argc = out;
         argv[argc] = nullptr;
+        fatal_if(!simModeObserves(opts.simMode) &&
+                     (!opts.tracePath.empty() || !opts.metricsPath.empty()),
+                 "--sim-mode %s drops trace/metrics; run cycle-accurate"
+                 " to observe", simModeName(opts.simMode));
         return opts;
     }
 };
@@ -198,6 +220,9 @@ banner(const char *experiment, const char *claim)
 inline void
 runSweep(runner::SweepRunner &sweep, const Options &opts)
 {
+    // Set before any sweep thread spawns: configs built inside the
+    // points snapshot the global via their default initializers.
+    setGlobalSimMode(opts.simMode);
     if (!opts.tracePath.empty()) {
         sweep.enableTrace();
     }

@@ -1,0 +1,44 @@
+# The fast-forward equivalence gate: runs a bench binary twice -- once
+# cycle-accurate (the default) and once with --sim-mode fast -- and
+# fails unless the two JSON documents are byte-identical. This is the
+# enforcement of the fast-forward contract: every stat the mode claims
+# to preserve IS preserved, exactly, not approximately. Invoked by
+# ctest (see add_test in CMakeLists.txt) with:
+#   -DBENCH=<path to bench binary> -DWORKDIR=<scratch dir> -DNAME=<id>
+
+set(scale 256)
+set(json_cycle ${WORKDIR}/${NAME}_cycle.json)
+set(json_fast ${WORKDIR}/${NAME}_fast.json)
+
+execute_process(
+  COMMAND ${BENCH} ${scale} --json ${json_cycle}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE stdout
+  ERROR_VARIABLE stderr)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+          "${BENCH} (cycle mode) failed (rc=${rc}):\n"
+          "${stdout}\n${stderr}")
+endif()
+
+execute_process(
+  COMMAND ${BENCH} ${scale} --sim-mode fast --json ${json_fast}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE stdout
+  ERROR_VARIABLE stderr)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+          "${BENCH} (fast mode) failed (rc=${rc}):\n"
+          "${stdout}\n${stderr}")
+endif()
+
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                        ${json_cycle} ${json_fast}
+                RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+  message(FATAL_ERROR
+          "--sim-mode fast changed the reported stats: ${json_cycle} "
+          "vs ${json_fast} differ. Fast-forward must preserve every "
+          "reported stat byte-identically; it may only drop "
+          "observability (trace/metrics/stall attribution).")
+endif()

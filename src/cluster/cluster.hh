@@ -36,6 +36,7 @@
 #include "cluster/fabric.hh"
 #include "cluster/node.hh"
 #include "sim/json.hh"
+#include "sim/sim_mode.hh"
 #include "sim/stats.hh"
 
 namespace cereal {
@@ -51,6 +52,13 @@ struct ClusterConfig
     /** Scale divisor for the per-partition object count. */
     std::uint64_t scale = 64;
     std::uint64_t seed = 1;
+    /**
+     * Fidelity mode (defaults to the ambient global). FastForward
+     * preserves every reported stat byte-identically with
+     * observability off; Sampled additionally simulates only a prefix
+     * of each serving run's arrivals (see runServing()).
+     */
+    SimMode mode = globalSimMode();
     NetConfig net;
 };
 
@@ -115,6 +123,14 @@ class ClusterSim
     std::uint64_t frameBytes() const { return frameBytes_; }
 
     /**
+     * FNV-1a-64 of the profiled payload, computed once at construction.
+     * The send path stamps it into every frame and the receive path
+     * verifies delivered frames against it, so per-frame integrity
+     * checking costs a comparison instead of an O(payload) rehash.
+     */
+    std::uint64_t payloadChecksum() const { return payloadChecksum_; }
+
+    /**
      * Sustainable per-node request rate: one request costs the node
      * worker serSeconds (as origin) plus, at uniform destinations,
      * deserSeconds (as target), and the frame must fit down the link.
@@ -127,6 +143,11 @@ class ClusterSim
      * @param utilization offered load as a fraction of
      *        nodeCapacityRps() (must be > 0; stable below 1)
      * @param requests_per_node arrivals generated per node
+     *
+     * In Sampled mode only the first quarter (rounded up) of each
+     * node's arrival process is simulated; the reported request count
+     * reflects the sample and percentiles are estimates whose error
+     * the differential suite bounds.
      */
     ServingResult runServing(double utilization,
                              std::uint64_t requests_per_node = 200) const;
@@ -135,6 +156,7 @@ class ClusterSim
     ClusterConfig cfg_;
     NodeProfile profile_;
     std::uint64_t frameBytes_ = 0;
+    std::uint64_t payloadChecksum_ = 0;
 };
 
 } // namespace cluster

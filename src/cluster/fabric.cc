@@ -48,6 +48,8 @@ Fabric::setTrace(const trace::TraceEmitter &em)
     if (!em.enabled()) {
         return;
     }
+    txTrace_.reserve(ports_.size());
+    rxTrace_.reserve(ports_.size());
     for (std::size_t i = 0; i < ports_.size(); ++i) {
         const std::string n = "n" + std::to_string(i);
         txTrace_.push_back(em.sub((n + ".tx").c_str()));
@@ -118,6 +120,7 @@ Fabric::kickEgress(std::uint32_t src)
     std::vector<std::vector<std::uint8_t>> batch;
     std::uint64_t batch_bytes = 0;
     auto &flow = port.flows[dst];
+    batch.reserve(flow.size());
     while (!flow.empty() &&
            (batch.empty() ||
             batch_bytes + flow.front().size() <= cfg_.batchBytes)) {

@@ -23,25 +23,34 @@ fnv1a64(const std::uint8_t *data, std::size_t n)
     return h;
 }
 
-std::vector<std::uint8_t>
-encodeFrame(const Frame &f)
+namespace {
+
+inline void
+put16(std::vector<std::uint8_t> &out, std::uint16_t v)
 {
-    ByteWriter w;
-    w.u32(kFrameMagic);
-    w.u8(kFrameVersion);
-    w.u8(f.format);
-    w.u16(f.flags);
-    w.u32(f.srcNode);
-    w.u32(f.dstNode);
-    w.u32(f.partition);
-    w.u64(f.payload.size());
-    w.u64(fnv1a64(f.payload.data(), f.payload.size()));
-    w.raw(f.payload.data(), f.payload.size());
-    return w.take();
+    out.push_back(static_cast<std::uint8_t>(v));
+    out.push_back(static_cast<std::uint8_t>(v >> 8));
 }
 
-Frame
-decodeFrame(const std::vector<std::uint8_t> &bytes)
+inline void
+put32(std::vector<std::uint8_t> &out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i) {
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+}
+
+inline void
+put64(std::vector<std::uint8_t> &out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i) {
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+}
+
+/** Shared header validation; throws DecodeError like decodeFrame(). */
+FrameInfo
+decodeFrameInfoOrThrow(const std::vector<std::uint8_t> &bytes)
 {
     ByteReader r(bytes);
 
@@ -53,7 +62,7 @@ decodeFrame(const std::vector<std::uint8_t> &bytes)
     decode_check(version == kFrameVersion, DecodeStatus::BadTag, 4,
                  "unsupported frame version %u", version);
 
-    Frame f;
+    FrameInfo f;
     f.format = r.u8();
     decode_check(f.format < kFrameFormatCount, DecodeStatus::BadClass, 5,
                  "unknown serializer format id %u", f.format);
@@ -67,30 +76,91 @@ decodeFrame(const std::vector<std::uint8_t> &bytes)
     f.dstNode = r.u32();
     f.partition = r.u32();
 
-    const std::uint64_t payload_len = r.u64();
-    const std::size_t checksum_at = r.pos();
-    const std::uint64_t checksum = r.u64();
+    f.payloadLen = r.u64();
+    f.checksum = r.u64();
 
-    decode_check(payload_len <= r.remaining(), DecodeStatus::Truncated,
+    decode_check(f.payloadLen <= r.remaining(), DecodeStatus::Truncated,
                  r.pos(), "payload declares %llu bytes, %zu remain",
-                 (unsigned long long)payload_len, r.remaining());
-    decode_check(payload_len == r.remaining(), DecodeStatus::BadLength,
+                 (unsigned long long)f.payloadLen, r.remaining());
+    decode_check(f.payloadLen == r.remaining(), DecodeStatus::BadLength,
                  r.pos(),
                  "%zu trailing bytes after declared payload",
-                 r.remaining() - static_cast<std::size_t>(payload_len));
+                 r.remaining() - static_cast<std::size_t>(f.payloadLen));
 
-    f.payload.resize(static_cast<std::size_t>(payload_len));
-    r.raw(f.payload.data(), f.payload.size());
+    f.payload = bytes.data() + kFrameHeaderBytes;
+    return f;
+}
+
+} // namespace
+
+void
+encodeFrameInto(const FrameRef &f, std::uint64_t checksum,
+                std::vector<std::uint8_t> &out)
+{
+    out.clear();
+    out.reserve(kFrameHeaderBytes +
+                static_cast<std::size_t>(f.payloadLen));
+    put32(out, kFrameMagic);
+    out.push_back(kFrameVersion);
+    out.push_back(f.format);
+    put16(out, f.flags);
+    put32(out, f.srcNode);
+    put32(out, f.dstNode);
+    put32(out, f.partition);
+    put64(out, f.payloadLen);
+    put64(out, checksum);
+    out.insert(out.end(), f.payload, f.payload + f.payloadLen);
+}
+
+std::vector<std::uint8_t>
+encodeFrame(const Frame &f)
+{
+    FrameRef ref;
+    ref.format = f.format;
+    ref.flags = f.flags;
+    ref.srcNode = f.srcNode;
+    ref.dstNode = f.dstNode;
+    ref.partition = f.partition;
+    ref.payload = f.payload.data();
+    ref.payloadLen = f.payload.size();
+    std::vector<std::uint8_t> out;
+    encodeFrameInto(ref, fnv1a64(f.payload.data(), f.payload.size()),
+                    out);
+    return out;
+}
+
+Frame
+decodeFrame(const std::vector<std::uint8_t> &bytes)
+{
+    const FrameInfo info = decodeFrameInfoOrThrow(bytes);
+
+    Frame f;
+    f.format = info.format;
+    f.flags = info.flags;
+    f.srcNode = info.srcNode;
+    f.dstNode = info.dstNode;
+    f.partition = info.partition;
+    f.payload.assign(info.payload, info.payload + info.payloadLen);
 
     const std::uint64_t computed =
         fnv1a64(f.payload.data(), f.payload.size());
-    decode_check(computed == checksum, DecodeStatus::Malformed,
-                 checksum_at,
+    decode_check(computed == info.checksum, DecodeStatus::Malformed,
+                 kFrameHeaderBytes - 8,
                  "payload checksum mismatch (stored %016llx, computed "
                  "%016llx)",
-                 (unsigned long long)checksum,
+                 (unsigned long long)info.checksum,
                  (unsigned long long)computed);
     return f;
+}
+
+DecodeResult<FrameInfo>
+tryDecodeFrameInfo(const std::vector<std::uint8_t> &bytes)
+{
+    try {
+        return decodeFrameInfoOrThrow(bytes);
+    } catch (const DecodeError &e) {
+        return e;
+    }
 }
 
 DecodeResult<Frame>

@@ -58,6 +58,44 @@ struct Frame
     std::vector<std::uint8_t> payload;
 };
 
+/**
+ * A frame whose payload bytes are owned elsewhere (zero-copy encode).
+ *
+ * The cluster simulator sends the same profiled partition payload
+ * thousands of times per run; FrameRef lets the send path reference it
+ * in place instead of copying it into a Frame first.
+ */
+struct FrameRef
+{
+    std::uint8_t format = 0;
+    std::uint16_t flags = 0;
+    std::uint32_t srcNode = 0;
+    std::uint32_t dstNode = 0;
+    std::uint32_t partition = 0;
+    const std::uint8_t *payload = nullptr;
+    std::uint64_t payloadLen = 0;
+};
+
+/**
+ * Header view of a validated frame (zero-copy decode): all header
+ * fields plus a pointer into the caller's buffer. The stored checksum
+ * is NOT recomputed — callers that already know the expected payload
+ * checksum compare against it; hostile input goes through decodeFrame.
+ */
+struct FrameInfo
+{
+    std::uint8_t format = 0;
+    std::uint16_t flags = 0;
+    std::uint32_t srcNode = 0;
+    std::uint32_t dstNode = 0;
+    std::uint32_t partition = 0;
+    /** Payload bytes, pointing into the decoded buffer. */
+    const std::uint8_t *payload = nullptr;
+    std::uint64_t payloadLen = 0;
+    /** Checksum as stored in the header (not recomputed). */
+    std::uint64_t checksum = 0;
+};
+
 /** Printable serializer name of frame format id @p id ("?" if bad). */
 const char *frameFormatName(std::uint8_t id);
 
@@ -66,6 +104,16 @@ std::uint64_t fnv1a64(const std::uint8_t *data, std::size_t n);
 
 /** Encode @p f; a decoded frame re-encodes to identical bytes. */
 std::vector<std::uint8_t> encodeFrame(const Frame &f);
+
+/**
+ * Encode @p f into @p out (cleared first; its capacity is reused, so
+ * pooled buffers make steady-state sends allocation-free). @p checksum
+ * must be fnv1a64 over the payload — callers cache it once per payload
+ * instead of re-hashing hundreds of kilobytes per send. Produces bytes
+ * identical to encodeFrame().
+ */
+void encodeFrameInto(const FrameRef &f, std::uint64_t checksum,
+                     std::vector<std::uint8_t> &out);
 
 /**
  * Decode one frame occupying the whole of @p bytes.
@@ -79,6 +127,18 @@ Frame decodeFrame(const std::vector<std::uint8_t> &bytes);
 
 /** Exception-free decodeFrame(). */
 DecodeResult<Frame> tryDecodeFrame(const std::vector<std::uint8_t> &bytes);
+
+/**
+ * Validate the frame header of @p bytes and return a zero-copy view.
+ *
+ * Performs every structural check decodeFrame() does (magic, version,
+ * format id, reserved flags, exact payload length) but neither copies
+ * the payload nor recomputes its checksum; FrameInfo::checksum is the
+ * stored value for the caller to compare against a known-good hash.
+ * The view borrows @p bytes and dies with it.
+ */
+DecodeResult<FrameInfo>
+tryDecodeFrameInfo(const std::vector<std::uint8_t> &bytes);
 
 } // namespace cereal
 

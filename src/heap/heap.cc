@@ -7,9 +7,9 @@
 namespace cereal {
 
 Heap::Heap(KlassRegistry &registry, Addr base)
-    : registry_(&registry), base_(base)
+    : registry_(&registry), base_(base), mem_(1 << 20)
 {
-    mem_.reserve(1 << 20);
+    objects_.reserve(1024);
 }
 
 std::uint8_t *
@@ -33,13 +33,7 @@ Heap::hostPtr(Addr addr, Addr n) const
 void
 Heap::ensureCapacity(Addr bytes_needed)
 {
-    if (mem_.size() < bytes_needed) {
-        Addr new_size = mem_.empty() ? Addr{1} << 16 : mem_.size();
-        while (new_size < bytes_needed) {
-            new_size *= 2;
-        }
-        mem_.resize(new_size, 0);
-    }
+    mem_.claimZeroed(bytes_needed);
 }
 
 bool

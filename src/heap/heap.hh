@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "heap/klass.hh"
+#include "sim/arena.hh"
 #include "sim/types.hh"
 
 namespace cereal {
@@ -191,7 +192,7 @@ class Heap
     KlassRegistry *registry_;
     Addr base_;
     Addr used_ = 0;
-    std::vector<std::uint8_t> mem_;
+    sim::ContiguousBuffer mem_;
     std::vector<Addr> objects_;
     std::uint32_t nextHash_ = 0x1234567;
 };

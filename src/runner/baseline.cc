@@ -64,6 +64,19 @@ compareLeaves(const Leaves &fresh, const Leaves &base,
             continue;
         }
         ++out.comparedLeaves;
+        const double floor = tol.floorFor(b.first);
+        if (floor > 0) {
+            // One-sided: improvements always pass, drops fail only
+            // past the ratio.
+            if (*f < floor * b.second) {
+                std::ostringstream ss;
+                ss << "below floor: " << json::formatDouble(*f)
+                   << " < " << json::formatDouble(floor) << " * "
+                   << json::formatDouble(b.second);
+                out.findings.push_back({b.first, ss.str()});
+            }
+            continue;
+        }
         const double denom = std::max(std::fabs(b.second), 1e-12);
         const double rel = std::fabs(*f - b.second) / denom;
         const double allowed = tol.relFor(b.first);
@@ -112,6 +125,21 @@ Tolerance::relFor(const std::string &path) const
         }
     }
     return rel;
+}
+
+double
+Tolerance::floorFor(const std::string &path) const
+{
+    double ratio = 0;
+    std::size_t best = 0;
+    for (const auto &fl : floors) {
+        if (fl.first.size() >= best &&
+            path.find(fl.first) != std::string::npos) {
+            best = fl.first.size();
+            ratio = fl.second;
+        }
+    }
+    return ratio;
 }
 
 std::string

@@ -50,9 +50,23 @@ struct Tolerance
      * substring that occurs in a leaf's dotted path wins.
      */
     std::vector<std::pair<std::string, double>> overrides;
+    /**
+     * (path substring, minimum ratio) one-sided floors. A leaf whose
+     * dotted path contains the substring (longest match wins) is held
+     * to `fresh >= ratio * baseline` *instead of* the symmetric
+     * relative tolerance: any improvement passes, and a drop only
+     * fails once it crosses the ratio. This is how wall-clock metrics
+     * (sim-ticks/sec and friends) are gated — they jitter too much for
+     * a 5% band, but a 2x collapse (ratio 0.5) is a real regression.
+     * Meaningful for positive throughput-like baselines.
+     */
+    std::vector<std::pair<std::string, double>> floors;
 
     /** Tolerance in effect for the leaf at @p path. */
     double relFor(const std::string &path) const;
+
+    /** Floor ratio for the leaf at @p path, or 0 when none applies. */
+    double floorFor(const std::string &path) const;
 };
 
 /** One comparison failure. */

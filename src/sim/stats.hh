@@ -165,6 +165,9 @@ class Distribution
         avg_.sample(v);
     }
 
+    /** Pre-size the sample store for a known population size. */
+    void reserve(std::size_t n) { samples_.reserve(n); }
+
     void
     reset()
     {

@@ -160,6 +160,40 @@ TEST(BenchCompare, OverrideToleranceChangesVerdict)
     EXPECT_FALSE(compareBenchJson(doc(12.55), doc(12.5), strict).pass);
 }
 
+TEST(Tolerance, FloorLongestMatchWinsAndDefaultsToNone)
+{
+    Tolerance tol;
+    tol.floors = {{"per_sec", 0.5}, {"points.slow.per_sec", 0.9}};
+    EXPECT_DOUBLE_EQ(tol.floorFor("points.fast.per_sec"), 0.5);
+    EXPECT_DOUBLE_EQ(tol.floorFor("points.slow.per_sec"), 0.9);
+    EXPECT_DOUBLE_EQ(tol.floorFor("points.fast.wall_seconds"), 0.0);
+}
+
+TEST(BenchCompare, FloorIsOneSided)
+{
+    // Wall-clock gate semantics: any improvement passes (even one a
+    // symmetric 5% band would flag as drift), a small drop passes, a
+    // collapse past the ratio fails.
+    Tolerance tol;
+    tol.floors = {{"speedup", 0.5}};
+    EXPECT_TRUE(compareBenchJson(doc(125.0), doc(12.5), tol).pass);
+    EXPECT_TRUE(compareBenchJson(doc(7.0), doc(12.5), tol).pass);
+    const auto res = compareBenchJson(doc(6.0), doc(12.5), tol);
+    EXPECT_FALSE(res.pass);
+    ASSERT_EQ(res.findings.size(), 1u);
+    EXPECT_NE(res.findings[0].message.find("below floor"),
+              std::string::npos);
+}
+
+TEST(BenchCompare, FloorOnlyAppliesToMatchingPaths)
+{
+    // A floor on one path leaves every other leaf on the symmetric
+    // tolerance.
+    Tolerance tol;
+    tol.floors = {{"unrelated_metric", 0.5}};
+    EXPECT_FALSE(compareBenchJson(doc(25.0), doc(12.5), tol).pass);
+}
+
 TEST(BenchCompare, BaselineZeroRequiresExactZero)
 {
     EXPECT_TRUE(compareBenchJson(doc(0.0), doc(0.0)).pass);

@@ -125,6 +125,123 @@ TEST(EventQueue, RunUntilStopsAtBoundary)
     EXPECT_EQ(fired, 3);
 }
 
+TEST(EventQueue, RunUntilExecutesReentrantWorkAtTheBoundary)
+{
+    // An event exactly at `until` runs, and same-tick work it
+    // schedules runs too — the boundary is inclusive all the way to
+    // quiescence at that tick.
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(20, [&] {
+        order.push_back(0);
+        eq.schedule(20, [&] { order.push_back(1); });
+        eq.schedule(21, [&] { order.push_back(2); });
+    });
+    eq.runUntil(20);
+    EXPECT_EQ(order, (std::vector<int>{0, 1}));
+    EXPECT_EQ(eq.now(), 20u);
+    EXPECT_EQ(eq.pending(), 1u);
+}
+
+TEST(EventQueue, ReentrantSchedulingAtNowExecutesThisRun)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] {
+        eq.schedule(eq.now(), [&] { ++fired; });
+        eq.scheduleIn(0, [&] { ++fired; });
+    });
+    eq.runAll();
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(eq.now(), 10u);
+}
+
+TEST(EventQueue, NextEventTickAfterDrainIsMaxTick)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.nextEventTick(), kMaxTick);
+    eq.schedule(5, [] {});
+    EXPECT_EQ(eq.nextEventTick(), 5u);
+    eq.runAll();
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.nextEventTick(), kMaxTick);
+}
+
+TEST(EventQueue, FastForwardSkipsIdleTimeWithoutExecuting)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(1000, [&] { ++fired; });
+    EXPECT_EQ(eq.fastForward(900), 900u);
+    EXPECT_EQ(eq.now(), 900u);
+    EXPECT_EQ(fired, 0);
+    // Jumping exactly onto the next event's tick is allowed; the
+    // event still executes normally afterwards.
+    EXPECT_EQ(eq.fastForward(1000), 1000u);
+    EXPECT_EQ(fired, 0);
+    eq.runAll();
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.executedCount(), 1u);
+}
+
+TEST(EventQueue, FastForwardBackwardsIsANoOp)
+{
+    EventQueue eq;
+    eq.schedule(10, [] {});
+    eq.runAll();
+    EXPECT_EQ(eq.now(), 10u);
+    EXPECT_EQ(eq.fastForward(5), 10u);
+    EXPECT_EQ(eq.now(), 10u);
+}
+
+TEST(EventQueue, FastForwardOverPendingEventPanics)
+{
+    EventQueue eq;
+    eq.schedule(1000, [] {});
+    EXPECT_DEATH(eq.fastForward(1001), "skip a pending event");
+}
+
+TEST(EventCallback, SmallCallablesStayInline)
+{
+    int hits = 0;
+    EventQueue::Callback cb([&hits] { ++hits; });
+    EXPECT_TRUE(cb.isInline());
+    cb();
+    EXPECT_EQ(hits, 1);
+}
+
+TEST(EventCallback, LargeCallablesFallBackToTheHeap)
+{
+    struct Big
+    {
+        char pad[EventQueue::Callback::kInlineBytes + 8] = {};
+        int *out;
+        void operator()() { *out = 42; }
+    };
+    int result = 0;
+    Big big;
+    big.out = &result;
+    EventQueue::Callback cb(big);
+    EXPECT_FALSE(cb.isInline());
+    cb();
+    EXPECT_EQ(result, 42);
+}
+
+TEST(EventCallback, MoveTransfersTheCallable)
+{
+    int hits = 0;
+    EventQueue::Callback a([&hits] { ++hits; });
+    EventQueue::Callback b(std::move(a));
+    b();
+    EXPECT_EQ(hits, 1);
+    EXPECT_DEATH(a(), "empty EventCallback");
+
+    EventQueue::Callback c;
+    c = std::move(b);
+    c();
+    EXPECT_EQ(hits, 2);
+}
+
 TEST(EventQueue, SchedulingInPastPanics)
 {
     EventQueue eq;
@@ -328,6 +445,23 @@ TEST(Stats, DistributionSingleSample)
     EXPECT_DOUBLE_EQ(d.p50(), 7.5);
     EXPECT_DOUBLE_EQ(d.p95(), 7.5);
     EXPECT_DOUBLE_EQ(d.p99(), 7.5);
+}
+
+TEST(Stats, DistributionLargeNNearestRank)
+{
+    // 100001 values inserted in reverse; nearest-rank is
+    // ceil(p/100 * n), 1-indexed into the sorted samples.
+    stats::Distribution d;
+    d.reserve(100001);
+    for (int v = 100000; v >= 0; --v) {
+        d.sample(v);
+    }
+    EXPECT_EQ(d.count(), 100001u);
+    EXPECT_DOUBLE_EQ(d.percentile(0), 0.0);
+    EXPECT_DOUBLE_EQ(d.p50(), 50000.0);  // ceil(50000.5) = 50001st
+    EXPECT_DOUBLE_EQ(d.p95(), 95000.0);  // ceil(95000.95) = 95001st
+    EXPECT_DOUBLE_EQ(d.p99(), 99000.0);  // ceil(99000.99) = 99001st
+    EXPECT_DOUBLE_EQ(d.percentile(100), 100000.0);
 }
 
 TEST(Stats, DistributionInGroupDump)

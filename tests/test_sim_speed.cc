@@ -1,0 +1,468 @@
+/**
+ * @file
+ * The sim-speed tier: tests for the simulator fast path.
+ *
+ *  - Arena / Pool / BufferPool / ContiguousBuffer allocation-layer
+ *    semantics (alignment, chunk reuse across reset, free-list
+ *    recycling, zeroing, growth).
+ *  - A global-operator-new counting proof that the hot event loop
+ *    allocates zero bytes per event (same technique as test_trace's
+ *    null-sink guarantee).
+ *  - Dram::accessRange batched fast path vs the per-burst access()
+ *    loop: identical completion ticks, counters, latency accounting,
+ *    and bank/bus state.
+ *  - The fast-forward equivalence contract, differentially: every
+ *    stat a cycle-accurate run reports must come back bit-identical
+ *    from a FastForward run, at the harness level (measureSoftware /
+ *    measureCereal) and the cluster level (runShuffle / runServing).
+ *  - Sampled-mode serving: the shortened run's percentiles must stay
+ *    within bounded error of the full cycle-accurate population.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <vector>
+
+#include "cluster/cluster.hh"
+#include "mem/dram.hh"
+#include "serde/java_serde.hh"
+#include "sim/arena.hh"
+#include "sim/event_queue.hh"
+#include "sim/sim_mode.hh"
+#include "workloads/harness.hh"
+#include "workloads/micro.hh"
+
+// ------------------------------------------------- allocation counter
+//
+// Program-wide operator new replacement so the event-loop test can
+// assert the hot path never touches the global allocator. Counting is
+// cheap and thread-safe, so replacing it for the whole test binary is
+// harmless (test_trace uses the same technique).
+
+namespace {
+std::atomic<std::uint64_t> g_allocCount{0};
+} // namespace
+
+void *
+operator new(std::size_t size)
+{
+    ++g_allocCount;
+    if (void *p = std::malloc(size ? size : 1)) {
+        return p;
+    }
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](std::size_t size)
+{
+    return ::operator new(size);
+}
+
+void operator delete(void *p) noexcept { std::free(p); }
+void operator delete[](void *p) noexcept { std::free(p); }
+void operator delete(void *p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void *p, std::size_t) noexcept { std::free(p); }
+
+namespace cereal {
+namespace {
+
+using cluster::Backend;
+using cluster::ClusterConfig;
+using cluster::ClusterSim;
+using cluster::LatencySummary;
+
+// ---------------------------------------------------------- arena
+
+TEST(Arena, RespectsAlignment)
+{
+    sim::Arena arena(256);
+    for (std::size_t align : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+        void *p = arena.alloc(3, align);
+        ASSERT_NE(p, nullptr);
+        EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % align, 0u);
+    }
+    // Zero-byte allocations still return distinct live pointers.
+    void *a = arena.alloc(0, 1);
+    void *b = arena.alloc(0, 1);
+    EXPECT_NE(a, b);
+}
+
+TEST(Arena, NonPowerOfTwoAlignmentPanics)
+{
+    sim::Arena arena;
+    EXPECT_DEATH(arena.alloc(8, 3), "2\\^n");
+}
+
+TEST(Arena, GrowsAcrossChunksAndResetReusesThem)
+{
+    sim::Arena arena(128);
+    std::vector<unsigned char *> ptrs;
+    for (int i = 0; i < 64; ++i) {
+        auto *p = static_cast<unsigned char *>(arena.alloc(100));
+        std::memset(p, 0xAB, 100);
+        ptrs.push_back(p);
+    }
+    EXPECT_GE(arena.chunkCount(), 2u);
+    EXPECT_GE(arena.bytesInUse(), 64u * 100u);
+    const std::size_t chunks = arena.chunkCount();
+    const std::size_t reserved = arena.bytesReserved();
+
+    arena.reset();
+    EXPECT_EQ(arena.bytesInUse(), 0u);
+    // Same allocation pattern after reset: no new chunks needed.
+    for (int i = 0; i < 64; ++i) {
+        arena.alloc(100);
+    }
+    EXPECT_EQ(arena.chunkCount(), chunks);
+    EXPECT_EQ(arena.bytesReserved(), reserved);
+}
+
+TEST(Arena, MakeConstructsInPlace)
+{
+    struct Obj
+    {
+        int a;
+        double b;
+        Obj(int a, double b) : a(a), b(b) {}
+    };
+    sim::Arena arena;
+    Obj *o = arena.make<Obj>(7, 2.5);
+    ASSERT_NE(o, nullptr);
+    EXPECT_EQ(o->a, 7);
+    EXPECT_DOUBLE_EQ(o->b, 2.5);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(o) % alignof(Obj), 0u);
+}
+
+TEST(Pool, RecyclesReleasedSlots)
+{
+    sim::Pool<std::uint64_t> pool;
+    std::uint64_t *a = pool.acquire(11u);
+    EXPECT_EQ(*a, 11u);
+    EXPECT_EQ(pool.liveCount(), 1u);
+    pool.release(a);
+    EXPECT_EQ(pool.liveCount(), 0u);
+    EXPECT_EQ(pool.freeCount(), 1u);
+    // The freed slot comes straight back.
+    std::uint64_t *b = pool.acquire(22u);
+    EXPECT_EQ(b, a);
+    EXPECT_EQ(*b, 22u);
+    EXPECT_EQ(pool.freeCount(), 0u);
+    pool.release(b);
+}
+
+TEST(Pool, MisuseIsFatal)
+{
+    sim::Pool<int> pool;
+    EXPECT_DEATH(pool.release(nullptr), "nullptr");
+    EXPECT_DEATH(
+        {
+            sim::Pool<int> leaky;
+            leaky.acquire(1);
+        },
+        "live");
+}
+
+TEST(BufferPool, RetainsCapacityAcrossRoundTrips)
+{
+    sim::BufferPool pool;
+    auto buf = pool.acquire();
+    EXPECT_EQ(pool.misses(), 1u);
+    buf.resize(300 * 1024);
+    const std::size_t cap = buf.capacity();
+    pool.release(std::move(buf));
+    EXPECT_EQ(pool.parked(), 1u);
+
+    auto again = pool.acquire();
+    EXPECT_EQ(pool.hits(), 1u);
+    EXPECT_EQ(pool.parked(), 0u);
+    EXPECT_TRUE(again.empty());
+    EXPECT_GE(again.capacity(), cap);
+}
+
+TEST(ContiguousBuffer, ZeroesClaimsAndPreservesAcrossGrowth)
+{
+    sim::ContiguousBuffer buf(64);
+    buf.claimZeroed(48);
+    ASSERT_GE(buf.size(), 48u);
+    for (std::size_t i = 0; i < 48; ++i) {
+        ASSERT_EQ(buf.data()[i], 0u);
+    }
+    std::memset(buf.data(), 0x5A, 48);
+
+    // Growth past capacity preserves contents and zeroes the new span.
+    buf.claimZeroed(1 << 20);
+    ASSERT_GE(buf.capacity(), std::size_t{1} << 20);
+    for (std::size_t i = 0; i < 48; ++i) {
+        ASSERT_EQ(buf.data()[i], 0x5A);
+    }
+    for (std::size_t i = 48; i < (1 << 20); i += 4096) {
+        ASSERT_EQ(buf.data()[i], 0u);
+    }
+    // Monotonic: shrinking claims are no-ops.
+    const std::size_t size = buf.size();
+    buf.claimZeroed(100);
+    EXPECT_EQ(buf.size(), size);
+}
+
+// ------------------------------------------- zero-alloc event loop
+
+TEST(EventLoop, HotPathAllocatesZeroBytesPerEvent)
+{
+    // A self-rescheduling chain: the callback fits the inline buffer
+    // and the heap vector is pre-reserved, so after setup the loop
+    // must never reach the global allocator.
+    EventQueue eq;
+    eq.reserve(64);
+    std::uint64_t remaining = 100000;
+    struct Chain
+    {
+        EventQueue *eq;
+        std::uint64_t *remaining;
+        void
+        operator()()
+        {
+            if (--*remaining > 0) {
+                eq->scheduleIn(3, Chain{eq, remaining});
+            }
+        }
+    };
+    static_assert(sizeof(Chain) <= EventQueue::Callback::kInlineBytes,
+                  "chain callback must stay inline");
+    eq.scheduleIn(1, Chain{&eq, &remaining});
+
+    const std::uint64_t before = g_allocCount.load();
+    eq.runAll();
+    const std::uint64_t after = g_allocCount.load();
+    EXPECT_EQ(after - before, 0u)
+        << "event loop allocated " << (after - before)
+        << " times over 100000 events";
+    EXPECT_EQ(remaining, 0u);
+    EXPECT_EQ(eq.executedCount(), 100000u);
+}
+
+// --------------------------------------------- DRAM batched ticking
+
+/** Drive @p mem over [addr, addr+bytes) one burst at a time. */
+Tick
+perBurstRange(Dram &mem, const DramConfig &cfg, Addr addr, Addr bytes,
+              bool write, Tick issue)
+{
+    if (bytes == 0) {
+        return issue;
+    }
+    Tick done = issue;
+    Addr first = addr / cfg.burstBytes * cfg.burstBytes;
+    Addr last = (addr + bytes - 1) / cfg.burstBytes * cfg.burstBytes;
+    for (Addr a = first; a <= last; a += cfg.burstBytes) {
+        done = std::max(done, mem.access(a, write, issue).completeTick);
+    }
+    return done;
+}
+
+TEST(DramBatch, AccessRangeMatchesPerBurstLoopExactly)
+{
+    // Two identically configured instances, one driven through the
+    // batched accessRange fast path and one through the per-burst
+    // access() loop. Completion ticks, every counter, the
+    // double-accumulated latency sum, and the bank/bus state (probed
+    // via a follow-up access) must be bit-identical.
+    DramConfig cfg;
+    EventQueue eqa, eqb;
+    Dram a("a", eqa, cfg);
+    Dram b("b", eqb, cfg);
+
+    struct Op
+    {
+        Addr addr;
+        Addr bytes;
+        bool write;
+    };
+    // Sequential stream, row-crossing span, unaligned slice, write
+    // traffic revisiting rows, and a zero-length no-op.
+    const std::vector<Op> ops = {
+        {0, 1 << 16, false},           {1 << 16, 3 * 8192, false},
+        {12345, 1000, false},          {0, 1 << 15, true},
+        {40 * 8192 + 7, 8192, true},   {123, 0, false},
+        {5 << 20, 64, false},
+    };
+
+    Tick ta = 0, tb = 0;
+    for (const Op &op : ops) {
+        ta = a.accessRange(op.addr, op.bytes, op.write, ta);
+        tb = perBurstRange(b, cfg, op.addr, op.bytes, op.write, tb);
+        ASSERT_EQ(ta, tb);
+        ASSERT_EQ(a.accesses(), b.accesses());
+        ASSERT_EQ(a.rowHits(), b.rowHits());
+        ASSERT_EQ(a.bytesRead(), b.bytesRead());
+        ASSERT_EQ(a.bytesWritten(), b.bytesWritten());
+        // Exact double equality: the fast path must accumulate the
+        // latency sum in the same order as the per-burst loop.
+        ASSERT_EQ(a.avgLatencyNs(), b.avgLatencyNs());
+    }
+
+    // Registered stats match too.
+    for (const char *name : {"reads", "writes", "rowHits", "rowMisses"}) {
+        const auto *ea = a.stats().find(name);
+        const auto *eb = b.stats().find(name);
+        ASSERT_NE(ea, nullptr);
+        ASSERT_NE(eb, nullptr);
+        EXPECT_EQ(static_cast<const stats::Scalar *>(ea->stat)->value(),
+                  static_cast<const stats::Scalar *>(eb->stat)->value())
+            << name;
+    }
+
+    // Bank and bus state: the next access must see identical timing.
+    auto ra = a.access(4096, false, ta + 100);
+    auto rb = b.access(4096, false, tb + 100);
+    EXPECT_EQ(ra.completeTick, rb.completeTick);
+    EXPECT_EQ(ra.rowHit, rb.rowHit);
+}
+
+// --------------------------------------- fast-forward equivalence
+
+class SimModeDiffTest : public ::testing::Test
+{
+  protected:
+    SimModeDiffTest() : micro(reg), src(reg)
+    {
+        Rng rng(11);
+        root = micro.buildTree(src, 2, 1023, rng);
+    }
+
+    KlassRegistry reg;
+    workloads::MicroWorkloads micro;
+    Heap src;
+    Addr root;
+};
+
+/** Every SdMeasurement field, compared bit-exactly. */
+void
+expectSameMeasurement(const workloads::SdMeasurement &c,
+                      const workloads::SdMeasurement &f)
+{
+    EXPECT_EQ(c.serializer, f.serializer);
+    EXPECT_EQ(c.serSeconds, f.serSeconds);
+    EXPECT_EQ(c.deserSeconds, f.deserSeconds);
+    EXPECT_EQ(c.serBandwidth, f.serBandwidth);
+    EXPECT_EQ(c.deserBandwidth, f.deserBandwidth);
+    EXPECT_EQ(c.serIpc, f.serIpc);
+    EXPECT_EQ(c.deserIpc, f.deserIpc);
+    EXPECT_EQ(c.serLlcMissRate, f.serLlcMissRate);
+    EXPECT_EQ(c.deserLlcMissRate, f.deserLlcMissRate);
+    EXPECT_EQ(c.streamBytes, f.streamBytes);
+    EXPECT_EQ(c.objects, f.objects);
+    EXPECT_EQ(c.serEnergyJ, f.serEnergyJ);
+    EXPECT_EQ(c.deserEnergyJ, f.deserEnergyJ);
+}
+
+TEST_F(SimModeDiffTest, SoftwareMeasurementIsModeInvariant)
+{
+    JavaSerializer java;
+    CoreConfig cycle;
+    cycle.mode = SimMode::CycleAccurate;
+    CoreConfig fast;
+    fast.mode = SimMode::FastForward;
+    expectSameMeasurement(
+        workloads::measureSoftware(java, src, root, cycle),
+        workloads::measureSoftware(java, src, root, fast));
+}
+
+TEST_F(SimModeDiffTest, CerealMeasurementIsModeInvariant)
+{
+    AccelConfig cycle;
+    cycle.mode = SimMode::CycleAccurate;
+    AccelConfig fast;
+    fast.mode = SimMode::FastForward;
+    expectSameMeasurement(workloads::measureCereal(src, root, cycle),
+                          workloads::measureCereal(src, root, fast));
+}
+
+void
+expectSameLatency(const LatencySummary &c, const LatencySummary &f)
+{
+    EXPECT_EQ(c.count, f.count);
+    EXPECT_EQ(c.mean, f.mean);
+    EXPECT_EQ(c.min, f.min);
+    EXPECT_EQ(c.max, f.max);
+    EXPECT_EQ(c.p50, f.p50);
+    EXPECT_EQ(c.p95, f.p95);
+    EXPECT_EQ(c.p99, f.p99);
+}
+
+ClusterConfig
+clusterConfig(SimMode mode, Backend backend = Backend::Java)
+{
+    ClusterConfig cfg;
+    cfg.nodes = 4;
+    cfg.backend = backend;
+    cfg.scale = 256;
+    cfg.mode = mode;
+    return cfg;
+}
+
+TEST(ClusterModeDiff, ShuffleIsModeInvariant)
+{
+    for (Backend b : {Backend::Java, Backend::Cereal}) {
+        ClusterSim cycle(clusterConfig(SimMode::CycleAccurate, b));
+        ClusterSim fast(clusterConfig(SimMode::FastForward, b));
+        const auto c = cycle.runShuffle();
+        const auto f = fast.runShuffle();
+        EXPECT_EQ(c.completionSeconds, f.completionSeconds);
+        EXPECT_EQ(c.frames, f.frames);
+        EXPECT_EQ(c.wireBytes, f.wireBytes);
+        EXPECT_EQ(c.batches, f.batches);
+        EXPECT_EQ(c.throughputMBps, f.throughputMBps);
+        expectSameLatency(c.latency, f.latency);
+    }
+}
+
+TEST(ClusterModeDiff, ServingIsModeInvariant)
+{
+    ClusterSim cycle(clusterConfig(SimMode::CycleAccurate));
+    ClusterSim fast(clusterConfig(SimMode::FastForward));
+    const auto c = cycle.runServing(0.7, 64);
+    const auto f = fast.runServing(0.7, 64);
+    EXPECT_EQ(c.offeredRps, f.offeredRps);
+    EXPECT_EQ(c.achievedRps, f.achievedRps);
+    EXPECT_EQ(c.requests, f.requests);
+    EXPECT_EQ(c.completed, f.completed);
+    EXPECT_EQ(c.durationSeconds, f.durationSeconds);
+    expectSameLatency(c.latency, f.latency);
+}
+
+TEST(ClusterModeDiff, SampledServingBoundsPercentileError)
+{
+    // Sampled mode simulates only the first quarter of each node's
+    // arrival process. The deterministic seed makes this a fixed
+    // comparison: the sampled percentiles must stay within 2x of the
+    // full population's, and the sample size must be the documented
+    // quarter (rounded up).
+    ClusterSim cycle(clusterConfig(SimMode::CycleAccurate));
+    ClusterSim sampled(clusterConfig(SimMode::Sampled));
+    const auto full = cycle.runServing(0.7, 64);
+    const auto samp = sampled.runServing(0.7, 64);
+
+    EXPECT_EQ(samp.requests, 4u * ((64 + 3) / 4));
+    EXPECT_EQ(samp.completed, samp.requests);
+    EXPECT_GT(samp.achievedRps, 0.0);
+
+    for (auto pair : {std::pair<double, double>{full.latency.p50,
+                                               samp.latency.p50},
+                      {full.latency.p95, samp.latency.p95},
+                      {full.latency.p99, samp.latency.p99},
+                      {full.latency.mean, samp.latency.mean}}) {
+        ASSERT_GT(pair.first, 0.0);
+        ASSERT_GT(pair.second, 0.0);
+        const double ratio = pair.second / pair.first;
+        EXPECT_GT(ratio, 0.5) << "sampled percentile collapsed";
+        EXPECT_LT(ratio, 2.0) << "sampled percentile exploded";
+    }
+}
+
+} // namespace
+} // namespace cereal

@@ -4,7 +4,8 @@
  * committed baseline.
  *
  *   bench_compare <fresh.json> <baseline.json>
- *                 [--tolerance X] [--tolerance <path-substr>=Y] ...
+ *                 [--tolerance X] [--tolerance <path-substr>=Y]
+ *                 [--floor <path-substr>=R] ...
  *
  * Exit status 0 when every numeric leaf is within tolerance, 1 on any
  * drift / missing / extra metric, 2 on usage or I/O errors. With
@@ -47,6 +48,10 @@ usage(const char *argv0)
                  " (default 0.05)\n"
                  "  --tolerance substr=Y      override for paths"
                  " containing substr (longest match wins)\n"
+                 "  --floor substr=R          one-sided gate for paths"
+                 " containing substr: fresh >= R * baseline\n"
+                 "                            (improvements always pass;"
+                 " replaces the symmetric tolerance)\n"
                  "  CEREAL_UPDATE_BASELINES=1 rewrite the baseline from"
                  " the fresh document\n",
                  argv0);
@@ -94,6 +99,30 @@ main(int argc, char **argv)
                 }
                 tol.overrides.emplace_back(key, rel);
             }
+            continue;
+        }
+        if (std::strcmp(arg, "--floor") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "--floor needs substr=R\n");
+                return 2;
+            }
+            const std::string spec = argv[++i];
+            const auto eq = spec.find('=');
+            char *end = nullptr;
+            if (eq == std::string::npos) {
+                std::fprintf(stderr, "bad floor '%s' (want substr=R)\n",
+                             spec.c_str());
+                return 2;
+            }
+            const std::string key = spec.substr(0, eq);
+            const std::string val = spec.substr(eq + 1);
+            const double ratio = std::strtod(val.c_str(), &end);
+            if (key.empty() || end != val.c_str() + val.size() ||
+                ratio <= 0) {
+                std::fprintf(stderr, "bad floor '%s'\n", spec.c_str());
+                return 2;
+            }
+            tol.floors.emplace_back(key, ratio);
             continue;
         }
         if (arg[0] == '-') {
