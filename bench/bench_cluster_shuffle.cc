@@ -1,6 +1,6 @@
 /**
  * @file
- * Cluster-scale serving comparison of the four serializer backends.
+ * Cluster-scale serving comparison of the six serializer backends.
  *
  * Drives the event-driven cluster simulator (src/cluster) through one
  * all-to-all shuffle plus an open-loop serving sweep at three load
@@ -9,7 +9,14 @@
  * request rate). The paper's claim transported to cluster scale: the
  * accelerator's S/D speedups must show up as a dominating frontier —
  * at every load point Cereal sustains a higher request rate at lower
- * tail latency than java/kryo/skyway.
+ * tail latency than the reflective software serializers the paper
+ * measured (java/kryo/skyway): that is `cereal_dominates_frontier`.
+ * The post-paper software backends are reported separately: the
+ * generated plaincode serializer narrows the gap without closing it
+ * (`cereal_dominates_plaincode_*`), while hps's zero-copy receive path
+ * spends no decode work at all and is allowed to beat the accelerator
+ * on this metric — `cereal_dominates_extended_frontier` records
+ * honestly whether Cereal still dominates once hps joins the pool.
  */
 
 #include <cstdio>
@@ -137,9 +144,18 @@ main(int argc, char **argv)
 
     sweep.setSummary([&](json::Writer &w) {
         const Row &csh = row(Backend::Cereal, 0);
+        // `cereal_dominates_frontier` keeps its original meaning —
+        // dominance over the paper's reflective software baselines —
+        // so the CI gate stays comparable across PRs. The two
+        // post-paper backends get their own per-load keys, and the
+        // extended-frontier kv reports (without gating) whether the
+        // claim survives the zero-copy challenger.
         bool dominates = true;
-        for (Backend b :
-             {Backend::Java, Backend::Kryo, Backend::Skyway}) {
+        bool dominates_ext = true;
+        for (Backend b : allBackends()) {
+            if (b == Backend::Cereal) {
+                continue;
+            }
             const std::string n = backendName(b);
             w.kv("cereal_completion_speedup_vs_" + n,
                  row(b, 0).shuffle.completionSeconds /
@@ -150,7 +166,11 @@ main(int argc, char **argv)
                     row(Backend::Cereal, 1 + li).serve;
                 const bool dom = ce.achievedRps >= sw.achievedRps &&
                                  ce.latency.p99 <= sw.latency.p99;
-                dominates = dominates && dom;
+                if (b == Backend::Java || b == Backend::Kryo ||
+                    b == Backend::Skyway) {
+                    dominates = dominates && dom;
+                }
+                dominates_ext = dominates_ext && dom;
                 w.kv("cereal_dominates_" + n + "_u" +
                          std::to_string(kLoadPct[li]),
                      static_cast<std::uint64_t>(dom ? 1 : 0));
@@ -158,23 +178,26 @@ main(int argc, char **argv)
         }
         w.kv("cereal_dominates_frontier",
              static_cast<std::uint64_t>(dominates ? 1 : 0));
+        w.kv("cereal_dominates_extended_frontier",
+             static_cast<std::uint64_t>(dominates_ext ? 1 : 0));
     });
 
     bench::runSweep(sweep, opts);
 
-    std::printf("%-8s | %12s %12s | %12s %12s %12s\n", "backend",
+    std::printf("%-9s | %12s %12s | %12s %12s %12s\n", "backend",
                 "cap(rps)", "a2a(ms)", "p99@40(ms)", "p99@70(ms)",
                 "p99@95(ms)");
     for (Backend b : allBackends()) {
-        std::printf("%-8s | %12.1f %12.3f | %12.3f %12.3f %12.3f\n",
+        std::printf("%-9s | %12.1f %12.3f | %12.3f %12.3f %12.3f\n",
                     backendName(b), row(b, 0).capacityRps,
                     row(b, 0).shuffle.completionSeconds * 1e3,
                     row(b, 1).serve.latency.p99 * 1e3,
                     row(b, 2).serve.latency.p99 * 1e3,
                     row(b, 3).serve.latency.p99 * 1e3);
     }
-    std::printf("(cereal must dominate the software frontier at every "
-                "load point)\n");
+    std::printf("(cereal must dominate the paper's software frontier "
+                "(java/kryo/skyway) at every load point; plaincode/hps "
+                "are reported against it without gating)\n");
 
     bench::writeBenchOutputs(sweep, opts,
                           {{"nodes", kNodes},

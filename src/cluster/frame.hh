@@ -13,7 +13,8 @@
  *
  *   u32 magic      'C' 'F' 'R' 'M'
  *   u8  version    kFrameVersion
- *   u8  format     serializer id (0=java 1=kryo 2=skyway 3=cereal)
+ *   u8  format     serializer id (0=java 1=kryo 2=skyway 3=cereal
+ *                  4=plaincode 5=hps)
  *   u16 flags      bit0 = payload is LZ-compressed; others reserved
  *   u32 srcNode
  *   u32 dstNode
@@ -39,7 +40,7 @@ constexpr std::uint32_t kFrameMagic = 0x4D524643;
 constexpr std::uint8_t kFrameVersion = 1;
 
 /** Number of serializer format ids (valid ids are [0, count)). */
-constexpr std::uint8_t kFrameFormatCount = 4;
+constexpr std::uint8_t kFrameFormatCount = 6;
 
 /** flags bit0: payload went through the LZ shuffle codec. */
 constexpr std::uint16_t kFrameFlagCompressed = 0x0001;

@@ -20,7 +20,8 @@ const std::vector<Backend> &
 allBackends()
 {
     static const std::vector<Backend> kAll = {
-        Backend::Java, Backend::Kryo, Backend::Skyway, Backend::Cereal};
+        Backend::Java,   Backend::Kryo,      Backend::Skyway,
+        Backend::Cereal, Backend::Plaincode, Backend::Hps};
     return kAll;
 }
 
@@ -83,6 +84,21 @@ profileNodeUncached(const NodeConfig &cfg)
     cc.mode = cfg.mode;
     auto m = workloads::measureSoftware(*ser, heap, root, cc);
     auto stream = ser->serialize(heap, root);
+    if (cfg.backend == Backend::Hps) {
+        // Zero-copy payloads travel verbatim: the receiver reads views
+        // into the wire buffer, so the LZ codec (which would force a
+        // decompress-into-a-copy) is skipped on both sides. The bytes
+        // still have to move between serializer buffer and shuffle
+        // file/wire — the same bulk handoff the Cereal driver pays.
+        out.payload = stream;
+        out.compressed = false;
+        auto handoff = stage.cerealHandoff(stream.size());
+        out.serSeconds = m.serSeconds + handoff.seconds;
+        out.deserSeconds = handoff.seconds + m.deserSeconds;
+        out.streamBytes = m.streamBytes;
+        out.objects = m.objects;
+        return out;
+    }
     auto write = stage.softwareWrite(stream);
     auto read = stage.softwareRead(stream);
     out.payload = stage.codec().compress(stream);

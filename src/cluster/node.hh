@@ -6,8 +6,11 @@
  * representative shuffle partition is built with the Spark workload
  * generators and pushed through the existing single-executor timing
  * models — the CPU core model for the software serializers (java,
- * kryo, skyway) plus the LZ shuffle codec, or the Cereal accelerator
- * device model plus the bulk-handoff path. The resulting per-partition
+ * kryo, skyway, plaincode, hps) plus the LZ shuffle codec, or the
+ * Cereal accelerator device model plus the bulk-handoff path. The
+ * hps payload skips the codec: compressing it would destroy the
+ * in-place view property the format exists for. The resulting
+ * per-partition
  * service times and actual wire payload feed the event-driven cluster
  * simulation, which replays them under queueing and network
  * contention.
@@ -25,13 +28,13 @@
 namespace cereal {
 namespace cluster {
 
-/** Serializer stack a node runs. */
-enum class Backend { Java, Kryo, Skyway, Cereal };
+/** Serializer stack a node runs (values are the wire format ids). */
+enum class Backend { Java, Kryo, Skyway, Cereal, Plaincode, Hps };
 
 /** All backends in frame-format-id order. */
 const std::vector<Backend> &allBackends();
 
-/** "java" / "kryo" / "skyway" / "cereal". */
+/** "java" / "kryo" / "skyway" / "cereal" / "plaincode" / "hps". */
 const char *backendName(Backend b);
 
 /** Wire format id stored in partition frames (matches frame.hh). */

@@ -87,6 +87,14 @@ CoreModel::compute(std::uint64_t ops)
 }
 
 void
+CoreModel::computeStreamlined(std::uint64_t ops)
+{
+    insts_ += ops;
+    cycles_ += static_cast<double>(ops) * cfg_.cpiStraightLine;
+    metrics_.tick(curTick());
+}
+
+void
 CoreModel::waitForWindowSlot()
 {
     // Retire already-completed misses for free.

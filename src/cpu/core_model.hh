@@ -48,6 +48,13 @@ struct CoreConfig
     double freqMHz = 3600;
     /** Sustained cycles per unit of non-memory work. */
     double cpiBase = 0.8;
+    /**
+     * Sustained cycles per unit of *straight-line* work
+     * (MemSink::computeStreamlined): generated per-class serializer
+     * code with no dispatch and no mispredicted branches issues wider
+     * than the branchy reflective path cpiBase models.
+     */
+    double cpiStraightLine = 0.45;
     /** Cycles charged for an L1 hit (load-to-use, partially hidden). */
     double l1HitCycles = 0.5;
     /** Fraction of L2/L3 hit latency the OoO window hides. */
@@ -102,6 +109,7 @@ class CoreModel : public MemSink, public trace::TraceClock
     void store(Addr addr, std::uint32_t bytes) override;
     void loadDep(Addr addr, std::uint32_t bytes) override;
     void compute(std::uint64_t ops) override;
+    void computeStreamlined(std::uint64_t ops) override;
     void phase(const char *name) override;
 
     /**

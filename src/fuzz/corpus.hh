@@ -40,8 +40,8 @@ struct CorpusEntry
 Addr buildCorpusGraph(KlassRegistry &reg, Heap &heap);
 
 /**
- * Serialize the corpus graph with all four serializers, then wrap the
- * kryo stream in a partition frame for the cluster decoder.
+ * Serialize the corpus graph with every registered serializer, then
+ * wrap the kryo stream in a partition frame for the cluster decoder.
  * @return one entry per format, named "<format>_golden".
  */
 std::vector<CorpusEntry> seedCorpus(const KlassRegistry &reg, Heap &heap,

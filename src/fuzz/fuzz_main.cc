@@ -4,7 +4,8 @@
  *
  * Usage:
  *   fuzz_decoders [--seed N] [--iters N] [--max-mutations N]
- *                 [--format java|kryo|skyway|cereal|all]
+ *                 [--format java|kryo|skyway|cereal|plaincode|hps|
+ *                           cluster|all]
  *                 [--corpus DIR] [--save-dir DIR] [--no-roundtrip]
  *                 [--replay-only] [--quiet] [--trace PATH]
  *
@@ -34,7 +35,8 @@ usage(const char *argv0)
     std::fprintf(
         stderr,
         "usage: %s [--seed N] [--iters N] [--max-mutations N]\n"
-        "          [--format java|kryo|skyway|cereal|all]\n"
+        "          [--format java|kryo|skyway|cereal|plaincode|hps|"
+        "cluster|all]\n"
         "          [--corpus DIR] [--save-dir DIR] [--no-roundtrip]\n"
         "          [--replay-only] [--quiet] [--trace PATH]\n",
         argv0);

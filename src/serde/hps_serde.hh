@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Model of an HPS-style zero-copy serializer ("HPS: A C++11 High
+ * Performance Serialization Library", cf. PAPERS.md).
+ *
+ * HPS writes the object graph as one contiguous buffer of
+ * length-prefixed segments whose references are *relative offsets*
+ * into the same buffer. Decoding therefore never reconstructs a heap
+ * graph: a single bounds-checked validation pass proves the buffer is
+ * well-formed, and the application then reads *views* into the wire
+ * bytes in place. The receive-side cost is O(segments) validation —
+ * no allocation, no copy, no reference patching.
+ *
+ * Wire layout (all little-endian):
+ *   u32 magic "HPS1"
+ *   u32 segment_count        (patched after the walk)
+ *   u64 data_bytes           (segment-region length, patched)
+ *   segment region: per object, in BFS discovery order:
+ *     u32 seg_bytes          (body length)
+ *     u32 type_id            (index into the trailing type table)
+ *     instance: one packed u64 per field
+ *               (references: 0 = null, else (rel_offset << 1) | 1,
+ *                rel_offset = target segment's prefix offset within
+ *                the region)
+ *     array:    u64 elem_count, then packed elements (references as
+ *               tagged u64 tokens, primitives at natural width)
+ *   u32 type_count, then u16-length-prefixed class names
+ *
+ * The Serializer-interface deserialize() narrates *only* the attach /
+ * validation sweep to the MemSink — that is the modelled receive cost
+ * of a zero-copy format — and then materializes a heap graph
+ * functionally (unnarrated) so the round-trip isomorphism oracle and
+ * the cross-backend differential suites apply unchanged. HpsImage is
+ * the real zero-copy surface: its accessors return pointers into the
+ * caller's wire buffer.
+ */
+
+#ifndef CEREAL_SERDE_HPS_SERDE_HH
+#define CEREAL_SERDE_HPS_SERDE_HH
+
+#include <unordered_map>
+#include <vector>
+
+#include "serde/serializer.hh"
+
+namespace cereal {
+
+/** Tunable compute-cost constants for the HPS model (op units). */
+struct HpsSerdeCosts
+{
+    /** Per-segment emit overhead (length prefix + type id). */
+    std::uint64_t perSegment = 14;
+    /** Offset-assignment probe during layout (visited table). */
+    std::uint64_t handleProbe = 26;
+    /** Packed move of one field / array element on serialize. */
+    std::uint64_t fieldCopy = 3;
+    /** Per-64 B block cost of bulk element copies. */
+    std::uint64_t bulkPerBlock = 4;
+    /** Validation: per-segment bounds + type check on attach. */
+    std::uint64_t validatePerSegment = 12;
+    /** Validation: per-reference target-membership check. */
+    std::uint64_t validatePerRef = 4;
+};
+
+/**
+ * A validated zero-copy view over an HPS wire buffer. Constructed by
+ * HpsSerializer::attach(); all pointers alias the caller's stream (the
+ * stream must outlive the image). Offsets identify segments by the
+ * position of their u32 length prefix within the segment region;
+ * offset 0 is the root.
+ */
+class HpsImage
+{
+  public:
+    struct Segment
+    {
+        /** Prefix offset within the segment region (stable ref id). */
+        std::uint64_t offset;
+        KlassId klass;
+        /** Element count (arrays) or field count (instances). */
+        std::uint64_t count;
+        /** Body bytes, aliasing the wire buffer (after the type id). */
+        const std::uint8_t *body;
+        /** Body length in bytes, type id excluded. */
+        std::uint32_t bodyBytes;
+    };
+
+    const std::vector<Segment> &segments() const { return segments_; }
+
+    /** The root object is the first segment laid out. */
+    const Segment &root() const { return segments_.front(); }
+
+    /** Segment whose prefix lives at region offset @p off (must exist). */
+    const Segment &at(std::uint64_t off) const;
+
+    /** Packed u64 slot @p idx of an instance segment. */
+    std::uint64_t fieldRaw(const Segment &s, std::uint64_t idx) const;
+
+    /**
+     * Decode a reference slot value: true and sets @p off on a non-null
+     * reference, false on null.
+     */
+    static bool refTarget(std::uint64_t enc, std::uint64_t *off);
+
+  private:
+    friend class HpsSerializer;
+
+    std::vector<Segment> segments_;
+    std::unordered_map<std::uint64_t, std::size_t> byOffset_;
+};
+
+/** The HPS zero-copy serializer model (format id 5). */
+class HpsSerializer : public Serializer
+{
+  public:
+    explicit HpsSerializer(HpsSerdeCosts costs = HpsSerdeCosts())
+        : costs_(costs)
+    {
+    }
+
+    std::string name() const override { return "hps"; }
+
+    std::vector<std::uint8_t>
+    serialize(Heap &src, Addr root, MemSink *sink = nullptr) override;
+
+    Addr deserialize(const std::vector<std::uint8_t> &stream, Heap &dst,
+                     MemSink *sink = nullptr) override;
+
+    /**
+     * Validate @p stream against @p reg and return the zero-copy image
+     * (throws DecodeError on malformed input). This is the entire
+     * receive-side work of the format; @p sink sees exactly this pass.
+     */
+    HpsImage attach(const std::vector<std::uint8_t> &stream,
+                    const KlassRegistry &reg,
+                    MemSink *sink = nullptr) const;
+
+  private:
+    HpsSerdeCosts costs_;
+};
+
+} // namespace cereal
+
+#endif // CEREAL_SERDE_HPS_SERDE_HH

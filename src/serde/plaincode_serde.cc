@@ -1,0 +1,266 @@
+#include "serde/plaincode_serde.hh"
+
+#include <deque>
+#include <unordered_map>
+
+#include "heap/object.hh"
+#include "serde/bytes.hh"
+#include "sim/logging.hh"
+
+namespace cereal {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x30434c50; // "PLC0"
+constexpr std::uint64_t kNullRef = 0;
+
+/**
+ * All plain-code compute goes through computeStreamlined(): the
+ * generated routines are branch-predictable straight-line code, so the
+ * core model charges them at cpiStraightLine rather than cpiBase.
+ */
+void
+charge(MemSink *sink, std::uint64_t ops)
+{
+    if (sink) {
+        sink->computeStreamlined(ops);
+    }
+}
+
+void
+setPhase(MemSink *sink, const char *name)
+{
+    if (sink) {
+        sink->phase(name);
+    }
+}
+
+void
+chargeProbe(MemSink *sink, const PlaincodeSerdeCosts &costs, Addr key)
+{
+    if (!sink) {
+        return;
+    }
+    sink->computeStreamlined(costs.handleProbe);
+    Addr bucket = kScratchBase + (key * 0x9e3779b97f4a7c15ULL) % (1 << 22);
+    sink->load(roundDown(bucket, 8), 8);
+}
+
+} // namespace
+
+std::vector<std::uint8_t>
+PlaincodeSerializer::serialize(Heap &src, Addr root, MemSink *sink)
+{
+    ByteWriter w(sink);
+    w.u32(kMagic);
+
+    std::unordered_map<Addr, std::uint64_t> handles;
+    std::deque<Addr> queue;
+
+    // Reference encoding: 0 = null, otherwise handle+1 as a fixed u64
+    // (no varint — the generated code trades bytes for branchlessness).
+    auto ref_token = [&](Addr obj) -> std::uint64_t {
+        if (obj == 0) {
+            return kNullRef;
+        }
+        chargeProbe(sink, costs_, obj);
+        auto it = handles.find(obj);
+        if (it != handles.end()) {
+            return it->second + 1;
+        }
+        std::uint64_t h = handles.size();
+        handles.emplace(obj, h);
+        queue.push_back(obj);
+        return h + 1;
+    };
+
+    setPhase(sink, "walk");
+    ref_token(root);
+    while (!queue.empty()) {
+        Addr obj = queue.front();
+        queue.pop_front();
+
+        setPhase(sink, "walk");
+        if (sink) {
+            sink->loadDep(obj, 16); // header: resolve class (pointer chase)
+        }
+        charge(sink, costs_.perObject);
+
+        ObjectView v(src, obj);
+        const auto &d = v.klass();
+        // Generated code is schema-compiled: registry ids go on the
+        // wire directly — no per-stream class numbering handshake.
+        w.u32(v.klassId());
+
+        if (d.isArray()) {
+            setPhase(sink, "copy");
+            const std::uint64_t n = v.length();
+            w.u64(n);
+            if (d.elemType() == FieldType::Reference) {
+                for (std::uint64_t i = 0; i < n; ++i) {
+                    if (sink) {
+                        sink->load(v.elemAddr(i), 8);
+                    }
+                    charge(sink, costs_.fieldGet);
+                    w.u64(ref_token(v.getRefElem(i)));
+                }
+            } else {
+                // Bulk fast path: copy the backing store as raw bytes.
+                const unsigned esz = fieldTypeBytes(d.elemType());
+                const Addr bytes = n * esz;
+                if (sink) {
+                    sink->load(v.elemAddr(0), 0); // position marker
+                    for (Addr off = 0; off < bytes; off += 64) {
+                        std::uint32_t chunk = static_cast<std::uint32_t>(
+                            std::min<Addr>(64, bytes - off));
+                        sink->load(v.elemAddr(0) + off, chunk);
+                        sink->computeStreamlined(costs_.bulkPerBlock);
+                    }
+                }
+                std::vector<std::uint8_t> tmp(bytes);
+                src.loadBytes(v.elemAddr(0), tmp.data(), bytes);
+                w.raw(tmp.data(), bytes);
+            }
+            continue;
+        }
+
+        // One full 8 B slot per field, references as handle tokens:
+        // the generated writer is an unconditional store sequence.
+        setPhase(sink, "copy");
+        for (std::uint32_t i = 0; i < d.numFields(); ++i) {
+            const auto &f = d.fields()[i];
+            charge(sink, costs_.fieldGet);
+            if (sink) {
+                sink->load(v.fieldAddr(i), 8);
+            }
+            if (f.type == FieldType::Reference) {
+                w.u64(ref_token(v.getRef(i)));
+            } else {
+                w.u64(v.getRaw(i));
+            }
+        }
+    }
+
+    return w.take();
+}
+
+Addr
+PlaincodeSerializer::deserialize(const std::vector<std::uint8_t> &stream,
+                                 Heap &dst, MemSink *sink)
+{
+    ByteReader r(stream, sink);
+    decode_check(r.u32() == kMagic, DecodeStatus::BadMagic, 0,
+                 "bad plaincode stream magic");
+
+    std::vector<Addr> handles;
+    struct Patch
+    {
+        Addr slotAddr;
+        std::uint64_t token;
+    };
+    std::vector<Patch> patches;
+
+    while (!r.done()) {
+        setPhase(sink, "walk");
+        charge(sink, costs_.perObject);
+        std::size_t id_at = r.pos();
+        std::uint32_t id = r.u32();
+        decode_check(dst.registry().validKlass(id), DecodeStatus::BadClass,
+                     id_at, "unknown plaincode class id %u (%zu known)",
+                     id, dst.registry().size());
+        const auto &d = dst.registry().klass(id);
+
+        if (d.isArray()) {
+            std::size_t len_at = r.pos();
+            std::uint64_t n = r.u64();
+            // Allocation cap: every element owes wire bytes (a fixed
+            // 8 B token per reference, the element size otherwise), so
+            // bound the count by remaining() before allocating and
+            // before the n * esz products below can overflow.
+            const unsigned wire_esz =
+                d.elemType() == FieldType::Reference
+                    ? 8
+                    : fieldTypeBytes(d.elemType());
+            decode_check(n <= r.remaining() / wire_esz,
+                         DecodeStatus::BadLength, len_at,
+                         "array length %llu exceeds remaining stream",
+                         (unsigned long long)n);
+            setPhase(sink, "copy");
+            charge(sink, costs_.alloc);
+            Addr obj = dst.allocateArray(d.elemType(), n);
+            if (sink) {
+                sink->store(obj, 24);
+            }
+            handles.push_back(obj);
+            ObjectView v(dst, obj);
+            if (d.elemType() == FieldType::Reference) {
+                for (std::uint64_t i = 0; i < n; ++i) {
+                    charge(sink, costs_.fieldSet);
+                    patches.push_back({v.elemAddr(i), r.u64()});
+                }
+            } else {
+                const unsigned esz = fieldTypeBytes(d.elemType());
+                const Addr bytes = n * esz;
+                std::vector<std::uint8_t> tmp(bytes);
+                r.raw(tmp.data(), bytes);
+                dst.storeBytes(v.elemAddr(0), tmp.data(), bytes);
+                if (sink) {
+                    for (Addr off = 0; off < bytes; off += 64) {
+                        std::uint32_t chunk = static_cast<std::uint32_t>(
+                            std::min<Addr>(64, bytes - off));
+                        sink->store(v.elemAddr(0) + off, chunk);
+                        sink->computeStreamlined(costs_.bulkPerBlock);
+                    }
+                }
+            }
+            continue;
+        }
+
+        // Field slots are mandatory and fixed-width, so the whole
+        // record either fits or the stream is truncated.
+        setPhase(sink, "copy");
+        charge(sink, costs_.alloc);
+        Addr obj = dst.allocateInstance(id);
+        if (sink) {
+            sink->store(obj, 16);
+        }
+        handles.push_back(obj);
+        ObjectView v(dst, obj);
+        for (std::uint32_t i = 0; i < d.numFields(); ++i) {
+            const auto &f = d.fields()[i];
+            charge(sink, costs_.fieldSet);
+            if (f.type == FieldType::Reference) {
+                patches.push_back({v.fieldAddr(i), r.u64()});
+            } else {
+                v.setRaw(i, r.u64());
+            }
+            if (sink) {
+                sink->store(v.fieldAddr(i), 8);
+            }
+        }
+    }
+
+    setPhase(sink, "patch");
+    for (const auto &p : patches) {
+        charge(sink, 2);
+        Addr target = 0;
+        if (p.token != kNullRef) {
+            decode_check(p.token - 1 < handles.size(),
+                         DecodeStatus::BadHandle, r.pos(),
+                         "plaincode ref token %llu out of range "
+                         "(%zu objects)",
+                         (unsigned long long)p.token, handles.size());
+            target = handles[p.token - 1];
+        }
+        dst.store64(p.slotAddr, target);
+        if (sink) {
+            sink->store(p.slotAddr, 8);
+        }
+    }
+
+    decode_check(!handles.empty(), DecodeStatus::Malformed, r.pos(),
+                 "empty plaincode stream (no object records)");
+    return handles[0];
+}
+
+} // namespace cereal

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Model of a *generated* plain-code serializer ("Serializing Java
+ * Objects in Plain Code", cf. PAPERS.md).
+ *
+ * Instead of walking class metadata reflectively at run time, a
+ * plain-code serializer emits one monomorphic encode/decode routine
+ * per class at build time: the field list is burned into straight-line
+ * code, so there is no per-field type dispatch, no descriptor lookups,
+ * and every branch is perfectly predictable. The model captures that
+ * in two ways:
+ *  - the wire format is fixed-width (class id, then one 8 B slot per
+ *    field; arrays carry a length and a packed element block) — the
+ *    generated code is a sequence of unconditional loads/stores;
+ *  - all compute is narrated through MemSink::computeStreamlined(),
+ *    which the CPU core model charges at CoreConfig::cpiStraightLine
+ *    instead of the branchy-dispatch cpiBase.
+ *
+ * The generated code is compiled against the same schema on both
+ * sides, so registry KlassIds appear on the wire directly (validated
+ * against the receiving registry on decode). Shared objects still
+ * serialize once via a reference resolver — the generated code keeps
+ * Kryo-style handles, the one data structure codegen cannot remove.
+ */
+
+#ifndef CEREAL_SERDE_PLAINCODE_SERDE_HH
+#define CEREAL_SERDE_PLAINCODE_SERDE_HH
+
+#include "serde/serializer.hh"
+
+namespace cereal {
+
+/** Tunable compute-cost constants for the plain-code model (op units). */
+struct PlaincodeSerdeCosts
+{
+    /** Inlined field load + stream store (no accessor call). */
+    std::uint64_t fieldGet = 2;
+    /** Inlined stream load + field store. */
+    std::uint64_t fieldSet = 3;
+    /** Reference-resolver probe (identity hash table survives codegen). */
+    std::uint64_t handleProbe = 26;
+    /** Object allocation on deserialize (TLAB bump, no constructor). */
+    std::uint64_t alloc = 36;
+    /** Fixed per-object overhead (one direct call into generated code). */
+    std::uint64_t perObject = 8;
+    /** Per-64 B block cost of primitive-array bulk copies. */
+    std::uint64_t bulkPerBlock = 4;
+};
+
+/** The generated plain-code serializer model (format id 4). */
+class PlaincodeSerializer : public Serializer
+{
+  public:
+    explicit PlaincodeSerializer(
+        PlaincodeSerdeCosts costs = PlaincodeSerdeCosts())
+        : costs_(costs)
+    {
+    }
+
+    std::string name() const override { return "plaincode"; }
+
+    std::vector<std::uint8_t>
+    serialize(Heap &src, Addr root, MemSink *sink = nullptr) override;
+
+    Addr deserialize(const std::vector<std::uint8_t> &stream, Heap &dst,
+                     MemSink *sink = nullptr) override;
+
+  private:
+    PlaincodeSerdeCosts costs_;
+};
+
+} // namespace cereal
+
+#endif // CEREAL_SERDE_PLAINCODE_SERDE_HH

@@ -23,8 +23,10 @@
 #include <vector>
 
 #include "cereal/cereal_serializer.hh"
+#include "serde/hps_serde.hh"
 #include "serde/java_serde.hh"
 #include "serde/kryo_serde.hh"
+#include "serde/plaincode_serde.hh"
 #include "serde/serializer.hh"
 #include "serde/skyway_serde.hh"
 #include "sim/logging.hh"
@@ -35,7 +37,7 @@ namespace serde {
 /** One serializer backend the simulator models. */
 struct BackendInfo
 {
-    /** Canonical name ("java", "kryo", "skyway", "cereal"). */
+    /** Canonical name ("java", "kryo", ..., "plaincode", "hps"). */
     const char *name;
     /** On-wire format id (cluster frame header byte). */
     std::uint8_t formatId;
@@ -52,6 +54,8 @@ backends()
         {"kryo", 1, true},
         {"skyway", 2, false},
         {"cereal", 3, true},
+        {"plaincode", 4, false},
+        {"hps", 5, false},
     };
     return table;
 }
@@ -125,6 +129,10 @@ makeSerializer(const std::string &name, const KlassRegistry *reg = nullptr)
           ser->registerAll(*reg);
           return ser;
       }
+      case 4:
+        return std::make_unique<PlaincodeSerializer>();
+      case 5:
+        return std::make_unique<HpsSerializer>();
     }
     panic("backend table out of sync with makeSerializer()");
 }

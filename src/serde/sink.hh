@@ -47,6 +47,15 @@ class MemSink
     virtual void compute(std::uint64_t ops) = 0;
 
     /**
+     * @p ops units of *straight-line* non-memory work: generated
+     * serializer code with no per-field dispatch and perfectly
+     * predictable branches (the plaincode backend). Timing models may
+     * charge this below their branchy-dispatch base CPI; the default
+     * treats it as plain compute.
+     */
+    virtual void computeStreamlined(std::uint64_t ops) { compute(ops); }
+
+    /**
      * A *dependent* load: its address was produced by a just-loaded
      * value (pointer chasing during object-graph traversal), so no
      * other memory request can issue until it returns. Timing models
@@ -100,11 +109,20 @@ class CountingSink : public MemSink
 
     void compute(std::uint64_t ops) override { computeOps += ops; }
 
+    void
+    computeStreamlined(std::uint64_t ops) override
+    {
+        computeOps += ops;
+        streamlinedOps += ops;
+    }
+
     std::uint64_t loads = 0;
     std::uint64_t stores = 0;
     std::uint64_t loadBytes = 0;
     std::uint64_t storeBytes = 0;
     std::uint64_t computeOps = 0;
+    /** Subset of computeOps narrated as straight-line generated code. */
+    std::uint64_t streamlinedOps = 0;
 };
 
 } // namespace cereal

@@ -124,6 +124,8 @@ jsbsLibraries()
         // --- measured anchors ------------------------------------------
         {"java-built-in", 1.0, 1.0, 1.0, true},
         {"kryo", 0.0, 0.0, 0.0, true},        // factors filled by bench
+        {"plaincode", 0.0, 0.0, 0.0, true},   // factors filled by bench
+        {"hps", 0.0, 0.0, 0.0, true},         // factors filled by bench
         {"kryo-manual", 0.22, 0.045, 0.38, false},
         // --- codegen / hand-rolled binary -------------------------------
         {"colfer", 0.16, 0.030, 0.33, false},

@@ -9,9 +9,11 @@
  *
  *  - the MediaContent object-graph builder (classes, strings as char[]
  *    arrays, the standard field complement);
- *  - a profile table of 88 libraries. Three anchors (java built-in,
- *    kryo, kryo-manual) are *measured* against our real implementations;
- *    the remaining entries are calibrated relative profiles spanning
+ *  - a profile table of the suite's 88 libraries plus the two
+ *    post-paper backends (plaincode, hps). Anchors (java built-in,
+ *    kryo, plaincode, hps) are *measured* against our real
+ *    implementations; the remaining entries are calibrated relative
+ *    profiles spanning
  *    the suite's documented performance spread (fast hand-rolled binary
  *    codecs ... reflective JSON/XML stacks), so the Figure 12
  *    distribution — Cereal 43.4x the suite average, 15.1x the fastest
@@ -76,7 +78,8 @@ class JsbsWorkload
 };
 
 /**
- * The 88-library profile table (anchors flagged `measured`).
+ * The library profile table — the suite's 88 entries plus the two
+ * post-paper measured backends (anchors flagged `measured`).
  * Ordered roughly fastest-first as the suite's charts are.
  */
 const std::vector<JsbsLibrary> &jsbsLibraries();

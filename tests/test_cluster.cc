@@ -75,6 +75,26 @@ statusOf(const std::vector<std::uint8_t> &bytes)
     return res.ok() ? DecodeStatus::Malformed : res.error().status();
 }
 
+TEST(FrameCodec, EveryBackendFormatIdRoundTrips)
+{
+    // The codec must carry every registered backend — including the
+    // post-paper plaincode (4) and hps (5) ids — and reject the first
+    // unassigned id end-to-end.
+    for (std::uint8_t id = 0; id < kFrameFormatCount; ++id) {
+        Frame f = goldenFrame();
+        f.format = id;
+        auto res = tryDecodeFrame(encodeFrame(f));
+        ASSERT_TRUE(res.ok()) << "format id " << unsigned(id);
+        EXPECT_EQ(res.value().format, id);
+    }
+    Frame bad = goldenFrame();
+    bad.format = kFrameFormatCount; // 6: one past the last backend
+    auto bytes = encodeFrame(bad);
+    auto res = tryDecodeFrame(bytes);
+    ASSERT_FALSE(res.ok()) << "unassigned format id decoded";
+    EXPECT_EQ(res.error().status(), DecodeStatus::BadClass);
+}
+
 TEST(FrameCodec, EveryNegativeStatusIsReachable)
 {
     const auto golden = encodeFrame(goldenFrame());

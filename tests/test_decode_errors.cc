@@ -1,6 +1,6 @@
 /**
  * @file
- * Negative-path decode tests: the error-handling contract of the four
+ * Negative-path decode tests: the error-handling contract of the six
  * deserializers (see src/serde/decode_error.hh) and, via the shared
  * corpus sweep, the cluster partition-frame codec.
  *
@@ -12,7 +12,8 @@
  *    golden stream yields a clean error — never a crash, never a
  *    false success;
  *  - the committed regression corpus (tests/corpus) replays through
- *    all five decoders with zero contract violations.
+ *    all seven decoders (six serializers plus the partition frame)
+ *    with zero contract violations.
  */
 
 #include <gtest/gtest.h>
@@ -190,8 +191,8 @@ class DecodeErrors : public ::testing::Test
 
 TEST_F(DecodeErrors, EachFormatRejectsForeignAndEmptyStreams)
 {
-    const std::vector<std::string> formats = {"java", "kryo", "skyway",
-                                              "cereal"};
+    const std::vector<std::string> formats = {
+        "java", "kryo", "skyway", "cereal", "plaincode", "hps"};
     for (const auto &decoder : formats) {
         Heap dst(fuzzer.registry(), kTestHeapBase);
         EXPECT_FALSE(
@@ -334,6 +335,113 @@ TEST_F(DecodeErrors, CerealTruncatedStreamIsTruncated)
     expectStatus("cereal", b, DecodeStatus::Truncated);
 }
 
+// The plaincode golden stream (96 B) is magic, then BFS records:
+// root Pair at 4 (klass id u32, then one u64 per field), Node n1 at
+// 32, int[3] at 52 (klass id, u64 length, packed elements), Node n2
+// at 76. Reference tokens are 0 for null, else BFS handle + 1.
+
+TEST_F(DecodeErrors, PlaincodeUnknownKlassIdIsBadClass)
+{
+    Bytes b = golden("plaincode");
+    b[4] = 0xff; // root record's klass id u32: 1 -> huge
+    b[7] = 0x7f;
+    expectStatus("plaincode", b, DecodeStatus::BadClass);
+}
+
+TEST_F(DecodeErrors, PlaincodeHugeArrayLengthIsBadLength)
+{
+    Bytes b = golden("plaincode");
+    // The int[3] record's u64 length word: no stream this size could
+    // carry that many elements, and the allocation cap must trip
+    // before any memory is reserved.
+    std::fill(b.begin() + 56, b.begin() + 64, 0xff);
+    expectStatus("plaincode", b, DecodeStatus::BadLength);
+}
+
+TEST_F(DecodeErrors, PlaincodeOutOfGraphRefTokenIsBadHandle)
+{
+    Bytes b = golden("plaincode");
+    ASSERT_EQ(b[8], 2); // root's field `a`: token 2 = BFS handle 1
+    b[8] = 0x7f;        // handle 126: the stream only carries four
+    expectStatus("plaincode", b, DecodeStatus::BadHandle);
+}
+
+TEST_F(DecodeErrors, PlaincodeTruncatedMidRecordIsTruncated)
+{
+    Bytes b = golden("plaincode");
+    b.resize(40); // cuts Node n1 after its value word
+    expectStatus("plaincode", b, DecodeStatus::Truncated);
+}
+
+// The hps golden stream (147 B) is magic, u32 segment count, u64
+// region size, then the segment region at byte 16: root Pair segment
+// at 16 (u32 size prefix, u32 type id, one u64 per field), Node at
+// 48, int[3] at 72 (prefix, type id, u64 count, packed elements),
+// Node at 100; the name table follows at 124. References encode the
+// target's region-relative prefix offset as (rel << 1) | 1.
+
+TEST_F(DecodeErrors, HpsUnknownTypeIdIsBadClass)
+{
+    Bytes b = golden("hps");
+    b[20] = 0xff; // root segment's type id: 0 -> 255, table has 3
+    expectStatus("hps", b, DecodeStatus::BadClass);
+}
+
+TEST_F(DecodeErrors, HpsHugeSegmentSizeIsBadLength)
+{
+    Bytes b = golden("hps");
+    std::fill(b.begin() + 16, b.begin() + 20, 0xff); // root's prefix
+    expectStatus("hps", b, DecodeStatus::BadLength);
+}
+
+TEST_F(DecodeErrors, HpsHugeArrayCountIsBadLength)
+{
+    Bytes b = golden("hps");
+    // The int[3] segment's u64 count at 80: the count must agree with
+    // the segment size, which cannot hold more than three elements.
+    std::fill(b.begin() + 80, b.begin() + 88, 0xff);
+    expectStatus("hps", b, DecodeStatus::BadLength);
+}
+
+TEST_F(DecodeErrors, HpsMidSegmentReferenceIsBadHandle)
+{
+    Bytes b = golden("hps");
+    ASSERT_EQ(b[24], 0x41); // root's field `a`: tagged rel offset 32
+    b[24] = 0x11;           // tagged rel offset 8: inside a segment
+    expectStatus("hps", b, DecodeStatus::BadHandle);
+}
+
+TEST_F(DecodeErrors, HpsUntaggedReferenceIsMalformed)
+{
+    Bytes b = golden("hps");
+    ASSERT_EQ(b[24], 0x41);
+    b[24] = 0x40; // non-null but tag bit clear
+    expectStatus("hps", b, DecodeStatus::Malformed);
+}
+
+TEST_F(DecodeErrors, HpsSegmentCountMismatchIsMalformed)
+{
+    Bytes b = golden("hps");
+    ASSERT_EQ(b[4], 4); // header claims four segments
+    b[4] = 5;           // region only carries four
+    expectStatus("hps", b, DecodeStatus::Malformed);
+}
+
+TEST_F(DecodeErrors, HpsHugeDataRegionIsBadLength)
+{
+    Bytes b = golden("hps");
+    std::fill(b.begin() + 8, b.begin() + 16, 0xff); // u64 region size
+    expectStatus("hps", b, DecodeStatus::BadLength);
+}
+
+TEST_F(DecodeErrors, HpsInstanceSizeMismatchIsMalformed)
+{
+    Bytes b = golden("hps");
+    ASSERT_EQ(b[16], 0x1c); // root Pair: 4 type id + 3 fields * 8
+    b[16] = 0x1b;           // one byte short of the schema's size
+    expectStatus("hps", b, DecodeStatus::Malformed);
+}
+
 // ---------------------------------------------------------------------
 // Truncation sweep
 // ---------------------------------------------------------------------
@@ -384,7 +492,7 @@ TEST(FuzzCorpus, CommittedCorpusReplaysWithoutViolations)
 {
     DecoderFuzzer fuzzer;
     auto extra = loadCorpusDir(CEREAL_CORPUS_DIR);
-    EXPECT_GE(extra.size(), 16u)
+    EXPECT_GE(extra.size(), 24u)
         << "tests/corpus is missing committed regression entries";
     fuzzer.addCorpus(std::move(extra));
 
@@ -394,10 +502,10 @@ TEST(FuzzCorpus, CommittedCorpusReplaysWithoutViolations)
                       << "corpus entry " << f.seedName << ": "
                       << f.detail;
     }
-    // The five golden seeds (four serializers + the partition frame)
+    // The seven golden seeds (six serializers + the partition frame)
     // decode with their own decoder (and any corpus entry a fix
     // turned valid again); everything else errors.
-    EXPECT_GE(stats.decodeOk, 5u);
+    EXPECT_GE(stats.decodeOk, 7u);
     EXPECT_GT(stats.decodeError, 0u);
     EXPECT_EQ(stats.roundTrips, stats.decodeOk);
     // The corpus pins a spread of error classes, not one.

@@ -14,12 +14,9 @@
 #include <vector>
 
 #include "cereal/accel/device.hh"
-#include "cereal/cereal_serializer.hh"
 #include "heap/object.hh"
 #include "heap/walker.hh"
-#include "serde/java_serde.hh"
-#include "serde/kryo_serde.hh"
-#include "serde/skyway_serde.hh"
+#include "serde/registry.hh"
 #include "sim/rng.hh"
 
 namespace cereal {
@@ -145,20 +142,14 @@ struct RandomGraph
 std::unique_ptr<Serializer>
 makeSerializer(const std::string &which, const KlassRegistry &reg)
 {
-    if (which == "java") {
-        return std::make_unique<JavaSerializer>();
-    }
-    if (which == "kryo") {
-        auto k = std::make_unique<KryoSerializer>();
-        k->registerAll(reg);
-        return k;
-    }
-    if (which == "skyway") {
-        return std::make_unique<SkywaySerializer>();
-    }
-    auto c = std::make_unique<CerealSerializer>();
-    c->registerAll(reg);
-    return c;
+    return serde::makeSerializer(which, &reg);
+}
+
+/** All six registered backends, in format-id order. */
+std::vector<std::string>
+allBackendNames()
+{
+    return serde::availableBackends();
 }
 
 class FuzzRoundTrip
@@ -192,7 +183,7 @@ TEST_P(FuzzRoundTrip, RandomGraphIsIsomorphicAfterRoundTrip)
 INSTANTIATE_TEST_SUITE_P(
     AllSerializers, FuzzRoundTrip,
     ::testing::Combine(::testing::Values("java", "kryo", "skyway",
-                                         "cereal"),
+                                         "cereal", "plaincode", "hps"),
                        ::testing::Range(0, 12)),
     [](const auto &info) {
         return std::get<0>(info.param) + "_seed" +
@@ -200,11 +191,11 @@ INSTANTIATE_TEST_SUITE_P(
     });
 
 /**
- * Differential suite: the four serializers are independent
+ * Differential suite: the six serializers are independent
  * implementations of the same contract, so on any input graph their
  * decoded outputs must be mutually isomorphic. A bug that survives one
  * serializer's own round-trip (e.g. a symmetric encode/decode mistake)
- * still fails here unless all four implementations share it.
+ * still fails here unless all six implementations share it.
  */
 class DifferentialRoundTrip : public ::testing::TestWithParam<int>
 {
@@ -216,8 +207,7 @@ TEST_P(DifferentialRoundTrip, AllSerializersDecodeIsomorphicGraphs)
     RandomGraph g(static_cast<std::uint64_t>(seed) * 7919 + 13,
                   0x1'0000'0000ULL);
 
-    const std::vector<std::string> which = {"java", "kryo", "skyway",
-                                           "cereal"};
+    const std::vector<std::string> which = allBackendNames();
     std::vector<std::unique_ptr<Heap>> heaps;
     std::vector<Addr> roots;
     for (std::size_t i = 0; i < which.size(); ++i) {
@@ -251,6 +241,57 @@ INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialRoundTrip,
                          });
 
 /**
+ * Six-way chained equivalence: for every ordered backend pair (A, B),
+ * the graph A's decoder materializes must survive a full round trip
+ * through B and still be isomorphic to the original source graph.
+ * This is strictly stronger than the pairwise comparison above: it
+ * proves each decoder's *output heap* is a faithful serialization
+ * input for every other backend (fresh addresses, rebuilt headers,
+ * repacked arrays), not merely isomorphic when inspected.
+ */
+class ChainedCrossBackend : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(ChainedCrossBackend, EveryDecodersOutputFeedsEveryOtherBackend)
+{
+    const int seed = GetParam();
+    RandomGraph g(static_cast<std::uint64_t>(seed) * 104729 + 31,
+                  0x1'0000'0000ULL);
+
+    const std::vector<std::string> which = allBackendNames();
+    std::string why;
+    Addr base = 0x20'0000'0000ULL;
+    for (const std::string &a : which) {
+        auto ser_a = makeSerializer(a, g.registry);
+        auto stream_a = ser_a->serialize(g.heap, g.root, nullptr);
+        Heap mid(g.registry, base);
+        base += 0x10'0000'0000ULL;
+        Addr mid_root = ser_a->deserialize(stream_a, mid, nullptr);
+        for (const std::string &b : which) {
+            if (b == a) {
+                continue;
+            }
+            auto ser_b = makeSerializer(b, g.registry);
+            auto stream_b = ser_b->serialize(mid, mid_root, nullptr);
+            Heap dst(g.registry, base);
+            base += 0x10'0000'0000ULL;
+            Addr dst_root = ser_b->deserialize(stream_b, dst, nullptr);
+            ASSERT_TRUE(
+                graphEquals(g.heap, g.root, dst, dst_root, &why))
+                << a << " -> " << b << " chain, seed=" << seed << ": "
+                << why;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChainedCrossBackend,
+                         ::testing::Range(0, 4),
+                         [](const auto &info) {
+                             return "seed" + std::to_string(info.param);
+                         });
+
+/**
  * Cross-decoding must fail loudly, not silently misparse: each format
  * carries a distinct magic, so feeding one serializer's stream to
  * another is a detectable error, never a garbage graph.
@@ -259,7 +300,7 @@ TEST(DifferentialRoundTrip, FormatsCarryDistinctMagics)
 {
     RandomGraph g(99991, 0x1'0000'0000ULL);
     std::vector<std::vector<std::uint8_t>> streams;
-    for (const char *which : {"java", "kryo", "skyway", "cereal"}) {
+    for (const std::string &which : allBackendNames()) {
         auto ser = makeSerializer(which, g.registry);
         streams.push_back(ser->serialize(g.heap, g.root, nullptr));
     }

@@ -12,16 +12,15 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
 
-#include "cereal/cereal_serializer.hh"
 #include "heap/object.hh"
 #include "heap/walker.hh"
-#include "serde/java_serde.hh"
-#include "serde/kryo_serde.hh"
-#include "serde/skyway_serde.hh"
+#include "serde/registry.hh"
 
 namespace cereal {
 namespace {
@@ -105,6 +104,18 @@ constexpr const char *kCereal =
     "5544332211b9d96c1b0000000002000000000000000000000000000000030000"
     "00000000000100000002000000030000000000000038ab517000000000000000"
     "00000000000000000000000000ffffffffffffffff0f1c320f0f462140210f";
+// plaincode: 96 bytes
+constexpr const char *kPlaincode =
+    "504c433001000000020000000000000003000000000000007f00000000000000"
+    "0000000088776655443322110400000000000000020000000300000000000000"
+    "01000000020000000300000000000000ffffffffffffffff0200000000000000";
+// hps: 147 bytes
+constexpr const char *kHps =
+    "48505331040000006c000000000000001c000000000000004100000000000000"
+    "71000000000000007f0000000000000014000000010000008877665544332211"
+    "a900000000000000180000000200000003000000000000000100000002000000"
+    "030000001400000001000000ffffffffffffffff410000000000000003000000"
+    "04005061697204004e6f64650500696e745b5d";
 
 struct GoldenCase
 {
@@ -114,25 +125,6 @@ struct GoldenCase
 
 class GoldenVectors : public ::testing::TestWithParam<GoldenCase>
 {
-  protected:
-    std::unique_ptr<Serializer>
-    makeSerializer(const std::string &which, const KlassRegistry &reg)
-    {
-        if (which == "java") {
-            return std::make_unique<JavaSerializer>();
-        }
-        if (which == "kryo") {
-            auto k = std::make_unique<KryoSerializer>();
-            k->registerAll(reg);
-            return k;
-        }
-        if (which == "skyway") {
-            return std::make_unique<SkywaySerializer>();
-        }
-        auto c = std::make_unique<CerealSerializer>();
-        c->registerAll(reg);
-        return c;
-    }
 };
 
 TEST_P(GoldenVectors, StreamBytesAreExact)
@@ -140,12 +132,24 @@ TEST_P(GoldenVectors, StreamBytesAreExact)
     KlassRegistry reg;
     Heap heap(reg, 0x1'0000'0000ULL);
     Addr root = buildGoldenGraph(reg, heap);
-    auto ser = makeSerializer(GetParam().name, reg);
+    auto ser = serde::makeSerializer(GetParam().name, &reg);
     auto bytes = ser->serialize(heap, root);
+    if (std::getenv("CEREAL_UPDATE_GOLDEN") != nullptr) {
+        // Regen mode: print a paste-ready vector instead of failing.
+        std::string hex = toHex(bytes);
+        std::printf("// %s: %zu bytes\n", GetParam().name.c_str(),
+                    bytes.size());
+        for (std::size_t i = 0; i < hex.size(); i += 64) {
+            std::printf("    \"%s\"%s\n", hex.substr(i, 64).c_str(),
+                        i + 64 < hex.size() ? "" : ";");
+        }
+        return;
+    }
     EXPECT_EQ(toHex(bytes), GetParam().hex)
         << GetParam().name
         << " wire format changed; if intentional, update the vector "
-           "with the actual hex above";
+           "with the actual hex above (or rerun with "
+           "CEREAL_UPDATE_GOLDEN=1 for a paste-ready block)";
 }
 
 TEST_P(GoldenVectors, GoldenBytesDeserializeIsomorphically)
@@ -166,7 +170,7 @@ TEST_P(GoldenVectors, GoldenBytesDeserializeIsomorphically)
     KlassRegistry reg;
     Heap heap(reg, 0x1'0000'0000ULL);
     Addr root = buildGoldenGraph(reg, heap);
-    auto ser = makeSerializer(GetParam().name, reg);
+    auto ser = serde::makeSerializer(GetParam().name, &reg);
     Heap dst(reg, 0x9'0000'0000ULL);
     Addr nr = ser->deserialize(bytes, dst);
     std::string why;
@@ -178,8 +182,17 @@ INSTANTIATE_TEST_SUITE_P(
     AllSerializers, GoldenVectors,
     ::testing::Values(GoldenCase{"java", kJava}, GoldenCase{"kryo", kKryo},
                       GoldenCase{"skyway", kSkyway},
-                      GoldenCase{"cereal", kCereal}),
+                      GoldenCase{"cereal", kCereal},
+                      GoldenCase{"plaincode", kPlaincode},
+                      GoldenCase{"hps", kHps}),
     [](const auto &info) { return info.param.name; });
+
+// The registry must agree with the vector list above: a backend added
+// there without a pinned vector here is a silent coverage hole.
+TEST(GoldenVectors, EveryRegisteredBackendHasAVector)
+{
+    EXPECT_EQ(serde::backends().size(), 6u);
+}
 
 } // namespace
 } // namespace cereal

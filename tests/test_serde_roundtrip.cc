@@ -13,9 +13,7 @@
 
 #include "heap/object.hh"
 #include "heap/walker.hh"
-#include "serde/java_serde.hh"
-#include "serde/kryo_serde.hh"
-#include "serde/skyway_serde.hh"
+#include "serde/registry.hh"
 #include "workloads/micro.hh"
 
 namespace cereal {
@@ -28,18 +26,7 @@ using workloads::MicroWorkloads;
 std::unique_ptr<Serializer>
 makeSerializer(const std::string &which, const KlassRegistry &reg)
 {
-    if (which == "java") {
-        return std::make_unique<JavaSerializer>();
-    }
-    if (which == "kryo") {
-        auto k = std::make_unique<KryoSerializer>();
-        k->registerAll(reg);
-        return k;
-    }
-    if (which == "skyway") {
-        return std::make_unique<SkywaySerializer>();
-    }
-    return nullptr;
+    return serde::makeSerializer(which, &reg);
 }
 
 class RoundTrip : public ::testing::TestWithParam<
@@ -76,7 +63,8 @@ TEST_P(RoundTrip, MicrobenchGraphIsIsomorphic)
 INSTANTIATE_TEST_SUITE_P(
     AllSerializersAllShapes, RoundTrip,
     ::testing::Combine(
-        ::testing::Values("java", "kryo", "skyway"),
+        ::testing::Values("java", "kryo", "skyway", "cereal",
+                          "plaincode", "hps"),
         ::testing::Values(MicroBench::TreeNarrow, MicroBench::TreeWide,
                           MicroBench::ListSmall, MicroBench::ListLarge,
                           MicroBench::GraphSparse, MicroBench::GraphDense)),
@@ -259,6 +247,13 @@ TEST_P(EdgeCases, RepeatedSerializationsIndependent)
 
 TEST_P(EdgeCases, SinkCountsTrafficConsistently)
 {
+    if (GetParam() == "cereal") {
+        // The functional cereal serializer produces the accelerator's
+        // packed bytes but does not narrate software traffic: its cost
+        // model lives in the accelerator pipeline (src/accel), not in
+        // a MemSink. Nothing to count here.
+        GTEST_SKIP();
+    }
     Rng rng(3);
     MicroWorkloads micro(reg);
     Addr root = micro.buildList(src, 200, rng);
@@ -272,13 +267,25 @@ TEST_P(EdgeCases, SinkCountsTrafficConsistently)
 
     CountingSink de_sink;
     ser->deserialize(stream, dst, &de_sink);
+    if (GetParam() == "hps") {
+        // Zero-copy receive: only the structural words (segment
+        // prefixes, type ids, reference tokens) are touched during the
+        // validation pass; field payload stays untouched in the wire
+        // buffer, so the narrated traffic is strictly less than the
+        // stream and no heap stores appear.
+        EXPECT_GT(de_sink.loadBytes, 0u);
+        EXPECT_LT(de_sink.loadBytes, stream.size());
+        EXPECT_GT(de_sink.computeOps, 0u);
+        return;
+    }
     EXPECT_GT(de_sink.loadBytes + 0, stream.size() - 1);
     EXPECT_GT(de_sink.stores, 0u);
     EXPECT_GT(de_sink.computeOps, 0u);
 }
 
 INSTANTIATE_TEST_SUITE_P(AllSerializers, EdgeCases,
-                         ::testing::Values("java", "kryo", "skyway"),
+                         ::testing::Values("java", "kryo", "skyway",
+                                           "cereal", "plaincode", "hps"),
                          [](const auto &info) { return info.param; });
 
 } // namespace

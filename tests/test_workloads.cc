@@ -141,15 +141,18 @@ TEST_F(JsbsTest, BatchContainsNIndependentGraphs)
     }
 }
 
-TEST_F(JsbsTest, LibraryTableHas88Entries)
+TEST_F(JsbsTest, LibraryTableHas90Entries)
 {
-    EXPECT_EQ(jsbsLibraries().size(), 88u);
+    // The paper's 88 suite libraries plus the two post-paper measured
+    // backends (plaincode, hps).
+    EXPECT_EQ(jsbsLibraries().size(), 90u);
 }
 
 TEST_F(JsbsTest, AnchorsPresentAndMeasured)
 {
     int measured = 0;
     bool has_java = false, has_kryo = false, has_km = false;
+    bool has_plain = false, has_hps = false;
     for (const auto &l : jsbsLibraries()) {
         if (l.measured) {
             ++measured;
@@ -157,11 +160,15 @@ TEST_F(JsbsTest, AnchorsPresentAndMeasured)
         has_java |= (l.name == "java-built-in");
         has_kryo |= (l.name == "kryo");
         has_km |= (l.name == "kryo-manual");
+        has_plain |= (l.name == "plaincode" && l.measured);
+        has_hps |= (l.name == "hps" && l.measured);
     }
-    EXPECT_GE(measured, 2);
+    EXPECT_GE(measured, 4);
     EXPECT_TRUE(has_java);
     EXPECT_TRUE(has_kryo);
     EXPECT_TRUE(has_km);
+    EXPECT_TRUE(has_plain);
+    EXPECT_TRUE(has_hps);
 }
 
 TEST_F(JsbsTest, ProfileFactorsSane)
