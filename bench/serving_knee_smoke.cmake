@@ -1,0 +1,36 @@
+# Serving-knee regression gate: runs bench_serving_knee and compares
+# its JSON against the committed baseline. Everything the bench emits
+# is a deterministic simulated quantity, so the default tolerance band
+# catches any behavioural drift (including all_tails_bounded flipping
+# to 0); goodput additionally gets ONE-SIDED floors so an improvement
+# never fails while a collapse past 10% does.
+# Invoked by ctest with:
+#   -DBENCH=<bench_serving_knee> -DCOMPARE=<bench_compare>
+#   -DBASELINE=<tests/baselines/BENCH_serving_knee.json> -DWORKDIR=<dir>
+# Re-record the baseline with CEREAL_UPDATE_BASELINES=1 in the
+# environment after an intentional behaviour change.
+
+set(fresh ${WORKDIR}/BENCH_serving_knee_fresh.json)
+
+execute_process(
+  COMMAND ${BENCH} --json ${fresh}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE stdout
+  ERROR_VARIABLE stderr)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+          "${BENCH} failed (rc=${rc}):\n${stdout}\n${stderr}")
+endif()
+
+execute_process(
+  COMMAND ${COMPARE} ${fresh} ${BASELINE}
+          --floor goodput=0.9
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE stdout
+  ERROR_VARIABLE stderr)
+message(STATUS "bench_compare:\n${stdout}")
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+          "serving knee drifted from the baseline (rc=${rc}):\n"
+          "${stdout}\n${stderr}")
+endif()

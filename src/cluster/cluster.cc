@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "cluster/frame.hh"
+#include "cluster/worker.hh"
 #include "metrics/metrics.hh"
 #include "sim/arena.hh"
 #include "sim/logging.hh"
@@ -24,87 +25,6 @@ secondsToTicks(double s)
         std::ceil(s * static_cast<double>(kTicksPerSecond)));
 }
 
-/**
- * One node's serializer worker: a single server draining a FIFO of
- * jobs (serialize or deserialize — both contend for the same CPU or
- * accelerator) at the profiled per-partition cost.
- */
-struct Worker
-{
-    struct Job
-    {
-        Tick service;
-        /** Span label ("ser"/"deser"); must be a string literal. */
-        const char *label;
-        /** Small-buffer callable: no heap allocation per job. */
-        EventQueue::Callback done;
-    };
-
-    EventQueue *eq = nullptr;
-    /** This worker's trace track (disabled when tracing is off). */
-    trace::TraceEmitter trace;
-    /** This worker's queue-length time series. */
-    metrics::Group metrics;
-    std::deque<Job> q;
-    bool busy = false;
-
-    void
-    initMetrics(std::uint32_t node)
-    {
-        metrics = metrics::Group(metrics::current(),
-                                 "cluster.n" + std::to_string(node));
-        if (metrics.enabled()) {
-            metrics.gauge("queue_len",
-                          "jobs waiting at this node's worker",
-                          [this](Tick) {
-                              return static_cast<double>(q.size());
-                          });
-        }
-    }
-
-    void
-    enqueue(Tick service, const char *label, EventQueue::Callback done)
-    {
-        q.push_back({service, label, std::move(done)});
-        trace.counter("queue", eq->now(),
-                      static_cast<double>(q.size()));
-        metrics.tick(eq->now());
-        if (!busy) {
-            startNext();
-        }
-    }
-
-    void
-    startNext()
-    {
-        if (q.empty()) {
-            busy = false;
-            return;
-        }
-        busy = true;
-        // The in-service job parks in `cur` rather than riding inside
-        // the scheduled closure: the completion event then captures
-        // only {this, start} and stays within the EventCallback inline
-        // buffer. Safe because a worker serves one job at a time
-        // (busy stays true until this event fires).
-        cur = std::move(q.front());
-        q.pop_front();
-        trace.counter("queue", eq->now(),
-                      static_cast<double>(q.size()));
-        metrics.tick(eq->now());
-        const Tick start = eq->now();
-        eq->scheduleIn(cur.service, [this, start] {
-            trace.span(cur.label, start, eq->now());
-            EventQueue::Callback done = std::move(cur.done);
-            done();
-            startNext();
-        });
-    }
-
-    /** The job currently in service (valid while busy). */
-    Job cur{};
-};
-
 } // namespace
 
 LatencySummary
@@ -118,6 +38,7 @@ LatencySummary::of(const stats::Distribution &d)
     s.p50 = d.p50();
     s.p95 = d.p95();
     s.p99 = d.p99();
+    s.p999 = d.p999();
     return s;
 }
 
@@ -132,6 +53,7 @@ LatencySummary::writeJson(json::Writer &w,
     w.kv(prefix + "_p50_s", p50);
     w.kv(prefix + "_p95_s", p95);
     w.kv(prefix + "_p99_s", p99);
+    w.kv(prefix + "_p999_s", p999);
 }
 
 ClusterSim::ClusterSim(ClusterConfig cfg) : cfg_(std::move(cfg))
@@ -364,8 +286,10 @@ ClusterSim::runServing(double utilization,
     }
 
     // Functional warm-up: jump straight to the first arrival instead
-    // of entering the run through the idle gap before it.
-    if (!observe && !eq.empty()) {
+    // of entering the run through the idle gap before it. Safe under
+    // observation too — no pending event is skipped, so every trace
+    // span and metrics sample lands on the same tick either way.
+    if (!eq.empty()) {
         eq.fastForward(eq.nextEventTick());
     }
 

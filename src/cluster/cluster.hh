@@ -72,12 +72,13 @@ struct LatencySummary
     double p50 = 0;
     double p95 = 0;
     double p99 = 0;
+    double p999 = 0;
 
     static LatencySummary of(const stats::Distribution &d);
 
     /**
      * Emit as members "<prefix>_count", "<prefix>_mean", ...,
-     * "<prefix>_p99" of the currently open object (schema-stable).
+     * "<prefix>_p999" of the currently open object (schema-stable).
      */
     void writeJson(json::Writer &w, const std::string &prefix) const;
 };
@@ -115,6 +116,9 @@ class ClusterSim
 {
   public:
     explicit ClusterSim(ClusterConfig cfg);
+
+    /** The configuration this cluster was built from. */
+    const ClusterConfig &config() const { return cfg_; }
 
     /** The measured per-partition serializer profile (shared). */
     const NodeProfile &profile() const { return profile_; }

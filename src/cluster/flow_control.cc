@@ -1,0 +1,82 @@
+#include "cluster/flow_control.hh"
+
+#include "sim/logging.hh"
+
+namespace cereal {
+namespace cluster {
+
+CreditManager::CreditManager(unsigned nodes, FlowControlConfig cfg)
+    : cfg_(cfg), nodes_(nodes)
+{
+    panic_if(nodes_ < 2, "credit manager needs at least 2 nodes");
+    panic_if(cfg_.enabled && cfg_.window == 0,
+             "flow control needs a positive credit window");
+    available_.assign(static_cast<std::size_t>(nodes_) * nodes_,
+                      cfg_.window);
+}
+
+std::size_t
+CreditManager::index(std::uint32_t src, std::uint32_t dst) const
+{
+    panic_if(src >= nodes_ || dst >= nodes_ || src == dst,
+             "bad credit pair %u -> %u", src, dst);
+    return static_cast<std::size_t>(src) * nodes_ + dst;
+}
+
+unsigned
+CreditManager::available(std::uint32_t src, std::uint32_t dst) const
+{
+    return available_[index(src, dst)];
+}
+
+bool
+CreditManager::tryConsume(std::uint32_t src, std::uint32_t dst)
+{
+    if (!cfg_.enabled) {
+        return true;
+    }
+    unsigned &avail = available_[index(src, dst)];
+    if (avail == 0) {
+        return false;
+    }
+    --avail;
+    ++issued_;
+    return true;
+}
+
+void
+CreditManager::refund(std::uint32_t src, std::uint32_t dst)
+{
+    if (!cfg_.enabled) {
+        return;
+    }
+    unsigned &avail = available_[index(src, dst)];
+    panic_if(avail >= cfg_.window,
+             "credit overflow on pair %u -> %u (window %u)", src, dst,
+             cfg_.window);
+    ++avail;
+    ++returned_;
+}
+
+bool
+CreditManager::allWindowsFull() const
+{
+    if (!cfg_.enabled) {
+        return true;
+    }
+    for (unsigned src = 0; src < nodes_; ++src) {
+        for (unsigned dst = 0; dst < nodes_; ++dst) {
+            if (src == dst) {
+                continue;
+            }
+            if (available_[static_cast<std::size_t>(src) * nodes_ +
+                           dst] != cfg_.window) {
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+} // namespace cluster
+} // namespace cereal

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Credit-based flow control for the cluster fabric (thrill-style).
+ *
+ * Each (source, destination) pair owns a fixed window of credits. A
+ * sender consumes one credit per frame it hands to the fabric; the
+ * credit travels back (one propagation delay) only after the receiver
+ * has *consumed* the frame — deserialized it and handed it to the
+ * operator — not merely received it. A sender out of credits parks
+ * frames in a per-destination stall buffer instead of loading the
+ * fabric.
+ *
+ * The effect is the classic bounded-buffer guarantee: a receiver can
+ * have at most (nodes - 1) * window frames outstanding against it, so
+ * ingress incast degrades into sender-side stalls (visible to
+ * admission control as occupancy) instead of unbounded receiver
+ * queues.
+ *
+ * Conservation is a checked invariant: every credit consumed is
+ * eventually refunded, and the manager can audit that all windows are
+ * full again once traffic drains.
+ */
+
+#ifndef CEREAL_CLUSTER_FLOW_CONTROL_HH
+#define CEREAL_CLUSTER_FLOW_CONTROL_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace cereal {
+namespace cluster {
+
+/** Flow-control parameters (uniform across node pairs). */
+struct FlowControlConfig
+{
+    /** False = open loop: senders never stall, receivers queue. */
+    bool enabled = true;
+    /** Credits per (src, dst) pair: frames in flight toward one peer. */
+    unsigned window = 4;
+};
+
+/** Per-pair credit windows plus conservation accounting. */
+class CreditManager
+{
+  public:
+    CreditManager(unsigned nodes, FlowControlConfig cfg);
+
+    const FlowControlConfig &config() const { return cfg_; }
+
+    /** Credits currently available from @p src toward @p dst. */
+    unsigned available(std::uint32_t src, std::uint32_t dst) const;
+
+    /**
+     * Consume one credit for a frame src -> dst.
+     * @return false when the window is exhausted (caller must stall);
+     *         always true when flow control is disabled.
+     */
+    bool tryConsume(std::uint32_t src, std::uint32_t dst);
+
+    /** Return one credit to @p src's window toward @p dst. */
+    void refund(std::uint32_t src, std::uint32_t dst);
+
+    /** Credits consumed so far (0 when disabled). */
+    std::uint64_t issued() const { return issued_; }
+
+    /** Credits refunded so far (0 when disabled). */
+    std::uint64_t returned() const { return returned_; }
+
+    /**
+     * True when every window is back at its configured size — i.e.
+     * traffic has drained and credit conservation held.
+     */
+    bool allWindowsFull() const;
+
+  private:
+    std::size_t index(std::uint32_t src, std::uint32_t dst) const;
+
+    FlowControlConfig cfg_;
+    unsigned nodes_;
+    /** available_[src * nodes + dst]; diagonal entries unused. */
+    std::vector<unsigned> available_;
+    std::uint64_t issued_ = 0;
+    std::uint64_t returned_ = 0;
+};
+
+} // namespace cluster
+} // namespace cereal
+
+#endif // CEREAL_CLUSTER_FLOW_CONTROL_HH

@@ -47,6 +47,14 @@ struct NodeProfile
     double serSeconds = 0;
     /** Shuffle-read + deserialize seconds per partition. */
     double deserSeconds = 0;
+    /**
+     * Operator compute on the received partition, seconds: a
+     * projection that touches every object once. Materializing
+     * backends pay a dependent-load graph walk; hps reads its
+     * zero-copy views straight out of the wire buffer (streaming
+     * loads over the validated segment table).
+     */
+    double consumeSeconds = 0;
     /** Serialized stream size before the shuffle codec, bytes. */
     std::uint64_t streamBytes = 0;
     /** Objects per partition graph. */

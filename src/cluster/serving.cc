@@ -1,0 +1,405 @@
+#include "cluster/serving.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "cluster/frame.hh"
+#include "cluster/worker.hh"
+#include "metrics/metrics.hh"
+#include "sim/arena.hh"
+#include "sim/logging.hh"
+#include "trace/trace.hh"
+
+namespace cereal {
+namespace cluster {
+
+namespace {
+
+Tick
+secondsToTicks(double s)
+{
+    return static_cast<Tick>(
+        std::ceil(s * static_cast<double>(kTicksPerSecond)));
+}
+
+/** Admission/flow state of one node's front end. */
+struct NodeCtl
+{
+    /** Admitted requests waiting for the serializer (request idx). */
+    std::deque<std::uint32_t> pend;
+    /** One serialize job at a time sits in the shared worker FIFO. */
+    bool serInWorker = false;
+    /** Credit-stalled encoded-but-unsent requests, per destination. */
+    std::vector<std::deque<std::uint32_t>> stalled;
+    std::uint64_t stalledCount = 0;
+    /** Admitted but not yet handed to the fabric. */
+    std::uint64_t occupancy = 0;
+    /** Admission/credit time series (enabled when observing). */
+    metrics::Group metrics;
+};
+
+} // namespace
+
+const char *
+admissionPolicyName(AdmissionPolicy p)
+{
+    switch (p) {
+      case AdmissionPolicy::None:
+        return "none";
+      case AdmissionPolicy::Drop:
+        return "drop";
+      case AdmissionPolicy::ShedByClass:
+        return "shed";
+      case AdmissionPolicy::RejectEarly:
+        return "reject";
+    }
+    panic("bad admission policy");
+}
+
+ServingFrontendResult
+runServingFrontend(const ClusterSim &sim, const ServingConfig &cfg)
+{
+    const ClusterConfig &cc = sim.config();
+    const unsigned n = cc.nodes;
+    const NodeProfile &prof = sim.profile();
+
+    panic_if(cfg.utilization <= 0, "serving utilization must be > 0");
+    panic_if(cfg.requestsPerNode == 0 || cfg.requestsPerNode > 0xffff,
+             "requests per node out of range");
+    panic_if(cfg.warmupFraction < 0 || cfg.warmupFraction >= 1,
+             "warm-up fraction must be in [0, 1)");
+    panic_if(cfg.admission.policy != AdmissionPolicy::None &&
+                 cfg.admission.queueBound == 0,
+             "admission control needs a positive queue bound");
+    panic_if(cfg.fixedDst >= static_cast<int>(n),
+             "fixed destination out of range");
+
+    const Tick ser = secondsToTicks(prof.serSeconds);
+    // The receive side deserializes and then computes on the result;
+    // hps profiles consumeSeconds on its zero-copy views.
+    const Tick deser =
+        secondsToTicks(prof.deserSeconds + prof.consumeSeconds);
+    const double lambda = cfg.utilization * sim.nodeCapacityRps();
+
+    load::LoadGenConfig lg;
+    lg.nodes = n;
+    lg.lambdaBase = lambda;
+    lg.requestsPerNode = cfg.requestsPerNode;
+    lg.clientsPerNode = cfg.clientsPerNode;
+    lg.shape = cfg.shape;
+    lg.seed = cc.seed;
+    load::LoadGenerator gen(lg);
+
+    const double horizon = gen.horizonSeconds();
+    const double warmup = cfg.warmupFraction * horizon;
+    const load::ShapeComponent *flash = cfg.shape.flashComponent();
+    const double flashStart = flash ? flash->start * horizon : 0;
+    const double flashEnd =
+        flash ? (flash->start + flash->duration) * horizon : 0;
+
+    // Sampled mode simulates a prefix of each node's stream (the
+    // runServing() convention); the generator's draw is unchanged, so
+    // the sampled arrivals coincide with the full run's early ones.
+    const std::uint64_t sim_rpn = cc.mode == SimMode::Sampled
+        ? (cfg.requestsPerNode + 3) / 4
+        : cfg.requestsPerNode;
+    const std::uint64_t total = static_cast<std::uint64_t>(n) * sim_rpn;
+
+    EventQueue eq;
+    const bool observe = simModeObserves(cc.mode);
+    const auto em = observe ? trace::current() : trace::TraceEmitter();
+    std::vector<Worker> workers(n);
+    std::vector<NodeCtl> ctl(n);
+    CreditManager credits(n, cfg.flow);
+    for (std::uint32_t i = 0; i < n; ++i) {
+        workers[i].eq = &eq;
+        ctl[i].stalled.resize(n);
+        if (observe) {
+            workers[i].initMetrics(i);
+            ctl[i].metrics = metrics::Group(
+                metrics::current(), "serving.n" + std::to_string(i));
+            if (ctl[i].metrics.enabled()) {
+                NodeCtl *c = &ctl[i];
+                ctl[i].metrics.gauge(
+                    "admission_occupancy",
+                    "requests admitted but not yet on the wire",
+                    [c](Tick) {
+                        return static_cast<double>(c->occupancy);
+                    });
+                ctl[i].metrics.gauge(
+                    "stalled_frames",
+                    "encoded frames parked awaiting credits",
+                    [c](Tick) {
+                        return static_cast<double>(c->stalledCount);
+                    });
+                ctl[i].metrics.gauge(
+                    "credits_avail",
+                    "send credits available across peers",
+                    [&credits, i, n](Tick) {
+                        double sum = 0;
+                        for (std::uint32_t d = 0; d < n; ++d) {
+                            if (d != i) {
+                                sum += credits.available(i, d);
+                            }
+                        }
+                        return sum;
+                    });
+            }
+        }
+        if (em.enabled()) {
+            workers[i].trace =
+                em.sub(("node" + std::to_string(i)).c_str());
+        }
+    }
+
+    // Per-request state, indexed origin * sim_rpn + k.
+    std::vector<Tick> arrivalTick(total, 0);
+    std::vector<double> arrivalSec(total, 0);
+    std::vector<std::uint32_t> reqDst(total, 0);
+    std::vector<std::uint8_t> reqCls(total, 0);
+
+    ServingFrontendResult out;
+    stats::Distribution latency;
+    latency.reserve(total);
+    Tick last_done = 0;
+    Tick last_flash_done = 0;
+    sim::BufferPool pool;
+
+    const auto wireId = [sim_rpn](std::uint32_t idx) {
+        return static_cast<std::uint32_t>(idx / sim_rpn) * 0x10000u +
+               static_cast<std::uint32_t>(idx % sim_rpn);
+    };
+
+    Fabric fabric(eq, n, cc.net,
+                  [&](std::uint32_t dst, std::vector<std::uint8_t> bytes) {
+        auto res = tryDecodeFrameInfo(bytes);
+        panic_if(!res.ok(), "fabric delivered a corrupt frame: %s",
+                 res.error().what());
+        const FrameInfo &info = res.value();
+        panic_if(info.checksum != sim.payloadChecksum() ||
+                     info.payloadLen != prof.payload.size(),
+                 "fabric delivered a corrupt frame (payload digest"
+                 " mismatch on request %u)", info.partition);
+        const std::uint32_t idx =
+            (info.partition >> 16) * static_cast<std::uint32_t>(sim_rpn) +
+            (info.partition & 0xffffu);
+        const std::uint32_t src = info.srcNode;
+        pool.release(std::move(bytes));
+        workers[dst].enqueue(deser, "deser", [&, idx, src, dst] {
+            const double arr = arrivalSec[idx];
+            if (arr >= warmup) {
+                latency.sample(
+                    ticksToSeconds(eq.now() - arrivalTick[idx]));
+            }
+            ++out.completed;
+            last_done = eq.now();
+            if (flash && arr >= flashStart && arr < flashEnd) {
+                last_flash_done = eq.now();
+            }
+            if (cfg.flow.enabled) {
+                // The frame is consumed: its credit travels back to
+                // the sender (one propagation delay).
+                eq.scheduleIn(fabric.propagationTicks(), [&, src, dst] {
+                    credits.refund(src, dst);
+                    NodeCtl &c = ctl[src];
+                    auto &q = c.stalled[dst];
+                    while (!q.empty() &&
+                           credits.tryConsume(src, dst)) {
+                        const std::uint32_t sidx = q.front();
+                        q.pop_front();
+                        --c.stalledCount;
+                        --c.occupancy;
+                        c.metrics.tick(eq.now());
+                        FrameRef f;
+                        f.format = backendFormatId(cc.backend);
+                        f.flags = prof.compressed
+                            ? kFrameFlagCompressed : 0;
+                        f.srcNode = src;
+                        f.dstNode = dst;
+                        f.partition = wireId(sidx);
+                        f.payload = prof.payload.data();
+                        f.payloadLen = prof.payload.size();
+                        auto b = pool.acquire();
+                        encodeFrameInto(f, sim.payloadChecksum(), b);
+                        fabric.send(src, dst, std::move(b));
+                    }
+                });
+            }
+        });
+        out.maxWorkerQueue = std::max(
+            out.maxWorkerQueue,
+            static_cast<std::uint64_t>(workers[dst].q.size()));
+    });
+    fabric.setTrace(em.sub("fabric"));
+
+    // Hand the worker one serialize job at a time, so waiting requests
+    // stay in the admission queue where shed-by-class can still reach
+    // them (the worker FIFO itself only ever holds work in progress).
+    std::function<void(std::uint32_t)> feedWorker =
+        [&](std::uint32_t origin) {
+        NodeCtl &c = ctl[origin];
+        if (c.serInWorker || c.pend.empty()) {
+            return;
+        }
+        c.serInWorker = true;
+        const std::uint32_t idx = c.pend.front();
+        c.pend.pop_front();
+        workers[origin].enqueue(ser, "ser", [&, origin, idx] {
+            NodeCtl &cn = ctl[origin];
+            cn.serInWorker = false;
+            const std::uint32_t dst = reqDst[idx];
+            if (credits.tryConsume(origin, dst)) {
+                FrameRef f;
+                f.format = backendFormatId(cc.backend);
+                f.flags = prof.compressed ? kFrameFlagCompressed : 0;
+                f.srcNode = origin;
+                f.dstNode = dst;
+                f.partition = wireId(idx);
+                f.payload = prof.payload.data();
+                f.payloadLen = prof.payload.size();
+                auto bytes = pool.acquire();
+                encodeFrameInto(f, sim.payloadChecksum(), bytes);
+                fabric.send(origin, dst, std::move(bytes));
+                --cn.occupancy;
+            } else {
+                cn.stalled[dst].push_back(idx);
+                ++cn.stalledCount;
+                out.maxStalledFrames =
+                    std::max(out.maxStalledFrames, cn.stalledCount);
+            }
+            cn.metrics.tick(eq.now());
+            feedWorker(origin);
+        });
+        out.maxWorkerQueue = std::max(
+            out.maxWorkerQueue,
+            static_cast<std::uint64_t>(workers[origin].q.size()));
+    };
+
+    // Draw every node's shaped arrival stream and schedule admission.
+    eq.reserve(total + 16);
+    for (std::uint32_t origin = 0; origin < n; ++origin) {
+        const auto arrivals = gen.arrivalsFor(origin);
+        for (std::uint64_t k = 0; k < sim_rpn; ++k) {
+            const load::Arrival &a = arrivals[k];
+            const std::uint32_t idx = static_cast<std::uint32_t>(
+                origin * sim_rpn + k);
+            arrivalSec[idx] = a.t;
+            arrivalTick[idx] = secondsToTicks(a.t);
+            reqDst[idx] = (cfg.fixedDst >= 0 &&
+                           origin != static_cast<std::uint32_t>(
+                                         cfg.fixedDst))
+                ? static_cast<std::uint32_t>(cfg.fixedDst)
+                : a.dst;
+            reqCls[idx] = a.cls;
+            eq.schedule(arrivalTick[idx], [&, origin, idx] {
+                NodeCtl &c = ctl[origin];
+                const AdmissionConfig &adm = cfg.admission;
+                bool admit = true;
+                switch (adm.policy) {
+                  case AdmissionPolicy::None:
+                    break;
+                  case AdmissionPolicy::Drop:
+                    if (c.occupancy >= adm.queueBound) {
+                        admit = false;
+                        ++out.dropped;
+                    }
+                    break;
+                  case AdmissionPolicy::ShedByClass:
+                    if (c.occupancy >= adm.queueBound) {
+                        // Evict the newest waiting request of a worse
+                        // class; with no worse victim the newcomer is
+                        // the lowest-value work and tail-drops.
+                        auto victim = c.pend.rend();
+                        for (auto it = c.pend.rbegin();
+                             it != c.pend.rend(); ++it) {
+                            if (reqCls[*it] > reqCls[idx]) {
+                                victim = it;
+                                break;
+                            }
+                        }
+                        if (victim == c.pend.rend()) {
+                            admit = false;
+                            ++out.dropped;
+                        } else {
+                            c.pend.erase(std::next(victim).base());
+                            --c.occupancy;
+                            ++out.shed;
+                        }
+                    }
+                    break;
+                  case AdmissionPolicy::RejectEarly: {
+                    const double est_wait =
+                        static_cast<double>(c.occupancy) *
+                        prof.serSeconds;
+                    const double budget = adm.rejectBudgetFactor *
+                        static_cast<double>(adm.queueBound) *
+                        prof.serSeconds;
+                    if (est_wait > budget) {
+                        admit = false;
+                        ++out.rejected;
+                    }
+                    break;
+                  }
+                }
+                if (!admit) {
+                    c.metrics.tick(eq.now());
+                    return;
+                }
+                ++out.admitted;
+                c.pend.push_back(idx);
+                ++c.occupancy;
+                out.maxAdmissionOccupancy = std::max(
+                    out.maxAdmissionOccupancy, c.occupancy);
+                c.metrics.tick(eq.now());
+                feedWorker(origin);
+            });
+        }
+    }
+
+    // Warm-up fast path: jump straight to the first arrival instead of
+    // stepping through the idle gap before it.
+    if (!eq.empty()) {
+        eq.fastForward(eq.nextEventTick());
+    }
+
+    eq.runAll();
+
+    out.offeredRps = lambda * static_cast<double>(n);
+    out.requests = total;
+    out.durationSeconds = ticksToSeconds(last_done);
+    out.goodputRps = out.durationSeconds > 0
+        ? static_cast<double>(out.completed) / out.durationSeconds
+        : 0;
+    out.dropRate = total > 0
+        ? static_cast<double>(total - out.completed) /
+              static_cast<double>(total)
+        : 0;
+    out.latency = LatencySummary::of(latency);
+    out.recoverSeconds = flash
+        ? std::max(0.0, ticksToSeconds(last_flash_done) - flashEnd)
+        : 0;
+    out.creditsIssued = credits.issued();
+    out.creditsReturned = credits.returned();
+    out.creditsConserved = credits.issued() == credits.returned() &&
+                           credits.allWindowsFull();
+
+    panic_if(out.completed != out.admitted - out.shed,
+             "serving front end lost requests (%llu of %llu admitted"
+             " finished, %llu shed)",
+             (unsigned long long)out.completed,
+             (unsigned long long)out.admitted,
+             (unsigned long long)out.shed);
+    for (const NodeCtl &c : ctl) {
+        panic_if(c.occupancy != 0 || c.stalledCount != 0 ||
+                     !c.pend.empty(),
+                 "serving front end drained with work still queued");
+    }
+    return out;
+}
+
+} // namespace cluster
+} // namespace cereal

@@ -31,7 +31,7 @@ StatGroup::find(const std::string &stat_name) const
 }
 
 double
-Distribution::percentile(double p) const
+Distribution::quantile(double q) const
 {
     if (samples_.empty()) {
         return 0;
@@ -40,16 +40,18 @@ Distribution::percentile(double p) const
         std::sort(samples_.begin(), samples_.end());
         sorted_ = true;
     }
-    if (p <= 0) {
+    if (q <= 0) {
         return samples_.front();
     }
-    if (p >= 100) {
+    if (q >= 1) {
         return samples_.back();
     }
-    // Nearest-rank: the smallest sample with at least p% of the
-    // population at or below it.
-    auto rank = static_cast<std::size_t>(
-        std::ceil(p / 100.0 * static_cast<double>(samples_.size())));
+    // Nearest-rank: the smallest sample with at least a q fraction of
+    // the population at or below it. The epsilon absorbs q values that
+    // land one ulp above the intended fraction (e.g. 99.9 / 100), which
+    // would otherwise ceil to the next rank.
+    auto rank = static_cast<std::size_t>(std::ceil(
+        q * static_cast<double>(samples_.size()) - 1e-9));
     if (rank == 0) {
         rank = 1;
     }
@@ -146,6 +148,7 @@ StatGroup::dumpJson(json::Writer &w) const
             w.kv("p50", d->p50());
             w.kv("p95", d->p95());
             w.kv("p99", d->p99());
+            w.kv("p999", d->p999());
             break;
           }
           case Kind::Formula: {

@@ -180,11 +180,22 @@ class Distribution
      * Nearest-rank percentile, @p p in [0, 100]. Returns 0 when the
      * distribution is empty.
      */
-    double percentile(double p) const;
+    double percentile(double p) const { return quantile(p / 100.0); }
 
-    double p50() const { return percentile(50); }
-    double p95() const { return percentile(95); }
-    double p99() const { return percentile(99); }
+    /**
+     * Nearest-rank quantile, @p q in [0, 1]: the smallest sample with
+     * at least a q fraction of the population at or below it. The
+     * extreme tails a serving bench reports (p999 and beyond) need the
+     * fractional form — percentile(99.9) loses nothing, but quantile
+     * is the primitive. Returns 0 when the distribution is empty.
+     */
+    double quantile(double q) const;
+
+    double p50() const { return quantile(0.50); }
+    double p95() const { return quantile(0.95); }
+    double p99() const { return quantile(0.99); }
+    /** Tail percentile for serving SLOs; needs n >= 1000 to resolve. */
+    double p999() const { return quantile(0.999); }
     double mean() const { return avg_.mean(); }
     double min() const { return avg_.min(); }
     double max() const { return avg_.max(); }

@@ -461,7 +461,41 @@ TEST(Stats, DistributionLargeNNearestRank)
     EXPECT_DOUBLE_EQ(d.p50(), 50000.0);  // ceil(50000.5) = 50001st
     EXPECT_DOUBLE_EQ(d.p95(), 95000.0);  // ceil(95000.95) = 95001st
     EXPECT_DOUBLE_EQ(d.p99(), 99000.0);  // ceil(99000.99) = 99001st
+    EXPECT_DOUBLE_EQ(d.p999(), 99900.0); // ceil(99900.999) = 99901st
     EXPECT_DOUBLE_EQ(d.percentile(100), 100000.0);
+}
+
+TEST(Stats, DistributionQuantileMatchesPercentile)
+{
+    stats::Distribution d;
+    d.reserve(10000);
+    for (int v = 10000; v >= 1; --v) {
+        d.sample(v);
+    }
+    // quantile(q) is the primitive; percentile(p) is quantile(p/100).
+    EXPECT_DOUBLE_EQ(d.quantile(0.5), d.percentile(50));
+    EXPECT_DOUBLE_EQ(d.quantile(0.999), d.percentile(99.9));
+    EXPECT_DOUBLE_EQ(d.quantile(0.999), 9990.0);
+    EXPECT_DOUBLE_EQ(d.quantile(0.9999), 9999.0);
+    // Extreme quantiles clamp to the order statistics.
+    EXPECT_DOUBLE_EQ(d.quantile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(d.quantile(1.0), 10000.0);
+    // Below one sample's worth of mass, nearest rank is the minimum.
+    EXPECT_DOUBLE_EQ(d.quantile(1e-9), 1.0);
+}
+
+TEST(Stats, DistributionP999NeedsAThousandSamplesToResolve)
+{
+    // With n < 1000 the 0.999 rank rounds up to the max sample;
+    // crossing n = 1000 separates the two.
+    stats::Distribution d;
+    for (int v = 1; v <= 999; ++v) {
+        d.sample(v);
+    }
+    EXPECT_DOUBLE_EQ(d.p999(), 999.0); // == max
+    d.sample(1000);
+    EXPECT_DOUBLE_EQ(d.p999(), 999.0); // now one below max
+    EXPECT_DOUBLE_EQ(d.max(), 1000.0);
 }
 
 TEST(Stats, DistributionInGroupDump)
@@ -486,6 +520,7 @@ TEST(Stats, DistributionInGroupDump)
     EXPECT_NE(js.str().find("\"kind\":\"distribution\""),
               std::string::npos);
     EXPECT_NE(js.str().find("\"p95\":"), std::string::npos);
+    EXPECT_NE(js.str().find("\"p999\":"), std::string::npos);
 }
 
 TEST(Stats, GroupDumpContainsNames)

@@ -392,6 +392,7 @@ expectSameLatency(const LatencySummary &c, const LatencySummary &f)
     EXPECT_EQ(c.p50, f.p50);
     EXPECT_EQ(c.p95, f.p95);
     EXPECT_EQ(c.p99, f.p99);
+    EXPECT_EQ(c.p999, f.p999);
 }
 
 ClusterConfig
