@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "bench/bench_util.hh"
+#include "bench/summary.hh"
 #include "cluster/cluster.hh"
 
 using namespace cereal;
@@ -142,7 +143,7 @@ main(int argc, char **argv)
         return rows[static_cast<std::size_t>(b) * per_backend + offset];
     };
 
-    sweep.setSummary([&](json::Writer &w) {
+    bench::setSummary(sweep, [&](bench::Summary &s) {
         const Row &csh = row(Backend::Cereal, 0);
         // `cereal_dominates_frontier` keeps its original meaning —
         // dominance over the paper's reflective software baselines —
@@ -157,7 +158,7 @@ main(int argc, char **argv)
                 continue;
             }
             const std::string n = backendName(b);
-            w.kv("cereal_completion_speedup_vs_" + n,
+            s.kv("cereal_completion_speedup_vs_" + n,
                  row(b, 0).shuffle.completionSeconds /
                      csh.shuffle.completionSeconds);
             for (std::size_t li = 0; li < kLoadPct.size(); ++li) {
@@ -171,15 +172,13 @@ main(int argc, char **argv)
                     dominates = dominates && dom;
                 }
                 dominates_ext = dominates_ext && dom;
-                w.kv("cereal_dominates_" + n + "_u" +
-                         std::to_string(kLoadPct[li]),
-                     static_cast<std::uint64_t>(dom ? 1 : 0));
+                s.flag("cereal_dominates_" + n + "_u" +
+                           std::to_string(kLoadPct[li]),
+                       dom);
             }
         }
-        w.kv("cereal_dominates_frontier",
-             static_cast<std::uint64_t>(dominates ? 1 : 0));
-        w.kv("cereal_dominates_extended_frontier",
-             static_cast<std::uint64_t>(dominates_ext ? 1 : 0));
+        s.flag("cereal_dominates_frontier", dominates);
+        s.flag("cereal_dominates_extended_frontier", dominates_ext);
     });
 
     bench::runSweep(sweep, opts);

@@ -1,0 +1,235 @@
+/**
+ * @file
+ * End-to-end dataflow jobs (WordCount, TeraSort, PageRank) on the
+ * cluster fabric, swept over the six serializer backends.
+ *
+ * The paper benchmarks serialization inside Spark jobs; this bench
+ * transports that claim to the dataflow operator layer: the same job,
+ * record-for-record, runs over every backend, so completion-time
+ * differences are purely the serde cost on real operator boundaries.
+ * Per backend the sweep runs the three jobs at a mild skew, plus a
+ * PageRank skew pair (uniform vs hot-vertex) and a WordCount straggler
+ * pair (one node serving 4x slower), giving per-backend
+ * skew-sensitivity and straggler-stretch ratios.
+ *
+ * Cross-backend agreement is part of the output: every backend must
+ * produce the identical result checksum for each job
+ * (`checksum_agree_<job>`), and every run's job-specific invariants
+ * must hold (`all_invariants_ok`) — the serializers are interchangeable
+ * carriers, never allowed to change the answer.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hh"
+#include "bench/summary.hh"
+#include "dataflow/job.hh"
+#include "serde/registry.hh"
+
+using namespace cereal;
+using namespace cereal::dataflow;
+
+namespace {
+
+constexpr unsigned kNodes = 4;
+constexpr double kBaseSkew = 0.3;
+constexpr double kHotSkew = 0.9;
+constexpr double kStragglerFactor = 4.0;
+
+const std::vector<const char *> kJobs = {"wordcount", "terasort",
+                                         "pagerank"};
+
+/** Row layout per backend: 3 base jobs, pagerank skew pair, straggler. */
+enum RowKind : std::size_t {
+    kWordcount = 0,
+    kTerasort,
+    kPagerank,
+    kPagerankUniform,
+    kPagerankHot,
+    kWordcountStraggler,
+    kRowsPerBackend,
+};
+
+struct Row
+{
+    std::string name;
+    DataflowConfig cfg;
+    DataflowResult r;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    auto opts = bench::Options::parse(argc, argv, 64, "dataflow");
+    bench::banner(
+        "Dataflow jobs end-to-end: WordCount/TeraSort/PageRank by "
+        "serializer",
+        "serialization cost on real operator boundaries separates the "
+        "backends while every backend computes the identical result");
+
+    const std::uint64_t records =
+        std::max<std::uint64_t>(32, 8192 / opts.scale);
+    const auto &backends = serde::availableBackends();
+
+    std::vector<Row> rows(backends.size() * kRowsPerBackend);
+    runner::SweepRunner sweep("dataflow");
+
+    for (std::size_t b = 0; b < backends.size(); ++b) {
+        const std::string &bname = backends[b];
+
+        auto baseConfig = [&, bname](const char *job) {
+            DataflowConfig cfg;
+            cfg.nodes = kNodes;
+            cfg.backend = bname;
+            cfg.job = job;
+            cfg.recordsPerNode = records;
+            cfg.seed = 7;
+            cfg.skew = kBaseSkew;
+            cfg.profileScale = opts.scale;
+            return cfg;
+        };
+
+        auto addRow = [&](std::size_t kind, std::string name,
+                          DataflowConfig cfg) {
+            Row &row = rows[b * kRowsPerBackend + kind];
+            row.name = std::move(name);
+            row.cfg = cfg;
+            sweep.add(row.name, [&row](json::Writer &w) {
+                row.r = runDataflow(row.cfg);
+                w.kv("backend", row.cfg.backend);
+                w.kv("job", row.r.job);
+                w.kv("nodes", static_cast<std::uint64_t>(row.cfg.nodes));
+                w.kv("records_per_node", row.cfg.recordsPerNode);
+                w.kv("skew", row.cfg.skew);
+                w.kv("straggler_factor", row.cfg.stragglerFactor);
+                w.kv("completion_seconds", row.r.completionSeconds);
+                w.kv("output_records", row.r.outputRecords);
+                w.kv("result_checksum", row.r.resultChecksum);
+                w.kv("invariants_ok",
+                     static_cast<std::uint64_t>(row.r.invariantsOk));
+                w.kv("skew_ratio", row.r.skewRatio);
+                w.kv("wire_bytes", row.r.wireBytes);
+                w.kv("fabric_batches", row.r.fabricBatches);
+                w.key("stages");
+                w.beginArray();
+                for (const auto &s : row.r.stages) {
+                    w.beginObject();
+                    w.kv("name", s.name);
+                    w.kv("start_seconds", s.startSeconds);
+                    w.kv("end_seconds", s.endSeconds);
+                    w.kv("batches", s.batches);
+                    w.kv("payload_bytes", s.payloadBytes);
+                    w.kv("stream_bytes", s.streamBytes);
+                    w.kv("records_in", s.recordsIn);
+                    w.kv("records_out", s.recordsOut);
+                    w.kv("skew_ratio", s.skewRatio);
+                    w.endObject();
+                }
+                w.endArray();
+            });
+        };
+
+        addRow(kWordcount, bname + "-wordcount",
+               baseConfig("wordcount"));
+        addRow(kTerasort, bname + "-terasort", baseConfig("terasort"));
+        addRow(kPagerank, bname + "-pagerank", baseConfig("pagerank"));
+
+        auto uniform = baseConfig("pagerank");
+        uniform.skew = 0.0;
+        addRow(kPagerankUniform, bname + "-pagerank-skew0", uniform);
+        auto hot = baseConfig("pagerank");
+        hot.skew = kHotSkew;
+        addRow(kPagerankHot, bname + "-pagerank-skew90", hot);
+
+        auto strag = baseConfig("wordcount");
+        strag.stragglerFactor = kStragglerFactor;
+        strag.stragglerNode = 1;
+        addRow(kWordcountStraggler, bname + "-wordcount-strag4", strag);
+    }
+
+    auto row = [&](std::size_t b, std::size_t kind) -> const Row & {
+        return rows[b * kRowsPerBackend + kind];
+    };
+    auto backendIndex = [&](const std::string &name) {
+        for (std::size_t b = 0; b < backends.size(); ++b) {
+            if (backends[b] == name) {
+                return b;
+            }
+        }
+        fatal("no backend '%s'", name.c_str());
+    };
+
+    bench::setSummary(sweep, [&](bench::Summary &s) {
+        bool all_ok = true;
+        for (std::size_t b = 0; b < backends.size(); ++b) {
+            for (std::size_t k = 0; k < kRowsPerBackend; ++k) {
+                all_ok = all_ok && row(b, k).r.invariantsOk;
+            }
+        }
+        const std::size_t java = backendIndex("java");
+        const std::size_t cer = backendIndex("cereal");
+        for (std::size_t b = 0; b < backends.size(); ++b) {
+            const std::string &n = backends[b];
+            s.kv("wordcount_completion_s_" + n,
+                 row(b, kWordcount).r.completionSeconds);
+            s.kv("terasort_completion_s_" + n,
+                 row(b, kTerasort).r.completionSeconds);
+            s.kv("pagerank_completion_s_" + n,
+                 row(b, kPagerank).r.completionSeconds);
+            s.ratio("pagerank_skew_sensitivity_" + n,
+                    row(b, kPagerankHot).r.completionSeconds,
+                    row(b, kPagerankUniform).r.completionSeconds);
+            s.ratio("wordcount_straggler_stretch_" + n,
+                    row(b, kWordcountStraggler).r.completionSeconds,
+                    row(b, kWordcount).r.completionSeconds);
+        }
+        for (std::size_t j = 0; j < kJobs.size(); ++j) {
+            bool agree = true;
+            for (std::size_t b = 1; b < backends.size(); ++b) {
+                agree = agree && row(b, j).r.resultChecksum ==
+                                     row(0, j).r.resultChecksum;
+            }
+            s.flag(std::string("checksum_agree_") + kJobs[j], agree);
+        }
+        for (std::size_t j = 0; j < kJobs.size(); ++j) {
+            s.ratio(std::string("cereal_speedup_vs_java_") + kJobs[j],
+                    row(java, j).r.completionSeconds,
+                    row(cer, j).r.completionSeconds);
+        }
+        s.flag("all_invariants_ok", all_ok);
+    });
+
+    bench::runSweep(sweep, opts);
+
+    std::printf("%-9s | %9s %9s %9s | %9s %9s\n", "backend", "wc(ms)",
+                "ts(ms)", "pr(ms)", "skew-sens", "strag-x");
+    for (std::size_t b = 0; b < backends.size(); ++b) {
+        const double uni =
+            row(b, kPagerankUniform).r.completionSeconds;
+        const double base = row(b, kWordcount).r.completionSeconds;
+        std::printf("%-9s | %9.3f %9.3f %9.3f | %9.2f %9.2f\n",
+                    backends[b].c_str(),
+                    row(b, kWordcount).r.completionSeconds * 1e3,
+                    row(b, kTerasort).r.completionSeconds * 1e3,
+                    row(b, kPagerank).r.completionSeconds * 1e3,
+                    uni > 0 ? row(b, kPagerankHot).r.completionSeconds /
+                                  uni
+                            : 0.0,
+                    base > 0 ?
+                        row(b, kWordcountStraggler).r.completionSeconds /
+                            base
+                             : 0.0);
+    }
+    std::printf("(every backend must agree on each job's result "
+                "checksum; completion separates the serializers, the "
+                "answer never moves)\n");
+
+    bench::writeBenchOutputs(sweep, opts,
+                             {{"nodes", kNodes},
+                              {"records_per_node", records}});
+    return 0;
+}

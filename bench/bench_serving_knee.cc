@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "bench/bench_util.hh"
+#include "bench/summary.hh"
 #include "cluster/cluster.hh"
 #include "cluster/serving.hh"
 #include "load/load_shape.hh"
@@ -211,7 +212,7 @@ main(int argc, char **argv)
     // Index of the 50% and 200% load points in kLoadPct.
     const std::size_t i50 = 3, i200 = kLoadPct.size() - 1;
 
-    sweep.setSummary([&](json::Writer &w) {
+    bench::setSummary(sweep, [&](bench::Summary &s) {
         bool all_bounded = true;
         for (Backend b : allBackends()) {
             const std::string n = backendName(b);
@@ -222,25 +223,21 @@ main(int argc, char **argv)
             const bool bounded =
                 ctl50 > 0 && ctl200 < 10.0 * ctl50;
             all_bounded = all_bounded && bounded;
-            w.kv("knee_u_open_pct_" + n,
+            s.kv("knee_u_open_pct_" + n,
                  static_cast<std::uint64_t>(kneePct(b, false)));
-            w.kv("knee_u_ctl_pct_" + n,
+            s.kv("knee_u_ctl_pct_" + n,
                  static_cast<std::uint64_t>(kneePct(b, true)));
-            w.kv("p99_ratio_2x_ctl_" + n,
-                 ctl50 > 0 ? ctl200 / ctl50 : 0.0);
-            w.kv("p99_ratio_2x_open_" + n,
-                 open50 > 0 ? open200 / open50 : 0.0);
-            w.kv("tail_bounded_under_overload_" + n,
-                 static_cast<std::uint64_t>(bounded ? 1 : 0));
-            w.kv("goodput_2x_ctl_rps_" + n,
+            s.ratio("p99_ratio_2x_ctl_" + n, ctl200, ctl50);
+            s.ratio("p99_ratio_2x_open_" + n, open200, open50);
+            s.flag("tail_bounded_under_overload_" + n, bounded);
+            s.kv("goodput_2x_ctl_rps_" + n,
                  row(b, true, i200).r.goodputRps);
-            w.kv("drop_rate_2x_ctl_" + n,
+            s.kv("drop_rate_2x_ctl_" + n,
                  row(b, true, i200).r.dropRate);
-            w.kv("flash_recover_seconds_" + n,
+            s.kv("flash_recover_seconds_" + n,
                  flashRow(b).r.recoverSeconds);
         }
-        w.kv("all_tails_bounded",
-             static_cast<std::uint64_t>(all_bounded ? 1 : 0));
+        s.flag("all_tails_bounded", all_bounded);
     });
 
     bench::runSweep(sweep, opts);

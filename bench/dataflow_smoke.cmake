@@ -1,0 +1,37 @@
+# Dataflow regression gate: runs bench_dataflow and compares its JSON
+# against the committed baseline. Every emitted quantity is a
+# deterministic simulated one, so the default tolerance band catches
+# behavioural drift (including checksum_agree_* or all_invariants_ok
+# flipping to 0); the accelerator's per-job speedup over java gets a
+# ONE-SIDED floor so an improvement never fails while a collapse of
+# the headline advantage past 10% does.
+# Invoked by ctest with:
+#   -DBENCH=<bench_dataflow> -DCOMPARE=<bench_compare>
+#   -DBASELINE=<tests/baselines/BENCH_dataflow.json> -DWORKDIR=<dir>
+# Re-record the baseline with CEREAL_UPDATE_BASELINES=1 in the
+# environment after an intentional behaviour change.
+
+set(fresh ${WORKDIR}/BENCH_dataflow_fresh.json)
+
+execute_process(
+  COMMAND ${BENCH} --json ${fresh}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE stdout
+  ERROR_VARIABLE stderr)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+          "${BENCH} failed (rc=${rc}):\n${stdout}\n${stderr}")
+endif()
+
+execute_process(
+  COMMAND ${COMPARE} ${fresh} ${BASELINE}
+          --floor cereal_speedup_vs_java=0.9
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE stdout
+  ERROR_VARIABLE stderr)
+message(STATUS "bench_compare:\n${stdout}")
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+          "dataflow jobs drifted from the baseline (rc=${rc}):\n"
+          "${stdout}\n${stderr}")
+endif()

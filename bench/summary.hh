@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Shared summary-key builder for the bench executables.
+ *
+ * Every sweep bench ends with a flat `summary` object of derived
+ * headline keys — speedups, dominance flags, knees, skew ratios — that
+ * the CI gates grep and bench_compare floors. Before this builder each
+ * bench hand-rolled the emission (and the `static_cast<std::uint64_t>`
+ * bool dance) inside its setSummary lambda; now they build entries
+ * through one interface and the emission lives here. Keys are written
+ * in insertion order, which keeps the JSON byte-identical for a fixed
+ * build order and therefore safe for the determinism gate.
+ */
+
+#ifndef CEREAL_BENCH_SUMMARY_HH
+#define CEREAL_BENCH_SUMMARY_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "runner/sweep_runner.hh"
+#include "sim/json.hh"
+
+namespace cereal {
+namespace bench {
+
+/** Insertion-ordered builder for a bench's summary object. */
+class Summary
+{
+  public:
+    Summary &
+    kv(std::string key, double v)
+    {
+        entries_.push_back({std::move(key), Tag::F64, 0, v, {}});
+        return *this;
+    }
+
+    Summary &
+    kv(std::string key, std::uint64_t v)
+    {
+        entries_.push_back({std::move(key), Tag::U64, v, 0, {}});
+        return *this;
+    }
+
+    Summary &
+    kv(std::string key, std::string v)
+    {
+        entries_.push_back(
+            {std::move(key), Tag::Str, 0, 0, std::move(v)});
+        return *this;
+    }
+
+    /** Booleans land as 0/1 so bench_compare can floor them. */
+    Summary &
+    flag(std::string key, bool v)
+    {
+        return kv(std::move(key), std::uint64_t{v ? 1u : 0u});
+    }
+
+    /** num/den with the standard zero-denominator guard (emits 0). */
+    Summary &
+    ratio(std::string key, double num, double den)
+    {
+        return kv(std::move(key), den > 0 ? num / den : 0.0);
+    }
+
+    void
+    writeJson(json::Writer &w) const
+    {
+        for (const auto &e : entries_) {
+            switch (e.tag) {
+            case Tag::F64:
+                w.kv(e.key, e.f);
+                break;
+            case Tag::U64:
+                w.kv(e.key, e.u);
+                break;
+            case Tag::Str:
+                w.kv(e.key, e.s);
+                break;
+            }
+        }
+    }
+
+  private:
+    enum class Tag { U64, F64, Str };
+
+    struct Entry
+    {
+        std::string key;
+        Tag tag;
+        std::uint64_t u;
+        double f;
+        std::string s;
+    };
+
+    std::vector<Entry> entries_;
+};
+
+/**
+ * Install @p build as the sweep's summary: the callback fills a
+ * Summary (running after all rows have executed) and the shared
+ * emission path writes it.
+ */
+inline void
+setSummary(runner::SweepRunner &sweep,
+           std::function<void(Summary &)> build)
+{
+    sweep.setSummary([build = std::move(build)](json::Writer &w) {
+        Summary s;
+        build(s);
+        s.writeJson(w);
+    });
+}
+
+} // namespace bench
+} // namespace cereal
+
+#endif // CEREAL_BENCH_SUMMARY_HH

@@ -65,24 +65,25 @@ ClusterSim::ClusterSim(ClusterConfig cfg) : cfg_(std::move(cfg))
     nc.scale = cfg_.scale;
     nc.seed = cfg_.seed;
     nc.mode = cfg_.mode;
-    profile_ = profileNode(nc);
+    cost_ = BackendCostModel::measure(nc);
 
     // Hash the payload once; every frame this cluster sends carries the
     // same profiled partition, so the send path stamps this cached
     // checksum and the receive path verifies against it by equality.
-    payloadChecksum_ =
-        fnv1a64(profile_.payload.data(), profile_.payload.size());
-    frameBytes_ = kFrameHeaderBytes + profile_.payload.size();
+    const NodeProfile &prof = cost_.profile();
+    payloadChecksum_ = fnv1a64(prof.payload.data(), prof.payload.size());
+    frameBytes_ = kFrameHeaderBytes + prof.payload.size();
 }
 
 double
 ClusterSim::nodeCapacityRps() const
 {
-    // Worker budget: as origin the node pays serSeconds per request;
-    // with uniform destinations it receives one partition per sent one
-    // in expectation, paying deserSeconds. Each link (egress and
-    // ingress) carries one frame per request.
-    const double worker = profile_.serSeconds + profile_.deserSeconds;
+    // Worker budget: as origin the node pays the serialize cost per
+    // request; with uniform destinations it receives one partition per
+    // sent one in expectation, paying the deserialize cost. Each link
+    // (egress and ingress) carries one frame per request.
+    const double worker =
+        cost_.serializeSeconds() + cost_.deserializeSeconds();
     const double wire = static_cast<double>(frameBytes_) * 8.0 /
                         (cfg_.net.bandwidthGbps * 1e9);
     const double bottleneck = std::max(worker, wire);
@@ -94,8 +95,9 @@ ShuffleResult
 ClusterSim::runShuffle() const
 {
     const unsigned n = cfg_.nodes;
-    const Tick ser = secondsToTicks(profile_.serSeconds);
-    const Tick deser = secondsToTicks(profile_.deserSeconds);
+    const NodeProfile &prof = cost_.profile();
+    const Tick ser = secondsToTicks(cost_.serializeSeconds());
+    const Tick deser = secondsToTicks(cost_.deserializeSeconds());
 
     EventQueue eq;
     const bool observe = simModeObserves(cfg_.mode);
@@ -127,7 +129,7 @@ ClusterSim::runShuffle() const
         // Integrity check by equality against the cached payload hash:
         // same corruption coverage as rehashing, at O(1) per frame.
         panic_if(info.checksum != payloadChecksum_ ||
-                     info.payloadLen != profile_.payload.size(),
+                     info.payloadLen != prof.payload.size(),
                  "fabric delivered a corrupt frame (payload digest"
                  " mismatch on partition %u)", info.partition);
         const std::uint32_t partition = info.partition;
@@ -151,12 +153,12 @@ ClusterSim::runShuffle() const
                 FrameRef f;
                 f.format = backendFormatId(cfg_.backend);
                 f.flags =
-                    profile_.compressed ? kFrameFlagCompressed : 0;
+                    prof.compressed ? kFrameFlagCompressed : 0;
                 f.srcNode = src;
                 f.dstNode = dst;
                 f.partition = partition;
-                f.payload = profile_.payload.data();
-                f.payloadLen = profile_.payload.size();
+                f.payload = prof.payload.data();
+                f.payloadLen = prof.payload.size();
                 auto bytes = pool.acquire();
                 encodeFrameInto(f, payloadChecksum_, bytes);
                 fabric.send(src, dst, std::move(bytes));
@@ -192,8 +194,9 @@ ClusterSim::runServing(double utilization,
              "requests per node out of range");
 
     const unsigned n = cfg_.nodes;
-    const Tick ser = secondsToTicks(profile_.serSeconds);
-    const Tick deser = secondsToTicks(profile_.deserSeconds);
+    const NodeProfile &prof = cost_.profile();
+    const Tick ser = secondsToTicks(cost_.serializeSeconds());
+    const Tick deser = secondsToTicks(cost_.deserializeSeconds());
     const double lambda = utilization * nodeCapacityRps();
 
     EventQueue eq;
@@ -224,7 +227,7 @@ ClusterSim::runServing(double utilization,
                  res.error().what());
         const FrameInfo &info = res.value();
         panic_if(info.checksum != payloadChecksum_ ||
-                     info.payloadLen != profile_.payload.size(),
+                     info.payloadLen != prof.payload.size(),
                  "fabric delivered a corrupt frame (payload digest"
                  " mismatch on request %u)", info.partition);
         const std::uint32_t request = info.partition;
@@ -270,13 +273,13 @@ ClusterSim::runServing(double utilization,
                                         [&, origin, dst, request] {
                     FrameRef f;
                     f.format = backendFormatId(cfg_.backend);
-                    f.flags = profile_.compressed
+                    f.flags = prof.compressed
                         ? kFrameFlagCompressed : 0;
                     f.srcNode = origin;
                     f.dstNode = dst;
                     f.partition = request;
-                    f.payload = profile_.payload.data();
-                    f.payloadLen = profile_.payload.size();
+                    f.payload = prof.payload.data();
+                    f.payloadLen = prof.payload.size();
                     auto bytes = pool.acquire();
                     encodeFrameInto(f, payloadChecksum_, bytes);
                     fabric.send(origin, dst, std::move(bytes));

@@ -33,6 +33,7 @@
 #include <cstdint>
 #include <string>
 
+#include "cluster/cost_model.hh"
 #include "cluster/fabric.hh"
 #include "cluster/node.hh"
 #include "sim/json.hh"
@@ -121,7 +122,14 @@ class ClusterSim
     const ClusterConfig &config() const { return cfg_; }
 
     /** The measured per-partition serializer profile (shared). */
-    const NodeProfile &profile() const { return profile_; }
+    const NodeProfile &profile() const { return cost_.profile(); }
+
+    /**
+     * The cost model every timing consumer charges through (shuffle,
+     * serving, dataflow operators). profile() remains available for
+     * reading the measured facts; timing goes through this interface.
+     */
+    const BackendCostModel &costModel() const { return cost_; }
 
     /** Wire bytes of one encoded partition frame. */
     std::uint64_t frameBytes() const { return frameBytes_; }
@@ -158,7 +166,7 @@ class ClusterSim
 
   private:
     ClusterConfig cfg_;
-    NodeProfile profile_;
+    BackendCostModel cost_;
     std::uint64_t frameBytes_ = 0;
     std::uint64_t payloadChecksum_ = 0;
 };

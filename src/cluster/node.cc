@@ -105,6 +105,10 @@ measureConsumeHpsViews(const std::string &label,
  * Measure one partition (the uncached path). Deterministic in the
  * NodeConfig: same inputs always produce byte-identical profiles,
  * which is what makes the cache below sound.
+ *
+ * All behaviour differences between backends come from the serde
+ * registry traits (accelerated / zeroCopy / lzOnWire): this function
+ * never names a backend.
  */
 NodeProfile
 profileNodeUncached(const NodeConfig &cfg)
@@ -114,70 +118,64 @@ profileNodeUncached(const NodeConfig &cfg)
     Heap heap(reg);
     Addr root = apps.build(heap, cfg.app, cfg.scale, cfg.seed);
 
+    const char *name = backendName(cfg.backend);
+    const auto *info = serde::findBackend(name);
+    panic_if(info == nullptr, "backend '%s' missing from registry", name);
+
     ShuffleStage stage;
     NodeProfile out;
-
-    if (cfg.backend == Backend::Cereal) {
-        AccelConfig ac;
-        ac.mode = cfg.mode;
-        auto m = workloads::measureCereal(heap, root, ac);
-        // The functional serializer produces the packed bytes the
-        // accelerator writes; they travel uncompressed (the packed
-        // format already plays the codec's role).
-        auto ser = serde::makeSerializer(backendName(cfg.backend), &reg);
-        out.payload = ser->serialize(heap, root);
-        out.compressed = false;
-        auto handoff = stage.cerealHandoff(out.payload.size());
-        out.serSeconds = m.serSeconds + handoff.seconds;
-        out.deserSeconds = handoff.seconds + m.deserSeconds;
-        out.streamBytes = m.streamBytes;
-        out.objects = m.objects;
-        // The accelerator materializes a heap graph; the operator pays
-        // the host-CPU pointer chase over it.
-        CoreConfig cc;
-        cc.mode = cfg.mode;
-        Heap dst(reg, 0x9'0000'0000ULL);
-        Addr nr = ser->deserialize(out.payload, dst);
-        out.consumeSeconds =
-            measureConsumeGraph(backendName(cfg.backend), dst, nr, cc);
-        return out;
-    }
-
-    auto ser = serde::makeSerializer(backendName(cfg.backend), &reg);
+    auto ser = serde::makeSerializer(name, &reg);
 
     CoreConfig cc;
     cc.mode = cfg.mode;
-    auto m = workloads::measureSoftware(*ser, heap, root, cc);
+
+    workloads::SdMeasurement m;
+    if (info->accelerated) {
+        AccelConfig ac;
+        ac.mode = cfg.mode;
+        m = workloads::measureCereal(heap, root, ac);
+    } else {
+        m = workloads::measureSoftware(*ser, heap, root, cc);
+    }
+    out.streamBytes = m.streamBytes;
+    out.objects = m.objects;
+
+    // The functional serializer produces the real wire bytes in every
+    // case (for the accelerated backend they are the packed bytes the
+    // device writes).
     auto stream = ser->serialize(heap, root);
-    if (cfg.backend == Backend::Hps) {
-        // Zero-copy payloads travel verbatim: the receiver reads views
-        // into the wire buffer, so the LZ codec (which would force a
-        // decompress-into-a-copy) is skipped on both sides. The bytes
-        // still have to move between serializer buffer and shuffle
-        // file/wire — the same bulk handoff the Cereal driver pays.
+
+    if (info->lzOnWire) {
+        auto write = stage.softwareWrite(stream);
+        auto read = stage.softwareRead(stream);
+        out.payload = stage.codec().compress(stream);
+        out.compressed = true;
+        out.serSeconds = m.serSeconds + write.seconds;
+        out.deserSeconds = read.seconds + m.deserSeconds;
+    } else {
+        // Packed formats travel verbatim (the packing already plays
+        // the codec's role; for zero-copy views a decompress would
+        // force the copy the format avoids). The bytes still move
+        // between serializer buffer and shuffle file/wire — the bulk
+        // handoff.
         out.payload = stream;
         out.compressed = false;
         auto handoff = stage.cerealHandoff(stream.size());
         out.serSeconds = m.serSeconds + handoff.seconds;
         out.deserSeconds = handoff.seconds + m.deserSeconds;
-        out.streamBytes = m.streamBytes;
-        out.objects = m.objects;
-        out.consumeSeconds = measureConsumeHpsViews(
-            backendName(cfg.backend), stream, reg, cc);
-        return out;
     }
-    auto write = stage.softwareWrite(stream);
-    auto read = stage.softwareRead(stream);
-    out.payload = stage.codec().compress(stream);
-    out.compressed = true;
-    out.serSeconds = m.serSeconds + write.seconds;
-    out.deserSeconds = read.seconds + m.deserSeconds;
-    out.streamBytes = m.streamBytes;
-    out.objects = m.objects;
-    Heap dst(reg, 0x9'0000'0000ULL);
-    Addr nr = ser->deserialize(stream, dst);
-    out.consumeSeconds =
-        measureConsumeGraph(backendName(cfg.backend), dst, nr, cc);
+
+    if (info->zeroCopy) {
+        // The operator reads packed fields straight out of the
+        // validated wire buffer — no materialized graph to walk.
+        out.consumeSeconds = measureConsumeHpsViews(name, stream, reg, cc);
+    } else {
+        // Materializing backends (software or accelerated) hand the
+        // operator a heap graph; it pays the host-CPU pointer chase.
+        Heap dst(reg, 0x9'0000'0000ULL);
+        Addr nr = ser->deserialize(stream, dst);
+        out.consumeSeconds = measureConsumeGraph(name, dst, nr, cc);
+    }
     return out;
 }
 

@@ -65,7 +65,8 @@ runServingFrontend(const ClusterSim &sim, const ServingConfig &cfg)
 {
     const ClusterConfig &cc = sim.config();
     const unsigned n = cc.nodes;
-    const NodeProfile &prof = sim.profile();
+    const BackendCostModel &cost = sim.costModel();
+    const NodeProfile &prof = cost.profile();
 
     panic_if(cfg.utilization <= 0, "serving utilization must be > 0");
     panic_if(cfg.requestsPerNode == 0 || cfg.requestsPerNode > 0xffff,
@@ -78,11 +79,10 @@ runServingFrontend(const ClusterSim &sim, const ServingConfig &cfg)
     panic_if(cfg.fixedDst >= static_cast<int>(n),
              "fixed destination out of range");
 
-    const Tick ser = secondsToTicks(prof.serSeconds);
+    const Tick ser = secondsToTicks(cost.serializeSeconds());
     // The receive side deserializes and then computes on the result;
-    // hps profiles consumeSeconds on its zero-copy views.
-    const Tick deser =
-        secondsToTicks(prof.deserSeconds + prof.consumeSeconds);
+    // zero-copy backends profile the consume leg on their wire views.
+    const Tick deser = secondsToTicks(cost.receiveSeconds());
     const double lambda = cfg.utilization * sim.nodeCapacityRps();
 
     load::LoadGenConfig lg;
@@ -334,10 +334,10 @@ runServingFrontend(const ClusterSim &sim, const ServingConfig &cfg)
                   case AdmissionPolicy::RejectEarly: {
                     const double est_wait =
                         static_cast<double>(c.occupancy) *
-                        prof.serSeconds;
+                        cost.serializeSeconds();
                     const double budget = adm.rejectBudgetFactor *
                         static_cast<double>(adm.queueBound) *
-                        prof.serSeconds;
+                        cost.serializeSeconds();
                     if (est_wait > budget) {
                         admit = false;
                         ++out.rejected;

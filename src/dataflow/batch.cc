@@ -1,0 +1,56 @@
+#include "dataflow/batch.hh"
+
+#include "sim/logging.hh"
+
+namespace cereal {
+namespace dataflow {
+
+BatchCodec::BatchCodec(const std::string &backend)
+    : info_(serde::findBackend(backend))
+{
+    fatal_if(info_ == nullptr, "unknown dataflow backend '%s'",
+             backend.c_str());
+    // Register the record schema before constructing the serializer:
+    // registration-based backends snapshot the registry's classes.
+    schema_ = RecordSchema::install(reg_);
+    ser_ = serde::makeSerializer(backend, &reg_);
+}
+
+EncodedBatch
+BatchCodec::encode(const std::vector<Record> &batch)
+{
+    Heap heap(reg_);
+    const Addr root = materializeBatch(heap, schema_, batch);
+    auto stream = ser_->serialize(heap, root);
+
+    EncodedBatch out;
+    out.streamBytes = stream.size();
+    out.records = batch.size();
+    out.payload =
+        info_->lzOnWire ? lz_.compress(stream) : std::move(stream);
+    return out;
+}
+
+std::vector<Record>
+BatchCodec::decode(const std::vector<std::uint8_t> &payload)
+{
+    const std::vector<std::uint8_t> *stream = &payload;
+    std::vector<std::uint8_t> inflated;
+    if (info_->lzOnWire) {
+        inflated = lz_.decompress(payload);
+        stream = &inflated;
+    }
+    if (info_->zeroCopy) {
+        // The zero-copy receive path: validate once, read the records
+        // straight out of the wire buffer's segment views.
+        HpsSerializer hps;
+        HpsImage img = hps.attach(*stream, reg_);
+        return readBatchViews(img);
+    }
+    Heap dst(reg_, 0x9'0000'0000ULL);
+    const Addr root = ser_->deserialize(*stream, dst);
+    return readBatchGraph(dst, root);
+}
+
+} // namespace dataflow
+} // namespace cereal

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Record batches through a real serializer backend.
+ *
+ * BatchCodec is the serde boundary of every shuffled stage: a batch of
+ * records is materialized as an object graph, serialized by the
+ * backend picked from the registry, LZ-compressed when the backend's
+ * lzOnWire trait says so, and recovered on the receive side through
+ * the trait-matched path — zero-copy backends attach and read segment
+ * views in place, everything else deserializes into a fresh heap and
+ * walks it. No code here names a backend; the registry traits are the
+ * only dispatch.
+ */
+
+#ifndef CEREAL_DATAFLOW_BATCH_HH
+#define CEREAL_DATAFLOW_BATCH_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dataflow/record.hh"
+#include "serde/registry.hh"
+#include "shuffle/lz.hh"
+
+namespace cereal {
+namespace dataflow {
+
+/** One encoded batch as it travels inside a partition frame. */
+struct EncodedBatch
+{
+    /** On-wire payload bytes (post-codec when lzOnWire). */
+    std::vector<std::uint8_t> payload;
+    /** Serialized stream bytes before the wire codec. */
+    std::uint64_t streamBytes = 0;
+    std::uint64_t records = 0;
+};
+
+/** Encode/decode record batches through one registered backend. */
+class BatchCodec
+{
+  public:
+    /** @param backend a registry backend name (fatal if unknown) */
+    explicit BatchCodec(const std::string &backend);
+
+    const serde::BackendInfo &info() const { return *info_; }
+
+    EncodedBatch encode(const std::vector<Record> &batch);
+
+    std::vector<Record>
+    decode(const std::vector<std::uint8_t> &payload);
+
+  private:
+    const serde::BackendInfo *info_;
+    KlassRegistry reg_;
+    RecordSchema schema_;
+    std::unique_ptr<Serializer> ser_;
+    LzCodec lz_;
+};
+
+} // namespace dataflow
+} // namespace cereal
+
+#endif // CEREAL_DATAFLOW_BATCH_HH

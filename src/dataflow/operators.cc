@@ -1,0 +1,311 @@
+#include "dataflow/operators.hh"
+
+#include <algorithm>
+#include <queue>
+
+#include "sim/logging.hh"
+
+namespace cereal {
+namespace dataflow {
+
+namespace {
+
+/** Hash + bucket probe of one table lookup (op units). */
+constexpr std::uint64_t kProbeOps = 14;
+/** Per-byte cost of hashing/comparing a key. */
+constexpr std::uint64_t kPerKeyByte = 1;
+/** Per-byte cost of merging/copying a value. */
+constexpr std::uint64_t kPerValueByte = 1;
+/** Heap adjust per multiway-merge pop. */
+constexpr std::uint64_t kMergeHeapOps = 10;
+/** Comparison-sort constant per compare. */
+constexpr std::uint64_t kCompareOps = 6;
+
+void
+narrateProbe(MemSink *sink, const std::vector<std::uint8_t> &key)
+{
+    if (sink == nullptr) {
+        return;
+    }
+    const std::uint64_t h = hashBytes(key.data(), key.size());
+    sink->load(kScratchBase + (h & 0xfffff8ULL), 8);
+    sink->compute(kProbeOps + kPerKeyByte * key.size());
+}
+
+void
+narrateRecordTouch(MemSink *sink, const Record &r)
+{
+    if (sink == nullptr) {
+        return;
+    }
+    sink->load(kScratchBase + 0x100000, 8);
+    sink->compute(kPerKeyByte * r.key.size() +
+                  kPerValueByte * r.value.size());
+}
+
+/** n log2 n compares of a comparison sort over @p n records. */
+void
+narrateSort(MemSink *sink, std::size_t n)
+{
+    if (sink == nullptr || n < 2) {
+        return;
+    }
+    std::uint64_t log2n = 0;
+    for (std::size_t v = n; v > 1; v >>= 1) {
+        ++log2n;
+    }
+    sink->compute(kCompareOps * n * log2n);
+}
+
+} // namespace
+
+ValueMerge
+sumU64Merge()
+{
+    return [](const std::vector<std::uint8_t> &a,
+              const std::vector<std::uint8_t> &b) {
+        return packU64(unpackU64(a) + unpackU64(b));
+    };
+}
+
+ValueMerge
+sumF64Merge()
+{
+    return [](const std::vector<std::uint8_t> &a,
+              const std::vector<std::uint8_t> &b) {
+        return packF64(unpackF64(a) + unpackF64(b));
+    };
+}
+
+ReduceTable::ReduceTable(ValueMerge merge, std::size_t spill_threshold)
+    : merge_(std::move(merge)), threshold_(spill_threshold)
+{
+}
+
+void
+ReduceTable::insert(Record r, MemSink *sink)
+{
+    narrateProbe(sink, r.key);
+    std::string key(r.key.begin(), r.key.end());
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+        if (sink != nullptr) {
+            sink->compute(kPerValueByte * r.value.size());
+        }
+        it->second = merge_(it->second, r.value);
+        return;
+    }
+    if (threshold_ != 0 && map_.size() >= threshold_) {
+        spills_.push_back(flushSorted(sink));
+    }
+    if (sink != nullptr) {
+        sink->store(kScratchBase + (map_.size() * 64), 8);
+    }
+    map_.emplace(std::move(key), std::move(r.value));
+}
+
+std::vector<std::vector<Record>>
+ReduceTable::takeSpills()
+{
+    return std::move(spills_);
+}
+
+std::vector<Record>
+ReduceTable::drain(MemSink *sink)
+{
+    return flushSorted(sink);
+}
+
+std::vector<Record>
+ReduceTable::flushSorted(MemSink *sink)
+{
+    std::vector<Record> out;
+    out.reserve(map_.size());
+    for (auto &e : map_) {
+        Record r;
+        r.key.assign(e.first.begin(), e.first.end());
+        r.value = std::move(e.second);
+        narrateRecordTouch(sink, r);
+        out.push_back(std::move(r));
+    }
+    map_.clear();
+    std::sort(out.begin(), out.end(), recordLess);
+    narrateSort(sink, out.size());
+    return out;
+}
+
+ReduceByKeyOperator::ReduceByKeyOperator(const char *name, ValueMerge merge,
+                                         std::size_t spill_threshold)
+    : name_(name), merge_(std::move(merge)), threshold_(spill_threshold)
+{
+}
+
+std::vector<Record>
+ReduceByKeyOperator::apply(std::vector<Record> in, unsigned node,
+                           MemSink *sink)
+{
+    (void)node;
+    ReduceTable table(merge_, threshold_);
+    for (auto &r : in) {
+        table.insert(std::move(r), sink);
+    }
+    std::vector<Record> out;
+    for (auto &run : table.takeSpills()) {
+        out.insert(out.end(), std::make_move_iterator(run.begin()),
+                   std::make_move_iterator(run.end()));
+    }
+    auto tail = table.drain(sink);
+    out.insert(out.end(), std::make_move_iterator(tail.begin()),
+               std::make_move_iterator(tail.end()));
+    return out;
+}
+
+std::vector<Record>
+SortRunOperator::apply(std::vector<Record> in, unsigned node, MemSink *sink)
+{
+    (void)node;
+    std::sort(in.begin(), in.end(), recordLess);
+    narrateSort(sink, in.size());
+    return in;
+}
+
+std::vector<Record>
+multiwayMerge(std::vector<std::vector<Record>> runs, MemSink *sink)
+{
+    struct Head
+    {
+        std::size_t run;
+        std::size_t pos;
+    };
+    const auto greater = [&](const Head &a, const Head &b) {
+        const Record &ra = runs[a.run][a.pos];
+        const Record &rb = runs[b.run][b.pos];
+        if (recordLess(ra, rb)) {
+            return false;
+        }
+        if (recordLess(rb, ra)) {
+            return true;
+        }
+        return a.run > b.run; // equal records pop in run order
+    };
+    std::priority_queue<Head, std::vector<Head>, decltype(greater)> heap(
+        greater);
+
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        panic_if(!std::is_sorted(runs[i].begin(), runs[i].end(),
+                                 recordLess),
+                 "multiwayMerge input run %zu is not sorted", i);
+        total += runs[i].size();
+        if (!runs[i].empty()) {
+            heap.push({i, 0});
+        }
+    }
+
+    std::vector<Record> out;
+    out.reserve(total);
+    while (!heap.empty()) {
+        const Head h = heap.top();
+        heap.pop();
+        if (sink != nullptr) {
+            sink->compute(kMergeHeapOps);
+        }
+        narrateRecordTouch(sink, runs[h.run][h.pos]);
+        out.push_back(std::move(runs[h.run][h.pos]));
+        if (h.pos + 1 < runs[h.run].size()) {
+            heap.push({h.run, h.pos + 1});
+        }
+    }
+    return out;
+}
+
+std::vector<Record>
+MultiwayMergeOperator::combine(std::vector<std::vector<Record>> runs,
+                               unsigned node, MemSink *sink)
+{
+    (void)node;
+    return multiwayMerge(std::move(runs), sink);
+}
+
+std::vector<Record>
+ConcatMergeOperator::combine(std::vector<std::vector<Record>> runs,
+                             unsigned node, MemSink *sink)
+{
+    (void)node;
+    std::vector<Record> out;
+    std::size_t total = 0;
+    for (const auto &run : runs) {
+        total += run.size();
+    }
+    out.reserve(total);
+    for (auto &run : runs) {
+        for (auto &r : run) {
+            narrateRecordTouch(sink, r);
+            out.push_back(std::move(r));
+        }
+    }
+    return out;
+}
+
+JoinAggregateOperator::JoinAggregateOperator(const char *name, JoinFn fn)
+    : name_(name), fn_(std::move(fn))
+{
+}
+
+void
+JoinAggregateOperator::setBuildSide(
+    unsigned node,
+    std::unordered_map<std::string, std::vector<std::uint8_t>> table)
+{
+    if (build_.size() <= node) {
+        build_.resize(node + 1);
+    }
+    build_[node] = std::move(table);
+}
+
+std::vector<Record>
+JoinAggregateOperator::apply(std::vector<Record> in, unsigned node,
+                             MemSink *sink)
+{
+    panic_if(node >= build_.size(),
+             "join operator '%s' has no build side for node %u", name_,
+             node);
+    const auto &table = build_[node];
+    std::vector<Record> out;
+    for (const auto &r : in) {
+        narrateProbe(sink, r.key);
+        auto it = table.find(std::string(r.key.begin(), r.key.end()));
+        if (it == table.end()) {
+            continue;
+        }
+        const std::size_t before = out.size();
+        fn_(r, it->second, out);
+        if (sink != nullptr) {
+            for (std::size_t i = before; i < out.size(); ++i) {
+                sink->store(kScratchBase + 0x200000, 8);
+                sink->compute(kPerValueByte * out[i].value.size());
+            }
+        }
+    }
+    return out;
+}
+
+std::vector<std::vector<std::uint8_t>>
+selectSplitters(std::vector<std::vector<std::uint8_t>> sample_keys,
+                std::uint32_t parts)
+{
+    std::sort(sample_keys.begin(), sample_keys.end());
+    std::vector<std::vector<std::uint8_t>> out;
+    if (parts < 2 || sample_keys.empty()) {
+        return out;
+    }
+    out.reserve(parts - 1);
+    for (std::uint32_t i = 1; i < parts; ++i) {
+        const std::size_t idx = i * sample_keys.size() / parts;
+        out.push_back(sample_keys[std::min(idx, sample_keys.size() - 1)]);
+    }
+    return out;
+}
+
+} // namespace dataflow
+} // namespace cereal

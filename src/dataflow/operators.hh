@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Node-local dataflow operators.
+ *
+ * An Operator is one node-local transformation of a record vector; a
+ * MergeOperator combines the per-source runs a shuffled exchange
+ * delivers to a destination. Both narrate their memory/compute work to
+ * an optional MemSink exactly like the serializers do, so a stage's
+ * operator compute is *measured* through the same CPU timing model
+ * that times serialization, not assumed.
+ *
+ * Concrete operators:
+ *  - ReduceByKeyOperator: hash-aggregation in thrill's two-table
+ *    shape — the pre-shuffle instance combines locally under a bounded
+ *    distinct-key budget (spilling full runs when it overflows), the
+ *    post-shuffle instance runs unbounded and emits the exact result;
+ *  - SortRunOperator + MultiwayMergeOperator: the two halves of a
+ *    sample sort (sorted local runs, k-way merge at the destination);
+ *  - JoinAggregateOperator: probes a static per-node build side
+ *    (e.g. an adjacency table) and flat-maps each hit — the map side
+ *    of an iterative join/aggregate step.
+ *
+ * Operators are shared across nodes by the stage engine, so apply()
+ * takes the node index and must not keep cross-call state except what
+ * is explicitly per-node (JoinAggregateOperator's build sides).
+ */
+
+#ifndef CEREAL_DATAFLOW_OPERATORS_HH
+#define CEREAL_DATAFLOW_OPERATORS_HH
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dataflow/record.hh"
+#include "serde/sink.hh"
+
+namespace cereal {
+namespace dataflow {
+
+/** One node-local transformation: records in, records out. */
+class Operator
+{
+  public:
+    virtual ~Operator() = default;
+
+    virtual const char *name() const = 0;
+
+    virtual std::vector<Record>
+    apply(std::vector<Record> in, unsigned node, MemSink *sink) = 0;
+};
+
+/** Combines the per-source runs delivered to one destination. */
+class MergeOperator
+{
+  public:
+    virtual ~MergeOperator() = default;
+
+    virtual const char *name() const = 0;
+
+    virtual std::vector<Record>
+    combine(std::vector<std::vector<Record>> runs, unsigned node,
+            MemSink *sink) = 0;
+};
+
+/** Combines two values for one key (associative). */
+using ValueMerge = std::function<std::vector<std::uint8_t>(
+    const std::vector<std::uint8_t> &, const std::vector<std::uint8_t> &)>;
+
+/** ValueMerge adding little-endian u64 counters. */
+ValueMerge sumU64Merge();
+
+/** ValueMerge adding doubles by bit pattern. */
+ValueMerge sumF64Merge();
+
+/**
+ * Hash-aggregation table. With a nonzero spill threshold the table
+ * never holds more distinct keys than the threshold: an insert that
+ * would exceed it first flushes the whole table into a spill run
+ * (sorted by key), mirroring a memory-budgeted pre-shuffle combine.
+ */
+class ReduceTable
+{
+  public:
+    /** @param spill_threshold max distinct keys held (0 = unbounded) */
+    ReduceTable(ValueMerge merge, std::size_t spill_threshold = 0);
+
+    /** Insert @p r, merging with any existing entry for its key. */
+    void insert(Record r, MemSink *sink = nullptr);
+
+    /** Distinct keys currently held (spilled runs excluded). */
+    std::size_t size() const { return map_.size(); }
+
+    /** Spill runs flushed so far, in flush order (moved out). */
+    std::vector<std::vector<Record>> takeSpills();
+
+    /** Drain the table contents sorted by key; the table empties. */
+    std::vector<Record> drain(MemSink *sink = nullptr);
+
+  private:
+    std::vector<Record> flushSorted(MemSink *sink);
+
+    ValueMerge merge_;
+    std::size_t threshold_;
+    std::unordered_map<std::string, std::vector<std::uint8_t>> map_;
+    std::vector<std::vector<Record>> spills_;
+};
+
+/**
+ * Reduce-by-key through a ReduceTable. Output is the spill runs in
+ * flush order followed by the final drain; with threshold 0 that is
+ * exactly one run, sorted by key with one record per distinct key.
+ */
+class ReduceByKeyOperator : public Operator
+{
+  public:
+    ReduceByKeyOperator(const char *name, ValueMerge merge,
+                        std::size_t spill_threshold = 0);
+
+    const char *name() const override { return name_; }
+
+    std::vector<Record>
+    apply(std::vector<Record> in, unsigned node, MemSink *sink) override;
+
+  private:
+    const char *name_;
+    ValueMerge merge_;
+    std::size_t threshold_;
+};
+
+/** Sorts the node's records by (key, value) — a sample-sort run. */
+class SortRunOperator : public Operator
+{
+  public:
+    const char *name() const override { return "sort_run"; }
+
+    std::vector<Record>
+    apply(std::vector<Record> in, unsigned node, MemSink *sink) override;
+};
+
+/**
+ * K-way merge of sorted runs with a deterministic tie-break (equal
+ * (key, value) records pop in run-index order), so merged output is a
+ * pure function of the run contents.
+ */
+std::vector<Record>
+multiwayMerge(std::vector<std::vector<Record>> runs,
+              MemSink *sink = nullptr);
+
+/** MergeOperator over multiwayMerge() (sample-sort receive side). */
+class MultiwayMergeOperator : public MergeOperator
+{
+  public:
+    const char *name() const override { return "multiway_merge"; }
+
+    std::vector<Record>
+    combine(std::vector<std::vector<Record>> runs, unsigned node,
+            MemSink *sink) override;
+};
+
+/** Concatenates runs in source order (reduce-by-key receive side). */
+class ConcatMergeOperator : public MergeOperator
+{
+  public:
+    const char *name() const override { return "concat"; }
+
+    std::vector<Record>
+    combine(std::vector<std::vector<Record>> runs, unsigned node,
+            MemSink *sink) override;
+};
+
+/**
+ * Probes a static per-node build side with each input record's key
+ * and flat-maps hits through the join function; misses are dropped.
+ */
+class JoinAggregateOperator : public Operator
+{
+  public:
+    /** Emits zero or more records for one (probe, build) match. */
+    using JoinFn = std::function<void(const Record &probe,
+                                      const std::vector<std::uint8_t> &build,
+                                      std::vector<Record> &out)>;
+
+    JoinAggregateOperator(const char *name, JoinFn fn);
+
+    /** Install @p node's build side (key bytes -> payload). */
+    void
+    setBuildSide(unsigned node,
+                 std::unordered_map<std::string,
+                                    std::vector<std::uint8_t>> table);
+
+    const char *name() const override { return name_; }
+
+    std::vector<Record>
+    apply(std::vector<Record> in, unsigned node, MemSink *sink) override;
+
+  private:
+    const char *name_;
+    JoinFn fn_;
+    std::vector<std::unordered_map<std::string,
+                                   std::vector<std::uint8_t>>> build_;
+};
+
+/**
+ * Pick parts-1 range splitters from sampled keys: sort, take evenly
+ * spaced quantiles. Returns fewer when the sample has too few
+ * distinct candidates (RangePartitioner clamps to the last range).
+ */
+std::vector<std::vector<std::uint8_t>>
+selectSplitters(std::vector<std::vector<std::uint8_t>> sample_keys,
+                std::uint32_t parts);
+
+} // namespace dataflow
+} // namespace cereal
+
+#endif // CEREAL_DATAFLOW_OPERATORS_HH

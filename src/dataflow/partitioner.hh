@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Record-to-destination routing policies for shuffled stages.
+ *
+ * A Partitioner is the one seam between an operator's data model and
+ * the cluster's node topology: given a record and the node count it
+ * names the destination, and nothing else about the exchange. The
+ * stock policies cover the three jobs' needs — hash (reduce-by-key),
+ * range over sampled splitters (sample sort), owner-of-key (iterative
+ * per-vertex state) — plus the degenerate single-destination policy
+ * the splitter-gathering stage uses.
+ */
+
+#ifndef CEREAL_DATAFLOW_PARTITIONER_HH
+#define CEREAL_DATAFLOW_PARTITIONER_HH
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "dataflow/record.hh"
+
+namespace cereal {
+namespace dataflow {
+
+/** Maps each record to a destination partition in [0, parts). */
+class Partitioner
+{
+  public:
+    virtual ~Partitioner() = default;
+
+    virtual std::uint32_t
+    partition(const Record &r, std::uint32_t parts) const = 0;
+};
+
+/** FNV-1a of the key bytes modulo the partition count. */
+class HashPartitioner : public Partitioner
+{
+  public:
+    std::uint32_t
+    partition(const Record &r, std::uint32_t parts) const override
+    {
+        return static_cast<std::uint32_t>(
+            hashBytes(r.key.data(), r.key.size()) % parts);
+    }
+};
+
+/**
+ * Range partitioner over parts-1 sorted splitter keys: destination i
+ * receives keys in (splitter[i-1], splitter[i]] with the open ends at
+ * the extremes — the sample-sort exchange. Skewed key draws land in
+ * one range and show up as a hot destination, which is exactly the
+ * imbalance the skew sweep measures.
+ */
+class RangePartitioner : public Partitioner
+{
+  public:
+    explicit RangePartitioner(
+        std::vector<std::vector<std::uint8_t>> splitters)
+        : splitters_(std::move(splitters))
+    {
+    }
+
+    std::uint32_t
+    partition(const Record &r, std::uint32_t parts) const override
+    {
+        const auto it = std::lower_bound(splitters_.begin(),
+                                         splitters_.end(), r.key);
+        auto idx = static_cast<std::uint32_t>(it - splitters_.begin());
+        return std::min(idx, parts - 1);
+    }
+
+    const std::vector<std::vector<std::uint8_t>> &
+    splitters() const
+    {
+        return splitters_;
+    }
+
+  private:
+    std::vector<std::vector<std::uint8_t>> splitters_;
+};
+
+/**
+ * Keys are little-endian u64 ids; id / idsPerNode owns the record.
+ * Iterative jobs use it so a vertex's state updates always land on
+ * the node holding that vertex's adjacency.
+ */
+class OwnerPartitioner : public Partitioner
+{
+  public:
+    explicit OwnerPartitioner(std::uint64_t ids_per_node)
+        : idsPerNode_(ids_per_node)
+    {
+    }
+
+    std::uint32_t
+    partition(const Record &r, std::uint32_t parts) const override
+    {
+        const std::uint64_t id = unpackU64(r.key);
+        const std::uint64_t owner = id / idsPerNode_;
+        return static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(owner, parts - 1));
+    }
+
+  private:
+    std::uint64_t idsPerNode_;
+};
+
+/** Everything to one destination (splitter gathering). */
+class SinglePartitioner : public Partitioner
+{
+  public:
+    explicit SinglePartitioner(std::uint32_t dst = 0) : dst_(dst) {}
+
+    std::uint32_t
+    partition(const Record &, std::uint32_t parts) const override
+    {
+        return std::min(dst_, parts - 1);
+    }
+
+  private:
+    std::uint32_t dst_;
+};
+
+} // namespace dataflow
+} // namespace cereal
+
+#endif // CEREAL_DATAFLOW_PARTITIONER_HH

@@ -1,0 +1,144 @@
+#include "dataflow/record.hh"
+
+#include "heap/object.hh"
+#include "sim/logging.hh"
+
+namespace cereal {
+namespace dataflow {
+
+std::uint64_t
+recordsChecksum(const std::vector<Record> &records)
+{
+    const std::uint64_t n = records.size();
+    std::uint64_t h = hashBytes(&n, 8);
+    for (const auto &r : records) {
+        const std::uint64_t kl = r.key.size();
+        const std::uint64_t vl = r.value.size();
+        h = hashBytes(&kl, 8, h);
+        h = hashBytes(r.key.data(), r.key.size(), h);
+        h = hashBytes(&vl, 8, h);
+        h = hashBytes(r.value.data(), r.value.size(), h);
+    }
+    return h;
+}
+
+RecordSchema
+RecordSchema::install(KlassRegistry &reg)
+{
+    RecordSchema s;
+    const KlassId existing = reg.idByName("dataflow.Record");
+    if (existing != kBadKlassId) {
+        s.record = existing;
+    } else {
+        s.record = reg.add("dataflow.Record",
+                           {{"key", FieldType::Reference},
+                            {"value", FieldType::Reference}});
+    }
+    s.byteArray = reg.arrayKlass(FieldType::Byte);
+    s.recordArray = reg.arrayKlass(FieldType::Reference);
+    return s;
+}
+
+namespace {
+
+Addr
+materializeBytes(Heap &heap, const std::vector<std::uint8_t> &bytes)
+{
+    const Addr arr = heap.allocateArray(FieldType::Byte, bytes.size());
+    if (!bytes.empty()) {
+        ObjectView v(heap, arr);
+        heap.storeBytes(v.elemAddr(0), bytes.data(), bytes.size());
+    }
+    return arr;
+}
+
+std::vector<std::uint8_t>
+readBytes(Heap &heap, Addr arr)
+{
+    ObjectView v(heap, arr);
+    std::vector<std::uint8_t> out(v.length());
+    if (!out.empty()) {
+        heap.loadBytes(v.elemAddr(0), out.data(), out.size());
+    }
+    return out;
+}
+
+} // namespace
+
+Addr
+materializeBatch(Heap &heap, const RecordSchema &schema,
+                 const std::vector<Record> &batch)
+{
+    const Addr root =
+        heap.allocateArray(FieldType::Reference, batch.size());
+    ObjectView rv(heap, root);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        const Addr key = materializeBytes(heap, batch[i].key);
+        const Addr value = materializeBytes(heap, batch[i].value);
+        const Addr rec = heap.allocateInstance(schema.record);
+        ObjectView r(heap, rec);
+        r.setRef(0, key);
+        r.setRef(1, value);
+        rv.setRefElem(i, rec);
+    }
+    return root;
+}
+
+std::vector<Record>
+readBatchGraph(Heap &heap, Addr root)
+{
+    ObjectView rv(heap, root);
+    panic_if(!rv.isArray(), "batch root is not an array");
+    std::vector<Record> out;
+    out.reserve(rv.length());
+    for (std::uint64_t i = 0; i < rv.length(); ++i) {
+        const Addr rec = rv.getRefElem(i);
+        panic_if(rec == 0, "null record in batch");
+        ObjectView r(heap, rec);
+        Record kv;
+        kv.key = readBytes(heap, r.getRef(0));
+        kv.value = readBytes(heap, r.getRef(1));
+        out.push_back(std::move(kv));
+    }
+    return out;
+}
+
+namespace {
+
+std::vector<std::uint8_t>
+viewBytes(const HpsImage &img, std::uint64_t enc)
+{
+    std::uint64_t off = 0;
+    panic_if(!HpsImage::refTarget(enc, &off),
+             "null byte-array reference in record segment");
+    const HpsImage::Segment &seg = img.at(off);
+    // Array bodies carry the u64 element count, then packed elements.
+    return std::vector<std::uint8_t>(seg.body + 8,
+                                     seg.body + 8 + seg.count);
+}
+
+} // namespace
+
+std::vector<Record>
+readBatchViews(const HpsImage &img)
+{
+    const HpsImage::Segment &root = img.root();
+    std::vector<Record> out;
+    out.reserve(root.count);
+    for (std::uint64_t i = 0; i < root.count; ++i) {
+        std::uint64_t enc = 0;
+        std::memcpy(&enc, root.body + 8 + i * 8, 8);
+        std::uint64_t off = 0;
+        panic_if(!HpsImage::refTarget(enc, &off),
+                 "null record reference in batch root");
+        const HpsImage::Segment &rec = img.at(off);
+        Record kv;
+        kv.key = viewBytes(img, img.fieldRaw(rec, 0));
+        kv.value = viewBytes(img, img.fieldRaw(rec, 1));
+        out.push_back(std::move(kv));
+    }
+    return out;
+}
+
+} // namespace dataflow
+} // namespace cereal

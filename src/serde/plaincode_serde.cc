@@ -11,7 +11,7 @@ namespace cereal {
 
 namespace {
 
-constexpr std::uint32_t kMagic = 0x30434c50; // "PLC0"
+constexpr std::uint32_t kMagic = 0x31434c50; // "PLC1"
 constexpr std::uint64_t kNullRef = 0;
 
 /**
@@ -57,8 +57,7 @@ PlaincodeSerializer::serialize(Heap &src, Addr root, MemSink *sink)
     std::unordered_map<Addr, std::uint64_t> handles;
     std::deque<Addr> queue;
 
-    // Reference encoding: 0 = null, otherwise handle+1 as a fixed u64
-    // (no varint — the generated code trades bytes for branchlessness).
+    // Reference encoding: 0 = null, otherwise handle+1 as a varint.
     auto ref_token = [&](Addr obj) -> std::uint64_t {
         if (obj == 0) {
             return kNullRef;
@@ -90,19 +89,19 @@ PlaincodeSerializer::serialize(Heap &src, Addr root, MemSink *sink)
         const auto &d = v.klass();
         // Generated code is schema-compiled: registry ids go on the
         // wire directly — no per-stream class numbering handshake.
-        w.u32(v.klassId());
+        w.varint(v.klassId());
 
         if (d.isArray()) {
             setPhase(sink, "copy");
             const std::uint64_t n = v.length();
-            w.u64(n);
+            w.varint(n);
             if (d.elemType() == FieldType::Reference) {
                 for (std::uint64_t i = 0; i < n; ++i) {
                     if (sink) {
                         sink->load(v.elemAddr(i), 8);
                     }
                     charge(sink, costs_.fieldGet);
-                    w.u64(ref_token(v.getRefElem(i)));
+                    w.varint(ref_token(v.getRefElem(i)));
                 }
             } else {
                 // Bulk fast path: copy the backing store as raw bytes.
@@ -124,8 +123,11 @@ PlaincodeSerializer::serialize(Heap &src, Addr root, MemSink *sink)
             continue;
         }
 
-        // One full 8 B slot per field, references as handle tokens:
-        // the generated writer is an unconditional store sequence.
+        // Width-classed slots: each field is written at its natural
+        // width, burned into the generated writer at schema-compile
+        // time — still an unconditional store sequence, just with the
+        // store width resolved statically instead of a blanket 8 B.
+        // References go as varint handle tokens.
         setPhase(sink, "copy");
         for (std::uint32_t i = 0; i < d.numFields(); ++i) {
             const auto &f = d.fields()[i];
@@ -134,9 +136,10 @@ PlaincodeSerializer::serialize(Heap &src, Addr root, MemSink *sink)
                 sink->load(v.fieldAddr(i), 8);
             }
             if (f.type == FieldType::Reference) {
-                w.u64(ref_token(v.getRef(i)));
+                w.varint(ref_token(v.getRef(i)));
             } else {
-                w.u64(v.getRaw(i));
+                const std::uint64_t raw = v.getRaw(i);
+                w.raw(&raw, fieldTypeBytes(f.type));
             }
         }
     }
@@ -164,22 +167,24 @@ PlaincodeSerializer::deserialize(const std::vector<std::uint8_t> &stream,
         setPhase(sink, "walk");
         charge(sink, costs_.perObject);
         std::size_t id_at = r.pos();
-        std::uint32_t id = r.u32();
-        decode_check(dst.registry().validKlass(id), DecodeStatus::BadClass,
-                     id_at, "unknown plaincode class id %u (%zu known)",
-                     id, dst.registry().size());
+        std::uint64_t id64 = r.varint();
+        decode_check(id64 < dst.registry().size(), DecodeStatus::BadClass,
+                     id_at, "unknown plaincode class id %llu (%zu known)",
+                     (unsigned long long)id64, dst.registry().size());
+        const KlassId id = static_cast<KlassId>(id64);
         const auto &d = dst.registry().klass(id);
 
         if (d.isArray()) {
             std::size_t len_at = r.pos();
-            std::uint64_t n = r.u64();
-            // Allocation cap: every element owes wire bytes (a fixed
-            // 8 B token per reference, the element size otherwise), so
-            // bound the count by remaining() before allocating and
-            // before the n * esz products below can overflow.
+            std::uint64_t n = r.varint();
+            // Allocation cap: every element owes wire bytes (at least
+            // one varint byte per reference token, the element size
+            // otherwise), so bound the count by remaining() before
+            // allocating and before the n * esz products below can
+            // overflow.
             const unsigned wire_esz =
                 d.elemType() == FieldType::Reference
-                    ? 8
+                    ? 1
                     : fieldTypeBytes(d.elemType());
             decode_check(n <= r.remaining() / wire_esz,
                          DecodeStatus::BadLength, len_at,
@@ -196,7 +201,7 @@ PlaincodeSerializer::deserialize(const std::vector<std::uint8_t> &stream,
             if (d.elemType() == FieldType::Reference) {
                 for (std::uint64_t i = 0; i < n; ++i) {
                     charge(sink, costs_.fieldSet);
-                    patches.push_back({v.elemAddr(i), r.u64()});
+                    patches.push_back({v.elemAddr(i), r.varint()});
                 }
             } else {
                 const unsigned esz = fieldTypeBytes(d.elemType());
@@ -216,8 +221,8 @@ PlaincodeSerializer::deserialize(const std::vector<std::uint8_t> &stream,
             continue;
         }
 
-        // Field slots are mandatory and fixed-width, so the whole
-        // record either fits or the stream is truncated.
+        // Field slots are mandatory at their schema-fixed widths, so
+        // the whole record either fits or the stream is truncated.
         setPhase(sink, "copy");
         charge(sink, costs_.alloc);
         Addr obj = dst.allocateInstance(id);
@@ -230,9 +235,11 @@ PlaincodeSerializer::deserialize(const std::vector<std::uint8_t> &stream,
             const auto &f = d.fields()[i];
             charge(sink, costs_.fieldSet);
             if (f.type == FieldType::Reference) {
-                patches.push_back({v.fieldAddr(i), r.u64()});
+                patches.push_back({v.fieldAddr(i), r.varint()});
             } else {
-                v.setRaw(i, r.u64());
+                std::uint64_t raw = 0;
+                r.raw(&raw, fieldTypeBytes(f.type));
+                v.setRaw(i, raw);
             }
             if (sink) {
                 sink->store(v.fieldAddr(i), 8);

@@ -9,9 +9,11 @@
  * code, so there is no per-field type dispatch, no descriptor lookups,
  * and every branch is perfectly predictable. The model captures that
  * in two ways:
- *  - the wire format is fixed-width (class id, then one 8 B slot per
- *    field; arrays carry a length and a packed element block) — the
- *    generated code is a sequence of unconditional loads/stores;
+ *  - the wire format is width-classed (varint class id, then one slot
+ *    per field at the field's natural width — the width is burned into
+ *    the generated routine at schema-compile time, so the stores stay
+ *    unconditional; arrays carry a varint length and a packed element
+ *    block; references are varint handle tokens);
  *  - all compute is narrated through MemSink::computeStreamlined(),
  *    which the CPU core model charges at CoreConfig::cpiStraightLine
  *    instead of the branchy-dispatch cpiBase.

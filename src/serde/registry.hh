@@ -43,19 +43,42 @@ struct BackendInfo
     std::uint8_t formatId;
     /** Needs KlassRegistry-driven class registration before use. */
     bool needsRegistration;
+    /**
+     * Timed on the Cereal accelerator device model rather than the
+     * CPU core model.
+     */
+    bool accelerated;
+    /**
+     * Decode returns validated views into the wire buffer instead of
+     * materializing a heap graph; consumers read the stream in place,
+     * so the payload must travel uncompressed.
+     */
+    bool zeroCopy;
+    /**
+     * Shuffle payloads go through the LZ codec on the wire. Packed
+     * formats (cereal's accelerator output, hps's view region) travel
+     * verbatim: the packing already plays the codec's role, and for
+     * zero-copy formats a decompress would force the copy the format
+     * exists to avoid.
+     */
+    bool lzOnWire;
 };
 
 /** All backends, ordered by format id. */
 inline const std::vector<BackendInfo> &
 backends()
 {
+    // name, format id, needsRegistration, accelerated, zeroCopy,
+    // lzOnWire. These traits are the *only* place backend behaviour
+    // differences live; cluster/dataflow code dispatches on them
+    // instead of naming backends.
     static const std::vector<BackendInfo> table = {
-        {"java", 0, false},
-        {"kryo", 1, true},
-        {"skyway", 2, false},
-        {"cereal", 3, true},
-        {"plaincode", 4, false},
-        {"hps", 5, false},
+        {"java", 0, false, false, false, true},
+        {"kryo", 1, true, false, false, true},
+        {"skyway", 2, false, false, false, true},
+        {"cereal", 3, true, true, false, false},
+        {"plaincode", 4, false, false, false, true},
+        {"hps", 5, false, false, true, false},
     };
     return table;
 }

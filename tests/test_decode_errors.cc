@@ -335,41 +335,45 @@ TEST_F(DecodeErrors, CerealTruncatedStreamIsTruncated)
     expectStatus("cereal", b, DecodeStatus::Truncated);
 }
 
-// The plaincode golden stream (96 B) is magic, then BFS records:
-// root Pair at 4 (klass id u32, then one u64 per field), Node n1 at
-// 32, int[3] at 52 (klass id, u64 length, packed elements), Node n2
-// at 76. Reference tokens are 0 for null, else BFS handle + 1.
+// The plaincode golden stream (45 B) is magic, then width-classed BFS
+// records: root Pair at 4 (varint klass id, varint ref tokens, 4 B int
+// tag), Node n1 at 11 (klass, 8 B long value, varint ref), int[3] at
+// 21 (klass, varint length, packed 4 B elements), Node n2 at 35.
+// Reference tokens are 0 for null, else BFS handle + 1.
 
 TEST_F(DecodeErrors, PlaincodeUnknownKlassIdIsBadClass)
 {
     Bytes b = golden("plaincode");
-    b[4] = 0xff; // root record's klass id u32: 1 -> huge
-    b[7] = 0x7f;
+    // Root record's klass id varint: 0xff continues into the next
+    // byte (token 2, top bit clear), decoding to id 383 — far past
+    // the three registered klasses.
+    b[4] = 0xff;
     expectStatus("plaincode", b, DecodeStatus::BadClass);
 }
 
 TEST_F(DecodeErrors, PlaincodeHugeArrayLengthIsBadLength)
 {
     Bytes b = golden("plaincode");
-    // The int[3] record's u64 length word: no stream this size could
-    // carry that many elements, and the allocation cap must trip
-    // before any memory is reserved.
-    std::fill(b.begin() + 56, b.begin() + 64, 0xff);
+    // The int[3] record's length varint: 127 elements of 4 B can
+    // never fit in the remaining stream, and the allocation cap must
+    // trip before any memory is reserved.
+    ASSERT_EQ(b[22], 3);
+    b[22] = 0x7f;
     expectStatus("plaincode", b, DecodeStatus::BadLength);
 }
 
 TEST_F(DecodeErrors, PlaincodeOutOfGraphRefTokenIsBadHandle)
 {
     Bytes b = golden("plaincode");
-    ASSERT_EQ(b[8], 2); // root's field `a`: token 2 = BFS handle 1
-    b[8] = 0x7f;        // handle 126: the stream only carries four
+    ASSERT_EQ(b[5], 2); // root's field `a`: token 2 = BFS handle 1
+    b[5] = 0x7f;        // handle 126: the stream only carries four
     expectStatus("plaincode", b, DecodeStatus::BadHandle);
 }
 
 TEST_F(DecodeErrors, PlaincodeTruncatedMidRecordIsTruncated)
 {
     Bytes b = golden("plaincode");
-    b.resize(40); // cuts Node n1 after its value word
+    b.resize(15); // cuts Node n1 inside its 8 B value slot
     expectStatus("plaincode", b, DecodeStatus::Truncated);
 }
 

@@ -104,11 +104,10 @@ constexpr const char *kCereal =
     "5544332211b9d96c1b0000000002000000000000000000000000000000030000"
     "00000000000100000002000000030000000000000038ab517000000000000000"
     "00000000000000000000000000ffffffffffffffff0f1c320f0f462140210f";
-// plaincode: 96 bytes
+// plaincode: 45 bytes
 constexpr const char *kPlaincode =
-    "504c433001000000020000000000000003000000000000007f00000000000000"
-    "0000000088776655443322110400000000000000020000000300000000000000"
-    "01000000020000000300000000000000ffffffffffffffff0200000000000000";
+    "504c43310102037f000000008877665544332211040203010000000200000003"
+    "00000000ffffffffffffffff02";
 // hps: 147 bytes
 constexpr const char *kHps =
     "48505331040000006c000000000000001c000000000000004100000000000000"
