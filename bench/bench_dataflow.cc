@@ -19,6 +19,7 @@
  * carriers, never allowed to change the answer.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -90,6 +91,7 @@ main(int argc, char **argv)
             cfg.seed = 7;
             cfg.skew = kBaseSkew;
             cfg.profileScale = opts.scale;
+            cfg.reqTrace.sampleRate = opts.traceSample;
             return cfg;
         };
 
@@ -127,6 +129,8 @@ main(int argc, char **argv)
                     w.kv("records_in", s.recordsIn);
                     w.kv("records_out", s.recordsOut);
                     w.kv("skew_ratio", s.skewRatio);
+                    w.key("crit");
+                    s.crit.writeJson(w);
                     w.endObject();
                 }
                 w.endArray();
@@ -165,9 +169,14 @@ main(int argc, char **argv)
 
     bench::setSummary(sweep, [&](bench::Summary &s) {
         bool all_ok = true;
+        bool all_crit = true;
         for (std::size_t b = 0; b < backends.size(); ++b) {
             for (std::size_t k = 0; k < kRowsPerBackend; ++k) {
                 all_ok = all_ok && row(b, k).r.invariantsOk;
+                for (const auto &st : row(b, k).r.stages) {
+                    all_crit = all_crit &&
+                               (!st.crit.valid || st.crit.conserves());
+                }
             }
         }
         const std::size_t java = backendIndex("java");
@@ -186,6 +195,33 @@ main(int argc, char **argv)
             s.ratio("wordcount_straggler_stretch_" + n,
                     row(b, kWordcountStraggler).r.completionSeconds,
                     row(b, kWordcount).r.completionSeconds);
+            // Critical-path attribution for the straggler run: the
+            // segment bounding the slowest exchanged stage, through
+            // the shared key builder (same scheme as
+            // bench_serving_knee's exemplar keys).
+            const trace::StageCriticalPath *worst = nullptr;
+            for (const auto &st : row(b, kWordcountStraggler).r.stages) {
+                if (st.crit.valid &&
+                    (worst == nullptr || st.crit.total > worst->total)) {
+                    worst = &st.crit;
+                }
+            }
+            if (worst != nullptr) {
+                s.exemplar("crit", n, worst->dominant(),
+                           worst->total > 0
+                               ? static_cast<double>(std::max(
+                                     {worst->mapQueue, worst->serialize,
+                                      worst->wire, worst->rxQueue,
+                                      worst->deserialize,
+                                      worst->reduce})) /
+                                     static_cast<double>(worst->total)
+                               : 0.0);
+                s.kv("crit_straggler_node_" + n,
+                     static_cast<std::uint64_t>(worst->node));
+            } else {
+                s.exemplar("crit", n, "unresolved", 0.0);
+                s.kv("crit_straggler_node_" + n, std::uint64_t{0});
+            }
         }
         for (std::size_t j = 0; j < kJobs.size(); ++j) {
             bool agree = true;
@@ -201,6 +237,7 @@ main(int argc, char **argv)
                     row(cer, j).r.completionSeconds);
         }
         s.flag("all_invariants_ok", all_ok);
+        s.flag("all_crit_conserved", all_crit);
     });
 
     bench::runSweep(sweep, opts);

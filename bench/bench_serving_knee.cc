@@ -64,11 +64,12 @@ struct Row
 };
 
 ServingConfig
-servingConfig(bool controlled, unsigned pct)
+servingConfig(bool controlled, unsigned pct, double trace_sample)
 {
     ServingConfig cfg;
     cfg.utilization = pct / 100.0;
     cfg.requestsPerNode = kRequestsPerNode;
+    cfg.reqTrace.sampleRate = trace_sample;
     if (controlled) {
         cfg.admission.policy = AdmissionPolicy::Drop;
         cfg.admission.queueBound = kQueueBound;
@@ -124,11 +125,13 @@ main(int argc, char **argv)
                 row.controlled = ctl != 0;
                 row.loadPct = pct;
                 sweep.add(row.name,
-                          [&row, configFor, ctl, pct](json::Writer &w) {
+                          [&row, &opts, configFor, ctl,
+                           pct](json::Writer &w) {
                     ClusterSim sim(configFor());
                     row.capacityRps = sim.nodeCapacityRps();
                     row.r = runServingFrontend(
-                        sim, servingConfig(ctl != 0, pct));
+                        sim,
+                        servingConfig(ctl != 0, pct, opts.traceSample));
                     w.kv("backend", backendName(row.backend));
                     w.kv("frontend", ctl ? "ctl" : "open");
                     w.kv("shape", "steady");
@@ -152,6 +155,8 @@ main(int argc, char **argv)
                          row.r.maxAdmissionOccupancy);
                     w.kv("max_worker_queue", row.r.maxWorkerQueue);
                     row.r.latency.writeJson(w, "latency");
+                    w.key("reqtrace");
+                    row.r.reqTrace.writeJson(w);
                 });
             }
         }
@@ -162,10 +167,11 @@ main(int argc, char **argv)
         fl.controlled = true;
         fl.flash = true;
         fl.loadPct = 70;
-        sweep.add(fl.name, [&fl, configFor](json::Writer &w) {
+        sweep.add(fl.name, [&fl, &opts, configFor](json::Writer &w) {
             ClusterSim sim(configFor());
             fl.capacityRps = sim.nodeCapacityRps();
-            ServingConfig cfg = servingConfig(true, fl.loadPct);
+            ServingConfig cfg =
+                servingConfig(true, fl.loadPct, opts.traceSample);
             cfg.shape = load::LoadShape::flashCrowd(4.0, 0.5, 0.1);
             fl.r = runServingFrontend(sim, cfg);
             w.kv("backend", backendName(fl.backend));
@@ -187,6 +193,8 @@ main(int argc, char **argv)
                  static_cast<std::uint64_t>(
                      fl.r.creditsConserved ? 1 : 0));
             fl.r.latency.writeJson(w, "latency");
+            w.key("reqtrace");
+            fl.r.reqTrace.writeJson(w);
         });
     }
 
@@ -214,6 +222,7 @@ main(int argc, char **argv)
 
     bench::setSummary(sweep, [&](bench::Summary &s) {
         bool all_bounded = true;
+        bool all_conserved = true;
         for (Backend b : allBackends()) {
             const std::string n = backendName(b);
             const double ctl50 = row(b, true, i50).r.latency.p99;
@@ -236,8 +245,34 @@ main(int argc, char **argv)
                  row(b, true, i200).r.dropRate);
             s.kv("flash_recover_seconds_" + n,
                  flashRow(b).r.recoverSeconds);
+            // Tail attribution at 2x overload under control: the p99
+            // exemplar's dominant causal segment, through the shared
+            // key builder (same scheme as bench_dataflow).
+            const auto &rt = row(b, true, i200).r.reqTrace;
+            if (rt.p99Resolved) {
+                const auto &t = rt.p99;
+                const trace::Segment dom = t.dominant();
+                const Tick e2e = t.endToEnd();
+                s.exemplar("p99", n, trace::segmentName(dom),
+                           e2e > 0 ? static_cast<double>(
+                                         t.segment(dom)) /
+                                         static_cast<double>(e2e)
+                                   : 0.0);
+            } else {
+                s.exemplar("p99", n, "unresolved", 0.0);
+            }
+            for (int ctl = 0; ctl < 2; ++ctl) {
+                for (std::size_t li = 0; li < kLoadPct.size(); ++li) {
+                    all_conserved = all_conserved &&
+                                    row(b, ctl != 0, li).r.reqTrace
+                                        .conserved;
+                }
+            }
+            all_conserved =
+                all_conserved && flashRow(b).r.reqTrace.conserved;
         }
         s.flag("all_tails_bounded", all_bounded);
+        s.flag("all_traces_conserved", all_conserved);
     });
 
     bench::runSweep(sweep, opts);

@@ -76,6 +76,18 @@ class Options
      * --trace/--metrics is fatal rather than silently lossy.
      */
     SimMode simMode = SimMode::CycleAccurate;
+    /**
+     * Head-based request-trace sampling rate in (0, 1] (--trace-sample;
+     * default: every request). Shared by the request-trace layer and
+     * the per-request Chrome spans; the decision is a pure seeded hash
+     * of the trace id, so it is valid in every sim mode — request
+     * traces are reported stats, not observability. Note that sampled
+     * frames carry the 16-byte trace-context extension on the wire, so
+     * changing the rate shifts simulated wire timing slightly (the
+     * honest cost of context propagation); baselines are recorded at
+     * the default rate.
+     */
+    double traceSample = 1.0;
 
     /**
      * Parse the common bench command line. Unknown arguments are
@@ -154,6 +166,16 @@ class Options
                 opts.metricsInterval = std::strtoull(argv[++i], nullptr, 10);
                 fatal_if(opts.metricsInterval == 0,
                          "--metrics-interval must be >= 1");
+            } else if (std::strcmp(arg, "--trace-sample") == 0) {
+                fatal_if(i + 1 >= argc,
+                         "--trace-sample needs a rate in (0, 1]");
+                char *end = nullptr;
+                opts.traceSample = std::strtod(argv[++i], &end);
+                fatal_if(end == argv[i] || *end != '\0' ||
+                             !(opts.traceSample > 0) ||
+                             opts.traceSample > 1,
+                         "--trace-sample rate must be in (0, 1], got"
+                         " '%s'", argv[i]);
             } else if (std::strcmp(arg, "--sim-mode") == 0) {
                 fatal_if(i + 1 >= argc,
                          "--sim-mode needs cycle, fast, or sampled");
@@ -163,7 +185,8 @@ class Options
             } else if (std::strcmp(arg, "--help") == 0) {
                 std::printf("usage: %s [scale] [--threads N] [--json [path]]"
                             " [--trace <path>] [--metrics <path>"
-                            " [--metrics-interval N]] [--sim-mode M]\n",
+                            " [--metrics-interval N]] [--trace-sample R]"
+                            " [--sim-mode M]\n",
                             argv[0]);
                 std::printf("  scale          scale divisor (default %llu)\n",
                             static_cast<unsigned long long>(default_scale));
@@ -178,6 +201,8 @@ class Options
                             " (.csv = CSV, else Prometheus text)\n");
                 std::printf("  --metrics-interval N  sampling interval in"
                             " ticks (default 1000000 = 1us)\n");
+                std::printf("  --trace-sample R  head-based request-trace"
+                            " sampling rate in (0, 1] (default 1)\n");
                 std::printf("  --sim-mode M   cycle (default), fast"
                             " (stat-preserving, observability off),\n"
                             "                 or sampled (shortened serving"

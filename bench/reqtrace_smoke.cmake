@@ -1,0 +1,78 @@
+# Request-tracing gate: runs the knee sweep and the dataflow sweep at
+# a reduced scale, feeds both JSON documents through tools/trace_query
+# (which re-verifies every conservation invariant from the raw numbers
+# — each reqtrace report conserved, each resolved p99/p999 exemplar's
+# segments summing exactly to its recorded end-to-end latency, each
+# stage critical path summing to its total — and exits nonzero on any
+# violation), and asserts the trace output is byte-identical across
+# --threads 1 and --threads 4.
+# Invoked by ctest with:
+#   -DBENCH=<bench_serving_knee> -DDATAFLOW=<bench_dataflow>
+#   -DQUERY=<trace_query> -DWORKDIR=<dir>
+
+set(fresh ${WORKDIR}/BENCH_serving_knee_reqtrace.json)
+set(threaded ${WORKDIR}/BENCH_serving_knee_reqtrace_t4.json)
+set(df ${WORKDIR}/BENCH_dataflow_reqtrace.json)
+
+execute_process(
+  COMMAND ${BENCH} 256 --json ${fresh}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE stdout
+  ERROR_VARIABLE stderr)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+          "${BENCH} failed (rc=${rc}):\n${stdout}\n${stderr}")
+endif()
+
+execute_process(
+  COMMAND ${BENCH} 256 --threads 4 --json ${threaded}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE stdout
+  ERROR_VARIABLE stderr)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+          "${BENCH} --threads 4 failed (rc=${rc}):\n${stdout}\n${stderr}")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files ${fresh} ${threaded}
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+          "trace output differs across --threads: ${fresh} vs"
+          " ${threaded}")
+endif()
+
+execute_process(
+  COMMAND ${QUERY} ${fresh} --top 7
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE stdout
+  ERROR_VARIABLE stderr)
+message(STATUS "trace_query (serving):\n${stdout}")
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+          "trace_query found conservation violations in the knee"
+          " sweep (rc=${rc}):\n${stdout}\n${stderr}")
+endif()
+
+execute_process(
+  COMMAND ${DATAFLOW} 256 --json ${df}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE stdout
+  ERROR_VARIABLE stderr)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+          "${DATAFLOW} failed (rc=${rc}):\n${stdout}\n${stderr}")
+endif()
+
+execute_process(
+  COMMAND ${QUERY} ${df}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE stdout
+  ERROR_VARIABLE stderr)
+message(STATUS "trace_query (dataflow):\n${stdout}")
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+          "trace_query found critical-path violations in the dataflow"
+          " sweep (rc=${rc}):\n${stdout}\n${stderr}")
+endif()

@@ -67,6 +67,24 @@ class Summary
         return kv(std::move(key), den > 0 ? num / den : 0.0);
     }
 
+    /**
+     * The shared exemplar-key pair for a tail quantile: which segment
+     * dominated backend @p backend's @p what (e.g. "p99") exemplar and
+     * that segment's fraction of the exemplar's latency. One builder
+     * for both bench_serving_knee and bench_dataflow, so the key
+     * scheme cannot drift between them:
+     *
+     *   exemplar_<what>_segment_<backend> = "<segment>"
+     *   exemplar_<what>_fraction_<backend> = <fraction>
+     */
+    Summary &
+    exemplar(const std::string &what, const std::string &backend,
+             const std::string &segment, double fraction)
+    {
+        kv("exemplar_" + what + "_segment_" + backend, segment);
+        return kv("exemplar_" + what + "_fraction_" + backend, fraction);
+    }
+
     void
     writeJson(json::Writer &w) const
     {

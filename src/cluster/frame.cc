@@ -68,9 +68,10 @@ decodeFrameInfoOrThrow(const std::vector<std::uint8_t> &bytes)
                  "unknown serializer format id %u", f.format);
 
     f.flags = r.u16();
-    decode_check((f.flags & ~kFrameFlagCompressed) == 0,
-                 DecodeStatus::Malformed, 6,
-                 "reserved frame flags set (0x%04x)", f.flags);
+    decode_check(
+        (f.flags & ~(kFrameFlagCompressed | kFrameFlagTraced)) == 0,
+        DecodeStatus::Malformed, 6,
+        "reserved frame flags set (0x%04x)", f.flags);
 
     f.srcNode = r.u32();
     f.dstNode = r.u32();
@@ -78,6 +79,21 @@ decodeFrameInfoOrThrow(const std::vector<std::uint8_t> &bytes)
 
     f.payloadLen = r.u64();
     f.checksum = r.u64();
+
+    std::size_t payloadOff = kFrameHeaderBytes;
+    if (f.hasTrace()) {
+        f.traceId = r.u64();
+        f.spanId = r.u32();
+        const std::uint32_t reserved = r.u32();
+        decode_check(f.traceId != 0, DecodeStatus::Malformed,
+                     kFrameHeaderBytes,
+                     "traced frame carries the null trace id");
+        decode_check(reserved == 0, DecodeStatus::Malformed,
+                     kFrameHeaderBytes + 12,
+                     "nonzero reserved word in trace extension (0x%08x)",
+                     reserved);
+        payloadOff += kFrameTraceExtBytes;
+    }
 
     decode_check(f.payloadLen <= r.remaining(), DecodeStatus::Truncated,
                  r.pos(), "payload declares %llu bytes, %zu remain",
@@ -87,7 +103,7 @@ decodeFrameInfoOrThrow(const std::vector<std::uint8_t> &bytes)
                  "%zu trailing bytes after declared payload",
                  r.remaining() - static_cast<std::size_t>(f.payloadLen));
 
-    f.payload = bytes.data() + kFrameHeaderBytes;
+    f.payload = bytes.data() + payloadOff;
     return f;
 }
 
@@ -99,6 +115,7 @@ encodeFrameInto(const FrameRef &f, std::uint64_t checksum,
 {
     out.clear();
     out.reserve(kFrameHeaderBytes +
+                (f.hasTrace() ? kFrameTraceExtBytes : 0) +
                 static_cast<std::size_t>(f.payloadLen));
     put32(out, kFrameMagic);
     out.push_back(kFrameVersion);
@@ -109,6 +126,11 @@ encodeFrameInto(const FrameRef &f, std::uint64_t checksum,
     put32(out, f.partition);
     put64(out, f.payloadLen);
     put64(out, checksum);
+    if (f.hasTrace()) {
+        put64(out, f.traceId);
+        put32(out, f.spanId);
+        put32(out, 0); // reserved, must be zero
+    }
     out.insert(out.end(), f.payload, f.payload + f.payloadLen);
 }
 
@@ -121,6 +143,8 @@ encodeFrame(const Frame &f)
     ref.srcNode = f.srcNode;
     ref.dstNode = f.dstNode;
     ref.partition = f.partition;
+    ref.traceId = f.traceId;
+    ref.spanId = f.spanId;
     ref.payload = f.payload.data();
     ref.payloadLen = f.payload.size();
     std::vector<std::uint8_t> out;
@@ -140,6 +164,8 @@ decodeFrame(const std::vector<std::uint8_t> &bytes)
     f.srcNode = info.srcNode;
     f.dstNode = info.dstNode;
     f.partition = info.partition;
+    f.traceId = info.traceId;
+    f.spanId = info.spanId;
     f.payload.assign(info.payload, info.payload + info.payloadLen);
 
     const std::uint64_t computed =

@@ -21,7 +21,18 @@
  *   u32 partition
  *   u64 payloadLen
  *   u64 checksum   FNV-1a-64 over the payload bytes
+ *   [trace-context extension, 16 bytes, iff flags bit1:
+ *      u64 traceId   nonzero request/batch trace id
+ *      u32 spanId    request class / dataflow stage index
+ *      u32 reserved  must be zero]
  *   payloadLen payload bytes (the frame ends exactly here)
+ *
+ * The trace extension rides between the fixed header and the payload so
+ * a traced frame is 16 bytes longer on the wire — tracing overhead is
+ * modeled, not free. It is covered by the same hardened-decoder
+ * contract as the rest of the header: truncated extensions are
+ * Truncated, a nonzero reserved word is Malformed, and a decoded frame
+ * re-encodes to identical bytes.
  */
 
 #ifndef CEREAL_CLUSTER_FRAME_HH
@@ -45,8 +56,14 @@ constexpr std::uint8_t kFrameFormatCount = 6;
 /** flags bit0: payload went through the LZ shuffle codec. */
 constexpr std::uint16_t kFrameFlagCompressed = 0x0001;
 
-/** Header bytes preceding the payload. */
+/** flags bit1: a 16-byte trace-context extension follows the header. */
+constexpr std::uint16_t kFrameFlagTraced = 0x0002;
+
+/** Header bytes preceding the payload (or the trace extension). */
 constexpr std::size_t kFrameHeaderBytes = 36;
+
+/** Trace-context extension bytes (present iff kFrameFlagTraced). */
+constexpr std::size_t kFrameTraceExtBytes = 16;
 
 /** One framed partition. */
 struct Frame
@@ -56,7 +73,12 @@ struct Frame
     std::uint32_t srcNode = 0;
     std::uint32_t dstNode = 0;
     std::uint32_t partition = 0;
+    /** Trace context (meaningful iff flags has kFrameFlagTraced). */
+    std::uint64_t traceId = 0;
+    std::uint32_t spanId = 0;
     std::vector<std::uint8_t> payload;
+
+    bool hasTrace() const { return (flags & kFrameFlagTraced) != 0; }
 };
 
 /**
@@ -73,8 +95,13 @@ struct FrameRef
     std::uint32_t srcNode = 0;
     std::uint32_t dstNode = 0;
     std::uint32_t partition = 0;
+    /** Trace context (meaningful iff flags has kFrameFlagTraced). */
+    std::uint64_t traceId = 0;
+    std::uint32_t spanId = 0;
     const std::uint8_t *payload = nullptr;
     std::uint64_t payloadLen = 0;
+
+    bool hasTrace() const { return (flags & kFrameFlagTraced) != 0; }
 };
 
 /**
@@ -90,11 +117,16 @@ struct FrameInfo
     std::uint32_t srcNode = 0;
     std::uint32_t dstNode = 0;
     std::uint32_t partition = 0;
+    /** Trace context (meaningful iff flags has kFrameFlagTraced). */
+    std::uint64_t traceId = 0;
+    std::uint32_t spanId = 0;
     /** Payload bytes, pointing into the decoded buffer. */
     const std::uint8_t *payload = nullptr;
     std::uint64_t payloadLen = 0;
     /** Checksum as stored in the header (not recomputed). */
     std::uint64_t checksum = 0;
+
+    bool hasTrace() const { return (flags & kFrameFlagTraced) != 0; }
 };
 
 /** Printable serializer name of frame format id @p id ("?" if bad). */

@@ -12,6 +12,7 @@
 #include "metrics/metrics.hh"
 #include "sim/arena.hh"
 #include "sim/logging.hh"
+#include "trace/request_trace.hh"
 #include "trace/trace.hh"
 
 namespace cereal {
@@ -83,6 +84,9 @@ runServingFrontend(const ClusterSim &sim, const ServingConfig &cfg)
     // The receive side deserializes and then computes on the result;
     // zero-copy backends profile the consume leg on their wire views.
     const Tick deser = secondsToTicks(cost.receiveSeconds());
+    // Decode share of the receive job; the remainder is consume.
+    // ceil is monotone, so deserOnly <= deser always holds.
+    const Tick deserOnly = secondsToTicks(cost.deserializeSeconds());
     const double lambda = cfg.utilization * sim.nodeCapacityRps();
 
     load::LoadGenConfig lg;
@@ -162,6 +166,20 @@ runServingFrontend(const ClusterSim &sim, const ServingConfig &cfg)
     std::vector<std::uint32_t> reqDst(total, 0);
     std::vector<std::uint8_t> reqCls(total, 0);
 
+    // Request tracing: trace id = idx + 1 (ids are nonzero), with the
+    // causal stamps of sampled requests kept per index. The layer is
+    // deliberately NOT gated on `observe` — timelines feed the
+    // *reported* RequestTraceReport, so they must be byte-identical in
+    // fast-forward mode too.
+    trace::RequestTraceRecorder reqTrace(cfg.reqTrace);
+    const auto traceIdOf = [](std::uint32_t idx) {
+        return static_cast<std::uint64_t>(idx) + 1;
+    };
+    std::vector<Tick> serStartT(total, 0);
+    std::vector<Tick> serEndT(total, 0);
+    std::vector<Tick> sendT(total, 0);
+    std::vector<Tick> deliverT(total, 0);
+
     ServingFrontendResult out;
     stats::Distribution latency;
     latency.reserve(total);
@@ -173,6 +191,29 @@ runServingFrontend(const ClusterSim &sim, const ServingConfig &cfg)
         return static_cast<std::uint32_t>(idx / sim_rpn) * 0x10000u +
                static_cast<std::uint32_t>(idx % sim_rpn);
     };
+
+    // Stamp the frame fields shared by the immediate and unparked send
+    // paths; sampled requests carry their trace context on the wire
+    // (16 extra bytes — tracing overhead is modeled, not free).
+    const auto makeFrame = [&](std::uint32_t src, std::uint32_t dst,
+                               std::uint32_t idx) {
+        FrameRef f;
+        f.format = backendFormatId(cc.backend);
+        f.flags = prof.compressed ? kFrameFlagCompressed : 0;
+        f.srcNode = src;
+        f.dstNode = dst;
+        f.partition = wireId(idx);
+        if (reqTrace.sampled(traceIdOf(idx))) {
+            f.flags |= kFrameFlagTraced;
+            f.traceId = traceIdOf(idx);
+            f.spanId = reqCls[idx];
+        }
+        f.payload = prof.payload.data();
+        f.payloadLen = prof.payload.size();
+        return f;
+    };
+    const auto reqEm = em.enabled() ? em.sub("requests")
+                                    : trace::TraceEmitter();
 
     Fabric fabric(eq, n, cc.net,
                   [&](std::uint32_t dst, std::vector<std::uint8_t> bytes) {
@@ -188,14 +229,56 @@ runServingFrontend(const ClusterSim &sim, const ServingConfig &cfg)
             (info.partition >> 16) * static_cast<std::uint32_t>(sim_rpn) +
             (info.partition & 0xffffu);
         const std::uint32_t src = info.srcNode;
+        // Context propagation check: a traced frame must carry exactly
+        // the trace id its request was assigned at the origin.
+        panic_if(info.hasTrace() && info.traceId != traceIdOf(idx),
+                 "frame for request %u arrived with foreign trace id"
+                 " %llu", idx, (unsigned long long)info.traceId);
+        panic_if(info.hasTrace() != reqTrace.sampled(traceIdOf(idx)),
+                 "trace sampling decision changed in flight for"
+                 " request %u", idx);
+        deliverT[idx] = eq.now();
         pool.release(std::move(bytes));
         workers[dst].enqueue(deser, "deser", [&, idx, src, dst] {
             const double arr = arrivalSec[idx];
             if (arr >= warmup) {
                 latency.sample(
-                    ticksToSeconds(eq.now() - arrivalTick[idx]));
+                    ticksToSeconds(eq.now() - arrivalTick[idx]),
+                    traceIdOf(idx));
             }
             ++out.completed;
+            reqTrace.countRequest();
+            if (reqTrace.sampled(traceIdOf(idx))) {
+                trace::RequestTimeline t;
+                t.traceId = traceIdOf(idx);
+                t.origin = src;
+                t.dst = dst;
+                t.cls = reqCls[idx];
+                t.arrival = arrivalTick[idx];
+                t.serStart = serStartT[idx];
+                t.serEnd = serEndT[idx];
+                t.send = sendT[idx];
+                t.deliver = deliverT[idx];
+                t.deserStart = eq.now() - deser;
+                t.done = eq.now();
+                t.deserTicks = deserOnly;
+                reqTrace.record(t);
+                if (reqEm.enabled()) {
+                    Tick seg[trace::kSegmentCount];
+                    t.segments(seg);
+                    Tick at = t.arrival;
+                    for (unsigned s = 0; s < trace::kSegmentCount;
+                         ++s) {
+                        if (seg[s] > 0) {
+                            reqEm.span(trace::segmentName(
+                                           static_cast<trace::Segment>(
+                                               s)),
+                                       at, at + seg[s]);
+                        }
+                        at += seg[s];
+                    }
+                }
+            }
             last_done = eq.now();
             if (flash && arr >= flashStart && arr < flashEnd) {
                 last_flash_done = eq.now();
@@ -214,17 +297,13 @@ runServingFrontend(const ClusterSim &sim, const ServingConfig &cfg)
                         --c.stalledCount;
                         --c.occupancy;
                         c.metrics.tick(eq.now());
-                        FrameRef f;
-                        f.format = backendFormatId(cc.backend);
-                        f.flags = prof.compressed
-                            ? kFrameFlagCompressed : 0;
-                        f.srcNode = src;
-                        f.dstNode = dst;
-                        f.partition = wireId(sidx);
-                        f.payload = prof.payload.data();
-                        f.payloadLen = prof.payload.size();
+                        // Unpark: the credit-stall span of sidx ends
+                        // here — send > serEnd by exactly the parked
+                        // interval.
+                        sendT[sidx] = eq.now();
                         auto b = pool.acquire();
-                        encodeFrameInto(f, sim.payloadChecksum(), b);
+                        encodeFrameInto(makeFrame(src, dst, sidx),
+                                        sim.payloadChecksum(), b);
                         fabric.send(src, dst, std::move(b));
                     }
                 });
@@ -251,18 +330,16 @@ runServingFrontend(const ClusterSim &sim, const ServingConfig &cfg)
         workers[origin].enqueue(ser, "ser", [&, origin, idx] {
             NodeCtl &cn = ctl[origin];
             cn.serInWorker = false;
+            // The worker is non-preemptive: this job's service started
+            // exactly `ser` ticks before its completion fires.
+            serStartT[idx] = eq.now() - ser;
+            serEndT[idx] = eq.now();
             const std::uint32_t dst = reqDst[idx];
             if (credits.tryConsume(origin, dst)) {
-                FrameRef f;
-                f.format = backendFormatId(cc.backend);
-                f.flags = prof.compressed ? kFrameFlagCompressed : 0;
-                f.srcNode = origin;
-                f.dstNode = dst;
-                f.partition = wireId(idx);
-                f.payload = prof.payload.data();
-                f.payloadLen = prof.payload.size();
+                sendT[idx] = eq.now();
                 auto bytes = pool.acquire();
-                encodeFrameInto(f, sim.payloadChecksum(), bytes);
+                encodeFrameInto(makeFrame(origin, dst, idx),
+                                sim.payloadChecksum(), bytes);
                 fabric.send(origin, dst, std::move(bytes));
                 --cn.occupancy;
             } else {
@@ -386,6 +463,12 @@ runServingFrontend(const ClusterSim &sim, const ServingConfig &cfg)
     out.creditsReturned = credits.returned();
     out.creditsConserved = credits.issued() == credits.returned() &&
                            credits.allWindowsFull();
+    out.reqTrace = reqTrace.report(latency);
+    if (observe && metrics::current() != nullptr) {
+        metrics::current()->recordHistogram(
+            "serving.latency_seconds",
+            "end-to-end request latency, log-bucketed", latency);
+    }
 
     panic_if(out.completed != out.admitted - out.shed,
              "serving front end lost requests (%llu of %llu admitted"

@@ -46,6 +46,7 @@
 #include "cluster/cluster.hh"
 #include "cluster/flow_control.hh"
 #include "load/load_gen.hh"
+#include "trace/request_trace.hh"
 
 namespace cereal {
 namespace cluster {
@@ -112,6 +113,14 @@ struct ServingConfig
      * no-unbounded-queue invariant is pinned against.
      */
     int fixedDst = -1;
+    /**
+     * Request tracing: every request gets a trace id; sampled ones
+     * (head-based, seeded) carry it across the fabric in the frame's
+     * trace extension and leave a conservation-checked timeline in the
+     * result's RequestTraceReport. Part of the reported stats — NOT
+     * gated on sim mode, byte-identical cycle vs fast.
+     */
+    trace::RequestTraceConfig reqTrace;
 };
 
 /** Outcome of one serving-front-end run. */
@@ -150,6 +159,8 @@ struct ServingFrontendResult
     std::uint64_t maxWorkerQueue = 0;
     /** Peak credit-stalled frames parked at any one node. */
     std::uint64_t maxStalledFrames = 0;
+    /** Sampled request timelines, tail exemplars, and attribution. */
+    trace::RequestTraceReport reqTrace;
 };
 
 /**

@@ -122,11 +122,26 @@ class StageEngine
     /** Everything the receive path needs about one in-flight batch. */
     struct BatchMeta
     {
-        std::uint32_t dst;
-        std::uint64_t checksum;
-        std::uint64_t payloadLen;
-        Tick deserTicks;
+        std::uint32_t src = 0;
+        std::uint32_t dst = 0;
+        std::uint64_t checksum = 0;
+        std::uint64_t payloadLen = 0;
+        Tick deserTicks = 0;
+        /** Causal stamps (every batch, sampling-independent). */
+        Tick serStart = 0;
+        Tick serEnd = 0;
+        Tick send = 0;
+        Tick deliver = 0;
+        Tick deserStartT = 0;
+        Tick done = 0;
     };
+
+    /** Nonzero wire trace id of batch @p id. */
+    static std::uint64_t
+    batchTraceId(std::uint32_t id)
+    {
+        return static_cast<std::uint64_t>(id) + 1;
+    }
 
     /** Service seconds -> ticks, stretched on the straggler node. */
     Tick
@@ -147,22 +162,36 @@ class StageEngine
         auto it = batchMeta_.find(info.partition);
         panic_if(it == batchMeta_.end(),
                  "frame for unknown dataflow batch %u", info.partition);
-        const BatchMeta &m = it->second;
+        BatchMeta &m = it->second;
         panic_if(m.dst != dst || info.checksum != m.checksum ||
                      info.payloadLen != m.payloadLen,
                  "corrupt dataflow frame (digest mismatch on batch %u)",
                  info.partition);
+        panic_if(info.hasTrace() &&
+                     info.traceId != batchTraceId(info.partition),
+                 "batch %u arrived with foreign trace id %llu",
+                 info.partition, (unsigned long long)info.traceId);
+        m.deliver = eq_.now();
         pool_.release(std::move(bytes));
+        const std::uint32_t id = info.partition;
         workers_[dst].enqueue(m.deserTicks, "deser",
-                              [this, dst] { onBatchDecoded(dst); });
+                              [this, dst, id] { onBatchDecoded(dst, id); });
     }
 
     /** Receive-side barrier: all n batches in, run the merge/reduce. */
     void
-    onBatchDecoded(std::uint32_t dst)
+    onBatchDecoded(std::uint32_t dst, std::uint32_t id)
     {
+        BatchMeta &m = batchMeta_.at(id);
+        m.done = eq_.now();
+        m.deserStartT = eq_.now() - m.deserTicks;
         if (++arrived_[dst] == cfg_.nodes) {
-            workers_[dst].enqueue(postTicks_[dst], "reduce", [] {});
+            // This batch released the barrier: it is the stage's
+            // last arrival at dst and bounds the reduce start.
+            lastBatch_[dst] = id;
+            workers_[dst].enqueue(postTicks_[dst], "reduce", [this, dst] {
+                reduceEnd_[dst] = eq_.now();
+            });
         }
     }
 
@@ -179,7 +208,12 @@ class StageEngine
     std::unordered_map<std::uint32_t, BatchMeta> batchMeta_;
     std::vector<std::uint32_t> arrived_;
     std::vector<Tick> postTicks_;
+    /** Per dst: barrier-releasing batch id and reduce-done tick. */
+    std::vector<std::uint32_t> lastBatch_;
+    std::vector<Tick> reduceEnd_;
     std::uint32_t nextBatchId_ = 0;
+    /** Stage ordinal within the run (the frame ext span id). */
+    std::uint32_t stageIndex_ = 0;
 };
 
 std::vector<std::vector<Record>>
@@ -293,8 +327,12 @@ StageEngine::runStage(const Stage &st,
     // the fabric. Self-partitions pay serialize + deserialize on the
     // node's own worker but never touch the wire (a local shuffle
     // file), exactly one "deser" completion per (src, dst) batch.
+    const Tick stageStart = eq_.now();
+    const std::uint32_t stage = stageIndex_++;
     arrived_.assign(n, 0);
     postTicks_.assign(n, 0);
+    lastBatch_.assign(n, 0);
+    reduceEnd_.assign(n, 0);
     batchMeta_.clear();
     for (std::uint32_t dst = 0; dst < n; ++dst) {
         postTicks_[dst] = svc(dst, postSeconds[dst]);
@@ -304,14 +342,27 @@ StageEngine::runStage(const Stage &st,
         for (std::uint32_t dst = 0; dst < n; ++dst) {
             BatchExec *b = &batches[src][dst];
             const std::uint32_t id = nextBatchId_++;
-            batchMeta_[id] = {dst, b->checksum, b->enc.payload.size(),
-                              b->deserTicks};
+            BatchMeta meta;
+            meta.src = src;
+            meta.dst = dst;
+            meta.checksum = b->checksum;
+            meta.payloadLen = b->enc.payload.size();
+            meta.deserTicks = b->deserTicks;
+            batchMeta_[id] = meta;
+            const Tick serTicks = b->serTicks;
             workers_[src].enqueue(
-                b->serTicks, "ser", [this, src, dst, b, id] {
+                serTicks, "ser", [this, src, dst, b, id, serTicks,
+                                  stage] {
+                    BatchMeta &m = batchMeta_.at(id);
+                    m.serEnd = eq_.now();
+                    m.serStart = eq_.now() - serTicks;
+                    m.send = eq_.now();
                     if (dst == src) {
+                        // Local shuffle file: delivered in place.
+                        m.deliver = eq_.now();
                         workers_[dst].enqueue(
-                            batchMeta_.at(id).deserTicks, "deser",
-                            [this, dst] { onBatchDecoded(dst); });
+                            m.deserTicks, "deser",
+                            [this, dst, id] { onBatchDecoded(dst, id); });
                         return;
                     }
                     FrameRef f;
@@ -321,6 +372,12 @@ StageEngine::runStage(const Stage &st,
                     f.srcNode = src;
                     f.dstNode = dst;
                     f.partition = id;
+                    if (trace::sampleRequest(batchTraceId(id),
+                                             cfg_.reqTrace)) {
+                        f.flags |= kFrameFlagTraced;
+                        f.traceId = batchTraceId(id);
+                        f.spanId = stage;
+                    }
                     f.payload = b->enc.payload.data();
                     f.payloadLen = b->enc.payload.size();
                     auto bytes = pool_.acquire();
@@ -338,6 +395,36 @@ StageEngine::runStage(const Stage &st,
     }
 
     if (stats != nullptr) {
+        // The stage ends when the slowest reduce finishes; that node's
+        // barrier was released by its last-arriving batch — the
+        // stage's critical path.
+        std::uint32_t bound = 0;
+        for (std::uint32_t dst = 1; dst < n; ++dst) {
+            if (reduceEnd_[dst] > reduceEnd_[bound]) {
+                bound = dst;
+            }
+        }
+        const BatchMeta &m = batchMeta_.at(lastBatch_[bound]);
+        trace::RequestTimeline tl;
+        tl.traceId = batchTraceId(lastBatch_[bound]);
+        tl.origin = m.src;
+        tl.dst = m.dst;
+        tl.cls = static_cast<std::uint8_t>(stage & 0xff);
+        tl.arrival = stageStart;
+        tl.serStart = m.serStart;
+        tl.serEnd = m.serEnd;
+        tl.send = m.send;
+        tl.deliver = m.deliver;
+        tl.deserStart = m.deserStartT;
+        tl.done = m.done;
+        tl.deserTicks = m.deserTicks;
+        stats->crit =
+            trace::stageCriticalPath(tl, stageStart, reduceEnd_[bound]);
+        panic_if(!stats->crit.conserves(),
+                 "stage '%s' critical path violates conservation",
+                 st.name);
+        panic_if(reduceEnd_[bound] != eq_.now(),
+                 "stage '%s' ended after its slowest reduce", st.name);
         stats->endSeconds = ticksToSeconds(eq_.now());
         for (const auto &run : out) {
             stats->recordsOut += run.size();

@@ -41,6 +41,7 @@
 #include "dataflow/operators.hh"
 #include "dataflow/partitioner.hh"
 #include "sim/sim_mode.hh"
+#include "trace/critical_path.hh"
 
 namespace cereal {
 namespace dataflow {
@@ -81,6 +82,13 @@ struct DataflowConfig
     NetConfig net;
     /** Scale of the profiled yardstick partition (see cost model). */
     std::uint64_t profileScale = 64;
+    /**
+     * Batch tracing: every exchange batch gets a trace id; sampled
+     * batches carry it across the fabric in the frame's trace
+     * extension. The per-stage critical path is computed from full
+     * stamps regardless of the sampling rate.
+     */
+    trace::RequestTraceConfig reqTrace;
 };
 
 /** Per-stage outcome. */
@@ -99,6 +107,14 @@ struct StageStats
     std::uint64_t recordsOut = 0;
     /** Max over destinations of received payload bytes / mean. */
     double skewRatio = 1.0;
+    /**
+     * The causal path bounding this stage's barrier: which node's
+     * reduce finished last, which source's batch held it up, and how
+     * the stage's wall time splits across segments (conservation-
+     * checked against endSeconds - startSeconds). Invalid for local
+     * (no-exchange) stages.
+     */
+    trace::StageCriticalPath crit;
 };
 
 /** Whole-job outcome. */

@@ -185,6 +185,21 @@ MetricsRecorder::tickSeries(const std::vector<std::size_t> &ids, Tick now)
 }
 
 void
+MetricsRecorder::recordHistogram(const std::string &name,
+                                 const std::string &help,
+                                 const stats::Distribution &d)
+{
+    HistogramSnapshot h;
+    h.name = name;
+    h.help = help;
+    h.bounds = stats::logBucketBounds();
+    h.counts = d.logBucketCounts();
+    h.sum = d.sum();
+    h.count = d.count();
+    histograms_.push_back(std::move(h));
+}
+
+void
 MetricsRecorder::writeJson(json::Writer &w) const
 {
     w.key("metrics");
@@ -209,6 +224,29 @@ MetricsRecorder::writeJson(json::Writer &w) const
         w.beginArray();
         for (const auto &sm : samples) {
             w.value(sm.value);
+        }
+        w.endArray();
+        w.endObject();
+    }
+    w.endArray();
+    w.key("histograms");
+    w.beginArray();
+    for (const auto &h : histograms_) {
+        w.beginObject();
+        w.kv("name", h.name);
+        w.kv("help", h.help);
+        w.kv("sum", h.sum);
+        w.kv("count", h.count);
+        w.key("bounds");
+        w.beginArray();
+        for (double b : h.bounds) {
+            w.value(b);
+        }
+        w.endArray();
+        w.key("cumulative_counts");
+        w.beginArray();
+        for (auto c : h.counts) {
+            w.value(c);
         }
         w.endArray();
         w.endObject();
@@ -361,6 +399,16 @@ Group::bindStatGroup(const stats::StatGroup &sg)
 }
 
 void
+Group::histogram(const char *name, const char *help,
+                 const stats::Distribution &d)
+{
+    if (rec_ == nullptr) {
+        return;
+    }
+    rec_->recordHistogram(prefix_ + "." + name, help, d);
+}
+
+void
 Group::tick(Tick now)
 {
     if (rec_ == nullptr) {
@@ -470,6 +518,53 @@ writeProm(std::ostream &os, const std::vector<MetricsPoint> &points)
            << '\n';
         // Rates/ratios are windowed derivations sampled as gauges.
         os << "# TYPE " << name << " gauge\n";
+        for (const auto &line : f.lines) {
+            os << line << '\n';
+        }
+    }
+
+    // Histogram snapshots: one exposition-format histogram family per
+    // snapshot name, cumulative le buckets plus +Inf/_sum/_count.
+    struct HistFamily
+    {
+        std::string help;
+        std::vector<std::string> lines;
+    };
+    std::vector<std::pair<std::string, HistFamily>> histFams;
+    auto histFamily = [&](const std::string &name,
+                          const std::string &help) -> HistFamily & {
+        for (auto &[n, f] : histFams) {
+            if (n == name) {
+                return f;
+            }
+        }
+        histFams.push_back({name, {help, {}}});
+        return histFams.back().second;
+    };
+    for (const auto &p : points) {
+        for (const auto &h : p.recorder->histograms()) {
+            const std::string fam = promName(h.name);
+            HistFamily &f = histFamily(fam, h.help);
+            const std::string labels =
+                "point=\"" + esc(p.name) + "\",series=\"" + esc(h.name) +
+                "\"";
+            for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+                f.lines.push_back(fam + "_bucket{" + labels + ",le=\"" +
+                                  json::formatDouble(h.bounds[i]) +
+                                  "\"} " + std::to_string(h.counts[i]));
+            }
+            f.lines.push_back(fam + "_bucket{" + labels + ",le=\"+Inf\"} " +
+                              std::to_string(h.count));
+            f.lines.push_back(fam + "_sum{" + labels + "} " +
+                              json::formatDouble(h.sum));
+            f.lines.push_back(fam + "_count{" + labels + "} " +
+                              std::to_string(h.count));
+        }
+    }
+    for (const auto &[name, f] : histFams) {
+        os << "# HELP " << name << ' ' << (f.help.empty() ? "-" : f.help)
+           << '\n';
+        os << "# TYPE " << name << " histogram\n";
         for (const auto &line : f.lines) {
             os << line << '\n';
         }

@@ -146,6 +146,26 @@ class Series
 class Group;
 
 /**
+ * An end-of-run copy of a latency population's log-bucketed histogram.
+ *
+ * Unlike Series, a snapshot holds data by value: the source
+ * stats::Distribution may die with its component before export, and a
+ * closure over it would dangle. recordHistogram() copies the bucket
+ * counts at call time instead.
+ */
+struct HistogramSnapshot
+{
+    std::string name;
+    std::string help;
+    /** Bucket upper bounds (stats::logBucketBounds()). */
+    std::vector<double> bounds;
+    /** Cumulative counts at or below each bound. */
+    std::vector<std::uint64_t> counts;
+    double sum = 0;
+    std::uint64_t count = 0;
+};
+
+/**
  * The per-sweep-point metrics registry and sample store.
  *
  * Single-threaded; owned by the harness (runner::SweepRunner allocates
@@ -167,6 +187,20 @@ class MetricsRecorder
 
     /** Registered series in registration order. */
     const std::vector<Series> &series() const { return series_; }
+
+    /**
+     * Snapshot @p d as a log-bucketed histogram named @p name. Copies
+     * the bucket counts now — call at end of run, after the population
+     * is complete; the distribution need not outlive the recorder.
+     */
+    void recordHistogram(const std::string &name, const std::string &help,
+                         const stats::Distribution &d);
+
+    /** Recorded histogram snapshots in record order. */
+    const std::vector<HistogramSnapshot> &histograms() const
+    {
+        return histograms_;
+    }
 
     /**
      * Uniquify @p prefix against every prefix handed out so far: first
@@ -201,6 +235,7 @@ class MetricsRecorder
     Tick interval_;
     std::size_t maxSamples_;
     std::vector<Series> series_;
+    std::vector<HistogramSnapshot> histograms_;
     /** prefix -> times handed out, for uniquePrefix(). */
     std::vector<std::pair<std::string, unsigned>> prefixes_;
 };
@@ -258,6 +293,10 @@ class Group
 
     /** gaugeFromStat() for every entry of @p sg. */
     void bindStatGroup(const stats::StatGroup &sg);
+
+    /** recordHistogram() under "<prefix>.<name>" (see the recorder). */
+    void histogram(const char *name, const char *help,
+                   const stats::Distribution &d);
 
     /**
      * Sample every series of this group at each interval boundary in

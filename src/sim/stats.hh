@@ -15,6 +15,7 @@
 #include <limits>
 #include <ostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace cereal {
@@ -154,6 +155,9 @@ class Histogram
 class Distribution
 {
   public:
+    /** exemplarAt() result when no exemplar resolves at that rank. */
+    static constexpr std::uint64_t kNoExemplar = 0;
+
     Distribution() = default;
 
     /** Record one sample. */
@@ -163,6 +167,23 @@ class Distribution
         samples_.push_back(v);
         sorted_ = false;
         avg_.sample(v);
+    }
+
+    /**
+     * Record one sample carrying an exemplar id (a request trace id).
+     * The id does not perturb the base sample population — quantile()
+     * and friends are byte-identical whether or not ids are attached —
+     * but exemplarAt() can then resolve a quantile back to the concrete
+     * request that produced it.
+     */
+    void
+    sample(double v, std::uint64_t exemplar)
+    {
+        sample(v);
+        if (exemplar != kNoExemplar) {
+            exemplars_.emplace_back(v, exemplar);
+            exSorted_ = false;
+        }
     }
 
     /** Pre-size the sample store for a known population size. */
@@ -191,6 +212,21 @@ class Distribution
      */
     double quantile(double q) const;
 
+    /**
+     * The exemplar id recorded at the nearest-rank @p q quantile of the
+     * exemplar-carrying samples (same rank arithmetic as quantile();
+     * value ties break deterministically toward the smaller id).
+     * Returns kNoExemplar when no sample carried an id.
+     */
+    std::uint64_t exemplarAt(double q) const;
+
+    /**
+     * Cumulative counts of samples at or below each logBucketBounds()
+     * bound (a Prometheus-style histogram; samples above the last
+     * bound appear only in count()).
+     */
+    std::vector<std::uint64_t> logBucketCounts() const;
+
     double p50() const { return quantile(0.50); }
     double p95() const { return quantile(0.95); }
     double p99() const { return quantile(0.99); }
@@ -206,8 +242,18 @@ class Distribution
     // percentile() sorts lazily; logical state is unchanged.
     mutable std::vector<double> samples_;
     mutable bool sorted_ = false;
+    mutable std::vector<std::pair<double, std::uint64_t>> exemplars_;
+    mutable bool exSorted_ = false;
     Average avg_;
 };
+
+/**
+ * Log-spaced latency bucket upper bounds shared by every exported
+ * histogram: {1, 2, 5} x 10^k seconds from 1 microsecond to 50
+ * seconds. A fixed global ladder keeps exported histograms comparable
+ * across runs, backends, and scales.
+ */
+const std::vector<double> &logBucketBounds();
 
 /**
  * A derived statistic: a closure over other statistics, evaluated

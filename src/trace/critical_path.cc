@@ -1,0 +1,137 @@
+#include "trace/critical_path.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/json.hh"
+
+namespace cereal {
+namespace trace {
+
+std::vector<SegmentShare>
+tailAttribution(const std::vector<RequestTimeline> &timelines, double q)
+{
+    std::vector<SegmentShare> out;
+    if (timelines.empty()) {
+        return out;
+    }
+    // Nearest-rank threshold over integer-tick latencies: exact and
+    // order-independent, so the cohort is the same regardless of how
+    // the timelines were collected.
+    std::vector<Tick> e2e;
+    e2e.reserve(timelines.size());
+    for (const auto &t : timelines) {
+        e2e.push_back(t.endToEnd());
+    }
+    std::sort(e2e.begin(), e2e.end());
+    std::size_t rank = 1;
+    if (q > 0 && q < 1) {
+        rank = static_cast<std::size_t>(std::ceil(
+            q * static_cast<double>(e2e.size()) - 1e-9));
+        if (rank == 0) {
+            rank = 1;
+        }
+    } else if (q >= 1) {
+        rank = e2e.size();
+    }
+    const Tick threshold = e2e[rank - 1];
+
+    Tick segTotal[kSegmentCount] = {};
+    Tick cohortE2e = 0;
+    for (const auto &t : timelines) {
+        if (t.endToEnd() < threshold) {
+            continue;
+        }
+        Tick seg[kSegmentCount];
+        t.segments(seg);
+        for (unsigned i = 0; i < kSegmentCount; ++i) {
+            segTotal[i] += seg[i];
+        }
+        cohortE2e += t.endToEnd();
+    }
+
+    out.reserve(kSegmentCount);
+    for (unsigned i = 0; i < kSegmentCount; ++i) {
+        SegmentShare s;
+        s.segment = static_cast<Segment>(i);
+        s.total = segTotal[i];
+        s.fraction = cohortE2e == 0
+                         ? 0
+                         : static_cast<double>(segTotal[i]) /
+                               static_cast<double>(cohortE2e);
+        out.push_back(s);
+    }
+    std::stable_sort(out.begin(), out.end(),
+                     [](const SegmentShare &a, const SegmentShare &b) {
+                         return a.total > b.total;
+                     });
+    return out;
+}
+
+bool
+StageCriticalPath::conserves() const
+{
+    return valid &&
+           mapQueue + serialize + wire + rxQueue + deserialize + reduce ==
+               total;
+}
+
+const char *
+StageCriticalPath::dominant() const
+{
+    const char *names[6] = {"map_queue",   "serialize", "wire",
+                            "rx_queue",    "deserialize", "reduce"};
+    const Tick seg[6] = {mapQueue, serialize, wire,
+                         rxQueue,  deserialize, reduce};
+    unsigned best = 0;
+    for (unsigned i = 1; i < 6; ++i) {
+        if (seg[i] > seg[best]) {
+            best = i;
+        }
+    }
+    return names[best];
+}
+
+void
+StageCriticalPath::writeJson(json::Writer &w) const
+{
+    w.beginObject();
+    w.kv("valid", static_cast<std::uint64_t>(valid ? 1 : 0));
+    w.kv("node", static_cast<std::uint64_t>(node));
+    w.kv("src", static_cast<std::uint64_t>(src));
+    w.kv("map_queue_ticks", mapQueue);
+    w.kv("serialize_ticks", serialize);
+    w.kv("wire_ticks", wire);
+    w.kv("rx_queue_ticks", rxQueue);
+    w.kv("deserialize_ticks", deserialize);
+    w.kv("reduce_ticks", reduce);
+    w.kv("total_ticks", total);
+    w.kv("dominant_segment", valid ? dominant() : "none");
+    w.kv("conserved", static_cast<std::uint64_t>(conserves() ? 1 : 0));
+    w.endObject();
+}
+
+StageCriticalPath
+stageCriticalPath(const RequestTimeline &bounding, Tick stage_start,
+                  Tick reduce_end)
+{
+    StageCriticalPath p;
+    if (bounding.traceId == kNoTraceId ||
+        bounding.serStart < stage_start || reduce_end < bounding.done) {
+        return p;
+    }
+    p.valid = true;
+    p.node = bounding.dst;
+    p.src = bounding.origin;
+    p.mapQueue = bounding.serStart - stage_start;
+    p.serialize = bounding.serEnd - bounding.serStart;
+    p.wire = bounding.deliver - bounding.send;
+    p.rxQueue = bounding.deserStart - bounding.deliver;
+    p.deserialize = bounding.done - bounding.deserStart;
+    p.reduce = reduce_end - bounding.done;
+    p.total = reduce_end - stage_start;
+    return p;
+}
+
+} // namespace trace
+} // namespace cereal

@@ -449,5 +449,56 @@ TEST(GoldenMetrics, SmallFig10RunMatchesPinnedCsv)
            "change is deliberate, regenerate with CEREAL_UPDATE_GOLDEN=1";
 }
 
+/**
+ * Pinned golden of the log-bucketed histogram export: a fixed latency
+ * population snapshotted through recordHistogram() and rendered as the
+ * Prometheus text exposition plus the JSON fragment. Regenerate after
+ * a deliberate ladder/exporter change with:
+ *
+ *   CEREAL_UPDATE_GOLDEN=1 ./build/tests/test_metrics \
+ *       --gtest_filter='GoldenMetrics.*'
+ */
+TEST(GoldenMetrics, HistogramExportMatchesPinnedGolden)
+{
+    stats::Distribution lat;
+    // Deterministic spread: 1us..~0.8s across the log ladder.
+    for (int i = 0; i < 64; ++i) {
+        lat.sample(1e-6 * (1 << (i % 20)));
+    }
+    MetricsRecorder rec(1000);
+    rec.recordHistogram("serving.latency_seconds",
+                        "end-to-end request latency, log-bucketed",
+                        lat);
+
+    std::ostringstream doc;
+    metrics::writeProm(doc, {{"golden-pt", &rec}});
+    doc << "--- json ---\n";
+    {
+        json::Writer w(doc, 2);
+        w.beginObject();
+        rec.writeJson(w); // emits the "metrics" member
+        w.endObject();
+    }
+    doc << "\n";
+
+    const std::string path =
+        std::string(CEREAL_GOLDEN_DIR) + "/metrics_histogram.txt";
+    if (std::getenv("CEREAL_UPDATE_GOLDEN") != nullptr) {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        ASSERT_TRUE(out.good()) << "cannot write " << path;
+        out << doc.str();
+        return;
+    }
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good())
+        << "missing golden file " << path
+        << " (generate with CEREAL_UPDATE_GOLDEN=1)";
+    std::stringstream golden;
+    golden << in.rdbuf();
+    EXPECT_EQ(doc.str(), golden.str())
+        << "histogram export drifted from the pinned golden; if the "
+           "change is deliberate, regenerate with CEREAL_UPDATE_GOLDEN=1";
+}
+
 } // namespace
 } // namespace cereal

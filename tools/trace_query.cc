@@ -1,0 +1,333 @@
+/**
+ * @file
+ * CLI tail-attribution report over a bench trace dump.
+ *
+ *   trace_query <BENCH_*.json> [--top K] [--point <name-substr>]
+ *
+ * Reads a `BENCH_serving_knee.json` / `BENCH_dataflow.json` document
+ * (any bench that embeds per-point "reqtrace" reports or per-stage
+ * "crit" critical paths) and aggregates the causal trace data into the
+ * report an operator actually wants:
+ *
+ *  - Top-K segments by contribution to the p99 tail cohort, summed
+ *    across the selected points: which causal segment (admission wait,
+ *    credit stall, serialize, wire, deserialize, ...) the slowest 1%
+ *    of requests spend their time in.
+ *  - Straggler nodes per dataflow stage: how often each node's reduce
+ *    bounded a stage barrier, and which segment held it up.
+ *
+ * While aggregating, every conservation invariant in the document is
+ * re-verified from the raw numbers (not trusted from the flags): each
+ * reqtrace report must be marked conserved, each resolved p99/p999
+ * exemplar's segments must sum exactly to its recorded end-to-end
+ * latency, and each valid stage critical path's segments must sum
+ * exactly to its total. Tick values fit in 2^53, so the JSON doubles
+ * are exact. Exit status 0 on a clean report, 1 on any violation, 2
+ * on usage or I/O errors — CI runs this as the reqtrace gate.
+ */
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/json_parse.hh"
+
+namespace {
+
+using cereal::json::Value;
+
+bool
+readFile(const std::string &path, std::string &out)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is) {
+        return false;
+    }
+    std::ostringstream ss;
+    ss << is.rdbuf();
+    out = ss.str();
+    return true;
+}
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s <BENCH_*.json> [--top K]"
+                 " [--point <name-substr>]\n"
+                 "  --top K              segments listed in the"
+                 " attribution table (default 5)\n"
+                 "  --point substr       only points whose name contains"
+                 " substr\n"
+                 "exit: 0 clean, 1 conservation violation, 2 usage/IO\n",
+                 argv0);
+}
+
+std::uint64_t
+asTicks(const Value &v)
+{
+    return static_cast<std::uint64_t>(v.number);
+}
+
+/** Violations found while re-verifying the document's invariants. */
+struct Violations
+{
+    std::vector<std::string> lines;
+
+    void
+    add(const std::string &point, const std::string &what)
+    {
+        lines.push_back(point + ": " + what);
+    }
+};
+
+/**
+ * Re-check one exemplar timeline: segments_ticks must sum exactly to
+ * end_to_end_ticks. Null exemplars (unresolved under sampling) pass.
+ */
+void
+checkExemplar(const std::string &point, const char *which,
+              const Value *ex, Violations &bad)
+{
+    if (ex == nullptr || ex->isNull()) {
+        return;
+    }
+    const Value *segs = ex->find("segments_ticks");
+    const Value *e2e = ex->find("end_to_end_ticks");
+    if (segs == nullptr || !segs->isObject() || e2e == nullptr) {
+        bad.add(point, std::string(which) + " exemplar missing"
+                                            " segments/end_to_end");
+        return;
+    }
+    std::uint64_t sum = 0;
+    for (const auto &kv : segs->object) {
+        sum += asTicks(kv.second);
+    }
+    if (sum != asTicks(*e2e)) {
+        bad.add(point, std::string(which) + " exemplar segments sum to " +
+                           std::to_string(sum) + " ticks, end-to-end is " +
+                           std::to_string(asTicks(*e2e)));
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string path, point_filter;
+    std::size_t top_k = 5;
+
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--help") == 0) {
+            usage(argv[0]);
+            return 0;
+        }
+        if (std::strcmp(arg, "--top") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "--top needs a count\n");
+                return 2;
+            }
+            char *end = nullptr;
+            top_k = std::strtoul(argv[++i], &end, 10);
+            if (end == argv[i] || *end != '\0' || top_k == 0) {
+                std::fprintf(stderr, "bad --top '%s'\n", argv[i]);
+                return 2;
+            }
+            continue;
+        }
+        if (std::strcmp(arg, "--point") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "--point needs a substring\n");
+                return 2;
+            }
+            point_filter = argv[++i];
+            continue;
+        }
+        if (arg[0] == '-') {
+            std::fprintf(stderr, "unknown flag '%s'\n", arg);
+            usage(argv[0]);
+            return 2;
+        }
+        if (!path.empty()) {
+            std::fprintf(stderr, "too many positional arguments\n");
+            return 2;
+        }
+        path = arg;
+    }
+    if (path.empty()) {
+        usage(argv[0]);
+        return 2;
+    }
+
+    std::string text;
+    if (!readFile(path, text)) {
+        std::fprintf(stderr, "cannot read %s\n", path.c_str());
+        return 2;
+    }
+    const auto parsed = cereal::json::parse(text);
+    if (!parsed.ok()) {
+        std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                     parsed.error.c_str());
+        return 2;
+    }
+    const Value *points = parsed.value.find("points");
+    if (points == nullptr || !points->isArray()) {
+        std::fprintf(stderr, "%s: no \"points\" array\n", path.c_str());
+        return 2;
+    }
+
+    Violations bad;
+    // segment -> (tail-cohort ticks, end-to-end cohort ticks weight).
+    std::map<std::string, std::uint64_t> tail_ticks;
+    std::uint64_t tail_total = 0;
+    std::uint64_t traced_points = 0, requests = 0, sampled = 0;
+    // (stage name, node) -> times that node bounded the barrier, and
+    // per-stage dominant-segment counts.
+    std::map<std::string, std::map<std::uint64_t, std::uint64_t>>
+        stragglers;
+    std::map<std::string, std::map<std::string, std::uint64_t>>
+        stage_dominant;
+    std::uint64_t crit_stages = 0;
+
+    for (const Value &pt : points->array) {
+        const Value *namev = pt.find("name");
+        const std::string name =
+            namev != nullptr && namev->isString() ? namev->str : "?";
+        if (!point_filter.empty() &&
+            name.find(point_filter) == std::string::npos) {
+            continue;
+        }
+
+        if (const Value *rt = pt.find("reqtrace")) {
+            ++traced_points;
+            if (const Value *rq = rt->find("requests")) {
+                requests += asTicks(*rq);
+            }
+            if (const Value *sm = rt->find("sampled")) {
+                sampled += asTicks(*sm);
+            }
+            const Value *cons = rt->find("conserved");
+            if (cons == nullptr || asTicks(*cons) != 1) {
+                bad.add(name, "reqtrace not conserved");
+            }
+            checkExemplar(name, "p99", rt->find("p99_exemplar"), bad);
+            checkExemplar(name, "p999", rt->find("p999_exemplar"), bad);
+            if (const Value *tail = rt->find("tail_attribution")) {
+                for (const Value &share : tail->array) {
+                    const Value *seg = share.find("segment");
+                    const Value *ticks = share.find("total_ticks");
+                    if (seg == nullptr || ticks == nullptr) {
+                        continue;
+                    }
+                    tail_ticks[seg->str] += asTicks(*ticks);
+                    tail_total += asTicks(*ticks);
+                }
+            }
+        }
+
+        const Value *stages = pt.find("stages");
+        if (stages != nullptr && stages->isArray()) {
+            for (const Value &st : stages->array) {
+                const Value *crit = st.find("crit");
+                const Value *sname = st.find("name");
+                if (crit == nullptr ||
+                    asTicks(*crit->find("valid")) != 1) {
+                    continue;
+                }
+                ++crit_stages;
+                const std::string stage =
+                    sname != nullptr ? sname->str : "?";
+                // Re-verify conservation from the raw segments.
+                static const char *kSegs[] = {
+                    "map_queue_ticks", "serialize_ticks", "wire_ticks",
+                    "rx_queue_ticks", "deserialize_ticks",
+                    "reduce_ticks"};
+                std::uint64_t sum = 0;
+                for (const char *s : kSegs) {
+                    sum += asTicks(*crit->find(s));
+                }
+                if (sum != asTicks(*crit->find("total_ticks"))) {
+                    bad.add(name, "stage '" + stage +
+                                      "' critical path does not"
+                                      " conserve");
+                }
+                stragglers[stage][asTicks(*crit->find("node"))] += 1;
+                stage_dominant[stage]
+                              [crit->find("dominant_segment")->str] += 1;
+            }
+        }
+    }
+
+    std::printf("trace_query: %s\n", path.c_str());
+    std::printf("points with reqtrace: %llu (requests %llu, sampled"
+                " %llu)\n",
+                static_cast<unsigned long long>(traced_points),
+                static_cast<unsigned long long>(requests),
+                static_cast<unsigned long long>(sampled));
+
+    if (tail_total > 0) {
+        std::vector<std::pair<std::string, std::uint64_t>> ranked(
+            tail_ticks.begin(), tail_ticks.end());
+        std::stable_sort(ranked.begin(), ranked.end(),
+                         [](const auto &a, const auto &b) {
+                             return a.second > b.second;
+                         });
+        std::printf("\ntop segments by p99-cohort contribution:\n");
+        std::printf("  %-12s %18s %9s\n", "segment", "ticks", "share");
+        for (std::size_t i = 0; i < ranked.size() && i < top_k; ++i) {
+            std::printf("  %-12s %18llu %8.2f%%\n",
+                        ranked[i].first.c_str(),
+                        static_cast<unsigned long long>(
+                            ranked[i].second),
+                        100.0 * static_cast<double>(ranked[i].second) /
+                            static_cast<double>(tail_total));
+        }
+    }
+
+    if (crit_stages > 0) {
+        std::printf("\nstraggler nodes per stage (%llu bounded"
+                    " barriers):\n",
+                    static_cast<unsigned long long>(crit_stages));
+        for (const auto &st : stragglers) {
+            std::printf("  %-24s", st.first.c_str());
+            for (const auto &nc : st.second) {
+                std::printf(" node%llu:%llu",
+                            static_cast<unsigned long long>(nc.first),
+                            static_cast<unsigned long long>(nc.second));
+            }
+            std::printf(" |");
+            for (const auto &dc : stage_dominant[st.first]) {
+                std::printf(" %s:%llu", dc.first.c_str(),
+                            static_cast<unsigned long long>(dc.second));
+            }
+            std::printf("\n");
+        }
+    }
+
+    if (traced_points == 0 && crit_stages == 0) {
+        std::fprintf(stderr,
+                     "no reqtrace/crit data found (filter '%s')\n",
+                     point_filter.c_str());
+        return 1;
+    }
+
+    if (!bad.lines.empty()) {
+        std::printf("\nCONSERVATION VIOLATIONS (%zu):\n",
+                    bad.lines.size());
+        for (const auto &l : bad.lines) {
+            std::printf("  %s\n", l.c_str());
+        }
+        return 1;
+    }
+    std::printf("\nall conservation invariants hold\n");
+    return 0;
+}
